@@ -1,0 +1,73 @@
+//! Criterion benches: one per reconstructed table/figure (E1–E10), timing
+//! the full simulation stack at reduced input sizes, plus component
+//! microbenches for the fabric and pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyser_bench::experiments::{run_experiment_scaled, Scale};
+use dyser_fabric::{ConfigBuilder, Fabric, FabricGeometry, FuOp};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for id in dyser_bench::EXPERIMENT_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| run_experiment_scaled(id, Scale(0.08)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_throughput(c: &mut Criterion) {
+    // Steady-state fabric simulation speed: one adder at full occupancy.
+    let geom = FabricGeometry::new(4, 4);
+    let mut b = ConfigBuilder::new(geom);
+    let x = b.input_value(0);
+    let y = b.input_value(1);
+    let s = b.op(FuOp::IAdd, &[x, y]);
+    b.output_value(s, 0);
+    let config = b.build().unwrap();
+
+    c.bench_function("fabric_tick_1k", |bencher| {
+        bencher.iter(|| {
+            let mut fabric = Fabric::new(geom);
+            fabric.load_config(&config).unwrap();
+            let mut got = 0u64;
+            for i in 0..1000u64 {
+                while !fabric.try_send(0, i) {
+                    fabric.tick();
+                    while fabric.try_recv(0).is_some() {
+                        got += 1;
+                    }
+                }
+                let _ = fabric.try_send(1, 1);
+                fabric.tick();
+                while fabric.try_recv(0).is_some() {
+                    got += 1;
+                }
+            }
+            while got < 1000 {
+                fabric.tick();
+                while fabric.try_recv(0).is_some() {
+                    got += 1;
+                }
+            }
+            got
+        });
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    // Compiler end-to-end latency on a representative kernel.
+    let kernel = dyser_workloads::suite()
+        .into_iter()
+        .find(|k| k.name == "poly6")
+        .unwrap();
+    let f = kernel.function();
+    let opts = kernel.compiler_options(FabricGeometry::new(8, 8));
+    c.bench_function("compile_poly6", |bencher| {
+        bencher.iter(|| dyser_compiler::compile(&f, &opts).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_experiments, bench_fabric_throughput, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Reproduces the evaluation's tables and figures.
+//!
+//! ```text
+//! cargo run -p dyser-bench --release --bin repro -- all
+//! cargo run -p dyser-bench --release --bin repro -- e2 e6
+//! cargo run -p dyser-bench --release --bin repro -- e2 --csv   # machine-readable
+//! ```
+
+use dyser_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        if !EXPERIMENT_IDS.contains(&id) {
+            eprintln!("unknown experiment `{id}`; valid: {EXPERIMENT_IDS:?}");
+            std::process::exit(2);
+        }
+        let table = run_experiment(id);
+        if csv {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}

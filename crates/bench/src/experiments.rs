@@ -1,0 +1,589 @@
+//! The experiments: E1–E10, each regenerating one reconstructed
+//! table/figure of the evaluation (see `DESIGN.md` for the index).
+
+use dyser_compiler::LoopShape;
+use dyser_core::{run_kernel, run_program, KernelResult, RunConfig};
+use dyser_energy::EnergyModel;
+use dyser_fabric::{FabricGeometry, FuKind, StructuralStats};
+use dyser_sparc::StallCause;
+use dyser_workloads::{manual, suite, Category, Kernel};
+
+use crate::table::ExpTable;
+
+/// All experiment ids, in order (`ablation` is this reproduction's own
+/// design-choice study, not a paper exhibit).
+pub const EXPERIMENT_IDS: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "ablation"];
+
+/// The seed used for all experiment inputs.
+pub const SEED: u64 = 0xD75E;
+
+/// Size scale: 1.0 = the full evaluation sizes used by `repro`;
+/// smaller values shrink inputs for the Criterion benches.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    fn n(&self, full: usize) -> usize {
+        let scaled = ((full as f64) * self.0) as usize;
+        scaled.max(8) / 4 * 4 // keep it a positive multiple of 4
+    }
+}
+
+/// Runs one experiment by id at full size.
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers use [`EXPERIMENT_IDS`]) or if any
+/// kernel fails verification — a failed experiment is a bug, not a result.
+pub fn run_experiment(id: &str) -> ExpTable {
+    run_experiment_scaled(id, Scale(1.0))
+}
+
+/// Runs one experiment at a given size scale.
+///
+/// # Panics
+///
+/// Panics on unknown ids or verification failures.
+pub fn run_experiment_scaled(id: &str, scale: Scale) -> ExpTable {
+    match id {
+        "e1" => e1_fabric_resources(),
+        "e2" => e2_micro_speedup(scale),
+        "e3" => e3_suite_speedup(scale),
+        "e4" => e4_manual_vs_compiler(scale),
+        "e5" => e5_instruction_reduction(scale),
+        "e6" => e6_energy(scale),
+        "e7" => e7_config_overhead(scale),
+        "e8" => e8_control_flow_shapes(scale),
+        "e9" => e9_fabric_sweep(scale),
+        "e10" => e10_integration_overhead(scale),
+        "ablation" => ablation(scale),
+        other => panic!("unknown experiment `{other}`"),
+    }
+}
+
+fn kernel_by_name(name: &str) -> Kernel {
+    suite()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("kernel `{name}` in suite"))
+}
+
+fn run_one(k: &Kernel, n: usize, config_mut: impl FnOnce(&mut RunConfig)) -> KernelResult {
+    let mut config = RunConfig::default();
+    config.compiler = k.compiler_options(config.system.geometry);
+    config_mut(&mut config);
+    run_kernel(&k.case(n, SEED), &config)
+        .unwrap_or_else(|e| panic!("{} (n={n}): {e}", k.name))
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+// ------------------------------------------------------------------ E1
+
+/// E1 (resource table): structural statistics per fabric geometry — the
+/// simulator-level stand-in for the paper's FPGA utilisation table.
+pub fn e1_fabric_resources() -> ExpTable {
+    let mut t = ExpTable::new(
+        "E1: fabric structural resources by geometry",
+        &["geometry", "FUs", "int", "intmul", "fpadd", "fpmul", "switches", "links", "in", "out", "cfg bits"],
+    );
+    for dim in [2usize, 4, 6, 8] {
+        let geom = FabricGeometry::new(dim, dim);
+        let kinds: Vec<FuKind> =
+            geom.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        let s = StructuralStats::compute(geom, &kinds);
+        t.row(vec![
+            geom.to_string(),
+            s.fus.to_string(),
+            s.int_simple.to_string(),
+            s.int_mul.to_string(),
+            s.fp_add.to_string(),
+            s.fp_mul.to_string(),
+            s.switches.to_string(),
+            s.links.to_string(),
+            s.input_ports.to_string(),
+            s.output_ports.to_string(),
+            s.frame_bits.to_string(),
+        ]);
+    }
+    t.note("substitutes structural counts for the paper's LUT/BRAM table (DESIGN.md E1)");
+    t
+}
+
+// ------------------------------------------------------------------ E2
+
+/// E2 (microbenchmark speedup figure): SPARC-DySER vs OpenSPARC cycles on
+/// the compute-intense microbenchmarks — the paper's headline 6x claim.
+pub fn e2_micro_speedup(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E2: microbenchmark speedup (SPARC-DySER vs OpenSPARC)",
+        &["kernel", "n", "base cycles", "dyser cycles", "speedup"],
+    );
+    let mut speedups = Vec::new();
+    let mut peak: f64 = 0.0;
+    for k in suite().into_iter().filter(|k| k.category == Category::Micro) {
+        let n = scale.n(k.default_n);
+        let r = run_one(&k, n, |_| {});
+        speedups.push(r.speedup);
+        peak = peak.max(r.speedup);
+        t.row(vec![
+            k.name.into(),
+            n.to_string(),
+            r.baseline.cycles.to_string(),
+            r.dyser.cycles.to_string(),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t.row(vec![
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", geomean(&speedups)),
+    ]);
+    t.note(format!("peak speedup {peak:.2}x (paper headline: ~6x on microbenchmarks)"));
+    t
+}
+
+// ------------------------------------------------------------------ E3
+
+/// E3 (suite speedup figure): speedups across the full kernel suite,
+/// grouped by category — regular vs irregular.
+pub fn e3_suite_speedup(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E3: full-suite speedup by category",
+        &["kernel", "category", "n", "speedup", "accelerated"],
+    );
+    let mut by_cat: Vec<(Category, Vec<f64>)> = vec![
+        (Category::Micro, Vec::new()),
+        (Category::Regular, Vec::new()),
+        (Category::Irregular, Vec::new()),
+    ];
+    for k in suite() {
+        let n = scale.n(k.default_n);
+        let r = run_one(&k, n, |_| {});
+        by_cat.iter_mut().find(|(c, _)| *c == k.category).expect("category").1.push(r.speedup);
+        t.row(vec![
+            k.name.into(),
+            k.category.label().into(),
+            n.to_string(),
+            format!("{:.2}x", r.speedup),
+            if r.accelerated_any { "yes".into() } else { "no".into() },
+        ]);
+    }
+    for (cat, xs) in by_cat {
+        t.note(format!("{} geomean: {:.2}x over {} kernels", cat.label(), geomean(&xs), xs.len()));
+    }
+    t
+}
+
+// ------------------------------------------------------------------ E4
+
+/// E4 (manual-vs-compiler figure): hand-optimised DySER code against
+/// compiler-generated DySER code on the kernels with manual mappings.
+pub fn e4_manual_vs_compiler(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E4: manual vs compiler-generated DySER code",
+        &["kernel", "n", "base", "compiler", "manual", "compiler x", "manual x", "compiler/manual"],
+    );
+    let geometry = FabricGeometry::new(8, 8);
+    for m in manual::all(geometry, scale.n(512), SEED) {
+        let k = kernel_by_name(m.name);
+        let n = scale.n(512);
+        let r = run_one(&k, n, |_| {});
+        let mut rc = RunConfig::default();
+        rc.system.geometry = geometry;
+        let manual_stats =
+            run_program("manual", &m.program, &m.args, &m.init, &m.expected, &rc)
+                .unwrap_or_else(|e| panic!("manual {}: {e}", m.name));
+        let compiler_x = r.speedup;
+        let manual_x = r.baseline.cycles as f64 / manual_stats.cycles.max(1) as f64;
+        t.row(vec![
+            m.name.into(),
+            n.to_string(),
+            r.baseline.cycles.to_string(),
+            r.dyser.cycles.to_string(),
+            manual_stats.cycles.to_string(),
+            format!("{compiler_x:.2}x"),
+            format!("{manual_x:.2}x"),
+            format!("{:.0}%", 100.0 * compiler_x / manual_x),
+        ]);
+    }
+    t.note("manual mappings use pointer-increment addressing, vector ports, and tree reductions");
+    t
+}
+
+// ------------------------------------------------------------------ E5
+
+/// E5 (dynamic instruction figure): instructions executed by the core,
+/// baseline vs accelerated, with the offloaded fraction.
+pub fn e5_instruction_reduction(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E5: dynamic core instructions, baseline vs DySER",
+        &["kernel", "base instrs", "dyser instrs", "reduction", "base fp+mul", "dyser fp+mul", "fabric ops"],
+    );
+    use dyser_isa::InstrClass as C;
+    for k in suite() {
+        let n = scale.n(k.default_n);
+        let r = run_one(&k, n, |_| {});
+        let heavy = |s: &dyser_core::RunStats| {
+            s.core.class_count(C::Fp) + s.core.class_count(C::IntMulDiv)
+        };
+        t.row(vec![
+            k.name.into(),
+            r.baseline.core.instructions.to_string(),
+            r.dyser.core.instructions.to_string(),
+            format!("{:+.0}%", -100.0 * r.instr_reduction()),
+            heavy(&r.baseline).to_string(),
+            heavy(&r.dyser).to_string(),
+            r.dyser.fabric.fu_fires().to_string(),
+        ]);
+    }
+    t.note("negative = fewer core instructions; heavy arithmetic moves to the fabric");
+    t
+}
+
+// ------------------------------------------------------------------ E6
+
+/// E6 (power/energy table): the energy model's view of both runs —
+/// fabric power near the prototype's 200 mW, energy and EDP ratios.
+pub fn e6_energy(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E6: energy and power (activity model, 50 MHz)",
+        &["kernel", "base uJ", "dyser uJ", "energy ratio", "fabric mW", "EDP gain"],
+    );
+    let model = EnergyModel::default();
+    let mut fabric_powers = Vec::new();
+    for k in suite() {
+        let n = scale.n(k.default_n);
+        let r = run_one(&k, n, |_| {});
+        let eb = r.baseline.energy(&model);
+        let ed = r.dyser.energy(&model);
+        if r.accelerated_any {
+            fabric_powers.push(ed.fabric_power_mw);
+        }
+        t.row(vec![
+            k.name.into(),
+            format!("{:.1}", eb.total_nj / 1000.0),
+            format!("{:.1}", ed.total_nj / 1000.0),
+            format!("{:.2}x", eb.total_nj / ed.total_nj),
+            format!("{:.0}", ed.fabric_power_mw),
+            format!("{:.2}x", eb.edp / ed.edp),
+        ]);
+    }
+    let avg = fabric_powers.iter().sum::<f64>() / fabric_powers.len().max(1) as f64;
+    t.note(format!(
+        "mean fabric power across accelerated kernels: {avg:.0} mW (prototype: ~200 mW)"
+    ));
+    t
+}
+
+// ------------------------------------------------------------------ E7
+
+/// E7 (configuration-overhead figure): speedup versus invocation count —
+/// the configuration load amortises as the loop runs longer.
+pub fn e7_config_overhead(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E7: configuration-overhead amortisation (saxpy)",
+        &["n", "config cycles", "base cycles", "dyser cycles", "speedup"],
+    );
+    let k = kernel_by_name("saxpy");
+    let base_sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024];
+    for &n0 in &base_sizes {
+        let n = scale.n(n0).max(8);
+        let r = run_one(&k, n, |_| {});
+        let config_cycles = r.dyser.core.stall_count(StallCause::DyserConfig);
+        t.row(vec![
+            n.to_string(),
+            config_cycles.to_string(),
+            r.baseline.cycles.to_string(),
+            r.dyser.cycles.to_string(),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t.note("speedup rises with trip count as the fixed configuration cost amortises");
+    t
+}
+
+// ------------------------------------------------------------------ E8
+
+/// E8 (control-flow-shape study): the two shapes that curtail the
+/// compiler, plus the adaptive exit-condition offload.
+pub fn e8_control_flow_shapes(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E8: control-flow shapes and the adaptive mechanism",
+        &["kernel", "shape", "acceleratable", "speedup", "note"],
+    );
+    let shape_of = |k: &Kernel| -> LoopShape {
+        let shapes = dyser_compiler::classify_loops(&k.function());
+        shapes
+            .iter()
+            .map(|r| r.shape)
+            .max_by_key(|s| match s {
+                LoopShape::Regular => 0,
+                LoopShape::IfConvertible => 1,
+                LoopShape::EarlyExit => 2,
+                LoopShape::NestedControl => 3,
+            })
+            .expect("kernels have loops")
+    };
+    for name in ["relu_clamp", "find_first", "cond_store"] {
+        let k = kernel_by_name(name);
+        let n = scale.n(k.default_n);
+        let r = run_one(&k, n, |_| {});
+        let shape = shape_of(&k);
+        let note = match shape {
+            LoopShape::IfConvertible => "predicated into selects and accelerated",
+            LoopShape::EarlyExit => "shape A: side exit blocks pipelined invocations",
+            LoopShape::NestedControl => "shape B: conditional store defeats predication",
+            LoopShape::Regular => "",
+        };
+        t.row(vec![
+            name.into(),
+            shape.label().into(),
+            if shape.acceleratable() { "yes".into() } else { "no".into() },
+            format!("{:.2}x", r.speedup),
+            note.into(),
+        ]);
+    }
+    // Adaptive mechanism 1: speculative window checking for shape-A
+    // early-exit loops (hand implementation of the paper's sketch).
+    {
+        let k = kernel_by_name("find_first");
+        let n = scale.n(k.default_n);
+        let base = run_one(&k, n, |_| {});
+        if let Some(m) =
+            manual::find_first_speculative(FabricGeometry::new(8, 8), n, SEED)
+        {
+            let rc = RunConfig::default();
+            let spec = run_program("speculative", &m.program, &m.args, &m.init, &m.expected, &rc)
+                .expect("speculative search verifies");
+            let x = base.baseline.cycles as f64 / spec.cycles.max(1) as f64;
+            t.row(vec![
+                "find_first (speculative)".into(),
+                "early-exit (shape A)".into(),
+                "adaptive".into(),
+                format!("{x:.2}x"),
+                "windows checked in-fabric one iteration ahead; rescan on hit".into(),
+            ]);
+        }
+    }
+
+    // Adaptive mechanism 2: exit-condition offload, on and off.
+    let k = kernel_by_name("scan_poly");
+    let n = scale.n(k.default_n);
+    let off = run_one(&k, n, |c| {
+        c.compiler.region.offload_exit_condition = false;
+    });
+    let on = run_one(&k, n, |_| {});
+    t.row(vec![
+        "scan_poly (no offload)".into(),
+        "data-dependent exit".into(),
+        "no".into(),
+        format!("{:.2}x", off.speedup),
+        "exit test keeps the whole chain on the core".into(),
+    ]);
+    t.row(vec![
+        "scan_poly (offload)".into(),
+        "data-dependent exit".into(),
+        "adaptive".into(),
+        format!("{:.2}x", on.speedup),
+        "condition computed in-fabric, received every iteration".into(),
+    ]);
+    t.note("speculative window checking recovers shape-A loops (adaptive mechanism 1)");
+    t.note("the exit-condition offload trades recv latency for offloaded arithmetic; on");
+    t.note("this non-compute-intense scan it does not pay — the paper's finding ii");
+    t
+}
+
+// ------------------------------------------------------------------ E9
+
+/// E9 (fabric-size sensitivity figure): speedup versus fabric geometry.
+pub fn e9_fabric_sweep(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E9: speedup vs fabric geometry",
+        &["kernel", "2x2", "4x4", "6x6", "8x8"],
+    );
+    for name in ["poly6", "fir4", "stencil3", "saxpy"] {
+        let k = kernel_by_name(name);
+        let n = scale.n(k.default_n / 2);
+        let mut cells = vec![name.to_owned()];
+        for dim in [2usize, 4, 6, 8] {
+            let r = run_one(&k, n, |c| {
+                c.system.geometry = FabricGeometry::new(dim, dim);
+                c.compiler.geometry = FabricGeometry::new(dim, dim);
+            });
+            cells.push(format!("{:.2}x", r.speedup));
+        }
+        t.row(cells);
+    }
+    t.note("larger fabrics admit deeper unrolling; small fabrics fall back to lower factors");
+    t
+}
+
+// ------------------------------------------------------------------ E10
+
+/// E10 (integration-overhead table): a DySER-equipped system running the
+/// unaccelerated binary must cost exactly the same cycles as a system
+/// with no fabric at all — integration introduces no overhead.
+pub fn e10_integration_overhead(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E10: integration overhead (baseline binary, fabric present vs absent)",
+        &["kernel", "no-fabric cycles", "fabric-idle cycles", "delta"],
+    );
+    for k in suite().into_iter().take(6) {
+        let n = scale.n(k.default_n / 2);
+        let case = k.case(n, SEED);
+        let compiled = dyser_compiler::compile(
+            &case.function,
+            &k.compiler_options(FabricGeometry::new(8, 8)),
+        )
+        .expect("compiles");
+
+        let mut rc_none = RunConfig::default();
+        rc_none.system.has_fabric = false;
+        let none = run_program("no-fabric", &compiled.baseline, &case.args, &case.init, &case.expected, &rc_none)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+
+        let rc_idle = RunConfig::default();
+        let idle = run_program("fabric-idle", &compiled.baseline, &case.args, &case.init, &case.expected, &rc_idle)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+
+        t.row(vec![
+            k.name.into(),
+            none.cycles.to_string(),
+            idle.cycles.to_string(),
+            (idle.cycles as i64 - none.cycles as i64).to_string(),
+        ]);
+    }
+    t.note("delta 0 everywhere: the DySER integration adds no cycles when unused (finding i)");
+    t
+}
+
+// ------------------------------------------------------------- ablation
+
+/// Ablation of the compiler's design choices (DESIGN.md): unroll factor,
+/// store-lag depth, and if-conversion, on one compute-heavy and one
+/// memory-heavy kernel.
+pub fn ablation(scale: Scale) -> ExpTable {
+    let mut t = ExpTable::new(
+        "Ablation: compiler design choices",
+        &["kernel", "variant", "dyser cycles", "speedup"],
+    );
+    for name in ["poly6", "saxpy"] {
+        let k = kernel_by_name(name);
+        let n = scale.n(k.default_n / 2);
+        type Variant = (&'static str, Box<dyn Fn(&mut RunConfig)>);
+        let variants: Vec<Variant> = vec![
+            ("default (unroll 4, lag 2)", Box::new(|_: &mut RunConfig| {})),
+            ("no unroll", Box::new(|c: &mut RunConfig| c.compiler.unroll_factor = 1)),
+            ("unroll 8", Box::new(|c: &mut RunConfig| c.compiler.unroll_factor = 8)),
+            ("lag depth 1", Box::new(|c: &mut RunConfig| c.compiler.codegen.lag_depth = 1)),
+            ("lag depth 4", Box::new(|c: &mut RunConfig| c.compiler.codegen.lag_depth = 4)),
+            ("no store lag", Box::new(|c: &mut RunConfig| c.compiler.codegen.lag_stores = false)),
+            (
+                "no scheduler refinement",
+                Box::new(|c: &mut RunConfig| c.compiler.schedule.refinement_rounds = 0),
+            ),
+            (
+                "perfect memory",
+                Box::new(|c: &mut RunConfig| c.system.mem = dyser_mem::MemConfig::perfect()),
+            ),
+            ("fifo depth 2", Box::new(|c: &mut RunConfig| c.system.fifo_depth = 2)),
+            ("fifo depth 8", Box::new(|c: &mut RunConfig| c.system.fifo_depth = 8)),
+            (
+                "universal FUs",
+                Box::new(|c: &mut RunConfig| {
+                    let g = c.system.geometry;
+                    let kinds = vec![FuKind::Universal; g.fu_count()];
+                    c.system.kinds = Some(kinds.clone());
+                    c.compiler.kinds = Some(kinds);
+                }),
+            ),
+        ];
+        for (label, tweak) in variants {
+            let r = run_one(&k, n, |c| tweak(c));
+            t.row(vec![
+                name.into(),
+                label.into(),
+                r.dyser.cycles.to_string(),
+                format!("{:.2}x", r.speedup),
+            ]);
+        }
+    }
+    t.note("the `lag depth N` rows set the CAP; the per-region auto-tuner picks the depth");
+    t.note("unrolling and store lagging carry the compute-heavy kernel; perfect memory shows the residual memory sensitivity");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: Scale = Scale(0.08);
+
+    #[test]
+    fn e1_has_four_geometries() {
+        let t = e1_fabric_resources();
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn e2_reports_micro_kernels_and_geomean() {
+        let t = e2_micro_speedup(TINY);
+        assert_eq!(t.rows.len(), 3 + 1);
+        assert!(t.rows.last().unwrap()[0] == "geomean");
+    }
+
+    #[test]
+    fn e4_covers_all_manual_kernels() {
+        let t = e4_manual_vs_compiler(TINY);
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn e7_speedup_grows_with_n() {
+        let t = e7_config_overhead(Scale(0.5));
+        let first: f64 = t.rows.first().unwrap()[4].trim_end_matches('x').parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[4].trim_end_matches('x').parse().unwrap();
+        assert!(last > first, "amortisation: {first} -> {last}");
+    }
+
+    #[test]
+    fn e10_deltas_are_zero() {
+        let t = e10_integration_overhead(TINY);
+        for row in &t.rows {
+            assert_eq!(row[3], "0", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_defaults_not_slower_than_no_lag() {
+        let t = ablation(Scale(0.25));
+        // poly6's default variant must beat its no-store-lag variant.
+        let cycles = |variant: &str| -> u64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "poly6" && r[1] == variant)
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        assert!(cycles("default (unroll 4, lag 2)") <= cycles("no store lag"));
+    }
+
+    #[test]
+    fn all_experiments_run_at_tiny_scale() {
+        for id in EXPERIMENT_IDS {
+            let t = run_experiment_scaled(id, TINY);
+            assert!(!t.rows.is_empty(), "{id}");
+        }
+    }
+}

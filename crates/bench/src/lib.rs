@@ -1,0 +1,20 @@
+//! # dyser-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! reconstructed ISPASS 2015 evaluation (experiments E1–E10; the index
+//! lives in `DESIGN.md`, the measured results in `EXPERIMENTS.md`).
+//!
+//! Two entry points:
+//!
+//! * `cargo run -p dyser-bench --release --bin repro -- <e1..e10|all>`
+//!   prints each experiment's rows,
+//! * `cargo bench -p dyser-bench` runs the same experiments (at reduced
+//!   sizes) under Criterion, timing the simulation stack itself.
+
+
+#![warn(missing_docs)]
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use table::ExpTable;

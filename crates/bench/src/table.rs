@@ -1,0 +1,127 @@
+//! A plain-text table renderer for experiment output.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct ExpTable {
+    /// Experiment id (`"E2"`) and title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ExpTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as CSV (headers + rows; notes become `#` comments).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut s = String::new();
+        for note in &self.notes {
+            s.push_str(&format!("# {note}\n"));
+        }
+        s.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExpTable::new("E0: demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("longer"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    fn csv_escapes_and_comments() {
+        let mut t = ExpTable::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        t.note("hello");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# hello\n"));
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ExpTable::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

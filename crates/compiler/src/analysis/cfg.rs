@@ -1,0 +1,167 @@
+//! The control-flow graph: successors, predecessors, reverse postorder.
+
+use crate::ir::{Block, Function, Terminator};
+
+/// Successor/predecessor sets and a reverse-postorder numbering.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<Block>>,
+    preds: Vec<Vec<Block>>,
+    rpo: Vec<Block>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.block_count();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<Block>> = vec![Vec::new(); n];
+        for b in f.blocks() {
+            let ss: Vec<Block> = match &f.block(b).term {
+                Terminator::Br(t) => vec![*t],
+                Terminator::CondBr { then_bb, else_bb, .. } => {
+                    if then_bb == else_bb {
+                        vec![*then_bb]
+                    } else {
+                        vec![*then_bb, *else_bb]
+                    }
+                }
+                Terminator::Ret(_) | Terminator::None => Vec::new(),
+            };
+            for s in &ss {
+                preds[s.index()].push(b);
+            }
+            succs[b.index()] = ss;
+        }
+
+        // Reverse postorder via iterative DFS from the entry block.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(Block, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        while let Some(&(b, child)) = stack.last() {
+            if child < succs[b.index()].len() {
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let next = succs[b.index()][child];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<Block> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i);
+        }
+        Cfg { succs, preds, rpo, rpo_index }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: Block) -> &[Block] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: Block) -> &[Block] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first; unreachable blocks absent).
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, if reachable.
+    pub fn rpo_index(&self, b: Block) -> Option<usize> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn reachable(&self, b: Block) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, Type};
+
+    /// entry -> (then | else) -> join, plus an unreachable block.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let join = b.block("join");
+        let dead = b.block("dead");
+        let c = b.cmp(crate::ir::CmpOp::Slt, x, zero);
+        b.cond_br(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.br(join);
+        b.switch_to(else_bb);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        b.build_unverified()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let entry = f.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        let join = Block(3);
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert!(cfg.reachable(join));
+        assert!(!cfg.reachable(Block(4)), "dead block is unreachable");
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo()[0], f.entry());
+        assert_eq!(*cfg.rpo().last().unwrap(), Block(3), "join is last in RPO");
+        assert_eq!(cfg.rpo().len(), 4, "unreachable block not in RPO");
+        assert_eq!(cfg.rpo_index(f.entry()), Some(0));
+        assert_eq!(cfg.rpo_index(Block(4)), None);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FunctionBuilder::new("l", &[]);
+        let body = b.block("body");
+        b.br(body);
+        b.switch_to(body);
+        b.br(body);
+        let f = b.build_unverified();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(Block(1)), &[Block(1)]);
+        assert!(cfg.preds(Block(1)).contains(&Block(1)));
+    }
+
+    #[test]
+    fn condbr_with_equal_targets_has_one_succ() {
+        let mut b = FunctionBuilder::new("e", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let t = b.block("t");
+        let c = b.cmp(crate::ir::CmpOp::Eq, x, x);
+        b.cond_br(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.build_unverified();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(f.entry()).len(), 1);
+        assert_eq!(cfg.preds(t).len(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::ir::{Block, Function};
+
+use super::cfg::Cfg;
+
+/// Immediate-dominator tree over the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b] = immediate dominator` (entry maps to itself).
+    idom: Vec<Option<Block>>,
+    rpo_index: Vec<Option<usize>>,
+    entry: Block,
+}
+
+impl DomTree {
+    /// Computes dominators for `f` given its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.block_count();
+        let entry = f.entry();
+        let mut idom: Vec<Option<Block>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                // First processed predecessor with a known idom.
+                let mut new_idom: Option<Block> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect_raw(&idom, cfg, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_index: (0..n).map(|i| cfg.rpo_index(Block(i as u32))).collect(),
+            entry,
+        }
+    }
+
+    fn intersect_raw(idom: &[Option<Block>], cfg: &Cfg, a: Block, b: Block) -> Block {
+        let (mut x, mut y) = (a, b);
+        while x != y {
+            let xi = cfg.rpo_index(x).expect("reachable");
+            let yi = cfg.rpo_index(y).expect("reachable");
+            if xi > yi {
+                x = idom[x.index()].expect("processed");
+            } else {
+                y = idom[y.index()].expect("processed");
+            }
+        }
+        x
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: Block) -> Option<Block> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        if self.rpo_index[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FunctionBuilder, Type};
+
+    /// entry -> (then|else) -> join -> (loop back to join | exit)
+    fn build() -> (Function, Cfg, DomTree) {
+        let mut b = FunctionBuilder::new("g", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let join = b.block("join");
+        let exit = b.block("exit");
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.br(join);
+        b.switch_to(else_bb);
+        b.br(join);
+        b.switch_to(join);
+        let c2 = b.cmp(CmpOp::Sgt, x, zero);
+        b.cond_br(c2, join, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.build_unverified();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        (f, cfg, dom)
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let (f, cfg, dom) = build();
+        for &b in cfg.rpo() {
+            assert!(dom.dominates(f.entry(), b));
+        }
+    }
+
+    #[test]
+    fn join_idom_is_entry() {
+        let (f, _, dom) = build();
+        // join (block 3) is reached via then/else; its idom is entry.
+        assert_eq!(dom.idom(Block(3)), Some(f.entry()));
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let (_, _, dom) = build();
+        assert!(!dom.dominates(Block(1), Block(3)));
+        assert!(!dom.dominates(Block(2), Block(3)));
+        assert!(dom.dominates(Block(3), Block(4)), "join dominates exit");
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_antisymmetric() {
+        let (_, cfg, dom) = build();
+        for &a in cfg.rpo() {
+            assert!(dom.dominates(a, a));
+            for &b in cfg.rpo() {
+                if a != b {
+                    assert!(
+                        !(dom.dominates(a, b) && dom.dominates(b, a)),
+                        "{a:?} and {b:?} mutually dominate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_has_no_idom() {
+        let (f, _, dom) = build();
+        assert_eq!(dom.idom(f.entry()), None);
+    }
+}

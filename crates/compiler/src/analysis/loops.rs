@@ -1,0 +1,258 @@
+//! Natural-loop detection from back edges.
+//!
+//! A back edge `latch -> header` exists when `header` dominates `latch`;
+//! the natural loop is the set of blocks that can reach the latch without
+//! passing through the header. The forest records nesting depth, exit
+//! edges, and preheaders — everything region selection needs.
+
+use std::collections::HashSet;
+
+use crate::ir::{Block, Function};
+
+use super::cfg::Cfg;
+use super::dom::DomTree;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: Block,
+    /// Blocks branching back to the header from inside the loop.
+    pub latches: Vec<Block>,
+    /// All blocks in the loop (including header and latches).
+    pub blocks: HashSet<Block>,
+    /// Edges leaving the loop: `(from_inside, to_outside)`.
+    pub exits: Vec<(Block, Block)>,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+    /// The unique predecessor of the header from outside the loop, if any.
+    pub preheader: Option<Block>,
+}
+
+impl Loop {
+    /// Whether this is an innermost loop of its forest.
+    ///
+    /// (Stored at construction; exposed through [`LoopForest`].)
+    pub fn contains(&self, b: Block) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `f`.
+    pub fn compute(_f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        // Group back edges by header.
+        let mut by_header: Vec<(Block, Vec<Block>)> = Vec::new();
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            // Natural loop body: reverse reachability from latches,
+            // stopping at the header.
+            let mut blocks: HashSet<Block> = HashSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<Block> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if blocks.insert(b) {
+                    for &p in cfg.preds(b) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut exits = Vec::new();
+            for &b in &blocks {
+                for &s in cfg.succs(b) {
+                    if !blocks.contains(&s) {
+                        exits.push((b, s));
+                    }
+                }
+            }
+            exits.sort();
+            let outside_preds: Vec<Block> = cfg
+                .preds(header)
+                .iter()
+                .copied()
+                .filter(|p| !blocks.contains(p))
+                .collect();
+            let preheader = match outside_preds.as_slice() {
+                [single] if cfg.succs(*single).len() == 1 => Some(*single),
+                _ => None,
+            };
+            loops.push(Loop { header, latches, blocks, exits, depth: 0, preheader });
+        }
+
+        // Nesting depth: a loop is nested in every loop that strictly
+        // contains its header.
+        let containers: Vec<usize> = loops
+            .iter()
+            .map(|l| {
+                loops
+                    .iter()
+                    .filter(|o| o.header != l.header && o.blocks.contains(&l.header))
+                    .count()
+            })
+            .collect();
+        for (l, extra) in loops.iter_mut().zip(containers) {
+            l.depth = 1 + extra;
+        }
+        LoopForest { loops }
+    }
+
+    /// All loops, unordered.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Innermost loops: loops containing no other loop's header.
+    pub fn innermost(&self) -> Vec<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| {
+                !self
+                    .loops
+                    .iter()
+                    .any(|o| o.header != l.header && l.blocks.contains(&o.header))
+            })
+            .collect()
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn loop_of(&self, b: Block) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FunctionBuilder, Type};
+
+    /// entry -> loop(header==latch) -> exit
+    fn simple_loop() -> Function {
+        let mut b = FunctionBuilder::new("l", &[("n", Type::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let i2 = b.bin(crate::ir::BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build_unverified()
+    }
+
+    /// Nested: outer loop over i, inner loop over j.
+    fn nested_loops() -> Function {
+        let mut b = FunctionBuilder::new("n", &[("n", Type::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let outer = b.block("outer");
+        let inner = b.block("inner");
+        let outer_latch = b.block("outer_latch");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(outer);
+
+        b.switch_to(outer);
+        let i = b.phi(Type::I64);
+        b.br(inner);
+
+        b.switch_to(inner);
+        let j = b.phi(Type::I64);
+        let j2 = b.bin(crate::ir::BinOp::Add, j, one);
+        b.add_incoming(j, outer, zero);
+        b.add_incoming(j, inner, j2);
+        let cj = b.cmp(CmpOp::Slt, j2, n);
+        b.cond_br(cj, inner, outer_latch);
+
+        b.switch_to(outer_latch);
+        let i2 = b.bin(crate::ir::BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, outer_latch, i2);
+        let ci = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(ci, outer, exit);
+
+        b.switch_to(exit);
+        b.ret(None);
+        b.build_unverified()
+    }
+
+    fn forest(f: &Function) -> LoopForest {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        LoopForest::compute(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let f = simple_loop();
+        let lf = forest(&f);
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.header, Block(1));
+        assert_eq!(l.latches, vec![Block(1)]);
+        assert_eq!(l.blocks.len(), 1);
+        assert_eq!(l.exits, vec![(Block(1), Block(2))]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.preheader, Some(f.entry()));
+    }
+
+    #[test]
+    fn detects_nesting() {
+        let f = nested_loops();
+        let lf = forest(&f);
+        assert_eq!(lf.loops().len(), 2);
+        let outer = lf.loops().iter().find(|l| l.header == Block(1)).unwrap();
+        let inner = lf.loops().iter().find(|l| l.header == Block(2)).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.blocks.contains(&inner.header));
+        let innermost = lf.innermost();
+        assert_eq!(innermost.len(), 1);
+        assert_eq!(innermost[0].header, inner.header);
+    }
+
+    #[test]
+    fn loop_of_finds_deepest() {
+        let f = nested_loops();
+        let lf = forest(&f);
+        assert_eq!(lf.loop_of(Block(2)).unwrap().depth, 2);
+        assert_eq!(lf.loop_of(Block(3)).unwrap().depth, 1, "outer latch is outer-only");
+        assert!(lf.loop_of(Block(4)).is_none(), "exit is in no loop");
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = FunctionBuilder::new("s", &[]);
+        b.ret(None);
+        let f = b.build_unverified();
+        assert!(forest(&f).loops().is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Analyses over the IR: control-flow graph, dominators, natural loops.
+
+pub mod cfg;
+pub mod dom;
+pub mod loops;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest};

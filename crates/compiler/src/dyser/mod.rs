@@ -1,0 +1,8 @@
+//! Region selection, access/execute slicing, and control-flow shape
+//! classification — the heart of the co-designed compiler.
+
+pub mod region;
+pub mod shapes;
+
+pub use region::{select_regions, OutputKind, Region, RegionInput, RegionOptions, RegionOutput};
+pub use shapes::{classify_loops, LoopShape, ShapeReport, ShapeSummary};

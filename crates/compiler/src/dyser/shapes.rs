@@ -1,0 +1,333 @@
+//! Control-flow shape classification.
+//!
+//! The paper's second key finding: the compiler extracts computationally
+//! intensive regular *and* irregular code well, but two control-flow
+//! shapes curtail it on non-compute-intense irregular code:
+//!
+//! * **Shape A — early-exit loops**: loops with data-dependent side exits
+//!   (`break`-style control). The fabric's pipelined invocations cannot be
+//!   speculated past the exit without a flush mechanism.
+//! * **Shape B — nested data-dependent control**: loop bodies whose
+//!   branching cannot be if-converted (stores under conditions, inner
+//!   loops), so no single compute slice exists.
+//!
+//! [`classify_loops`] reports the shape of every innermost loop, before
+//! and after if-conversion — the measurement behind experiment E8.
+
+use crate::analysis::{Cfg, DomTree, LoopForest};
+use crate::ir::{Block, Function};
+use crate::opt::if_convert;
+
+/// The shape of one innermost loop, as the DySER compiler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopShape {
+    /// Single-block body with a single exit: directly acceleratable.
+    Regular,
+    /// Multi-block body that if-conversion flattens: acceleratable after
+    /// predication.
+    IfConvertible,
+    /// Shape A: a loop with more than one exit edge (early exit).
+    EarlyExit,
+    /// Shape B: nested data-dependent control that predication cannot
+    /// remove (conditional stores, non-hammock flow, inner loops).
+    NestedControl,
+}
+
+impl LoopShape {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoopShape::Regular => "regular",
+            LoopShape::IfConvertible => "if-convertible",
+            LoopShape::EarlyExit => "early-exit (shape A)",
+            LoopShape::NestedControl => "nested-control (shape B)",
+        }
+    }
+
+    /// Whether the compiler can extract a region from this shape.
+    pub fn acceleratable(self) -> bool {
+        matches!(self, LoopShape::Regular | LoopShape::IfConvertible)
+    }
+}
+
+/// Classification of one loop.
+#[derive(Debug, Clone)]
+pub struct ShapeReport {
+    /// The loop header in the *original* function.
+    pub header: Block,
+    /// Loop nesting depth.
+    pub depth: usize,
+    /// Blocks in the loop body.
+    pub body_blocks: usize,
+    /// Exit edges out of the loop.
+    pub exit_edges: usize,
+    /// The classified shape.
+    pub shape: LoopShape,
+}
+
+/// Classifies every innermost loop of `f`.
+///
+/// The function is cloned and if-converted internally; the original is
+/// untouched.
+pub fn classify_loops(f: &Function) -> Vec<ShapeReport> {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dom);
+
+    let mut reports = Vec::new();
+    for l in forest.innermost() {
+        let exit_edges = l.exits.len();
+        let body_blocks = l.blocks.len();
+        let shape = if exit_edges > 1 {
+            LoopShape::EarlyExit
+        } else if body_blocks == 1 {
+            LoopShape::Regular
+        } else {
+            // Multi-block, single exit: try predication on a clone.
+            if if_converts_to_single_block(f, l.header) {
+                LoopShape::IfConvertible
+            } else {
+                LoopShape::NestedControl
+            }
+        };
+        reports.push(ShapeReport {
+            header: l.header,
+            depth: l.depth,
+            body_blocks,
+            exit_edges,
+            shape,
+        });
+    }
+    reports.sort_by_key(|r| r.header);
+    reports
+}
+
+/// Whether if-converting a clone collapses the loop at `header` into a
+/// single-block body.
+fn if_converts_to_single_block(f: &Function, header: Block) -> bool {
+    let mut clone = f.clone();
+    if_convert(&mut clone);
+    let cfg = Cfg::compute(&clone);
+    let dom = DomTree::compute(&clone, &cfg);
+    let forest = LoopForest::compute(&clone, &cfg, &dom);
+    // The header block id is stable across if_convert (blocks are never
+    // renumbered, only emptied), so look its loop up again.
+    forest
+        .loops()
+        .iter()
+        .find(|l| l.header == header)
+        .map(|l| l.blocks.len() == 1)
+        .unwrap_or(false)
+}
+
+/// Summary counts over a set of reports (used by E8's table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeSummary {
+    /// Regular loops.
+    pub regular: usize,
+    /// If-convertible loops.
+    pub if_convertible: usize,
+    /// Early-exit loops (shape A).
+    pub early_exit: usize,
+    /// Nested-control loops (shape B).
+    pub nested_control: usize,
+}
+
+impl ShapeSummary {
+    /// Tallies a list of reports.
+    pub fn tally(reports: &[ShapeReport]) -> Self {
+        let mut s = ShapeSummary::default();
+        for r in reports {
+            match r.shape {
+                LoopShape::Regular => s.regular += 1,
+                LoopShape::IfConvertible => s.if_convertible += 1,
+                LoopShape::EarlyExit => s.early_exit += 1,
+                LoopShape::NestedControl => s.nested_control += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp, FunctionBuilder, Type};
+
+    fn regular_loop() -> Function {
+        let mut b = FunctionBuilder::new("r", &[("n", Type::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    /// Loop with an if-convertible diamond in the body.
+    fn predicable_loop() -> Function {
+        let mut b = FunctionBuilder::new("p", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let head = b.block("head");
+        let t = b.block("t");
+        let e = b.block("e");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(head);
+        b.switch_to(head);
+        let i = b.phi(Type::I64);
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::I64);
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let neg = b.bin(BinOp::Sub, zero, x);
+        b.br(latch);
+        b.switch_to(e);
+        let pos = b.bin(BinOp::Add, x, zero);
+        b.br(latch);
+        b.switch_to(latch);
+        let m = b.phi(Type::I64);
+        b.add_incoming(m, t, neg);
+        b.add_incoming(m, e, pos);
+        b.store(m, p);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, latch, i2);
+        let lc = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(lc, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    /// Early-exit search: break when a[i] == key.
+    fn early_exit_loop() -> Function {
+        let mut b = FunctionBuilder::new("find", &[("a", Type::Ptr), ("n", Type::I64), ("key", Type::I64)]);
+        let a = b.param(0);
+        let n = b.param(1);
+        let key = b.param(2);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let head = b.block("head");
+        let latch = b.block("latch");
+        let found = b.block("found");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(head);
+        b.switch_to(head);
+        let i = b.phi(Type::I64);
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::I64);
+        let hit = b.cmp(CmpOp::Eq, x, key);
+        b.cond_br(hit, found, latch);
+        b.switch_to(latch);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, latch, i2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, head, exit);
+        b.switch_to(found);
+        b.ret(Some(i));
+        b.switch_to(exit);
+        let neg1 = b.const_i(-1);
+        let m = b.bin(BinOp::Add, neg1, zero);
+        b.ret(Some(m));
+        b.build().unwrap()
+    }
+
+    /// Conditional store: cannot be if-converted.
+    fn nested_control_loop() -> Function {
+        let mut b = FunctionBuilder::new("condstore", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let head = b.block("head");
+        let do_store = b.block("do_store");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(head);
+        b.switch_to(head);
+        let i = b.phi(Type::I64);
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::I64);
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, do_store, latch);
+        b.switch_to(do_store);
+        b.store(zero, p);
+        b.br(latch);
+        b.switch_to(latch);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, latch, i2);
+        let lc = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(lc, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn regular_is_regular() {
+        let reports = classify_loops(&regular_loop());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shape, LoopShape::Regular);
+        assert!(reports[0].shape.acceleratable());
+    }
+
+    #[test]
+    fn diamond_body_is_if_convertible() {
+        let reports = classify_loops(&predicable_loop());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shape, LoopShape::IfConvertible, "{reports:?}");
+        assert!(reports[0].shape.acceleratable());
+        assert_eq!(reports[0].body_blocks, 4);
+    }
+
+    #[test]
+    fn break_loop_is_shape_a() {
+        let reports = classify_loops(&early_exit_loop());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shape, LoopShape::EarlyExit);
+        assert!(!reports[0].shape.acceleratable());
+        assert_eq!(reports[0].exit_edges, 2);
+    }
+
+    #[test]
+    fn conditional_store_is_shape_b() {
+        let reports = classify_loops(&nested_control_loop());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shape, LoopShape::NestedControl);
+        assert!(!reports[0].shape.acceleratable());
+    }
+
+    #[test]
+    fn summary_tallies() {
+        let mut all = Vec::new();
+        all.extend(classify_loops(&regular_loop()));
+        all.extend(classify_loops(&early_exit_loop()));
+        all.extend(classify_loops(&nested_control_loop()));
+        let s = ShapeSummary::tally(&all);
+        assert_eq!(s.regular, 1);
+        assert_eq!(s.early_exit, 1);
+        assert_eq!(s.nested_control, 1);
+        assert_eq!(s.if_convertible, 0);
+    }
+}

@@ -1,0 +1,426 @@
+//! A reference interpreter for the IR.
+//!
+//! Used as the semantic oracle: the code generator's output (run on the
+//! cycle-level machine) must produce exactly the memory contents the
+//! interpreter produces. Memory is a sparse big-endian byte store
+//! mirroring the machine's memory model.
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, Block, CmpOp, Function, Inst, Terminator, Type, UnOp, Value, ValueKind};
+
+/// A sparse big-endian memory for interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct InterpMem {
+    bytes: HashMap<u64, u8>,
+}
+
+impl InterpMem {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a big-endian 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v = (v << 8) | u64::from(*self.bytes.get(&addr.wrapping_add(i)).unwrap_or(&0));
+        }
+        v
+    }
+
+    /// Writes a big-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for i in 0..8 {
+            let shift = 8 * (7 - i);
+            self.bytes.insert(addr.wrapping_add(i), (value >> shift) as u8);
+        }
+    }
+
+    /// Reads a double.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes a double.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Writes a slice of doubles contiguously.
+    pub fn write_f64_slice(&mut self, addr: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Writes a slice of 64-bit words contiguously.
+    pub fn write_u64_slice(&mut self, addr: u64, values: &[u64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` contiguous doubles.
+    pub fn read_f64_slice(&self, addr: u64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Reads `len` contiguous 64-bit words.
+    pub fn read_u64_slice(&self, addr: u64, len: usize) -> Vec<u64> {
+        (0..len).map(|i| self.read_u64(addr + 8 * i as u64)).collect()
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// The function's block structure was malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "interpreter step limit exceeded"),
+            InterpError::Malformed(m) => write!(f, "malformed function: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+pub(crate) fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Sdiv => {
+            if b == 0 {
+                0
+            } else {
+                (a as i64).wrapping_div(b as i64) as u64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Lshr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Ashr => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        BinOp::Smax => (a as i64).max(b as i64) as u64,
+        BinOp::Smin => (a as i64).min(b as i64) as u64,
+        BinOp::Fadd => (fa + fb).to_bits(),
+        BinOp::Fsub => (fa - fb).to_bits(),
+        BinOp::Fmul => (fa * fb).to_bits(),
+        BinOp::Fdiv => (fa / fb).to_bits(),
+        BinOp::Fmax => fa.max(fb).to_bits(),
+        BinOp::Fmin => fa.min(fb).to_bits(),
+    }
+}
+
+pub(crate) fn eval_un(op: UnOp, a: u64) -> u64 {
+    let fa = f64::from_bits(a);
+    match op {
+        UnOp::Fneg => (-fa).to_bits(),
+        UnOp::Fabs => fa.abs().to_bits(),
+        UnOp::Fsqrt => fa.sqrt().to_bits(),
+        UnOp::Itof => ((a as i64) as f64).to_bits(),
+        UnOp::Ftoi => (fa as i64) as u64,
+        UnOp::Not => u64::from(a == 0),
+    }
+}
+
+pub(crate) fn eval_cmp(op: CmpOp, a: u64, b: u64) -> u64 {
+    let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+    let r = match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Slt => (a as i64) < (b as i64),
+        CmpOp::Sle => (a as i64) <= (b as i64),
+        CmpOp::Sgt => (a as i64) > (b as i64),
+        CmpOp::Sge => (a as i64) >= (b as i64),
+        CmpOp::Ult => a < b,
+        CmpOp::Feq => fa == fb,
+        CmpOp::Flt => fa < fb,
+        CmpOp::Fle => fa <= fb,
+    };
+    u64::from(r)
+}
+
+/// The result of interpreting a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// The returned value (raw bits), if any.
+    pub ret: Option<u64>,
+    /// Dynamic IR instructions executed (basic op count, used by region
+    /// heuristics and reports).
+    pub steps: u64,
+}
+
+/// Interprets `f` with raw 64-bit arguments against `mem`.
+///
+/// # Errors
+///
+/// Returns [`InterpError::StepLimit`] after `max_steps` instructions, or
+/// [`InterpError::Malformed`] on structural problems the verifier would
+/// also reject.
+pub fn interpret(
+    f: &Function,
+    args: &[u64],
+    mem: &mut InterpMem,
+    max_steps: u64,
+) -> Result<InterpResult, InterpError> {
+    if args.len() != f.params().len() {
+        return Err(InterpError::Malformed(format!(
+            "expected {} arguments, got {}",
+            f.params().len(),
+            args.len()
+        )));
+    }
+    let mut vals: HashMap<Value, u64> = HashMap::new();
+    let mut steps = 0u64;
+    let mut cur: Block = f.entry();
+    let mut prev: Option<Block> = None;
+
+    let value_of = |f: &Function, vals: &HashMap<Value, u64>, v: Value| -> Result<u64, InterpError> {
+        match &f.value(v).kind {
+            ValueKind::Param { index } => Ok(args[*index]),
+            ValueKind::ConstI(c) => Ok(*c as u64),
+            ValueKind::ConstF(c) => Ok(c.to_bits()),
+            ValueKind::Inst(_) => vals
+                .get(&v)
+                .copied()
+                .ok_or_else(|| InterpError::Malformed(format!("use of undefined {}", f.value_name(v)))),
+        }
+    };
+
+    loop {
+        let bd = f.block(cur);
+
+        // Phis first, evaluated in parallel from the previous block.
+        let mut phi_updates: Vec<(Value, u64)> = Vec::new();
+        for &v in &bd.insts {
+            let Some(Inst::Phi { incomings }) = f.as_inst(v) else { break };
+            let Some(p) = prev else {
+                return Err(InterpError::Malformed("phi in entry block".into()));
+            };
+            let Some((_, iv)) = incomings.iter().find(|(bb, _)| *bb == p) else {
+                return Err(InterpError::Malformed(format!(
+                    "phi {} lacks an incoming for {}",
+                    f.value_name(v),
+                    f.block(p).name
+                )));
+            };
+            phi_updates.push((v, value_of(f, &vals, *iv)?));
+        }
+        for (v, x) in phi_updates {
+            vals.insert(v, x);
+            steps += 1;
+        }
+
+        for &v in &bd.insts {
+            let Some(inst) = f.as_inst(v) else { continue };
+            if matches!(inst, Inst::Phi { .. }) {
+                continue;
+            }
+            steps += 1;
+            if steps > max_steps {
+                return Err(InterpError::StepLimit);
+            }
+            let result = match inst {
+                Inst::Bin { op, a, b } => {
+                    Some(eval_bin(*op, value_of(f, &vals, *a)?, value_of(f, &vals, *b)?))
+                }
+                Inst::Un { op, a } => Some(eval_un(*op, value_of(f, &vals, *a)?)),
+                Inst::Cmp { op, a, b } => {
+                    Some(eval_cmp(*op, value_of(f, &vals, *a)?, value_of(f, &vals, *b)?))
+                }
+                Inst::Select { cond, on_true, on_false } => {
+                    let c = value_of(f, &vals, *cond)?;
+                    Some(if c != 0 {
+                        value_of(f, &vals, *on_true)?
+                    } else {
+                        value_of(f, &vals, *on_false)?
+                    })
+                }
+                Inst::Load { ptr } => Some(mem.read_u64(value_of(f, &vals, *ptr)?)),
+                Inst::Store { ptr, value } => {
+                    let addr = value_of(f, &vals, *ptr)?;
+                    let x = value_of(f, &vals, *value)?;
+                    mem.write_u64(addr, x);
+                    None
+                }
+                Inst::Gep { base, index, scale } => {
+                    let b = value_of(f, &vals, *base)?;
+                    let i = value_of(f, &vals, *index)?;
+                    Some(b.wrapping_add(i.wrapping_mul(*scale)))
+                }
+                Inst::Phi { .. } => unreachable!("phis handled above"),
+            };
+            if let Some(r) = result {
+                if f.ty(v) != Type::Unit {
+                    vals.insert(v, r);
+                }
+            }
+        }
+
+        match &bd.term {
+            Terminator::Br(t) => {
+                prev = Some(cur);
+                cur = *t;
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let c = value_of(f, &vals, *cond)?;
+                prev = Some(cur);
+                cur = if c != 0 { *then_bb } else { *else_bb };
+            }
+            Terminator::Ret(v) => {
+                let ret = match v {
+                    Some(v) => Some(value_of(f, &vals, *v)?),
+                    None => None,
+                };
+                return Ok(InterpResult { ret, steps });
+            }
+            Terminator::None => {
+                return Err(InterpError::Malformed(format!(
+                    "fell off unterminated block {}",
+                    bd.name
+                )));
+            }
+        }
+        if steps > max_steps {
+            return Err(InterpError::StepLimit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp, FunctionBuilder};
+
+    fn vecadd() -> Function {
+        let mut b = FunctionBuilder::new(
+            "vecadd",
+            &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        );
+        let (a, bb, c, n) = (b.param(0), b.param(1), b.param(2), b.param(3));
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let loop_bb = b.block("loop");
+        let exit_bb = b.block("exit");
+        let entry = b.current();
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        let i = b.phi(Type::I64);
+        let pa = b.gep(a, i, 8);
+        let pb = b.gep(bb, i, 8);
+        let va = b.load(pa, Type::F64);
+        let vb = b.load(pb, Type::F64);
+        let sum = b.bin(BinOp::Fadd, va, vb);
+        let pc = b.gep(c, i, 8);
+        b.store(sum, pc);
+        let i2 = b.bin(BinOp::Add, i, one);
+        let cond = b.cmp(CmpOp::Slt, i2, n);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, loop_bb, i2);
+        b.cond_br(cond, loop_bb, exit_bb);
+        b.switch_to(exit_bb);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn vecadd_semantics() {
+        let f = vecadd();
+        let mut mem = InterpMem::new();
+        let (pa, pb, pc) = (0x1000u64, 0x2000u64, 0x3000u64);
+        mem.write_f64_slice(pa, &[1.0, 2.0, 3.0, 4.0]);
+        mem.write_f64_slice(pb, &[10.0, 20.0, 30.0, 40.0]);
+        let r = interpret(&f, &[pa, pb, pc, 4], &mut mem, 10_000).unwrap();
+        assert_eq!(mem.read_f64_slice(pc, 4), vec![11.0, 22.0, 33.0, 44.0]);
+        assert!(r.steps > 16);
+        assert_eq!(r.ret, None);
+    }
+
+    #[test]
+    fn returns_value() {
+        let mut b = FunctionBuilder::new("f", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let k = b.const_i(5);
+        let y = b.bin(BinOp::Mul, x, k);
+        b.ret(Some(y));
+        let f = b.build().unwrap();
+        let mut mem = InterpMem::new();
+        let r = interpret(&f, &[7], &mut mem, 100).unwrap();
+        assert_eq!(r.ret, Some(35));
+    }
+
+    #[test]
+    fn select_and_cmp() {
+        let mut b = FunctionBuilder::new("maxish", &[("x", Type::I64), ("y", Type::I64)]);
+        let x = b.param(0);
+        let y = b.param(1);
+        let c = b.cmp(CmpOp::Sgt, x, y);
+        let m = b.select(c, x, y);
+        b.ret(Some(m));
+        let f = b.build().unwrap();
+        let mut mem = InterpMem::new();
+        assert_eq!(interpret(&f, &[3, 9], &mut mem, 100).unwrap().ret, Some(9));
+        assert_eq!(
+            interpret(&f, &[(-1i64) as u64, (-5i64) as u64], &mut mem, 100).unwrap().ret,
+            Some((-1i64) as u64)
+        );
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let mut b = FunctionBuilder::new("spin", &[]);
+        let body = b.block("body");
+        b.br(body);
+        b.switch_to(body);
+        let one = b.const_i(1);
+        let _ = b.bin(BinOp::Add, one, one);
+        b.br(body);
+        let f = b.build().unwrap();
+        let mut mem = InterpMem::new();
+        assert_eq!(interpret(&f, &[], &mut mem, 100), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let f = vecadd();
+        let mut mem = InterpMem::new();
+        assert!(matches!(
+            interpret(&f, &[0, 0], &mut mem, 100),
+            Err(InterpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn fp_unops() {
+        let mut b = FunctionBuilder::new("f", &[]);
+        let c = b.const_f(-9.0);
+        let a = b.un(UnOp::Fabs, c);
+        let s = b.un(UnOp::Fsqrt, a);
+        b.ret(Some(s));
+        let f = b.build().unwrap();
+        let mut mem = InterpMem::new();
+        let r = interpret(&f, &[], &mut mem, 100).unwrap();
+        assert_eq!(f64::from_bits(r.ret.unwrap()), 3.0);
+    }
+
+    #[test]
+    fn memory_slices() {
+        let mut m = InterpMem::new();
+        m.write_u64_slice(0x10, &[1, 2, 3]);
+        assert_eq!(m.read_u64_slice(0x10, 3), vec![1, 2, 3]);
+        m.write_f64(0x40, 2.5);
+        assert_eq!(m.read_f64(0x40), 2.5);
+    }
+}

@@ -1,0 +1,595 @@
+//! A parser for the textual IR form produced by `Display`.
+//!
+//! `parse_module(&module.to_string())` round-trips: the parsed module is
+//! structurally identical up to value numbering. Constants are typed by
+//! context (the operation that consumes them), which covers everything the
+//! printer emits.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{
+    verify, BinOp, Block, BlockData, CmpOp, Function, Inst, Module, Terminator, Type, UnOp,
+    Value, ValueData, ValueKind,
+};
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Line the failure was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
+    match s {
+        "i64" => Ok(Type::I64),
+        "f64" => Ok(Type::F64),
+        "ptr" => Ok(Type::Ptr),
+        "i1" => Ok(Type::I1),
+        _ => err(line, format!("unknown type `{s}`")),
+    }
+}
+
+fn bin_op(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "sdiv" => BinOp::Sdiv,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "lshr" => BinOp::Lshr,
+        "ashr" => BinOp::Ashr,
+        "smax" => BinOp::Smax,
+        "smin" => BinOp::Smin,
+        "fadd" => BinOp::Fadd,
+        "fsub" => BinOp::Fsub,
+        "fmul" => BinOp::Fmul,
+        "fdiv" => BinOp::Fdiv,
+        "fmax" => BinOp::Fmax,
+        "fmin" => BinOp::Fmin,
+        _ => return None,
+    })
+}
+
+fn un_op(s: &str) -> Option<UnOp> {
+    Some(match s {
+        "fneg" => UnOp::Fneg,
+        "fabs" => UnOp::Fabs,
+        "fsqrt" => UnOp::Fsqrt,
+        "itof" => UnOp::Itof,
+        "ftoi" => UnOp::Ftoi,
+        "not" => UnOp::Not,
+        _ => return None,
+    })
+}
+
+fn cmp_op(s: &str, line: usize) -> Result<CmpOp, ParseError> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "slt" => CmpOp::Slt,
+        "sle" => CmpOp::Sle,
+        "sgt" => CmpOp::Sgt,
+        "sge" => CmpOp::Sge,
+        "ult" => CmpOp::Ult,
+        "feq" => CmpOp::Feq,
+        "flt" => CmpOp::Flt,
+        "fle" => CmpOp::Fle,
+        _ => return err(line, format!("unknown comparison `{s}`"))?,
+    })
+}
+
+/// An operand before value resolution.
+#[derive(Debug, Clone)]
+enum Operand {
+    Name(String),
+    IntLit(i64),
+    FloatLit(f64),
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if let Some(name) = tok.strip_prefix('%') {
+        return Ok(Operand::Name(name.to_owned()));
+    }
+    if tok.contains('.') || tok.contains("inf") || tok.contains("nan") || tok.contains('e') {
+        match tok.parse::<f64>() {
+            Ok(v) => return Ok(Operand::FloatLit(v)),
+            Err(_) => return err(line, format!("bad float literal `{tok}`")),
+        }
+    }
+    match tok.parse::<i64>() {
+        Ok(v) => Ok(Operand::IntLit(v)),
+        Err(_) => err(line, format!("bad operand `{tok}`")),
+    }
+}
+
+/// Splits a line into tokens, treating `,`, `[`, `]`, `(`, `)`, `:` and
+/// `=` as separators (with `:` and `=` kept as their own tokens).
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            ',' | '[' | ']' | '(' | ')' | ' ' | '\t' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            ':' | '=' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(ch.to_string());
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[derive(Debug)]
+struct PendingInst {
+    line: usize,
+    block: usize,
+    dest: Option<String>,
+    tokens: Vec<String>,
+}
+
+#[derive(Debug)]
+struct PendingTerm {
+    line: usize,
+    tokens: Vec<String>,
+}
+
+/// Parses a whole module (one or more functions).
+///
+/// # Errors
+///
+/// Returns the first syntax error, or the verifier error of an
+/// ill-formed parsed function.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut module = Module::new();
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split("//").next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .peekable();
+
+    while let Some(&(line_no, line)) = lines.peek() {
+        if !line.starts_with("func") {
+            return err(line_no, format!("expected `func`, found `{line}`"));
+        }
+        let mut body = Vec::new();
+        let header = (line_no, line.to_owned());
+        lines.next();
+        let mut depth_closed = false;
+        for (ln, l) in lines.by_ref() {
+            if l == "}" {
+                depth_closed = true;
+                break;
+            }
+            body.push((ln, l.to_owned()));
+        }
+        if !depth_closed {
+            return err(header.0, "unterminated function body");
+        }
+        module.functions.push(parse_function(header, body)?);
+    }
+    Ok(module)
+}
+
+fn parse_function(
+    header: (usize, String),
+    body: Vec<(usize, String)>,
+) -> Result<Function, ParseError> {
+    let (hline, htext) = header;
+    let toks = tokenize(&htext);
+    // func @name %a : ptr %b : i64 ... {
+    if toks.first().map(String::as_str) != Some("func") {
+        return err(hline, "expected `func`");
+    }
+    let name = toks
+        .get(1)
+        .and_then(|t| t.strip_prefix('@'))
+        .ok_or_else(|| ParseError { line: hline, message: "expected `@name`".into() })?
+        .to_owned();
+    let mut params: Vec<(String, Type)> = Vec::new();
+    let mut i = 2;
+    while i < toks.len() && toks[i] != "{" {
+        let pname = toks[i]
+            .strip_prefix('%')
+            .ok_or_else(|| ParseError { line: hline, message: "expected `%param`".into() })?;
+        if toks.get(i + 1).map(String::as_str) != Some(":") {
+            return err(hline, "expected `:` after parameter name");
+        }
+        let ty = parse_type(
+            toks.get(i + 2)
+                .ok_or_else(|| ParseError { line: hline, message: "missing type".into() })?,
+            hline,
+        )?;
+        params.push((pname.to_owned(), ty));
+        i += 3;
+    }
+
+    // First pass: blocks and instruction skeletons.
+    let mut blocks: Vec<BlockData> = Vec::new();
+    let mut block_ids: HashMap<String, usize> = HashMap::new();
+    let mut insts: Vec<PendingInst> = Vec::new();
+    let mut terms: Vec<Option<PendingTerm>> = Vec::new();
+
+    for (ln, l) in &body {
+        if let Some(label) = l.strip_suffix(':') {
+            if !label.contains(' ') {
+                block_ids.insert(label.to_owned(), blocks.len());
+                blocks.push(BlockData {
+                    name: label.to_owned(),
+                    insts: Vec::new(),
+                    term: Terminator::None,
+                });
+                terms.push(None);
+                continue;
+            }
+        }
+        if blocks.is_empty() {
+            return err(*ln, "instruction before the first block label");
+        }
+        let toks = tokenize(l);
+        let cur = blocks.len() - 1;
+        if matches!(toks.first().map(String::as_str), Some("br" | "condbr" | "ret")) {
+            terms[cur] = Some(PendingTerm { line: *ln, tokens: toks });
+        } else if toks.get(1).map(String::as_str) == Some("=") {
+            let dest = toks[0]
+                .strip_prefix('%')
+                .ok_or_else(|| ParseError { line: *ln, message: "expected `%dest =`".into() })?
+                .to_owned();
+            insts.push(PendingInst {
+                line: *ln,
+                block: cur,
+                dest: Some(dest),
+                tokens: toks[2..].to_vec(),
+            });
+        } else {
+            insts.push(PendingInst { line: *ln, block: cur, dest: None, tokens: toks });
+        }
+    }
+    if blocks.is_empty() {
+        return err(hline, "function has no blocks");
+    }
+
+    // Value table: params first, then one slot per named instruction.
+    let mut values: Vec<ValueData> = params
+        .iter()
+        .enumerate()
+        .map(|(idx, (n, t))| ValueData {
+            kind: ValueKind::Param { index: idx },
+            ty: *t,
+            name: Some(n.clone()),
+        })
+        .collect();
+    let mut names: HashMap<String, Value> = params
+        .iter()
+        .enumerate()
+        .map(|(idx, (n, _))| (n.clone(), Value(idx as u32)))
+        .collect();
+
+    // Reserve a slot per defining instruction so forward references work.
+    let mut inst_value: Vec<Option<Value>> = Vec::with_capacity(insts.len());
+    for p in &insts {
+        if let Some(dest) = &p.dest {
+            let v = Value(values.len() as u32);
+            values.push(ValueData {
+                kind: ValueKind::ConstI(0), // placeholder, replaced below
+                ty: Type::I64,
+                name: Some(dest.clone()),
+            });
+            if names.insert(dest.clone(), v).is_some() {
+                return err(p.line, format!("value `%{dest}` defined twice"));
+            }
+            inst_value.push(Some(v));
+        } else {
+            inst_value.push(None);
+        }
+    }
+
+    let mut func = Function { name, params, values, blocks };
+
+    // Second pass: build instructions.
+    for (pi, p) in insts.iter().enumerate() {
+        let line = p.line;
+        let t = &p.tokens;
+        let opname = t
+            .first()
+            .ok_or_else(|| ParseError { line, message: "empty instruction".into() })?
+            .as_str();
+
+        let resolve = |func: &mut Function, tok: &str, ty_hint: Type| -> Result<Value, ParseError> {
+            match parse_operand(tok, line)? {
+                Operand::Name(n) => names
+                    .get(&n)
+                    .copied()
+                    .ok_or_else(|| ParseError { line, message: format!("unknown value `%{n}`") }),
+                Operand::IntLit(c) => {
+                    func.values.push(ValueData {
+                        kind: ValueKind::ConstI(c),
+                        ty: if ty_hint == Type::F64 { Type::I64 } else { ty_hint },
+                        name: None,
+                    });
+                    Ok(Value((func.values.len() - 1) as u32))
+                }
+                Operand::FloatLit(c) => {
+                    func.values.push(ValueData {
+                        kind: ValueKind::ConstF(c),
+                        ty: Type::F64,
+                        name: None,
+                    });
+                    Ok(Value((func.values.len() - 1) as u32))
+                }
+            }
+        };
+
+        let (inst, ty) = if let Some(op) = bin_op(opname) {
+            let want = op.ty();
+            let a = resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), want)?;
+            let b = resolve(&mut func, t.get(2).map(String::as_str).unwrap_or(""), want)?;
+            (Inst::Bin { op, a, b }, op.ty())
+        } else if let Some(op) = un_op(opname) {
+            let hint = if op == UnOp::Itof { Type::I64 } else { Type::F64 };
+            let a = resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), hint)?;
+            (Inst::Un { op, a }, op.ty())
+        } else {
+            match opname {
+                "cmp" => {
+                    let op = cmp_op(t.get(1).map(String::as_str).unwrap_or(""), line)?;
+                    let hint = if op.is_fp() { Type::F64 } else { Type::I64 };
+                    let a = resolve(&mut func, t.get(2).map(String::as_str).unwrap_or(""), hint)?;
+                    let b = resolve(&mut func, t.get(3).map(String::as_str).unwrap_or(""), hint)?;
+                    (Inst::Cmp { op, a, b }, Type::I1)
+                }
+                "select" => {
+                    let c = resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), Type::I1)?;
+                    let a = resolve(&mut func, t.get(2).map(String::as_str).unwrap_or(""), Type::I64)?;
+                    let b = resolve(&mut func, t.get(3).map(String::as_str).unwrap_or(""), Type::I64)?;
+                    let ty = func.ty(a);
+                    (Inst::Select { cond: c, on_true: a, on_false: b }, ty)
+                }
+                "load" => {
+                    let ptr = resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), Type::Ptr)?;
+                    let ty = parse_type(t.get(2).map(String::as_str).unwrap_or(""), line)?;
+                    (Inst::Load { ptr }, ty)
+                }
+                "store" => {
+                    let value =
+                        resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), Type::I64)?;
+                    let ptr = resolve(&mut func, t.get(2).map(String::as_str).unwrap_or(""), Type::Ptr)?;
+                    (Inst::Store { ptr, value }, Type::Unit)
+                }
+                "gep" => {
+                    let base =
+                        resolve(&mut func, t.get(1).map(String::as_str).unwrap_or(""), Type::Ptr)?;
+                    let index =
+                        resolve(&mut func, t.get(2).map(String::as_str).unwrap_or(""), Type::I64)?;
+                    let scale: u64 = t
+                        .get(3)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ParseError { line, message: "bad gep scale".into() })?;
+                    (Inst::Gep { base, index, scale }, Type::Ptr)
+                }
+                "phi" => {
+                    let ty = parse_type(t.get(1).map(String::as_str).unwrap_or(""), line)?;
+                    let mut incomings = Vec::new();
+                    let mut k = 2;
+                    while k + 1 < t.len() {
+                        let v = resolve(&mut func, &t[k], ty)?;
+                        let bb = *block_ids.get(&t[k + 1]).ok_or_else(|| ParseError {
+                            line,
+                            message: format!("unknown block `{}`", t[k + 1]),
+                        })?;
+                        incomings.push((Block(bb as u32), v));
+                        k += 2;
+                    }
+                    (Inst::Phi { incomings }, ty)
+                }
+                other => return err(line, format!("unknown instruction `{other}`")),
+            }
+        };
+
+        let v = match inst_value[pi] {
+            Some(v) => {
+                func.values[v.index()] = ValueData {
+                    kind: ValueKind::Inst(inst),
+                    ty,
+                    name: func.values[v.index()].name.clone(),
+                };
+                v
+            }
+            None => {
+                func.values.push(ValueData { kind: ValueKind::Inst(inst), ty, name: None });
+                Value((func.values.len() - 1) as u32)
+            }
+        };
+        func.blocks[p.block].insts.push(v);
+    }
+
+    // Terminators.
+    for (bi, term) in terms.into_iter().enumerate() {
+        let Some(pt) = term else { continue };
+        let t = &pt.tokens;
+        let line = pt.line;
+        let lookup_block = |name: &str| -> Result<Block, ParseError> {
+            block_ids
+                .get(name)
+                .map(|&i| Block(i as u32))
+                .ok_or_else(|| ParseError { line, message: format!("unknown block `{name}`") })
+        };
+        func.blocks[bi].term = match t[0].as_str() {
+            "br" => Terminator::Br(lookup_block(t.get(1).map(String::as_str).unwrap_or(""))?),
+            "condbr" => {
+                let cond_name = t
+                    .get(1)
+                    .and_then(|s| s.strip_prefix('%'))
+                    .ok_or_else(|| ParseError { line, message: "condbr needs %cond".into() })?;
+                let cond = *names.get(cond_name).ok_or_else(|| ParseError {
+                    line,
+                    message: format!("unknown value `%{cond_name}`"),
+                })?;
+                Terminator::CondBr {
+                    cond,
+                    then_bb: lookup_block(t.get(2).map(String::as_str).unwrap_or(""))?,
+                    else_bb: lookup_block(t.get(3).map(String::as_str).unwrap_or(""))?,
+                }
+            }
+            "ret" => match t.get(1) {
+                None => Terminator::Ret(None),
+                Some(tok) => {
+                    let name = tok.strip_prefix('%').ok_or_else(|| ParseError {
+                        line,
+                        message: "ret operand must be a named value".into(),
+                    })?;
+                    let v = *names.get(name).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown value `%{name}`"),
+                    })?;
+                    Terminator::Ret(Some(v))
+                }
+            },
+            other => return err(line, format!("unknown terminator `{other}`")),
+        };
+    }
+
+    verify::verify(&func).map_err(|e| ParseError { line: hline, message: e.to_string() })?;
+    Ok(func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+
+    const VECADD: &str = r"
+func @vecadd(%a: ptr, %b: ptr, %c: ptr, %n: i64) {
+entry:
+  br loop
+loop:
+  %i = phi i64 [0, entry] [%i2, loop]
+  %pa = gep %a, %i, 8
+  %pb = gep %b, %i, 8
+  %va = load %pa, f64
+  %vb = load %pb, f64
+  %sum = fadd %va, %vb
+  %pc = gep %c, %i, 8
+  store %sum, %pc
+  %i2 = add %i, 1
+  %cond = cmp slt %i2, %n
+  condbr %cond, loop, exit
+exit:
+  ret
+}
+";
+
+    #[test]
+    fn parses_vecadd() {
+        let m = parse_module(VECADD).expect("vecadd parses");
+        let f = m.function("vecadd").unwrap();
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.params().len(), 4);
+    }
+
+    #[test]
+    fn parsed_function_interprets_correctly() {
+        let m = parse_module(VECADD).unwrap();
+        let f = m.function("vecadd").unwrap();
+        let mut mem = InterpMem::new();
+        mem.write_f64_slice(0x1000, &[1.0, 2.0]);
+        mem.write_f64_slice(0x2000, &[5.0, 7.0]);
+        interpret(f, &[0x1000, 0x2000, 0x3000, 2], &mut mem, 10_000).unwrap();
+        assert_eq!(mem.read_f64_slice(0x3000, 2), vec![6.0, 9.0]);
+    }
+
+    #[test]
+    fn print_parse_roundtrip_preserves_semantics() {
+        let m1 = parse_module(VECADD).unwrap();
+        let text = m1.to_string();
+        let m2 = parse_module(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let f = m2.function("vecadd").unwrap();
+        let mut mem = InterpMem::new();
+        mem.write_f64_slice(0x1000, &[4.0]);
+        mem.write_f64_slice(0x2000, &[-1.0]);
+        interpret(f, &[0x1000, 0x2000, 0x3000, 1], &mut mem, 1_000).unwrap();
+        assert_eq!(mem.read_f64_slice(0x3000, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n// a comment\nfunc @f(%x: i64) {\nentry: // entry\n  ret %x\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.functions.len(), 1);
+    }
+
+    #[test]
+    fn unknown_instruction_reports_line() {
+        let src = "func @f(%x: i64) {\nentry:\n  %y = frobnicate %x\n  ret\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_value_reports_error() {
+        let src = "func @f(%x: i64) {\nentry:\n  %y = add %zzz, 1\n  ret\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert!(e.message.contains("zzz"));
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let src = "func @f(%x: i64) {\nentry:\n  %y = add %x, 1\n  %y = add %x, 2\n  ret\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn verifier_runs_on_parsed_functions() {
+        // Block `loop` references a phi with wrong predecessor coverage.
+        let src = "func @f(%x: i64) {\nentry:\n  ret %zz\n}\n";
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn multiple_functions() {
+        let src = "func @f(%x: i64) {\nentry:\n  ret %x\n}\nfunc @g() {\nentry:\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.functions.len(), 2);
+        assert!(m.function("g").is_some());
+    }
+
+    #[test]
+    fn select_and_float_literals() {
+        let src = "func @f(%x: f64) {\nentry:\n  %c = cmp flt %x, 2.5\n  %y = select %c, %x, 2.5\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let mut mem = InterpMem::new();
+        let r = interpret(f, &[1.0f64.to_bits()], &mut mem, 100).unwrap();
+        assert_eq!(r.ret, None);
+    }
+}

@@ -1,0 +1,401 @@
+//! The IR verifier: structural and SSA well-formedness.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::ir::{Block, Function, Inst, Terminator, Type, Value, ValueKind};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no terminator.
+    MissingTerminator {
+        /// The block's label.
+        block: String,
+    },
+    /// An instruction's operand types do not match.
+    TypeMismatch {
+        /// A description of the offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// A phi's incoming blocks differ from the block's CFG predecessors.
+    PhiPredecessorMismatch {
+        /// The block's label.
+        block: String,
+    },
+    /// A phi appears after a non-phi instruction.
+    PhiNotAtTop {
+        /// The block's label.
+        block: String,
+    },
+    /// A value is used where its definition does not dominate the use.
+    UseNotDominated {
+        /// A description of the used value.
+        value: String,
+        /// The block containing the use.
+        block: String,
+    },
+    /// A `Unit`-typed value (a store) is used as an operand.
+    UnitUsed {
+        /// The block's label.
+        block: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { block } => {
+                write!(f, "block `{block}` has no terminator")
+            }
+            VerifyError::TypeMismatch { value, expected } => {
+                write!(f, "type mismatch at {value}: expected {expected}")
+            }
+            VerifyError::PhiPredecessorMismatch { block } => {
+                write!(f, "phi in `{block}` does not cover exactly the block's predecessors")
+            }
+            VerifyError::PhiNotAtTop { block } => {
+                write!(f, "phi after a non-phi instruction in `{block}`")
+            }
+            VerifyError::UseNotDominated { value, block } => {
+                write!(f, "use of {value} in `{block}` is not dominated by its definition")
+            }
+            VerifyError::UnitUsed { block } => {
+                write!(f, "a unit (store) value is used as an operand in `{block}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn int_like(ty: Type) -> bool {
+    matches!(ty, Type::I64 | Type::Ptr | Type::I1)
+}
+
+/// Verifies `f`.
+///
+/// # Errors
+///
+/// Returns the first violation found: unterminated blocks, operand type
+/// mismatches, malformed phis, or SSA dominance violations.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+
+    // Where is each instruction value defined?
+    let mut def_site: HashMap<Value, (Block, usize)> = HashMap::new();
+    for b in f.blocks() {
+        for (pos, &v) in f.block(b).insts.iter().enumerate() {
+            def_site.insert(v, (b, pos));
+        }
+    }
+
+    for b in f.blocks() {
+        let bd = f.block(b);
+        if matches!(bd.term, Terminator::None) && cfg.reachable(b) {
+            return Err(VerifyError::MissingTerminator { block: bd.name.clone() });
+        }
+
+        let mut seen_non_phi = false;
+        for (pos, &v) in bd.insts.iter().enumerate() {
+            let vd = f.value(v);
+            let ValueKind::Inst(inst) = &vd.kind else { continue };
+
+            if matches!(inst, Inst::Phi { .. }) {
+                if seen_non_phi {
+                    return Err(VerifyError::PhiNotAtTop { block: bd.name.clone() });
+                }
+            } else {
+                seen_non_phi = true;
+            }
+
+            // Type checks.
+            let mismatch = |expected: &str| VerifyError::TypeMismatch {
+                value: f.value_name(v),
+                expected: expected.to_owned(),
+            };
+            match inst {
+                Inst::Bin { op, a, b: rhs } => {
+                    let want = op.ty();
+                    let a_ok = if want == Type::F64 {
+                        f.ty(*a) == Type::F64 && f.ty(*rhs) == Type::F64
+                    } else {
+                        int_like(f.ty(*a)) && int_like(f.ty(*rhs))
+                    };
+                    if !a_ok {
+                        return Err(mismatch(&format!("{} operands", op.mnemonic())));
+                    }
+                }
+                Inst::Un { op, a } => {
+                    let ok = match op {
+                        crate::ir::UnOp::Itof => int_like(f.ty(*a)),
+                        crate::ir::UnOp::Not => f.ty(*a) == Type::I1,
+                        _ => f.ty(*a) == Type::F64,
+                    };
+                    if !ok {
+                        return Err(mismatch(&format!("{} operand", op.mnemonic())));
+                    }
+                }
+                Inst::Cmp { op, a, b: rhs } => {
+                    let ok = if op.is_fp() {
+                        f.ty(*a) == Type::F64 && f.ty(*rhs) == Type::F64
+                    } else {
+                        int_like(f.ty(*a)) && int_like(f.ty(*rhs))
+                    };
+                    if !ok {
+                        return Err(mismatch("comparable operands"));
+                    }
+                }
+                Inst::Select { cond, on_true, on_false } => {
+                    if f.ty(*cond) != Type::I1 {
+                        return Err(mismatch("i1 condition"));
+                    }
+                    if f.ty(*on_true) != f.ty(*on_false) || f.ty(*on_true) != vd.ty {
+                        return Err(mismatch("matching select arms"));
+                    }
+                }
+                Inst::Load { ptr } => {
+                    if f.ty(*ptr) != Type::Ptr {
+                        return Err(mismatch("ptr address"));
+                    }
+                    if vd.ty == Type::Unit {
+                        return Err(mismatch("non-unit load result"));
+                    }
+                }
+                Inst::Store { ptr, value } => {
+                    if f.ty(*ptr) != Type::Ptr {
+                        return Err(mismatch("ptr address"));
+                    }
+                    if f.ty(*value) == Type::Unit {
+                        return Err(mismatch("non-unit stored value"));
+                    }
+                }
+                Inst::Gep { base, index, .. } => {
+                    if f.ty(*base) != Type::Ptr || f.ty(*index) != Type::I64 {
+                        return Err(mismatch("gep (ptr, i64)"));
+                    }
+                }
+                Inst::Phi { incomings } => {
+                    let mut inc_blocks: Vec<Block> =
+                        incomings.iter().map(|(bb, _)| *bb).collect();
+                    inc_blocks.sort();
+                    inc_blocks.dedup();
+                    let mut preds: Vec<Block> = cfg.preds(b).to_vec();
+                    preds.sort();
+                    preds.dedup();
+                    if cfg.reachable(b) && inc_blocks != preds {
+                        return Err(VerifyError::PhiPredecessorMismatch {
+                            block: bd.name.clone(),
+                        });
+                    }
+                    for (_, iv) in incomings {
+                        if f.ty(*iv) != vd.ty {
+                            return Err(mismatch("phi incoming type"));
+                        }
+                    }
+                }
+            }
+
+            // Dominance of operand definitions.
+            if !cfg.reachable(b) {
+                continue;
+            }
+            let operands = f.operands(v);
+            for (oi, &o) in operands.iter().enumerate() {
+                if f.ty(o) == Type::Unit {
+                    return Err(VerifyError::UnitUsed { block: bd.name.clone() });
+                }
+                let use_site: Option<Block> = match inst {
+                    // A phi's i-th operand is used at the end of the i-th
+                    // incoming block.
+                    Inst::Phi { incomings } => Some(incomings[oi].0),
+                    _ => None,
+                };
+                match f.value(o).kind {
+                    ValueKind::Param { .. } | ValueKind::ConstI(_) | ValueKind::ConstF(_) => {}
+                    ValueKind::Inst(_) => {
+                        let Some(&(db, dpos)) = def_site.get(&o) else {
+                            return Err(VerifyError::UseNotDominated {
+                                value: f.value_name(o),
+                                block: bd.name.clone(),
+                            });
+                        };
+                        let ok = match use_site {
+                            Some(pred) => dom.dominates(db, pred),
+                            None => {
+                                if db == b {
+                                    dpos < pos
+                                } else {
+                                    dom.dominates(db, b)
+                                }
+                            }
+                        };
+                        if !ok {
+                            return Err(VerifyError::UseNotDominated {
+                                value: f.value_name(o),
+                                block: bd.name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Terminator condition type.
+        if let Terminator::CondBr { cond, .. } = &bd.term {
+            if f.ty(*cond) != Type::I1 {
+                return Err(VerifyError::TypeMismatch {
+                    value: f.value_name(*cond),
+                    expected: "i1 branch condition".to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp, FunctionBuilder};
+
+    #[test]
+    fn wellformed_passes() {
+        let mut b = FunctionBuilder::new("ok", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let one = b.const_i(1);
+        let y = b.bin(BinOp::Add, x, one);
+        b.ret(Some(y));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let b = FunctionBuilder::new("bad", &[]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, VerifyError::MissingTerminator { .. }));
+    }
+
+    #[test]
+    fn fp_int_mix_rejected() {
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let c = b.const_f(1.0);
+        let _bad = b.bin(BinOp::Fadd, x, c);
+        b.ret(None);
+        assert!(matches!(b.build().unwrap_err(), VerifyError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn condbr_needs_i1() {
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let t = b.block("t");
+        b.cond_br(x, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        assert!(matches!(b.build().unwrap_err(), VerifyError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn phi_must_cover_preds() {
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let t = b.block("t");
+        let u = b.block("u");
+        let j = b.block("j");
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, t, u);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(u);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64);
+        b.add_incoming(p, t, x); // missing the edge from u
+        b.ret(Some(p));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            VerifyError::PhiPredecessorMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn phi_after_inst_rejected() {
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let body = b.block("body");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let one = b.const_i(1);
+        let _y = b.bin(BinOp::Add, x, one);
+        let p = b.phi(Type::I64);
+        b.add_incoming(p, entry, x);
+        b.ret(None);
+        assert!(matches!(b.build().unwrap_err(), VerifyError::PhiNotAtTop { .. }));
+    }
+
+    #[test]
+    fn use_before_def_in_block_rejected() {
+        // Build manually: y = add x, z; z = add x, 1 — z used before def.
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let one = b.const_i(1);
+        let z = b.bin(BinOp::Add, x, one);
+        let y = b.bin(BinOp::Add, x, z);
+        b.ret(Some(y));
+        let mut f = b.build_unverified();
+        // Swap the two instructions so z is used before its definition.
+        let entry = f.entry();
+        f.block_mut(entry).insts.swap(0, 1);
+        assert!(matches!(verify(&f).unwrap_err(), VerifyError::UseNotDominated { .. }));
+    }
+
+    #[test]
+    fn sibling_branch_value_not_dominating_rejected() {
+        let mut b = FunctionBuilder::new("bad", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let t = b.block("t");
+        let u = b.block("u");
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, t, u);
+        b.switch_to(t);
+        let one = b.const_i(1);
+        let y = b.bin(BinOp::Add, x, one);
+        b.ret(Some(y));
+        b.switch_to(u);
+        let z = b.bin(BinOp::Add, y, one); // uses y from sibling branch
+        b.ret(Some(z));
+        assert!(matches!(b.build().unwrap_err(), VerifyError::UseNotDominated { .. }));
+    }
+
+    #[test]
+    fn store_result_cannot_be_used() {
+        let mut b = FunctionBuilder::new("bad", &[("p", Type::Ptr)]);
+        let p = b.param(0);
+        let one = b.const_i(1);
+        b.store(one, p);
+        let f0 = b.build_unverified();
+        // Find the store's value id and misuse it.
+        let entry = f0.entry();
+        let store_v = f0.block(entry).insts[0];
+        let mut b2 = FunctionBuilder::new("bad2", &[("p", Type::Ptr)]);
+        let p2 = b2.param(0);
+        let one2 = b2.const_i(1);
+        b2.store(one2, p2);
+        let _use_unit = b2.bin(BinOp::Add, store_v, one2);
+        b2.ret(None);
+        let err = b2.build().unwrap_err();
+        assert!(
+            matches!(err, VerifyError::UnitUsed { .. } | VerifyError::TypeMismatch { .. }),
+            "got {err}"
+        );
+    }
+}

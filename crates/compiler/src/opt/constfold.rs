@@ -1,0 +1,212 @@
+//! Constant folding and algebraic simplification.
+
+use crate::ir::{BinOp, Function, Inst, Type, ValueKind};
+
+/// Raw-bits constant of a value, if it is a constant.
+fn const_bits(f: &Function, v: crate::ir::Value) -> Option<u64> {
+    match f.value(v).kind {
+        ValueKind::ConstI(c) => Some(c as u64),
+        ValueKind::ConstF(c) => Some(c.to_bits()),
+        _ => None,
+    }
+}
+
+/// Folds constant expressions and applies simple identities
+/// (`x + 0`, `x * 1`, `x * 0`, `select const`). Returns the number of
+/// values simplified.
+pub fn const_fold(f: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        let mut change: Option<(crate::ir::Value, Replacement)> = None;
+        'search: for b in f.blocks() {
+            for &v in &f.block(b).insts {
+                let Some(inst) = f.as_inst(v) else { continue };
+                let ty = f.ty(v);
+                match inst {
+                    Inst::Bin { op, a, b: rhs } => {
+                        if let (Some(ca), Some(cb)) = (const_bits(f, *a), const_bits(f, *rhs)) {
+                            let bits = super::super::ir::interp_eval_bin(*op, ca, cb);
+                            change = Some((v, Replacement::Const(bits, ty)));
+                            break 'search;
+                        }
+                        // Identities on integers.
+                        if !op.is_fp() {
+                            let a_c = f.as_const_i(*a);
+                            let b_c = f.as_const_i(*rhs);
+                            let ident = match (op, a_c, b_c) {
+                                (BinOp::Add, _, Some(0)) | (BinOp::Sub, _, Some(0)) => Some(*a),
+                                (BinOp::Add, Some(0), _) => Some(*rhs),
+                                (BinOp::Mul, _, Some(1)) => Some(*a),
+                                (BinOp::Mul, Some(1), _) => Some(*rhs),
+                                (BinOp::Shl | BinOp::Lshr | BinOp::Ashr, _, Some(0)) => Some(*a),
+                                _ => None,
+                            };
+                            if let Some(repl) = ident {
+                                change = Some((v, Replacement::Value(repl)));
+                                break 'search;
+                            }
+                            if matches!(op, BinOp::Mul)
+                                && (a_c == Some(0) || b_c == Some(0))
+                            {
+                                change = Some((v, Replacement::Const(0, Type::I64)));
+                                break 'search;
+                            }
+                        }
+                    }
+                    Inst::Un { op, a } => {
+                        if let Some(ca) = const_bits(f, *a) {
+                            let bits = super::super::ir::interp_eval_un(*op, ca);
+                            change = Some((v, Replacement::Const(bits, ty)));
+                            break 'search;
+                        }
+                    }
+                    Inst::Cmp { op, a, b: rhs } => {
+                        if let (Some(ca), Some(cb)) = (const_bits(f, *a), const_bits(f, *rhs)) {
+                            let bits = super::super::ir::interp_eval_cmp(*op, ca, cb);
+                            change = Some((v, Replacement::Const(bits, Type::I1)));
+                            break 'search;
+                        }
+                    }
+                    Inst::Select { cond, on_true, on_false } => {
+                        if let Some(c) = f.as_const_i(*cond) {
+                            let repl = if c != 0 { *on_true } else { *on_false };
+                            change = Some((v, Replacement::Value(repl)));
+                            break 'search;
+                        }
+                        if on_true == on_false {
+                            change = Some((v, Replacement::Value(*on_true)));
+                            break 'search;
+                        }
+                    }
+                    Inst::Phi { incomings } => {
+                        // A phi whose incomings are all the same value.
+                        let first = incomings.first().map(|(_, v)| *v);
+                        if let Some(fv) = first {
+                            if fv != v && incomings.iter().all(|(_, iv)| *iv == fv || *iv == v) {
+                                change = Some((v, Replacement::Value(fv)));
+                                break 'search;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some((v, repl)) = change else { break };
+        folded += 1;
+        match repl {
+            Replacement::Const(bits, ty) => {
+                let kind = match ty {
+                    Type::F64 => ValueKind::ConstF(f64::from_bits(bits)),
+                    _ => ValueKind::ConstI(bits as i64),
+                };
+                f.value_mut(v).kind = kind;
+                // Constants live outside blocks.
+                for b in f.blocks() {
+                    f.block_mut(b).insts.retain(|&x| x != v);
+                }
+            }
+            Replacement::Value(to) => {
+                f.replace_uses(v, to);
+                for b in f.blocks() {
+                    f.block_mut(b).insts.retain(|&x| x != v);
+                }
+            }
+        }
+    }
+    folded
+}
+
+enum Replacement {
+    Const(u64, Type),
+    Value(crate::ir::Value),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+    use crate::ir::{CmpOp, FunctionBuilder, UnOp};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = FunctionBuilder::new("f", &[]);
+        let two = b.const_i(2);
+        let three = b.const_i(3);
+        let five = b.bin(BinOp::Add, two, three);
+        let ten = b.bin(BinOp::Mul, five, two);
+        b.ret(Some(ten));
+        let mut f = b.build().unwrap();
+        let n = const_fold(&mut f);
+        assert!(n >= 2);
+        assert_eq!(f.as_const_i(ten), Some(10));
+        assert!(f.block(f.entry()).insts.is_empty(), "all insts folded away");
+    }
+
+    #[test]
+    fn folds_fp_and_cmp() {
+        let mut b = FunctionBuilder::new("f", &[]);
+        let x = b.const_f(2.0);
+        let y = b.const_f(0.5);
+        let p = b.bin(BinOp::Fmul, x, y);
+        let c = b.cmp(CmpOp::Flt, p, x);
+        let s = b.un(UnOp::Fsqrt, p);
+        b.ret(Some(c));
+        let mut f = b.build().unwrap();
+        const_fold(&mut f);
+        assert_eq!(f.as_const_f(p), Some(1.0));
+        assert_eq!(f.as_const_i(c), Some(1));
+        assert_eq!(f.as_const_f(s), Some(1.0));
+    }
+
+    #[test]
+    fn identities() {
+        let mut b = FunctionBuilder::new("f", &[("x", crate::ir::Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let a = b.bin(BinOp::Add, x, zero);
+        let m = b.bin(BinOp::Mul, a, one);
+        let z = b.bin(BinOp::Mul, m, zero);
+        b.ret(Some(z));
+        let mut f = b.build().unwrap();
+        const_fold(&mut f);
+        assert_eq!(f.as_const_i(z), Some(0));
+    }
+
+    #[test]
+    fn const_select_picks_arm() {
+        let mut b = FunctionBuilder::new("f", &[("x", crate::ir::Type::I64)]);
+        let x = b.param(0);
+        let t = b.const_bool(true);
+        let seven = b.const_i(7);
+        let s = b.select(t, x, seven);
+        b.ret(Some(s));
+        let mut f = b.build().unwrap();
+        const_fold(&mut f);
+        // select folded to x: the ret now returns x.
+        let mut mem = InterpMem::new();
+        let r = interpret(&f, &[42], &mut mem, 100).unwrap();
+        assert_eq!(r.ret, Some(42));
+    }
+
+    #[test]
+    fn preserves_semantics_on_mixed_function() {
+        let mut b = FunctionBuilder::new("f", &[("x", crate::ir::Type::I64)]);
+        let x = b.param(0);
+        let two = b.const_i(2);
+        let three = b.const_i(3);
+        let six = b.bin(BinOp::Mul, two, three);
+        let y = b.bin(BinOp::Add, x, six);
+        b.ret(Some(y));
+        let f0 = b.build().unwrap();
+        let mut f1 = f0.clone();
+        const_fold(&mut f1);
+        let mut m0 = InterpMem::new();
+        let mut m1 = InterpMem::new();
+        let r0 = interpret(&f0, &[10], &mut m0, 100).unwrap();
+        let r1 = interpret(&f1, &[10], &mut m1, 100).unwrap();
+        assert_eq!(r0.ret, r1.ret);
+        assert!(r1.steps <= r0.steps);
+    }
+}

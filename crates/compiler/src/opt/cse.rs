@@ -1,0 +1,155 @@
+//! Local common-subexpression elimination.
+//!
+//! Within each block, identical pure expressions (`bin`, `un`, `cmp`,
+//! `select`, `gep`) are merged, and repeated loads from the same address
+//! are merged until a store intervenes (stores conservatively kill all
+//! remembered loads — there is no alias analysis). Address arithmetic is
+//! the main beneficiary: kernels compute `i*8` once per array instead of
+//! once per access, which matters for both binaries but especially for
+//! the accelerated one, where addressing is most of the remaining core
+//! work.
+
+use std::collections::HashMap;
+
+use crate::ir::{Function, Inst, Value};
+
+/// A hashable key describing a pure expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(crate::ir::BinOp, Value, Value),
+    Un(crate::ir::UnOp, Value),
+    Cmp(crate::ir::CmpOp, Value, Value),
+    Select(Value, Value, Value),
+    Gep(Value, Value, u64),
+    Load(Value),
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    Some(match inst {
+        Inst::Bin { op, a, b } => Key::Bin(*op, *a, *b),
+        Inst::Un { op, a } => Key::Un(*op, *a),
+        Inst::Cmp { op, a, b } => Key::Cmp(*op, *a, *b),
+        Inst::Select { cond, on_true, on_false } => Key::Select(*cond, *on_true, *on_false),
+        Inst::Gep { base, index, scale } => Key::Gep(*base, *index, *scale),
+        Inst::Load { ptr } => Key::Load(*ptr),
+        _ => return None,
+    })
+}
+
+/// Runs local CSE over every block; returns the number of instructions
+/// removed. Iterates to a fixpoint (merging one expression can make two
+/// others identical).
+pub fn cse(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut change: Option<(crate::ir::Block, Value, Value)> = None; // (block, dup, keep)
+        'outer: for b in f.blocks() {
+            let mut seen: HashMap<Key, Value> = HashMap::new();
+            for &v in &f.block(b).insts {
+                let Some(inst) = f.as_inst(v) else { continue };
+                if matches!(inst, Inst::Store { .. }) {
+                    // A store may alias any remembered load.
+                    seen.retain(|k, _| !matches!(k, Key::Load(_)));
+                    continue;
+                }
+                if matches!(inst, Inst::Phi { .. }) {
+                    continue;
+                }
+                let Some(key) = key_of(inst) else { continue };
+                // Loads of different types must not merge.
+                if let Some(&keep) = seen.get(&key) {
+                    if f.ty(keep) == f.ty(v) {
+                        change = Some((b, v, keep));
+                        break 'outer;
+                    }
+                } else {
+                    seen.insert(key, v);
+                }
+            }
+        }
+        let Some((b, dup, keep)) = change else { return removed };
+        f.replace_uses(dup, keep);
+        f.block_mut(b).insts.retain(|&x| x != dup);
+        removed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+    use crate::ir::{BinOp, FunctionBuilder, Type};
+
+    #[test]
+    fn merges_identical_geps() {
+        let mut b = FunctionBuilder::new("g", &[("a", Type::Ptr), ("i", Type::I64)]);
+        let a = b.param(0);
+        let i = b.param(1);
+        let p1 = b.gep(a, i, 8);
+        let p2 = b.gep(a, i, 8);
+        let x = b.load(p1, Type::I64);
+        let y = b.load(p2, Type::I64);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let mut f = b.build().unwrap();
+        let n = cse(&mut f);
+        assert!(n >= 2, "gep and load both merge, got {n}");
+    }
+
+    #[test]
+    fn store_kills_loads() {
+        let mut b = FunctionBuilder::new("s", &[("p", Type::Ptr)]);
+        let p = b.param(0);
+        let x1 = b.load(p, Type::I64);
+        let one = b.const_i(1);
+        let x2 = b.bin(BinOp::Add, x1, one);
+        b.store(x2, p);
+        let x3 = b.load(p, Type::I64); // must NOT merge with x1
+        b.ret(Some(x3));
+        let f0 = b.build().unwrap();
+        let mut f1 = f0.clone();
+        cse(&mut f1);
+        let mut m0 = InterpMem::new();
+        m0.write_u64(0x100, 41);
+        let mut m1 = m0.clone();
+        let r0 = interpret(&f0, &[0x100], &mut m0, 100).unwrap();
+        let r1 = interpret(&f1, &[0x100], &mut m1, 100).unwrap();
+        assert_eq!(r0.ret, Some(42));
+        assert_eq!(r1.ret, Some(42), "reload after store preserved");
+    }
+
+    #[test]
+    fn different_blocks_do_not_merge() {
+        let mut b = FunctionBuilder::new("d", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let one = b.const_i(1);
+        let t = b.block("t");
+        let _y1 = b.bin(BinOp::Add, x, one);
+        b.br(t);
+        b.switch_to(t);
+        let y2 = b.bin(BinOp::Add, x, one);
+        b.ret(Some(y2));
+        let mut f = b.build().unwrap();
+        assert_eq!(cse(&mut f), 0, "local CSE only");
+    }
+
+    #[test]
+    fn semantics_preserved_on_expression_dag() {
+        let mut b = FunctionBuilder::new("e", &[("x", Type::I64), ("y", Type::I64)]);
+        let x = b.param(0);
+        let y = b.param(1);
+        let a1 = b.bin(BinOp::Add, x, y);
+        let a2 = b.bin(BinOp::Add, x, y);
+        let m = b.bin(BinOp::Mul, a1, a2);
+        b.ret(Some(m));
+        let f0 = b.build().unwrap();
+        let mut f1 = f0.clone();
+        assert_eq!(cse(&mut f1), 1);
+        let mut m0 = InterpMem::new();
+        let mut m1 = InterpMem::new();
+        let r0 = interpret(&f0, &[3, 4], &mut m0, 100).unwrap();
+        let r1 = interpret(&f1, &[3, 4], &mut m1, 100).unwrap();
+        assert_eq!(r0.ret, r1.ret);
+        assert_eq!(r1.ret, Some(49));
+    }
+}

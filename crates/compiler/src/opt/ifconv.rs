@@ -1,0 +1,417 @@
+//! If-conversion: turning acyclic diamonds and triangles into `select`s.
+//!
+//! This is the transform that lets the DySER compiler absorb *irregular
+//! but predicable* control flow into the fabric: a hammock
+//! (`A -> {T, E} -> J` or `A -> {T} -> J`) whose arms contain only
+//! speculatable instructions is flattened into `A`'s straight line, and
+//! each phi at the join becomes a `select` on the branch condition.
+//!
+//! Loads are considered speculatable here because the machine model is
+//! trap-free (see `DESIGN.md`); stores and divides are not (a store is a
+//! side effect; a speculated divide changes no architectural state in this
+//! IR either, but it is excluded to keep the cost model honest — an
+//! if-converted divide would burn 20+ cycles on the untaken path).
+
+use std::collections::HashSet;
+
+use crate::analysis::Cfg;
+use crate::ir::{BinOp, Block, Function, Inst, Terminator, ValueKind};
+
+/// Whether every instruction in `b` may execute unconditionally.
+fn speculatable(f: &Function, b: Block) -> bool {
+    f.block(b).insts.iter().all(|&v| match f.as_inst(v) {
+        Some(Inst::Store { .. }) | Some(Inst::Phi { .. }) => false,
+        Some(Inst::Bin { op, .. }) => !matches!(op, BinOp::Sdiv | BinOp::Fdiv),
+        Some(_) => true,
+        None => true,
+    })
+}
+
+/// One if-conversion step: finds a hammock and flattens it.
+/// Returns `true` if a rewrite happened.
+fn if_convert_once(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    for a in f.blocks() {
+        let Terminator::CondBr { cond, then_bb, else_bb } = f.block(a).term else { continue };
+        if then_bb == else_bb {
+            continue;
+        }
+
+        // Diamond: A -> T -> J and A -> E -> J, with T/E otherwise private.
+        let arm = |x: Block| -> Option<Block> {
+            match f.block(x).term {
+                Terminator::Br(j) if cfg.preds(x) == [a] && speculatable(f, x) => Some(j),
+                _ => None,
+            }
+        };
+
+        // Case 1: full diamond.
+        if let (Some(jt), Some(je)) = (arm(then_bb), arm(else_bb)) {
+            if jt == je && jt != a {
+                let join = jt;
+                let mut preds: Vec<Block> = cfg.preds(join).to_vec();
+                preds.sort();
+                let mut expect = vec![then_bb, else_bb];
+                expect.sort();
+                if preds == expect {
+                    flatten(f, a, cond, Some(then_bb), Some(else_bb), join);
+                    return true;
+                }
+            }
+        }
+
+        // Case 2: triangle with the then-arm: A -> T -> J, A -> J.
+        if let Some(j) = arm(then_bb) {
+            if j == else_bb && j != a {
+                let mut preds: Vec<Block> = cfg.preds(j).to_vec();
+                preds.sort();
+                let mut expect = vec![a, then_bb];
+                expect.sort();
+                if preds == expect {
+                    flatten(f, a, cond, Some(then_bb), None, j);
+                    return true;
+                }
+            }
+        }
+
+        // Case 3: triangle with the else-arm: A -> E -> J, A -> J.
+        if let Some(j) = arm(else_bb) {
+            if j == then_bb && j != a {
+                let mut preds: Vec<Block> = cfg.preds(j).to_vec();
+                preds.sort();
+                let mut expect = vec![a, else_bb];
+                expect.sort();
+                if preds == expect {
+                    flatten(f, a, cond, None, Some(else_bb), j);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Moves the arm instructions into `a`, rewrites `join`'s phis into
+/// selects at the end of `a`, and reroutes `a` straight to `join`.
+fn flatten(
+    f: &mut Function,
+    a: Block,
+    cond: crate::ir::Value,
+    then_arm: Option<Block>,
+    else_arm: Option<Block>,
+    join: Block,
+) {
+    // Hoist arm instructions (in order: then-arm, else-arm).
+    let mut hoisted = Vec::new();
+    for arm in [then_arm, else_arm].into_iter().flatten() {
+        hoisted.append(&mut f.block_mut(arm).insts);
+        // Self-loop stub: keeps the now-unreachable arm out of everyone's
+        // predecessor lists.
+        f.block_mut(arm).term = Terminator::Br(arm);
+    }
+    f.block_mut(a).insts.extend(hoisted);
+
+    // Rewrite join phis into selects placed at the end of `a`.
+    let then_pred = then_arm.unwrap_or(a);
+    let else_pred = else_arm.unwrap_or(a);
+    let phis: Vec<crate::ir::Value> = f
+        .block(join)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&v| matches!(f.as_inst(v), Some(Inst::Phi { .. })))
+        .collect();
+    for phi in phis {
+        let Some(Inst::Phi { incomings }) = f.as_inst(phi).cloned() else { continue };
+        let from = |pred: Block| incomings.iter().find(|(bb, _)| *bb == pred).map(|(_, v)| *v);
+        let (Some(tv), Some(ev)) = (from(then_pred), from(else_pred)) else { continue };
+        let ty = f.ty(phi);
+        // Turn the phi value itself into the select (keeps its id stable
+        // for all existing uses) and move it to the end of `a`.
+        f.value_mut(phi).kind =
+            ValueKind::Inst(Inst::Select { cond, on_true: tv, on_false: ev });
+        let _ = ty;
+        f.block_mut(join).insts.retain(|&x| x != phi);
+        f.block_mut(a).insts.push(phi);
+    }
+
+    f.block_mut(a).term = Terminator::Br(join);
+}
+
+/// Merges one straight-line chain `X -> Y` (where `Y` has no other
+/// predecessors and no phis) into `X`. Returns `true` if merged.
+///
+/// Chain merging exposes nested hammocks to further if-conversion: once an
+/// inner diamond collapses, its join becomes a trivial pass-through block
+/// sitting between the outer arm and the outer join.
+fn merge_chain_once(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    for x in f.blocks() {
+        let Terminator::Br(y) = f.block(x).term else { continue };
+        if y == x || y == f.entry() || cfg.preds(y) != [x] {
+            continue;
+        }
+        let has_phi = f
+            .block(y)
+            .insts
+            .iter()
+            .any(|&v| matches!(f.as_inst(v), Some(Inst::Phi { .. })));
+        if has_phi {
+            continue;
+        }
+        // Move Y's body and terminator into X.
+        let mut moved = std::mem::take(&mut f.block_mut(y).insts);
+        let term = std::mem::replace(&mut f.block_mut(y).term, Terminator::Br(y));
+        f.block_mut(x).insts.append(&mut moved);
+        f.block_mut(x).term = term;
+        // Phis downstream that named Y as a predecessor now see X.
+        rename_phi_pred(f, y, x);
+        return true;
+    }
+    false
+}
+
+/// Rewrites phi incomings `(from, v)` to `(to, v)` everywhere.
+fn rename_phi_pred(f: &mut Function, from: Block, to: Block) {
+    for b in f.blocks().collect::<Vec<_>>() {
+        let insts = f.block(b).insts.clone();
+        for v in insts {
+            if let Some(Inst::Phi { incomings }) = f.as_inst(v).cloned() {
+                let renamed: Vec<(Block, crate::ir::Value)> = incomings
+                    .into_iter()
+                    .map(|(bb, iv)| (if bb == from { to } else { bb }, iv))
+                    .collect();
+                if let ValueKind::Inst(Inst::Phi { incomings }) = &mut f.value_mut(v).kind {
+                    *incomings = renamed;
+                }
+            }
+        }
+    }
+}
+
+/// If-converts hammocks to a fixpoint (interleaving straight-line chain
+/// merging so nested hammocks collapse inside-out); returns the number of
+/// hammocks flattened.
+pub fn if_convert(f: &mut Function) -> usize {
+    let mut n = 0;
+    loop {
+        let converted = if_convert_once(f);
+        if converted {
+            n += 1;
+        }
+        let merged = merge_chain_once(f);
+        if !converted && !merged {
+            return n;
+        }
+    }
+}
+
+/// Checks whether all blocks of a rewritten function remain verifiable —
+/// exposed for tests.
+pub fn still_verifies(f: &Function) -> bool {
+    crate::ir::verify::verify(f).is_ok()
+}
+
+/// Blocks reachable from the entry (used by tests and codegen).
+pub fn reachable_blocks(f: &Function) -> HashSet<Block> {
+    let cfg = Cfg::compute(f);
+    f.blocks().filter(|&b| cfg.reachable(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+    use crate::ir::{CmpOp, FunctionBuilder, Type};
+
+    /// abs-diff: if a > b { a - b } else { b - a } — a full diamond.
+    fn diamond_fn() -> Function {
+        let mut b = FunctionBuilder::new("absdiff", &[("a", Type::I64), ("b", Type::I64)]);
+        let x = b.param(0);
+        let y = b.param(1);
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        let entry = b.current();
+        let c = b.cmp(CmpOp::Sgt, x, y);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let d1 = b.bin(BinOp::Sub, x, y);
+        b.br(j);
+        b.switch_to(e);
+        let d2 = b.bin(BinOp::Sub, y, x);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64);
+        b.add_incoming(p, t, d1);
+        b.add_incoming(p, e, d2);
+        b.ret(Some(p));
+        let _ = entry;
+        b.build().unwrap()
+    }
+
+    /// clamp-to-zero triangle: if x < 0 { t: y = 0 } ; ret phi(x|0)
+    fn triangle_fn() -> Function {
+        let mut b = FunctionBuilder::new("relu", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let t = b.block("t");
+        let j = b.block("j");
+        let entry = b.current();
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        let z = b.bin(BinOp::Mul, x, zero); // a speculatable stand-in for 0
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64);
+        b.add_incoming(p, t, z);
+        b.add_incoming(p, entry, x);
+        b.ret(Some(p));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_becomes_select() {
+        let mut f = diamond_fn();
+        let n = if_convert(&mut f);
+        assert_eq!(n, 1);
+        assert!(still_verifies(&f), "{f}");
+        // The join merged back into the entry, which now returns directly
+        // and contains the select.
+        let entry = f.entry();
+        assert!(matches!(f.block(entry).term, Terminator::Ret(_)));
+        let has_select = f
+            .block(entry)
+            .insts
+            .iter()
+            .any(|&v| matches!(f.as_inst(v), Some(Inst::Select { .. })));
+        assert!(has_select);
+    }
+
+    #[test]
+    fn diamond_semantics_preserved() {
+        let f0 = diamond_fn();
+        let mut f1 = f0.clone();
+        if_convert(&mut f1);
+        for (a, b) in [(10i64, 3i64), (3, 10), (-5, 5), (7, 7)] {
+            let mut m0 = InterpMem::new();
+            let mut m1 = InterpMem::new();
+            let r0 = interpret(&f0, &[a as u64, b as u64], &mut m0, 1000).unwrap();
+            let r1 = interpret(&f1, &[a as u64, b as u64], &mut m1, 1000).unwrap();
+            assert_eq!(r0.ret, r1.ret, "absdiff({a},{b})");
+        }
+    }
+
+    #[test]
+    fn triangle_semantics_preserved() {
+        let f0 = triangle_fn();
+        let mut f1 = f0.clone();
+        let n = if_convert(&mut f1);
+        assert_eq!(n, 1);
+        assert!(still_verifies(&f1), "{f1}");
+        for x in [-7i64, 0, 9] {
+            let mut m0 = InterpMem::new();
+            let mut m1 = InterpMem::new();
+            let r0 = interpret(&f0, &[x as u64], &mut m0, 1000).unwrap();
+            let r1 = interpret(&f1, &[x as u64], &mut m1, 1000).unwrap();
+            assert_eq!(r0.ret, r1.ret, "relu({x})");
+        }
+    }
+
+    #[test]
+    fn arm_with_store_not_converted() {
+        let mut b = FunctionBuilder::new("g", &[("p", Type::Ptr), ("x", Type::I64)]);
+        let p = b.param(0);
+        let x = b.param(1);
+        let zero = b.const_i(0);
+        let t = b.block("t");
+        let j = b.block("j");
+        let c = b.cmp(CmpOp::Slt, x, zero);
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.store(x, p); // side effect: must not be speculated
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let mut f = b.build().unwrap();
+        assert_eq!(if_convert(&mut f), 0);
+    }
+
+    #[test]
+    fn arm_with_divide_not_converted() {
+        let mut b = FunctionBuilder::new("g", &[("x", Type::I64), ("y", Type::I64)]);
+        let x = b.param(0);
+        let y = b.param(1);
+        let zero = b.const_i(0);
+        let t = b.block("t");
+        let j = b.block("j");
+        let entry = b.current();
+        let c = b.cmp(CmpOp::Ne, y, zero);
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        let q = b.bin(BinOp::Sdiv, x, y);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64);
+        b.add_incoming(p, t, q);
+        b.add_incoming(p, entry, zero);
+        b.ret(Some(p));
+        let mut f = b.build().unwrap();
+        assert_eq!(if_convert(&mut f), 0, "guarded divide is the point of the guard");
+    }
+
+    #[test]
+    fn nested_diamonds_convert_inside_out() {
+        // if c1 { if c2 { a } else { b } } else { c } — two rewrites.
+        let mut b = FunctionBuilder::new("n", &[("x", Type::I64)]);
+        let x = b.param(0);
+        let zero = b.const_i(0);
+        let ten = b.const_i(10);
+        let outer_t = b.block("outer_t");
+        let inner_t = b.block("inner_t");
+        let inner_e = b.block("inner_e");
+        let inner_j = b.block("inner_j");
+        let outer_e = b.block("outer_e");
+        let outer_j = b.block("outer_j");
+        let c1 = b.cmp(CmpOp::Sgt, x, zero);
+        b.cond_br(c1, outer_t, outer_e);
+
+        b.switch_to(outer_t);
+        let c2 = b.cmp(CmpOp::Sgt, x, ten);
+        b.cond_br(c2, inner_t, inner_e);
+        b.switch_to(inner_t);
+        let v1 = b.bin(BinOp::Add, x, ten);
+        b.br(inner_j);
+        b.switch_to(inner_e);
+        let v2 = b.bin(BinOp::Sub, x, ten);
+        b.br(inner_j);
+        b.switch_to(inner_j);
+        let pi = b.phi(Type::I64);
+        b.add_incoming(pi, inner_t, v1);
+        b.add_incoming(pi, inner_e, v2);
+        b.br(outer_j);
+
+        b.switch_to(outer_e);
+        let v3 = b.bin(BinOp::Mul, x, ten);
+        b.br(outer_j);
+
+        b.switch_to(outer_j);
+        let po = b.phi(Type::I64);
+        b.add_incoming(po, inner_j, pi);
+        b.add_incoming(po, outer_e, v3);
+        b.ret(Some(po));
+        let f0 = b.build().unwrap();
+
+        let mut f1 = f0.clone();
+        let n = if_convert(&mut f1);
+        assert!(n >= 2, "expected both diamonds converted, got {n}");
+        for x in [-3i64, 5, 20] {
+            let mut m0 = InterpMem::new();
+            let mut m1 = InterpMem::new();
+            let r0 = interpret(&f0, &[x as u64], &mut m0, 1000).unwrap();
+            let r1 = interpret(&f1, &[x as u64], &mut m1, 1000).unwrap();
+            assert_eq!(r0.ret, r1.ret, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Loop-invariant code motion.
+//!
+//! Pure, non-memory instructions whose operands are all defined outside a
+//! loop are hoisted into the loop's preheader. Speculation is safe in this
+//! IR: pure operations cannot trap (division is trap-free by definition).
+//! Loads are not hoisted — there is no alias analysis to prove a loop
+//! store cannot clobber them.
+
+use std::collections::HashSet;
+
+use crate::analysis::{Cfg, DomTree, LoopForest};
+use crate::ir::{Block, Function, Inst, Value};
+
+/// Whether `inst` may be hoisted when its operands are invariant.
+fn hoistable(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Bin { .. } | Inst::Un { .. } | Inst::Cmp { .. } | Inst::Select { .. } | Inst::Gep { .. }
+    )
+}
+
+/// Hoists loop-invariant instructions to preheaders; returns how many
+/// instructions moved. Loops without a preheader (multiple or branching
+/// outside predecessors) are left alone.
+pub fn licm(f: &mut Function) -> usize {
+    let mut moved_total = 0;
+    loop {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+
+        // One hoist per iteration keeps the analyses trivially fresh; the
+        // functions involved are small.
+        let mut next: Option<(Block, Block, Value)> = None; // (body block, preheader, value)
+        'search: for l in forest.loops() {
+            let Some(preheader) = l.preheader else { continue };
+            // Values defined inside the loop.
+            let inside: HashSet<Value> = l
+                .blocks
+                .iter()
+                .flat_map(|&b| f.block(b).insts.iter().copied())
+                .collect();
+            for &b in &l.blocks {
+                for &v in &f.block(b).insts {
+                    let Some(inst) = f.as_inst(v) else { continue };
+                    if !hoistable(inst) {
+                        continue;
+                    }
+                    if f.operands(v).iter().all(|o| !inside.contains(o)) {
+                        next = Some((b, preheader, v));
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        let Some((body, preheader, v)) = next else { return moved_total };
+        f.block_mut(body).insts.retain(|&x| x != v);
+        f.block_mut(preheader).insts.push(v);
+        moved_total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+    use crate::ir::{BinOp, CmpOp, FunctionBuilder, Type};
+
+    /// A loop that recomputes `n * 8` and `base + off` every iteration.
+    fn sloppy_loop() -> Function {
+        let mut b = FunctionBuilder::new("s", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let eight = b.const_i(8);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let scale = b.bin(BinOp::Mul, n, eight); // invariant
+        let biased = b.bin(BinOp::Add, scale, one); // invariant chain
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::I64);
+        let y = b.bin(BinOp::Add, x, biased);
+        b.store(y, p);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hoists_invariant_chain() {
+        let mut f = sloppy_loop();
+        let before = f.block(crate::ir::Block(1)).insts.len();
+        let moved = licm(&mut f);
+        assert_eq!(moved, 2, "scale and biased both hoist");
+        let after = f.block(crate::ir::Block(1)).insts.len();
+        assert_eq!(after, before - 2);
+        crate::ir::verify::verify(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let f0 = sloppy_loop();
+        let mut f1 = f0.clone();
+        licm(&mut f1);
+        for n in [1u64, 5, 9] {
+            let vals: Vec<u64> = (0..n).map(|k| 100 + k).collect();
+            let mut m0 = InterpMem::new();
+            m0.write_u64_slice(0x100, &vals);
+            let mut m1 = m0.clone();
+            interpret(&f0, &[0x100, n], &mut m0, 100_000).unwrap();
+            interpret(&f1, &[0x100, n], &mut m1, 100_000).unwrap();
+            assert_eq!(
+                m0.read_u64_slice(0x100, n as usize),
+                m1.read_u64_slice(0x100, n as usize),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn loads_and_variant_ops_stay_put() {
+        let mut f = sloppy_loop();
+        licm(&mut f);
+        // The load, gep (uses the phi), add (uses the load), iv update, and
+        // cmp all remain in the body.
+        let body = crate::ir::Block(1);
+        let remaining = f.block(body).insts.len();
+        assert!(remaining >= 6, "variant work stays in the loop, got {remaining}");
+        assert_eq!(licm(&mut f), 0, "fixpoint reached");
+    }
+
+    #[test]
+    fn loop_without_preheader_untouched() {
+        // A loop whose outside predecessor branches (no dedicated
+        // preheader) is left alone.
+        let mut b = FunctionBuilder::new("p", &[("n", Type::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let eight = b.const_i(8);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let c0 = b.cmp(CmpOp::Sgt, n, zero);
+        b.cond_br(c0, body, exit); // entry has two successors
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let inv = b.bin(BinOp::Mul, n, eight);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, b.current(), i2);
+        let entry = crate::ir::Block(0);
+        b.add_incoming(i, entry, zero);
+        let c = b.cmp(CmpOp::Slt, i2, inv);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.build().unwrap();
+        assert_eq!(licm(&mut f), 0, "no preheader, no motion");
+    }
+}

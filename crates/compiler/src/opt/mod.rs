@@ -1,0 +1,37 @@
+//! Optimisation passes: constant folding, dead-code elimination,
+//! if-conversion (predication via `select`), and loop unrolling.
+//!
+//! If-conversion and unrolling are the two transforms the DySER compiler
+//! leans on: if-conversion turns acyclic control flow inside loop bodies
+//! into straight-line `select` dataflow the fabric can absorb, and
+//! unrolling replicates the body to fill the fabric with data parallelism.
+
+pub mod constfold;
+pub mod cse;
+pub mod dce;
+pub mod ifconv;
+pub mod licm;
+pub mod spec;
+pub mod unroll;
+
+pub use constfold::const_fold;
+pub use cse::cse;
+pub use dce::dce;
+pub use ifconv::if_convert;
+pub use licm::licm;
+pub use spec::{Pass, PassSpec};
+pub use unroll::{unroll_innermost, UnrollOutcome};
+
+use crate::ir::Function;
+
+/// Runs the standard clean-up pipeline (fold + DCE to fixpoint).
+pub fn cleanup(f: &mut Function) {
+    loop {
+        let folded = const_fold(f);
+        let merged = cse(f);
+        let removed = dce(f);
+        if folded == 0 && merged == 0 && removed == 0 {
+            break;
+        }
+    }
+}

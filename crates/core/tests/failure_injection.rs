@@ -1,0 +1,159 @@
+//! Failure injection: every way a run can go wrong must surface as a
+//! structured error, never a wrong answer or a hang.
+
+use dyser_compiler::Program;
+use dyser_core::{run_program, HarnessError, RunConfig, SysError, System, SystemConfig};
+use dyser_fabric::{ConfigBuilder, FabricGeometry, FuOp};
+use dyser_isa::{regs, Assembler, ConfigId, DyserInstr, ICond, Instr, Op2, Port};
+
+fn program_with(asm: &Assembler, configs: Vec<dyser_fabric::FabricConfig>) -> Program {
+    Program {
+        listing: asm.resolve().unwrap(),
+        code: asm.assemble().unwrap(),
+        entry: dyser_compiler::CODE_BASE,
+        pool: Vec::new(),
+        spill_slots: 1,
+        configs,
+    }
+}
+
+#[test]
+fn dinit_to_missing_config_faults() {
+    let mut asm = Assembler::new();
+    asm.push(Instr::Dyser(DyserInstr::Init { config: ConfigId::new(3) }));
+    asm.push(Instr::Halt);
+    let program = program_with(&asm, Vec::new());
+    let mut sys = System::new(SystemConfig::default());
+    sys.load_program(&program).unwrap();
+    let err = sys.run(1000).unwrap_err();
+    assert!(matches!(err, SysError::Core(_)), "got {err}");
+    assert!(err.to_string().contains("unknown configuration 3"));
+}
+
+#[test]
+fn dyser_instruction_without_fabric_faults() {
+    let mut asm = Assembler::new();
+    asm.push(Instr::Dyser(DyserInstr::Init { config: ConfigId::new(0) }));
+    asm.push(Instr::Halt);
+    let program = program_with(&asm, Vec::new());
+    let mut sys = System::new(SystemConfig { has_fabric: false, ..Default::default() });
+    sys.load_program(&program).unwrap();
+    let err = sys.run(1000).unwrap_err();
+    assert!(err.to_string().contains("no accelerator"), "got {err}");
+}
+
+#[test]
+fn recv_from_silent_port_hangs_into_timeout() {
+    // A drecv with nothing configured to produce on that port stalls the
+    // pipeline forever: the cycle budget converts it into a clean timeout.
+    let geom = FabricGeometry::new(2, 2);
+    let mut b = ConfigBuilder::new(geom);
+    let x = b.input_value(0);
+    let y = b.op(FuOp::PassA, &[x]);
+    b.output_value(y, 0);
+    let config = b.build().unwrap();
+
+    let mut asm = Assembler::new();
+    asm.push(Instr::Dyser(DyserInstr::Init { config: ConfigId::new(0) }));
+    // Receive without ever sending: permanent DyserRecv stall.
+    asm.push(Instr::Dyser(DyserInstr::Recv { port: Port::new(0), rd: regs::O0 }));
+    asm.push(Instr::Halt);
+    let program = program_with(&asm, vec![config]);
+    let mut sys = System::new(SystemConfig { geometry: geom, ..Default::default() });
+    sys.load_program(&program).unwrap();
+    match sys.run(5_000) {
+        Err(SysError::Timeout { cycles }) => assert_eq!(cycles, 5_000),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    // The stall is attributed where it belongs.
+    assert!(sys.stats().core.stall_count(dyser_sparc::StallCause::DyserRecv) > 4_000);
+}
+
+#[test]
+fn geometry_mismatched_config_rejected_at_load() {
+    let mut b = ConfigBuilder::new(FabricGeometry::new(2, 2));
+    let x = b.input_value(0);
+    b.output_value(x, 0);
+    let config = b.build().unwrap();
+
+    let mut asm = Assembler::new();
+    asm.push(Instr::Halt);
+    let program = program_with(&asm, vec![config]);
+    // System fabric is 4x4; the 2x2 configuration must be rejected up front.
+    let mut sys = System::new(SystemConfig {
+        geometry: FabricGeometry::new(4, 4),
+        ..Default::default()
+    });
+    let err = sys.load_program(&program).unwrap_err();
+    assert!(matches!(err, SysError::Config(_)), "got {err}");
+}
+
+#[test]
+fn harness_reports_mismatches_with_address_detail() {
+    // A program that writes the wrong value: the harness names the exact
+    // address and both words.
+    let mut asm = Assembler::new();
+    asm.push(Instr::mov_imm(regs::O1, 99));
+    asm.push(Instr::Store {
+        kind: dyser_isa::StoreKind::Stx,
+        rs: regs::O1,
+        rs1: regs::O0,
+        op2: Op2::Imm(0),
+    });
+    asm.push(Instr::Halt);
+    let program = program_with(&asm, Vec::new());
+    let err = run_program(
+        "baseline",
+        &program,
+        &[0x5000],
+        &[],
+        &[(0x5000, vec![42])],
+        &RunConfig::default(),
+    )
+    .unwrap_err();
+    match &err {
+        HarnessError::Mismatch { addr, expected, got, .. } => {
+            assert_eq!(*addr, 0x5000);
+            assert_eq!(*expected, 42);
+            assert_eq!(*got, 99);
+        }
+        other => panic!("expected mismatch, got {other}"),
+    }
+    assert!(err.to_string().contains("0x5000"));
+}
+
+#[test]
+fn config_cache_accelerates_reconfiguration() {
+    // Two configurations, switched back and forth: the second visit to
+    // each is a cache hit and must stall far less.
+    let geom = FabricGeometry::new(4, 4);
+    let make = |port: usize| {
+        let mut b = ConfigBuilder::new(geom);
+        let x = b.input_value(port);
+        let y = b.op(FuOp::PassA, &[x]);
+        b.output_value(y, 0);
+        b.build().unwrap()
+    };
+    let (c0, c1) = (make(0), make(1));
+
+    let mut asm = Assembler::new();
+    // Cold loads: 0, 1; warm reloads: 0, 1.
+    for id in [0u16, 1, 0, 1] {
+        asm.push(Instr::Dyser(DyserInstr::Init { config: ConfigId::new(id) }));
+    }
+    asm.push(Instr::Halt);
+    let _ = ICond::Always;
+    let program = program_with(&asm, vec![c0.clone(), c1.clone()]);
+    let mut sys = System::new(SystemConfig { geometry: geom, ..Default::default() });
+    sys.load_program(&program).unwrap();
+    let stats = sys.run(10_000).unwrap();
+
+    let full = c0.frame_bits().div_ceil(64) + c1.frame_bits().div_ceil(64);
+    let observed = stats.core.stall_count(dyser_sparc::StallCause::DyserConfig);
+    assert!(
+        observed < 2 * full,
+        "warm reloads must be cheaper than two more cold loads: {observed} vs {}",
+        2 * full
+    );
+    assert!(observed > full, "warm reloads still cost something");
+}

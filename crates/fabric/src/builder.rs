@@ -1,0 +1,757 @@
+//! Building configurations from dataflow graphs: placement and routing.
+//!
+//! [`ConfigBuilder`] accepts a small dataflow graph — input ports,
+//! constants, operations, output ports — places each operation on a
+//! compatible functional unit, and routes every edge through the switch
+//! network with breadth-first search over free route registers. Fan-out
+//! reuses existing route prefixes of the same signal, exactly as the
+//! circuit-switched hardware does (one switch input line can feed several
+//! of that switch's output muxes).
+//!
+//! The builder is the mechanism; *policy* (operation ordering, placement
+//! refinement, annealing) lives in the compiler's spatial scheduler, which
+//! drives the builder with placement hints.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::config::topo;
+use crate::config::{ConfigError, FabricConfig, FuConfig, InDir, OperandSrc, OutDir};
+use crate::geom::{FabricGeometry, FuId, SwitchId};
+use crate::op::{FuKind, FuOp};
+
+/// Handle to a value in the dataflow graph under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueId(usize);
+
+/// Errors produced while building a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An input or output port index is out of range for the geometry.
+    BadPort {
+        /// The offending port.
+        port: usize,
+        /// Whether it was used as an input.
+        input: bool,
+    },
+    /// Two values were bound to the same input port.
+    DuplicateInputPort {
+        /// The port bound twice.
+        port: usize,
+    },
+    /// Two values were bound to the same output port.
+    DuplicateOutputPort {
+        /// The port bound twice.
+        port: usize,
+    },
+    /// An operation received the wrong number of arguments.
+    ArityMismatch {
+        /// The operation.
+        op: FuOp,
+        /// Arguments provided.
+        got: usize,
+    },
+    /// No free functional unit can execute the operation.
+    Unplaceable {
+        /// The operation.
+        op: FuOp,
+    },
+    /// No route could be found for an edge.
+    Unroutable {
+        /// Description of the edge.
+        edge: String,
+    },
+    /// The finished configuration failed validation (internal error).
+    Invalid(ConfigError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadPort { port, input } => {
+                let dir = if *input { "input" } else { "output" };
+                write!(f, "{dir} port {port} does not exist on this geometry")
+            }
+            BuildError::DuplicateInputPort { port } => {
+                write!(f, "input port {port} bound to two values")
+            }
+            BuildError::DuplicateOutputPort { port } => {
+                write!(f, "output port {port} bound to two values")
+            }
+            BuildError::ArityMismatch { op, got } => {
+                write!(f, "{op} takes {} operands, got {got}", op.arity())
+            }
+            BuildError::Unplaceable { op } => {
+                write!(f, "no free functional unit supports {op}")
+            }
+            BuildError::Unroutable { edge } => write!(f, "no route for edge {edge}"),
+            BuildError::Invalid(e) => write!(f, "built configuration is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Invalid(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Input { port: usize },
+    Const(u64),
+    Op { op: FuOp, args: Vec<ValueId> },
+}
+
+/// Builds a [`FabricConfig`] from a dataflow graph.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    geom: FabricGeometry,
+    kinds: Vec<FuKind>,
+    nodes: Vec<Node>,
+    outputs: Vec<(ValueId, usize)>,
+    hints: HashMap<usize, FuId>,
+    vec_in: Vec<(usize, Vec<usize>)>,
+    vec_out: Vec<(usize, Vec<usize>)>,
+    name: String,
+}
+
+impl ConfigBuilder {
+    /// Creates a builder for `geom` with the default heterogeneous kinds.
+    pub fn new(geom: FabricGeometry) -> Self {
+        let kinds = geom.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        Self::with_kinds(geom, kinds)
+    }
+
+    /// Creates a builder with explicit per-site hardware kinds (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds.len() != geom.fu_count()`.
+    pub fn with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
+        assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
+        ConfigBuilder {
+            geom,
+            kinds,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            hints: HashMap::new(),
+            vec_in: Vec::new(),
+            vec_out: Vec::new(),
+            name: String::from("unnamed"),
+        }
+    }
+
+    /// Sets the configuration name.
+    pub fn set_name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The geometry this builder targets.
+    pub fn geometry(&self) -> FabricGeometry {
+        self.geom
+    }
+
+    /// Declares a value arriving on input port `port`.
+    pub fn input_value(&mut self, port: usize) -> ValueId {
+        self.nodes.push(Node::Input { port });
+        ValueId(self.nodes.len() - 1)
+    }
+
+    /// Declares a configuration-time constant.
+    pub fn const_value(&mut self, value: u64) -> ValueId {
+        self.nodes.push(Node::Const(value));
+        ValueId(self.nodes.len() - 1)
+    }
+
+    /// Declares an operation over previously declared values.
+    ///
+    /// For [`FuOp::Select`], pass `[then_value, else_value, predicate]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument handle comes from a different builder
+    /// (out-of-range index).
+    pub fn op(&mut self, op: FuOp, args: &[ValueId]) -> ValueId {
+        for a in args {
+            assert!(a.0 < self.nodes.len(), "argument from a different builder");
+        }
+        self.nodes.push(Node::Op { op, args: args.to_vec() });
+        ValueId(self.nodes.len() - 1)
+    }
+
+    /// Binds `value` to output port `port`.
+    pub fn output_value(&mut self, value: ValueId, port: usize) -> &mut Self {
+        assert!(value.0 < self.nodes.len(), "value from a different builder");
+        self.outputs.push((value, port));
+        self
+    }
+
+    /// Hints that `value` (which must be an operation) should be placed on
+    /// `fu`. The spatial scheduler uses hints to drive refinement.
+    pub fn hint(&mut self, value: ValueId, fu: FuId) -> &mut Self {
+        self.hints.insert(value.0, fu);
+        self
+    }
+
+    /// Maps vector input port `vp` to scalar input ports.
+    pub fn vec_in(&mut self, vp: usize, ports: Vec<usize>) -> &mut Self {
+        self.vec_in.push((vp, ports));
+        self
+    }
+
+    /// Maps vector output port `vp` to scalar output ports.
+    pub fn vec_out(&mut self, vp: usize, ports: Vec<usize>) -> &mut Self {
+        self.vec_out.push((vp, ports));
+        self
+    }
+
+    /// Number of operation nodes declared so far.
+    pub fn op_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Op { .. })).count()
+    }
+
+    /// Places, routes, and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if ports clash, arities mismatch, placement
+    /// runs out of compatible units, or routing fails.
+    pub fn build(&self) -> Result<FabricConfig, BuildError> {
+        Placer::new(self)?.run()
+    }
+}
+
+/// A signal's position during routing: standing at `switch`, having
+/// arrived on input line `line`.
+type RouteState = (SwitchId, InDir);
+
+/// Snapshot of the mutable routing state (config, register owners,
+/// per-signal reached states), used for candidate rollback.
+type Checkpoint =
+    (FabricConfig, HashMap<(SwitchId, OutDir), usize>, HashMap<usize, HashSet<RouteState>>);
+
+struct Placer<'a> {
+    b: &'a ConfigBuilder,
+    cfg: FabricConfig,
+    /// Which signal (producer node index) occupies each route register.
+    reg_owner: HashMap<(SwitchId, OutDir), usize>,
+    /// States already reached by each signal's committed routes.
+    signal_states: HashMap<usize, HashSet<RouteState>>,
+    /// Placement of op nodes.
+    node_fu: HashMap<usize, FuId>,
+    fu_used: HashSet<FuId>,
+}
+
+impl<'a> Placer<'a> {
+    fn new(b: &'a ConfigBuilder) -> Result<Self, BuildError> {
+        // Port sanity.
+        let mut in_ports = HashSet::new();
+        for node in &b.nodes {
+            if let Node::Input { port } = node {
+                if *port >= b.geom.input_ports() {
+                    return Err(BuildError::BadPort { port: *port, input: true });
+                }
+                if !in_ports.insert(*port) {
+                    return Err(BuildError::DuplicateInputPort { port: *port });
+                }
+            }
+        }
+        let mut out_ports = HashSet::new();
+        for (_, port) in &b.outputs {
+            if *port >= b.geom.output_ports() {
+                return Err(BuildError::BadPort { port: *port, input: false });
+            }
+            if !out_ports.insert(*port) {
+                return Err(BuildError::DuplicateOutputPort { port: *port });
+            }
+        }
+        // Arity sanity.
+        for node in &b.nodes {
+            if let Node::Op { op, args } = node {
+                if args.len() != op.arity() {
+                    return Err(BuildError::ArityMismatch { op: *op, got: args.len() });
+                }
+            }
+        }
+        Ok(Placer {
+            b,
+            cfg: {
+                let mut c = FabricConfig::empty(b.geom);
+                c.set_name(b.name.clone());
+                c
+            },
+            reg_owner: HashMap::new(),
+            signal_states: HashMap::new(),
+            node_fu: HashMap::new(),
+            fu_used: HashSet::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<FabricConfig, BuildError> {
+        for idx in 0..self.b.nodes.len() {
+            if let Node::Op { op, args } = &self.b.nodes[idx] {
+                self.place_op(idx, *op, &args.clone())?;
+            }
+        }
+        for (value, port) in &self.b.outputs {
+            let goal_sw = self
+                .b
+                .geom
+                .output_port_switch(*port)
+                .expect("output port validated in Placer::new");
+            let label = format!("value {} -> output port {port}", value.0);
+            self.route_signal(value.0, goal_sw, OutDir::ExtOut, &label)?;
+        }
+        for (vp, ports) in &self.b.vec_in {
+            self.cfg.set_vec_in(*vp, ports.clone());
+        }
+        for (vp, ports) in &self.b.vec_out {
+            self.cfg.set_vec_out(*vp, ports.clone());
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Rough physical location of a node's output, for placement cost.
+    fn node_pos(&self, node: usize) -> Option<(isize, isize)> {
+        match &self.b.nodes[node] {
+            Node::Input { port } => {
+                let sw = self.b.geom.input_port_switch(*port)?;
+                Some((sw.row as isize, sw.col as isize))
+            }
+            Node::Const(_) => None,
+            Node::Op { .. } => {
+                let fu = self.node_fu.get(&node)?;
+                let sw = topo::fu_output_switch(*fu);
+                Some((sw.row as isize, sw.col as isize))
+            }
+        }
+    }
+
+    fn place_op(&mut self, node: usize, op: FuOp, args: &[ValueId]) -> Result<(), BuildError> {
+        // Candidate sites: hinted site first, then free compatible sites by
+        // distance to the argument producers.
+        let mut candidates: Vec<FuId> = Vec::new();
+        if let Some(&hint) = self.b.hints.get(&node) {
+            if self.b.geom.fu_valid(hint) {
+                candidates.push(hint);
+            }
+        }
+        let arg_positions: Vec<(isize, isize)> =
+            args.iter().filter_map(|a| self.node_pos(a.0)).collect();
+        let mut free: Vec<FuId> = self
+            .b
+            .geom
+            .fus()
+            .filter(|fu| {
+                !self.fu_used.contains(fu)
+                    && self.b.kinds[self.b.geom.fu_index(*fu)].supports(op)
+            })
+            .collect();
+        free.sort_by_key(|fu| {
+            let (r, c) = (fu.row as isize, fu.col as isize);
+            let dist: isize =
+                arg_positions.iter().map(|(ar, ac)| (ar - r).abs() + (ac - c).abs()).sum();
+            (dist, fu.row, fu.col)
+        });
+        candidates.extend(free);
+        if candidates.is_empty() {
+            return Err(BuildError::Unplaceable { op });
+        }
+
+        let orderings = Self::operand_orderings(op, args);
+        let mut last_err = BuildError::Unplaceable { op };
+        for fu in candidates {
+            if self.fu_used.contains(&fu)
+                || !self.b.kinds[self.b.geom.fu_index(fu)].supports(op)
+            {
+                continue;
+            }
+            for ordering in &orderings {
+                match self.try_place_at(node, op, ordering, fu) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Operand orderings to attempt: the given order, plus the swapped
+    /// order for commutative binary operations (a routing degree of
+    /// freedom real spatial schedulers exploit).
+    fn operand_orderings(op: FuOp, args: &[ValueId]) -> Vec<Vec<ValueId>> {
+        let commutative = matches!(
+            op,
+            FuOp::IAdd
+                | FuOp::IMul
+                | FuOp::IAnd
+                | FuOp::IOr
+                | FuOp::IXor
+                | FuOp::IMax
+                | FuOp::IMin
+                | FuOp::ICmpEq
+                | FuOp::ICmpNe
+                | FuOp::FAdd
+                | FuOp::FMul
+                | FuOp::FMax
+                | FuOp::FMin
+                | FuOp::PredAnd
+                | FuOp::PredOr
+        );
+        let mut orders = vec![args.to_vec()];
+        if commutative && args.len() == 2 && args[0] != args[1] {
+            orders.push(vec![args[1], args[0]]);
+        }
+        orders
+    }
+
+    fn try_place_at(
+        &mut self,
+        node: usize,
+        op: FuOp,
+        args: &[ValueId],
+        fu: FuId,
+    ) -> Result<(), BuildError> {
+        let checkpoint = self.checkpoint();
+        let mut operands = [OperandSrc::None; 3];
+        for (slot, arg) in args.iter().enumerate() {
+            match &self.b.nodes[arg.0] {
+                Node::Const(c) => operands[slot] = OperandSrc::Const(*c),
+                _ => {
+                    let (goal_sw, goal_dir) = topo::fu_operand_switch(fu, slot);
+                    let label = format!("value {} -> {fu} operand {slot}", arg.0);
+                    if let Err(e) = self.route_signal(arg.0, goal_sw, goal_dir, &label) {
+                        self.rollback(checkpoint);
+                        return Err(e);
+                    }
+                    operands[slot] = OperandSrc::Switch;
+                }
+            }
+        }
+        self.cfg.set_fu(fu, FuConfig { op, operands });
+        self.fu_used.insert(fu);
+        self.node_fu.insert(node, fu);
+        Ok(())
+    }
+
+    /// Snapshot of the mutable routing state, for candidate rollback.
+    fn checkpoint(&self) -> Checkpoint {
+        (self.cfg.clone(), self.reg_owner.clone(), self.signal_states.clone())
+    }
+
+    fn rollback(&mut self, cp: Checkpoint) {
+        self.cfg = cp.0;
+        self.reg_owner = cp.1;
+        self.signal_states = cp.2;
+    }
+
+    /// Initial route states of a signal that has no committed routes yet.
+    fn seed_states(&self, signal: usize) -> Result<Vec<RouteState>, BuildError> {
+        match &self.b.nodes[signal] {
+            Node::Input { port } => {
+                let sw = self.b.geom.input_port_switch(*port).expect("validated port");
+                Ok(vec![(sw, InDir::ExtIn)])
+            }
+            Node::Op { .. } => {
+                let fu = self.node_fu.get(&signal).ok_or_else(|| BuildError::Unroutable {
+                    edge: format!("value {signal} used before placement"),
+                })?;
+                Ok(vec![(topo::fu_output_switch(*fu), InDir::FuOut)])
+            }
+            Node::Const(_) => Err(BuildError::Unroutable {
+                edge: format!("constant value {signal} cannot be routed"),
+            }),
+        }
+    }
+
+    /// Routes `signal` so that register `(goal_sw, goal_dir)` carries it.
+    ///
+    /// BFS over `(switch, arrival line)` states; existing routes of the
+    /// same signal seed the frontier at distance zero, which makes fan-out
+    /// share prefixes.
+    fn route_signal(
+        &mut self,
+        signal: usize,
+        goal_sw: SwitchId,
+        goal_dir: OutDir,
+        label: &str,
+    ) -> Result<(), BuildError> {
+        if self.reg_owner.contains_key(&(goal_sw, goal_dir)) {
+            return Err(BuildError::Unroutable { edge: format!("{label}: goal register busy") });
+        }
+        let seeds: Vec<RouteState> = match self.signal_states.get(&signal) {
+            Some(states) if !states.is_empty() => states.iter().copied().collect(),
+            _ => self.seed_states(signal)?,
+        };
+
+        let mut parent: HashMap<RouteState, Option<(RouteState, OutDir)>> = HashMap::new();
+        let mut queue: VecDeque<RouteState> = VecDeque::new();
+        for s in &seeds {
+            parent.insert(*s, None);
+            queue.push_back(*s);
+        }
+
+        let mut goal_state: Option<RouteState> = None;
+        while let Some(state) = queue.pop_front() {
+            let (sw, _line) = state;
+            if sw == goal_sw {
+                goal_state = Some(state);
+                break;
+            }
+            for d in [OutDir::North, OutDir::South, OutDir::East, OutDir::West] {
+                let Some(next_sw) = topo::neighbor(&self.b.geom, sw, d) else { continue };
+                if self.reg_owner.contains_key(&(sw, d)) {
+                    continue;
+                }
+                let next: RouteState = (next_sw, topo::mirror(d));
+                if parent.contains_key(&next) {
+                    continue;
+                }
+                parent.insert(next, Some((state, d)));
+                queue.push_back(next);
+            }
+        }
+
+        let Some(goal_state) = goal_state else {
+            return Err(BuildError::Unroutable { edge: label.to_owned() });
+        };
+
+        // Claim the final register, then walk parents claiming hop registers.
+        let (_, arrival_line) = goal_state;
+        self.claim(signal, goal_sw, goal_dir, arrival_line);
+        let mut cursor = goal_state;
+        while let Some(&Some((prev, taken))) = parent.get(&cursor) {
+            let (prev_sw, prev_line) = prev;
+            self.claim(signal, prev_sw, taken, prev_line);
+            self.signal_states.entry(signal).or_default().insert(cursor);
+            cursor = prev;
+        }
+        // Record the seed state as reached too (it may have come from
+        // seed_states rather than an existing committed route).
+        self.signal_states.entry(signal).or_default().insert(cursor);
+        Ok(())
+    }
+
+    fn claim(&mut self, signal: usize, sw: SwitchId, d: OutDir, source: InDir) {
+        self.cfg.switch_mut(sw).set_source(d, source);
+        self.reg_owner.insert((sw, d), signal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Fabric;
+
+    fn geom() -> FabricGeometry {
+        FabricGeometry::new(4, 4)
+    }
+
+    #[test]
+    fn build_single_op() {
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let s = b.op(FuOp::IAdd, &[x, y]);
+        b.output_value(s, 0);
+        let cfg = b.build().unwrap();
+        assert_eq!(cfg.configured_fus(), 1);
+        assert!(cfg.configured_routes() >= 3);
+    }
+
+    #[test]
+    fn build_respects_name() {
+        let mut b = ConfigBuilder::new(geom());
+        b.set_name("vecadd");
+        let x = b.input_value(0);
+        b.output_value(x, 0);
+        assert_eq!(b.build().unwrap().name(), "vecadd");
+    }
+
+    #[test]
+    fn fanout_shares_prefix() {
+        // x feeds two ops; the routed configuration must still validate
+        // and execute correctly (x duplicated by the switch network).
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let s = b.op(FuOp::IAdd, &[x, y]);
+        let d = b.op(FuOp::IMul, &[x, x]);
+        b.output_value(s, 0);
+        b.output_value(d, 1);
+        let cfg = b.build().expect("fanout must route");
+
+        let mut f = Fabric::new(geom());
+        f.load_config(&cfg).unwrap();
+        f.try_send(0, 7);
+        f.try_send(1, 3);
+        let mut got = (None, None);
+        for _ in 0..200 {
+            f.tick();
+            if got.0.is_none() {
+                got.0 = f.try_recv(0);
+            }
+            if got.1.is_none() {
+                got.1 = f.try_recv(1);
+            }
+            if got.0.is_some() && got.1.is_some() {
+                break;
+            }
+        }
+        assert_eq!(got, (Some(10), Some(49)));
+    }
+
+    #[test]
+    fn chain_of_ops_executes() {
+        // ((a+b) * (a-b)) routed through three FUs.
+        let mut b = ConfigBuilder::new(geom());
+        let a = b.input_value(0);
+        let c = b.input_value(1);
+        let sum = b.op(FuOp::IAdd, &[a, c]);
+        let diff = b.op(FuOp::ISub, &[a, c]);
+        let prod = b.op(FuOp::IMul, &[sum, diff]);
+        b.output_value(prod, 0);
+        let cfg = b.build().unwrap();
+        let mut f = Fabric::new(geom());
+        f.load_config(&cfg).unwrap();
+        f.try_send(0, 9);
+        f.try_send(1, 4);
+        assert_eq!(f.run_until_output(0, 300), Some((13 * 5) as u64));
+    }
+
+    #[test]
+    fn duplicate_input_port_rejected() {
+        let mut b = ConfigBuilder::new(geom());
+        let _ = b.input_value(0);
+        let _ = b.input_value(0);
+        let e = b.build().unwrap_err();
+        assert!(matches!(e, BuildError::DuplicateInputPort { port: 0 }));
+    }
+
+    #[test]
+    fn duplicate_output_port_rejected() {
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        b.output_value(x, 0);
+        b.output_value(y, 0);
+        assert!(matches!(b.build().unwrap_err(), BuildError::DuplicateOutputPort { port: 0 }));
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        let mut b = ConfigBuilder::new(geom());
+        let _ = b.input_value(999);
+        assert!(matches!(b.build().unwrap_err(), BuildError::BadPort { input: true, .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let _bad = b.op(FuOp::IAdd, &[x]);
+        assert!(matches!(b.build().unwrap_err(), BuildError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unplaceable_when_no_capable_unit() {
+        // All-IntSimple hardware cannot place a multiply.
+        let g = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 4]);
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let m = b.op(FuOp::IMul, &[x, y]);
+        b.output_value(m, 0);
+        assert!(matches!(b.build().unwrap_err(), BuildError::Unplaceable { op: FuOp::IMul }));
+    }
+
+    #[test]
+    fn placement_exhaustion_detected() {
+        // A 1x1 IntSimple fabric can host exactly one op.
+        let g = FabricGeometry::new(1, 1);
+        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 1]);
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let s1 = b.op(FuOp::IAdd, &[x, y]);
+        let s2 = b.op(FuOp::ISub, &[s1, y]);
+        b.output_value(s2, 0);
+        let e = b.build().unwrap_err();
+        assert!(
+            matches!(e, BuildError::Unplaceable { .. } | BuildError::Unroutable { .. }),
+            "got {e}"
+        );
+    }
+
+    #[test]
+    fn hint_pins_placement() {
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let s = b.op(FuOp::IAdd, &[x, y]);
+        b.output_value(s, 0);
+        let target = FuId { row: 2, col: 2 };
+        b.hint(s, target);
+        let cfg = b.build().unwrap();
+        assert!(cfg.fu(target).is_some(), "hinted site must be used");
+        assert_eq!(cfg.fu(target).unwrap().op, FuOp::IAdd);
+    }
+
+    #[test]
+    fn deep_graph_on_8x8() {
+        // A reduction tree of 8 inputs: 7 adders.
+        let g = FabricGeometry::new(8, 8);
+        let mut b = ConfigBuilder::new(g);
+        let mut layer: Vec<ValueId> = (0..8).map(|p| b.input_value(p)).collect();
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|pair| b.op(FuOp::IAdd, &[pair[0], pair[1]])).collect();
+        }
+        b.output_value(layer[0], 0);
+        let cfg = b.build().expect("reduction tree must place and route on 8x8");
+        let mut f = Fabric::new(g);
+        f.load_config(&cfg).unwrap();
+        for p in 0..8 {
+            assert!(f.try_send(p, (p + 1) as u64));
+        }
+        assert_eq!(f.run_until_output(0, 500), Some(36));
+    }
+
+    #[test]
+    fn vector_port_maps_carried_through() {
+        let mut b = ConfigBuilder::new(geom());
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let s = b.op(FuOp::IAdd, &[x, y]);
+        b.output_value(s, 0);
+        b.vec_in(0, vec![0, 1]);
+        b.vec_out(0, vec![0]);
+        let cfg = b.build().unwrap();
+        assert_eq!(cfg.vec_in(0), &[0, 1]);
+        assert_eq!(cfg.vec_out(0), &[0]);
+    }
+
+    #[test]
+    fn fp_pipeline_executes() {
+        let g = geom();
+        let mut b = ConfigBuilder::new(g);
+        let x = b.input_value(0);
+        let y = b.input_value(1);
+        let prod = b.op(FuOp::FMul, &[x, y]);
+        let k = b.const_value(1.0f64.to_bits());
+        let shifted = b.op(FuOp::FAdd, &[prod, k]);
+        b.output_value(shifted, 0);
+        let cfg = b.build().unwrap();
+        let mut f = Fabric::new(g);
+        f.load_config(&cfg).unwrap();
+        f.try_send(0, 2.5f64.to_bits());
+        f.try_send(1, 4.0f64.to_bits());
+        let out = f.run_until_output(0, 300).expect("fp chain produces output");
+        assert_eq!(f64::from_bits(out), 11.0);
+    }
+}

@@ -1,0 +1,680 @@
+//! The cycle-level fabric execution engine.
+//!
+//! Values move through the configured routes one hop per cycle with
+//! credit-based flow control: every switch output is a single-entry elastic
+//! register that advances only when its consumer has room. FUs fire in
+//! dataflow fashion — when every bound operand has arrived and the FU's
+//! internal pipeline has a free slot — so back-to-back invocations of the
+//! configured region overlap at full throughput.
+//!
+//! Within one [`Fabric::tick`], registers are processed sinks-first in a
+//! topological order computed at configuration-load time. This models the
+//! hardware's ready-signal propagation exactly: a register freed this cycle
+//! can accept a new value this cycle, giving an initiation interval of one
+//! without letting any value traverse more than one hop per cycle.
+
+use std::collections::VecDeque;
+
+use crate::config::topo;
+use crate::config::{ConfigError, FabricConfig, InDir, OperandSrc, OutDir, SwitchConfig};
+use crate::geom::{FabricGeometry, FuId, SwitchId};
+use crate::op::{FuKind, Value};
+use crate::stats::FabricStats;
+
+/// Depth of the input/output port FIFOs, as in the prototype.
+pub const DEFAULT_FIFO_DEPTH: usize = 4;
+
+/// Width of the configuration bus in bits per cycle.
+pub const DEFAULT_CONFIG_BUS_BITS: u64 = 64;
+
+#[derive(Debug, Clone)]
+struct FuState {
+    config: Option<crate::config::FuConfig>,
+    latch: [Option<Value>; 3],
+    /// In-flight operations: `(ready_cycle, value)`, FIFO order.
+    pipe: VecDeque<(u64, Value)>,
+    out: Option<Value>,
+}
+
+impl FuState {
+    fn empty() -> Self {
+        FuState { config: None, latch: [None; 3], pipe: VecDeque::new(), out: None }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.latch.iter().flatten().count() + self.pipe.len() + usize::from(self.out.is_some())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    config: FabricConfig,
+    /// Configured switch-output registers in sinks-first topological order.
+    reg_order: Vec<(SwitchId, OutDir)>,
+    /// Register contents, indexed by `switch_index * 8 + OutDir::index()`.
+    regs: Vec<Option<Value>>,
+    fus: Vec<FuState>,
+    in_fifos: Vec<VecDeque<Value>>,
+    out_fifos: Vec<VecDeque<Value>>,
+}
+
+/// The DySER fabric: geometry, hardware kinds, and execution state.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    geom: FabricGeometry,
+    kinds: Vec<FuKind>,
+    fifo_depth: usize,
+    config_bus_bits: u64,
+    cycle: u64,
+    active: Option<Active>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric with the default heterogeneous kind pattern.
+    pub fn new(geom: FabricGeometry) -> Self {
+        let kinds = geom.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        Self::with_kinds(geom, kinds)
+    }
+
+    /// Creates a fabric where every site is a [`FuKind::Universal`] unit
+    /// (used by idealised sweeps).
+    pub fn universal(geom: FabricGeometry) -> Self {
+        Self::with_kinds(geom, vec![FuKind::Universal; geom.fu_count()])
+    }
+
+    /// Creates a fabric with explicit per-site kinds (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds.len() != geom.fu_count()`.
+    pub fn with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
+        assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
+        Fabric {
+            geom,
+            kinds,
+            fifo_depth: DEFAULT_FIFO_DEPTH,
+            config_bus_bits: DEFAULT_CONFIG_BUS_BITS,
+            cycle: 0,
+            active: None,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Sets the port FIFO depth (default [`DEFAULT_FIFO_DEPTH`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_fifo_depth(&mut self, depth: usize) {
+        assert!(depth > 0, "FIFO depth must be non-zero");
+        self.fifo_depth = depth;
+    }
+
+    /// The fabric geometry.
+    pub fn geometry(&self) -> FabricGeometry {
+        self.geom
+    }
+
+    /// Per-site hardware kinds (row-major).
+    pub fn kinds(&self) -> &[FuKind] {
+        &self.kinds
+    }
+
+    /// The hardware kind at `fu`.
+    pub fn kind_at(&self, fu: FuId) -> FuKind {
+        self.kinds[self.geom.fu_index(fu)]
+    }
+
+    /// Accumulated activity statistics.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Current cycle count (total ticks since construction).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The name of the active configuration, if any.
+    pub fn active_config_name(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| a.config.name())
+    }
+
+    /// The active configuration, if any.
+    pub fn active_config(&self) -> Option<&FabricConfig> {
+        self.active.as_ref().map(|a| &a.config)
+    }
+
+    /// Cycles needed to stream in a configuration over the config bus.
+    pub fn config_load_cycles(&self, config: &FabricConfig) -> u64 {
+        config.frame_bits().div_ceil(self.config_bus_bits)
+    }
+
+    /// Loads a configuration, replacing any active one and clearing all
+    /// in-flight state. Timing (the load latency) is charged by the caller
+    /// using [`Fabric::config_load_cycles`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is structurally invalid, built
+    /// for a different geometry, or uses an operation unsupported by the
+    /// hardware kind at its site.
+    pub fn load_config(&mut self, config: &FabricConfig) -> Result<(), ConfigError> {
+        if config.geometry() != self.geom {
+            return Err(ConfigError::GeometryMismatch {
+                config: config.geometry(),
+                fabric: self.geom,
+            });
+        }
+        config.validate()?;
+        for fu in self.geom.fus() {
+            if let Some(fc) = config.fu(fu) {
+                let kind = self.kind_at(fu);
+                if !kind.supports(fc.op) {
+                    return Err(ConfigError::UnsupportedOp { fu, kind, op: fc.op });
+                }
+            }
+        }
+        let reg_order = config.check_acyclic()?;
+        let mut fus: Vec<FuState> = (0..self.geom.fu_count()).map(|_| FuState::empty()).collect();
+        for fu in self.geom.fus() {
+            fus[self.geom.fu_index(fu)].config = config.fu(fu).copied();
+        }
+        self.stats.configs_loaded += 1;
+        self.stats.config_bits += config.frame_bits();
+        self.active = Some(Active {
+            config: config.clone(),
+            reg_order,
+            regs: vec![None; self.geom.switch_count() * 8],
+            fus,
+            in_fifos: vec![VecDeque::new(); self.geom.input_ports()],
+            out_fifos: vec![VecDeque::new(); self.geom.output_ports()],
+        });
+        Ok(())
+    }
+
+    /// Unloads the active configuration, discarding in-flight state.
+    pub fn unload(&mut self) {
+        self.active = None;
+    }
+
+    /// Tries to enqueue a value on input port `port`.
+    ///
+    /// Returns `false` (and the caller stalls) if no configuration is
+    /// active, the port does not exist, or its FIFO is full.
+    pub fn try_send(&mut self, port: usize, value: Value) -> bool {
+        let depth = self.fifo_depth;
+        let Some(active) = self.active.as_mut() else { return false };
+        let Some(fifo) = active.in_fifos.get_mut(port) else { return false };
+        if fifo.len() >= depth {
+            return false;
+        }
+        fifo.push_back(value);
+        self.stats.port_in += 1;
+        true
+    }
+
+    /// Tries to dequeue a value from output port `port`.
+    pub fn try_recv(&mut self, port: usize) -> Option<Value> {
+        let active = self.active.as_mut()?;
+        let v = active.out_fifos.get_mut(port)?.pop_front()?;
+        self.stats.port_out += 1;
+        Some(v)
+    }
+
+    /// Number of values buffered on output port `port`.
+    pub fn output_pending(&self, port: usize) -> usize {
+        self.active
+            .as_ref()
+            .and_then(|a| a.out_fifos.get(port))
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Free slots on input port `port`'s FIFO.
+    pub fn input_free(&self, port: usize) -> usize {
+        self.active
+            .as_ref()
+            .and_then(|a| a.in_fifos.get(port))
+            .map_or(0, |f| self.fifo_depth.saturating_sub(f.len()))
+    }
+
+    /// Values in flight inside the fabric: input FIFOs, route registers,
+    /// operand latches, FU pipelines, and FU output buffers. Output FIFOs
+    /// are *excluded* — their values are results awaiting `drecv`.
+    pub fn in_flight(&self) -> usize {
+        let Some(a) = &self.active else { return 0 };
+        let fifos: usize = a.in_fifos.iter().map(VecDeque::len).sum();
+        let regs = a.regs.iter().flatten().count();
+        let fus: usize = a.fus.iter().map(FuState::in_flight).sum();
+        fifos + regs + fus
+    }
+
+    /// The scalar input ports behind vector input port `vp`.
+    pub fn vec_in_ports(&self, vp: usize) -> &[usize] {
+        self.active.as_ref().map(|a| a.config.vec_in(vp)).unwrap_or(&[])
+    }
+
+    /// The scalar output ports behind vector output port `vp`.
+    pub fn vec_out_ports(&self, vp: usize) -> &[usize] {
+        self.active.as_ref().map(|a| a.config.vec_out(vp)).unwrap_or(&[])
+    }
+
+    fn reg_idx(&self, sw: SwitchId, d: OutDir) -> usize {
+        self.geom.switch_index(sw) * 8 + d.index()
+    }
+
+    /// Advances the fabric by one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        let Some(mut active) = self.active.take() else { return };
+        let mut any_activity = false;
+
+        // Phase 1: move switch-output registers, sinks first.
+        for i in 0..active.reg_order.len() {
+            let (sw, d) = active.reg_order[i];
+            let src_idx = self.reg_idx(sw, d);
+            let Some(value) = active.regs[src_idx] else { continue };
+            let moved = match d {
+                OutDir::North | OutDir::South | OutDir::East | OutDir::West => {
+                    let dest = topo::neighbor(&self.geom, sw, d)
+                        .expect("validated mesh route has a neighbour");
+                    let arrive = topo::mirror(d);
+                    self.deliver_to_switch(&mut active, dest, arrive, value)
+                }
+                OutDir::FuOp0 | OutDir::FuOp1 | OutDir::FuOp2 => {
+                    let (fu, slot) = topo::fu_operand_target(&self.geom, sw, d)
+                        .expect("validated operand route targets an FU");
+                    let latch = &mut active.fus[self.geom.fu_index(fu)].latch[slot];
+                    if latch.is_none() {
+                        *latch = Some(value);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                OutDir::ExtOut => {
+                    let port = self
+                        .geom
+                        .switch_output_port(sw)
+                        .expect("validated ExtOut route sits on an output edge");
+                    let fifo = &mut active.out_fifos[port];
+                    if fifo.len() < self.fifo_depth {
+                        fifo.push_back(value);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if moved {
+                active.regs[src_idx] = None;
+                self.stats.switch_hops += 1;
+                any_activity = true;
+            }
+        }
+
+        // Phase 2: inject FU results into their south-east switches.
+        let all_fus: Vec<FuId> = self.geom.fus().collect();
+        for fu in all_fus {
+            let fi = self.geom.fu_index(fu);
+            let Some(value) = active.fus[fi].out else { continue };
+            let sw = topo::fu_output_switch(fu);
+            let consumers = Self::targets_of(&active.config.switch(sw).clone(), InDir::FuOut);
+            if consumers.is_empty() {
+                // No route consumes this result: drop it (manual configs only).
+                active.fus[fi].out = None;
+                self.stats.dropped_results += 1;
+                continue;
+            }
+            if self.deliver_to_switch(&mut active, sw, InDir::FuOut, value) {
+                active.fus[fi].out = None;
+                any_activity = true;
+            }
+        }
+
+        // Phase 3: advance FU pipelines into output buffers.
+        for fu_state in &mut active.fus {
+            if fu_state.out.is_none() {
+                if let Some(&(ready, v)) = fu_state.pipe.front() {
+                    if self.cycle >= ready {
+                        fu_state.out = Some(v);
+                        fu_state.pipe.pop_front();
+                        any_activity = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 4: fire ready FUs.
+        for fu_state in &mut active.fus {
+            let Some(cfg) = fu_state.config else { continue };
+            let capacity = cfg.op.latency().max(1) as usize;
+            if fu_state.pipe.len() >= capacity {
+                continue;
+            }
+            let mut operands = [0u64; 3];
+            let mut ready = true;
+            for (slot, operand) in operands.iter_mut().enumerate() {
+                match cfg.operands[slot] {
+                    OperandSrc::None => {}
+                    OperandSrc::Const(c) => *operand = c,
+                    OperandSrc::Switch => match fu_state.latch[slot] {
+                        Some(v) => *operand = v,
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ready {
+                continue;
+            }
+            for slot in 0..3 {
+                if matches!(cfg.operands[slot], OperandSrc::Switch) {
+                    fu_state.latch[slot] = None;
+                }
+            }
+            let result = cfg.op.eval(operands[0], operands[1], operands[2]);
+            fu_state.pipe.push_back((self.cycle + cfg.op.latency(), result));
+            if cfg.op.is_fp() {
+                self.stats.fp_fu_fires += 1;
+            } else {
+                self.stats.int_fu_fires += 1;
+            }
+            any_activity = true;
+        }
+
+        // Phase 5: inject input-port values into their edge switches.
+        for port in 0..self.geom.input_ports() {
+            let Some(&value) = active.in_fifos[port].front() else { continue };
+            let sw = self.geom.input_port_switch(port).expect("port index in range");
+            if Self::targets_of(active.config.switch(sw), InDir::ExtIn).is_empty() {
+                continue; // port not wired by this configuration
+            }
+            if self.deliver_to_switch(&mut active, sw, InDir::ExtIn, value) {
+                active.in_fifos[port].pop_front();
+                any_activity = true;
+            }
+        }
+
+        if any_activity {
+            self.stats.active_cycles += 1;
+        }
+        self.active = Some(active);
+    }
+
+    /// Output directions of `sw` that source from `line`.
+    fn targets_of(sw_cfg: &SwitchConfig, line: InDir) -> Vec<OutDir> {
+        sw_cfg.routes().filter(|&(_, s)| s == line).map(|(d, _)| d).collect()
+    }
+
+    /// Copies `value` into every output register of `dest` sourced from
+    /// `line`, atomically (all must be free). Returns whether it moved.
+    fn deliver_to_switch(
+        &mut self,
+        active: &mut Active,
+        dest: SwitchId,
+        line: InDir,
+        value: Value,
+    ) -> bool {
+        let targets = Self::targets_of(active.config.switch(dest), line);
+        if targets.is_empty() {
+            return false;
+        }
+        let indices: Vec<usize> = targets.iter().map(|&d| self.reg_idx(dest, d)).collect();
+        if indices.iter().any(|&i| active.regs[i].is_some()) {
+            return false;
+        }
+        for &i in &indices {
+            active.regs[i] = Some(value);
+        }
+        self.stats.fanout_copies += (indices.len() - 1) as u64;
+        true
+    }
+
+    /// Runs until output port `port` has a value, then returns it.
+    ///
+    /// Returns `None` if `max_cycles` elapse first.
+    pub fn run_until_output(&mut self, port: usize, max_cycles: u64) -> Option<Value> {
+        for _ in 0..max_cycles {
+            if let Some(v) = self.try_recv(port) {
+                return Some(v);
+            }
+            self.tick();
+        }
+        self.try_recv(port)
+    }
+
+    /// Runs until nothing is in flight (at most `max_cycles`); returns
+    /// whether the fabric drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            self.tick();
+        }
+        self.in_flight() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ConfigBuilder;
+    use crate::op::FuOp;
+
+    fn simple_add_fabric() -> Fabric {
+        let geom = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::new(geom);
+        let a = b.input_value(0);
+        let c = b.input_value(1);
+        let sum = b.op(FuOp::IAdd, &[a, c]);
+        b.output_value(sum, 0);
+        let config = b.build().expect("trivial DFG must route");
+        let mut fabric = Fabric::new(geom);
+        fabric.load_config(&config).expect("built config must load");
+        fabric
+    }
+
+    #[test]
+    fn add_two_values() {
+        let mut f = simple_add_fabric();
+        assert!(f.try_send(0, 20));
+        assert!(f.try_send(1, 22));
+        assert_eq!(f.run_until_output(0, 100), Some(42));
+    }
+
+    #[test]
+    fn pipelined_invocations_overlap() {
+        let mut f = simple_add_fabric();
+        // Push four invocations back to back (FIFO depth is 4).
+        for i in 0..4u64 {
+            assert!(f.try_send(0, i));
+            assert!(f.try_send(1, 100));
+        }
+        let mut results = Vec::new();
+        let mut first_latency = None;
+        for cycle in 0..200u64 {
+            f.tick();
+            while let Some(v) = f.try_recv(0) {
+                if first_latency.is_none() {
+                    first_latency = Some(cycle);
+                }
+                results.push(v);
+            }
+            if results.len() == 4 {
+                // Pipelining: all four results arrive within a few cycles of
+                // the first, far sooner than 4x the pipeline depth.
+                assert!(cycle - first_latency.unwrap() <= 6, "results must be pipelined");
+                break;
+            }
+        }
+        assert_eq!(results, vec![100, 101, 102, 103], "in-order results");
+    }
+
+    #[test]
+    fn fifo_backpressure() {
+        let mut f = simple_add_fabric();
+        // Port 1 never gets values, so port 0's pipeline backs up: 4 FIFO
+        // slots plus a small number of route registers absorb sends, then
+        // the fabric refuses.
+        let mut accepted = 0;
+        for i in 0..32u64 {
+            for _ in 0..4 {
+                f.tick();
+            }
+            if f.try_send(0, i) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 32, "backpressure must eventually refuse sends");
+        assert!(f.in_flight() > 0);
+    }
+
+    #[test]
+    fn drain_after_balanced_input() {
+        let mut f = simple_add_fabric();
+        f.try_send(0, 1);
+        f.try_send(1, 2);
+        assert!(!f.drain(0), "not drained immediately");
+        assert!(f.drain(100), "drains once the result reaches the output FIFO");
+        assert_eq!(f.try_recv(0), Some(3));
+    }
+
+    #[test]
+    fn send_fails_without_config() {
+        let mut f = Fabric::new(FabricGeometry::new(2, 2));
+        assert!(!f.try_send(0, 1));
+        assert_eq!(f.try_recv(0), None);
+        assert_eq!(f.in_flight(), 0);
+        f.tick(); // must not panic
+    }
+
+    #[test]
+    fn send_to_missing_port_fails() {
+        let mut f = simple_add_fabric();
+        assert!(!f.try_send(99, 1));
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut f = simple_add_fabric();
+        f.try_send(0, 5);
+        f.try_send(1, 6);
+        f.run_until_output(0, 100).unwrap();
+        let s = f.stats();
+        assert_eq!(s.port_in, 2);
+        assert_eq!(s.port_out, 1);
+        assert_eq!(s.int_fu_fires, 1);
+        assert!(s.switch_hops >= 2);
+        assert!(s.active_cycles > 0);
+        assert_eq!(s.configs_loaded, 1);
+        assert!(s.config_bits > 0);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let geom = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::new(geom);
+        let a = b.input_value(0);
+        b.output_value(a, 0);
+        let config = b.build().unwrap();
+        let mut f = Fabric::new(FabricGeometry::new(4, 4));
+        assert!(matches!(
+            f.load_config(&config),
+            Err(ConfigError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_op_rejected_by_kind() {
+        // An all-IntSimple fabric cannot host an FMul.
+        let geom = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::new(geom);
+        let a = b.input_value(0);
+        let c = b.input_value(1);
+        let m = b.op(FuOp::FMul, &[a, c]);
+        b.output_value(m, 0);
+        // Build against a universal placement so the builder succeeds...
+        let config = b.build().unwrap();
+        // ...then load into restricted hardware.
+        let mut f = Fabric::with_kinds(geom, vec![FuKind::IntSimple; 4]);
+        assert!(matches!(f.load_config(&config), Err(ConfigError::UnsupportedOp { .. })));
+    }
+
+    #[test]
+    fn reconfiguration_clears_state() {
+        let mut f = simple_add_fabric();
+        f.try_send(0, 1);
+        assert!(f.in_flight() > 0);
+        let cfg = f.active_config().unwrap().clone();
+        f.load_config(&cfg).unwrap();
+        assert_eq!(f.in_flight(), 0, "reload clears in-flight values");
+        assert_eq!(f.stats().configs_loaded, 2);
+    }
+
+    #[test]
+    fn config_load_cycles_scale_with_frame() {
+        let f = Fabric::new(FabricGeometry::new(2, 2));
+        let g = Fabric::new(FabricGeometry::new(8, 8));
+        let c_small = FabricConfig::empty(FabricGeometry::new(2, 2));
+        let c_big = FabricConfig::empty(FabricGeometry::new(8, 8));
+        assert!(g.config_load_cycles(&c_big) > f.config_load_cycles(&c_small));
+        assert!(f.config_load_cycles(&c_small) > 0);
+    }
+
+    #[test]
+    fn select_predication() {
+        let geom = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::new(geom);
+        let a = b.input_value(0);
+        let c = b.input_value(1);
+        let p = b.input_value(2);
+        let sel = b.op(FuOp::Select, &[a, c, p]);
+        b.output_value(sel, 0);
+        let config = b.build().expect("select must route");
+        let mut f = Fabric::new(geom);
+        f.load_config(&config).unwrap();
+        f.try_send(0, 111);
+        f.try_send(1, 222);
+        f.try_send(2, 1);
+        assert_eq!(f.run_until_output(0, 100), Some(111));
+        f.try_send(0, 111);
+        f.try_send(1, 222);
+        f.try_send(2, 0);
+        assert_eq!(f.run_until_output(0, 100), Some(222));
+    }
+
+    #[test]
+    fn constants_do_not_consume() {
+        let geom = FabricGeometry::new(2, 2);
+        let mut b = ConfigBuilder::new(geom);
+        let a = b.input_value(0);
+        let k = b.const_value(10);
+        let sum = b.op(FuOp::IMul, &[a, k]);
+        b.output_value(sum, 0);
+        let config = b.build().unwrap();
+        let mut f = Fabric::new(geom);
+        f.load_config(&config).unwrap();
+        for i in 1..=3u64 {
+            f.try_send(0, i);
+        }
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            f.tick();
+            while let Some(v) = f.try_recv(0) {
+                out.push(v);
+            }
+            if out.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Fabric geometry: the FU grid, the surrounding switch grid, and the
+//! edge port map.
+//!
+//! A `rows x cols` fabric has `rows * cols` FUs and a
+//! `(rows + 1) x (cols + 1)` switch grid. FU `(r, c)` is surrounded by four
+//! switches; it draws operand 0 from its north-west switch `(r, c)`,
+//! operand 1 from its north-east switch `(r, c+1)`, operand 2 (the
+//! predicate of `select`) from its south-west switch `(r+1, c)`, and drives
+//! its result into its south-east switch `(r+1, c+1)`.
+//!
+//! Input ports sit on the north and west edges, output ports on the south
+//! and east edges, numbered deterministically so the compiler and the ISA
+//! agree on port indices.
+
+use std::fmt;
+
+/// The dimensions of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FabricGeometry {
+    rows: usize,
+    cols: usize,
+}
+
+/// Identifier of a functional unit at grid position `(row, col)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuId {
+    /// Row in the FU grid.
+    pub row: usize,
+    /// Column in the FU grid.
+    pub col: usize,
+}
+
+/// Identifier of a switch at grid position `(row, col)` in the
+/// `(rows+1) x (cols+1)` switch grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId {
+    /// Row in the switch grid.
+    pub row: usize,
+    /// Column in the switch grid.
+    pub col: usize,
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu({},{})", self.row, self.col)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw({},{})", self.row, self.col)
+    }
+}
+
+impl FabricGeometry {
+    /// Creates a geometry with the given FU grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds 16 (the port index
+    /// space of the ISA bounds practical fabrics well below that).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "fabric dimensions must be non-zero");
+        assert!(rows <= 16 && cols <= 16, "fabric dimensions above 16 are not supported");
+        FabricGeometry { rows, cols }
+    }
+
+    /// Number of FU rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of FU columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of functional units.
+    pub fn fu_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        (self.rows + 1) * (self.cols + 1)
+    }
+
+    /// Number of input ports: one per north-edge switch plus one per
+    /// west-edge switch below the corner.
+    pub fn input_ports(&self) -> usize {
+        (self.cols + 1) + self.rows
+    }
+
+    /// Number of output ports: one per south-edge switch plus one per
+    /// east-edge switch above the bottom corner.
+    pub fn output_ports(&self) -> usize {
+        (self.cols + 1) + self.rows
+    }
+
+    /// Whether `fu` is a valid FU position.
+    pub fn fu_valid(&self, fu: FuId) -> bool {
+        fu.row < self.rows && fu.col < self.cols
+    }
+
+    /// Whether `sw` is a valid switch position.
+    pub fn switch_valid(&self, sw: SwitchId) -> bool {
+        sw.row <= self.rows && sw.col <= self.cols
+    }
+
+    /// Iterates over all FU positions in row-major order.
+    pub fn fus(&self) -> impl Iterator<Item = FuId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |row| (0..cols).map(move |col| FuId { row, col }))
+    }
+
+    /// Iterates over all switch positions in row-major order.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        let cols = self.cols;
+        (0..=self.rows).flat_map(move |row| (0..=cols).map(move |col| SwitchId { row, col }))
+    }
+
+    /// Linear index of a switch (row-major).
+    pub fn switch_index(&self, sw: SwitchId) -> usize {
+        sw.row * (self.cols + 1) + sw.col
+    }
+
+    /// Linear index of an FU (row-major).
+    pub fn fu_index(&self, fu: FuId) -> usize {
+        fu.row * self.cols + fu.col
+    }
+
+    /// The switch an input port injects into, if the port exists.
+    ///
+    /// Ports `0..=cols` sit on the north edge (switch `(0, p)`); ports
+    /// `cols+1..` sit on the west edge (switch `(p - cols, 0)`).
+    pub fn input_port_switch(&self, port: usize) -> Option<SwitchId> {
+        if port <= self.cols {
+            Some(SwitchId { row: 0, col: port })
+        } else {
+            let row = port - self.cols;
+            (row <= self.rows).then_some(SwitchId { row, col: 0 })
+        }
+    }
+
+    /// The switch an output port drains from, if the port exists.
+    ///
+    /// Ports `0..=cols` sit on the south edge (switch `(rows, p)`); ports
+    /// `cols+1..` sit on the east edge (switch `(rows - (p - cols), cols)`).
+    pub fn output_port_switch(&self, port: usize) -> Option<SwitchId> {
+        if port <= self.cols {
+            Some(SwitchId { row: self.rows, col: port })
+        } else {
+            let off = port - self.cols;
+            (off <= self.rows).then(|| SwitchId { row: self.rows - off, col: self.cols })
+        }
+    }
+
+    /// The input port injecting at `sw`, if `sw` is on the north/west edge.
+    pub fn switch_input_port(&self, sw: SwitchId) -> Option<usize> {
+        if sw.row == 0 {
+            Some(sw.col)
+        } else if sw.col == 0 {
+            Some(self.cols + sw.row)
+        } else {
+            None
+        }
+    }
+
+    /// The output port draining at `sw`, if `sw` is on the south/east edge.
+    pub fn switch_output_port(&self, sw: SwitchId) -> Option<usize> {
+        if sw.row == self.rows {
+            Some(sw.col)
+        } else if sw.col == self.cols {
+            Some(self.cols + (self.rows - sw.row))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FabricGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let g = FabricGeometry::new(4, 4);
+        assert_eq!(g.fu_count(), 16);
+        assert_eq!(g.switch_count(), 25);
+        assert_eq!(g.input_ports(), 9);
+        assert_eq!(g.output_ports(), 9);
+        assert_eq!(g.fus().count(), 16);
+        assert_eq!(g.switches().count(), 25);
+    }
+
+    #[test]
+    fn port_maps_are_inverse() {
+        let g = FabricGeometry::new(3, 5);
+        for p in 0..g.input_ports() {
+            let sw = g.input_port_switch(p).unwrap();
+            assert_eq!(g.switch_input_port(sw), Some(p), "input port {p}");
+        }
+        for p in 0..g.output_ports() {
+            let sw = g.output_port_switch(p).unwrap();
+            assert_eq!(g.switch_output_port(sw), Some(p), "output port {p}");
+        }
+    }
+
+    #[test]
+    fn input_ports_cover_north_and_west() {
+        let g = FabricGeometry::new(2, 2);
+        assert_eq!(g.input_port_switch(0), Some(SwitchId { row: 0, col: 0 }));
+        assert_eq!(g.input_port_switch(2), Some(SwitchId { row: 0, col: 2 }));
+        assert_eq!(g.input_port_switch(3), Some(SwitchId { row: 1, col: 0 }));
+        assert_eq!(g.input_port_switch(4), Some(SwitchId { row: 2, col: 0 }));
+        assert_eq!(g.input_port_switch(5), None);
+    }
+
+    #[test]
+    fn output_ports_cover_south_and_east() {
+        let g = FabricGeometry::new(2, 2);
+        assert_eq!(g.output_port_switch(0), Some(SwitchId { row: 2, col: 0 }));
+        assert_eq!(g.output_port_switch(2), Some(SwitchId { row: 2, col: 2 }));
+        assert_eq!(g.output_port_switch(3), Some(SwitchId { row: 1, col: 2 }));
+        assert_eq!(g.output_port_switch(4), Some(SwitchId { row: 0, col: 2 }));
+        assert_eq!(g.output_port_switch(5), None);
+    }
+
+    #[test]
+    fn interior_switches_have_no_ports() {
+        let g = FabricGeometry::new(3, 3);
+        let sw = SwitchId { row: 1, col: 1 };
+        assert_eq!(g.switch_input_port(sw), None);
+        assert_eq!(g.switch_output_port(sw), None);
+    }
+
+    #[test]
+    fn validity() {
+        let g = FabricGeometry::new(2, 3);
+        assert!(g.fu_valid(FuId { row: 1, col: 2 }));
+        assert!(!g.fu_valid(FuId { row: 2, col: 0 }));
+        assert!(g.switch_valid(SwitchId { row: 2, col: 3 }));
+        assert!(!g.switch_valid(SwitchId { row: 3, col: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        let _ = FabricGeometry::new(0, 4);
+    }
+}

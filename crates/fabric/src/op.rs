@@ -1,0 +1,408 @@
+//! Functional-unit operations and capability classes.
+//!
+//! The fabric is *heterogeneous*: each grid position holds an FU of a
+//! particular [`FuKind`] which supports a subset of the operations. The
+//! default grid pattern mixes integer and floating-point units in 2x2
+//! tiles, matching the prototype's balanced datapath.
+
+use std::fmt;
+
+/// A 64-bit fabric value. Floating-point values travel bit-punned, as they
+/// do on the prototype's 64-bit datapath.
+pub type Value = u64;
+
+/// Operations a functional unit can be configured to perform.
+///
+/// `Select` is the predication primitive the compiler uses for
+/// if-converted control flow (it picks operand 0 when the predicate in
+/// operand 2 is non-zero, operand 1 otherwise). `PassA` forwards operand 0
+/// unchanged and is used as a routing relay when a route must cross an FU
+/// site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuOp {
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply.
+    IMul,
+    /// Integer signed divide (`x / 0 = 0`).
+    IDiv,
+    /// Bitwise and.
+    IAnd,
+    /// Bitwise or.
+    IOr,
+    /// Bitwise xor.
+    IXor,
+    /// Shift left.
+    IShl,
+    /// Logical shift right.
+    IShrL,
+    /// Arithmetic shift right.
+    IShrA,
+    /// Signed maximum.
+    IMax,
+    /// Signed minimum.
+    IMin,
+    /// Integer equality (1/0 result).
+    ICmpEq,
+    /// Integer inequality.
+    ICmpNe,
+    /// Signed less-than.
+    ICmpSLt,
+    /// Signed less-or-equal.
+    ICmpSLe,
+    /// Unsigned less-than.
+    ICmpULt,
+    /// Predicated select: `pred != 0 ? a : b`.
+    Select,
+    /// Forward operand 0 unchanged (routing relay).
+    PassA,
+    /// Logical and of two predicates (both non-zero).
+    PredAnd,
+    /// Logical or of two predicates.
+    PredOr,
+    /// Logical not of a predicate.
+    PredNot,
+    /// Double add.
+    FAdd,
+    /// Double subtract.
+    FSub,
+    /// Double multiply.
+    FMul,
+    /// Double divide.
+    FDiv,
+    /// Double square root.
+    FSqrt,
+    /// Double maximum.
+    FMax,
+    /// Double minimum.
+    FMin,
+    /// Double absolute value.
+    FAbs,
+    /// Double less-than (1/0 result).
+    FCmpLt,
+    /// Double less-or-equal.
+    FCmpLe,
+    /// Double equality.
+    FCmpEq,
+    /// Convert a signed 64-bit integer to double.
+    IToF,
+    /// Convert a double to a signed 64-bit integer (truncating).
+    FToI,
+}
+
+impl FuOp {
+    /// All operations, useful for exhaustive tests.
+    pub const ALL: [FuOp; 35] = [
+        FuOp::IAdd,
+        FuOp::ISub,
+        FuOp::IMul,
+        FuOp::IDiv,
+        FuOp::IAnd,
+        FuOp::IOr,
+        FuOp::IXor,
+        FuOp::IShl,
+        FuOp::IShrL,
+        FuOp::IShrA,
+        FuOp::IMax,
+        FuOp::IMin,
+        FuOp::ICmpEq,
+        FuOp::ICmpNe,
+        FuOp::ICmpSLt,
+        FuOp::ICmpSLe,
+        FuOp::ICmpULt,
+        FuOp::Select,
+        FuOp::PassA,
+        FuOp::PredAnd,
+        FuOp::PredOr,
+        FuOp::PredNot,
+        FuOp::FAdd,
+        FuOp::FSub,
+        FuOp::FMul,
+        FuOp::FDiv,
+        FuOp::FSqrt,
+        FuOp::FMax,
+        FuOp::FMin,
+        FuOp::FAbs,
+        FuOp::FCmpLt,
+        FuOp::FCmpLe,
+        FuOp::FCmpEq,
+        FuOp::IToF,
+        FuOp::FToI,
+    ];
+
+    /// Number of operands the operation consumes (1, 2, or 3).
+    pub fn arity(self) -> usize {
+        match self {
+            FuOp::PassA | FuOp::PredNot | FuOp::FSqrt | FuOp::FAbs | FuOp::IToF | FuOp::FToI => 1,
+            FuOp::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// Pipeline latency of the operation in cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            FuOp::IMul => 3,
+            FuOp::IDiv => 12,
+            FuOp::FAdd | FuOp::FSub | FuOp::FMax | FuOp::FMin => 3,
+            FuOp::FMul => 4,
+            FuOp::FDiv => 12,
+            FuOp::FSqrt => 14,
+            FuOp::IToF | FuOp::FToI => 3,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a floating-point operation.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            FuOp::FAdd
+                | FuOp::FSub
+                | FuOp::FMul
+                | FuOp::FDiv
+                | FuOp::FSqrt
+                | FuOp::FMax
+                | FuOp::FMin
+                | FuOp::FAbs
+                | FuOp::FCmpLt
+                | FuOp::FCmpLe
+                | FuOp::FCmpEq
+                | FuOp::IToF
+                | FuOp::FToI
+        )
+    }
+
+    /// Evaluates the operation on up to three operands.
+    ///
+    /// Missing operands (beyond the op's arity) are ignored. Unary ops read
+    /// operand 0.
+    pub fn eval(self, a: Value, b: Value, pred: Value) -> Value {
+        let fa = f64::from_bits(a);
+        let fb = f64::from_bits(b);
+        let bool_to_v = |x: bool| u64::from(x);
+        match self {
+            FuOp::IAdd => a.wrapping_add(b),
+            FuOp::ISub => a.wrapping_sub(b),
+            FuOp::IMul => a.wrapping_mul(b),
+            FuOp::IDiv => {
+                if b == 0 {
+                    0
+                } else {
+                    (a as i64).wrapping_div(b as i64) as u64
+                }
+            }
+            FuOp::IAnd => a & b,
+            FuOp::IOr => a | b,
+            FuOp::IXor => a ^ b,
+            FuOp::IShl => a.wrapping_shl(b as u32 & 63),
+            FuOp::IShrL => a.wrapping_shr(b as u32 & 63),
+            FuOp::IShrA => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            FuOp::IMax => (a as i64).max(b as i64) as u64,
+            FuOp::IMin => (a as i64).min(b as i64) as u64,
+            FuOp::ICmpEq => bool_to_v(a == b),
+            FuOp::ICmpNe => bool_to_v(a != b),
+            FuOp::ICmpSLt => bool_to_v((a as i64) < (b as i64)),
+            FuOp::ICmpSLe => bool_to_v((a as i64) <= (b as i64)),
+            FuOp::ICmpULt => bool_to_v(a < b),
+            FuOp::Select => {
+                if pred != 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            FuOp::PassA => a,
+            FuOp::PredAnd => bool_to_v(a != 0 && b != 0),
+            FuOp::PredOr => bool_to_v(a != 0 || b != 0),
+            FuOp::PredNot => bool_to_v(a == 0),
+            FuOp::FAdd => (fa + fb).to_bits(),
+            FuOp::FSub => (fa - fb).to_bits(),
+            FuOp::FMul => (fa * fb).to_bits(),
+            FuOp::FDiv => (fa / fb).to_bits(),
+            FuOp::FSqrt => fa.sqrt().to_bits(),
+            FuOp::FMax => fa.max(fb).to_bits(),
+            FuOp::FMin => fa.min(fb).to_bits(),
+            FuOp::FAbs => fa.abs().to_bits(),
+            FuOp::FCmpLt => bool_to_v(fa < fb),
+            FuOp::FCmpLe => bool_to_v(fa <= fb),
+            FuOp::FCmpEq => bool_to_v(fa == fb),
+            FuOp::IToF => ((a as i64) as f64).to_bits(),
+            FuOp::FToI => (fa as i64) as u64,
+        }
+    }
+}
+
+impl fmt::Display for FuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Capability class of a functional-unit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Simple integer: add/sub/logic/shift/compare/select/predicates.
+    IntSimple,
+    /// Integer with multiply/divide.
+    IntMul,
+    /// Floating-point adder (add/sub/compare/min/max/abs/convert).
+    FpAdd,
+    /// Floating-point multiplier (mul/div/sqrt/convert).
+    FpMul,
+    /// Universal unit supporting every operation (used in idealised sweeps).
+    Universal,
+}
+
+impl FuKind {
+    /// Whether a unit of this kind can execute `op`.
+    pub fn supports(self, op: FuOp) -> bool {
+        use FuOp::*;
+        let simple_int = matches!(
+            op,
+            IAdd | ISub
+                | IAnd
+                | IOr
+                | IXor
+                | IShl
+                | IShrL
+                | IShrA
+                | IMax
+                | IMin
+                | ICmpEq
+                | ICmpNe
+                | ICmpSLt
+                | ICmpSLe
+                | ICmpULt
+                | Select
+                | PassA
+                | PredAnd
+                | PredOr
+                | PredNot
+        );
+        match self {
+            FuKind::Universal => true,
+            FuKind::IntSimple => simple_int,
+            FuKind::IntMul => simple_int || matches!(op, IMul | IDiv),
+            FuKind::FpAdd => matches!(
+                op,
+                FAdd | FSub | FMax | FMin | FAbs | FCmpLt | FCmpLe | FCmpEq | IToF | FToI
+                    | Select
+                    | PassA
+            ),
+            FuKind::FpMul => matches!(op, FMul | FDiv | FSqrt | Select | PassA),
+        }
+    }
+
+    /// The default heterogeneous grid pattern: 2x2 tiles of
+    /// `[IntSimple, IntMul; FpAdd, FpMul]`, matching the prototype's
+    /// balanced integer/floating-point datapath.
+    pub fn default_pattern(row: usize, col: usize) -> FuKind {
+        match (row % 2, col % 2) {
+            (0, 0) => FuKind::IntSimple,
+            (0, 1) => FuKind::IntMul,
+            (1, 0) => FuKind::FpAdd,
+            (1, 1) => FuKind::FpMul,
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities_cover_all_ops() {
+        for op in FuOp::ALL {
+            let a = op.arity();
+            assert!((1..=3).contains(&a), "{op} arity {a}");
+        }
+        assert_eq!(FuOp::Select.arity(), 3);
+        assert_eq!(FuOp::PassA.arity(), 1);
+        assert_eq!(FuOp::IAdd.arity(), 2);
+    }
+
+    #[test]
+    fn int_eval() {
+        assert_eq!(FuOp::IAdd.eval(2, 3, 0), 5);
+        assert_eq!(FuOp::ISub.eval(2, 3, 0), (-1i64) as u64);
+        assert_eq!(FuOp::IMul.eval(6, 7, 0), 42);
+        assert_eq!(FuOp::IDiv.eval((-42i64) as u64, 7, 0), (-6i64) as u64);
+        assert_eq!(FuOp::IDiv.eval(5, 0, 0), 0, "trap-free divide");
+        assert_eq!(FuOp::IMax.eval((-1i64) as u64, 1, 0), 1);
+        assert_eq!(FuOp::IMin.eval((-1i64) as u64, 1, 0), (-1i64) as u64);
+        assert_eq!(FuOp::ICmpSLt.eval((-1i64) as u64, 0, 0), 1);
+        assert_eq!(FuOp::ICmpULt.eval(u64::MAX, 0, 0), 0);
+    }
+
+    #[test]
+    fn select_uses_predicate() {
+        assert_eq!(FuOp::Select.eval(10, 20, 1), 10);
+        assert_eq!(FuOp::Select.eval(10, 20, 0), 20);
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(FuOp::PredAnd.eval(1, 2, 0), 1);
+        assert_eq!(FuOp::PredAnd.eval(1, 0, 0), 0);
+        assert_eq!(FuOp::PredOr.eval(0, 5, 0), 1);
+        assert_eq!(FuOp::PredNot.eval(0, 0, 0), 1);
+        assert_eq!(FuOp::PredNot.eval(3, 0, 0), 0);
+    }
+
+    #[test]
+    fn fp_eval() {
+        let f = |x: f64| x.to_bits();
+        assert_eq!(f64::from_bits(FuOp::FAdd.eval(f(1.5), f(2.0), 0)), 3.5);
+        assert_eq!(f64::from_bits(FuOp::FMul.eval(f(1.5), f(2.0), 0)), 3.0);
+        assert_eq!(f64::from_bits(FuOp::FSqrt.eval(f(16.0), 0, 0)), 4.0);
+        assert_eq!(FuOp::FCmpLt.eval(f(1.0), f(2.0), 0), 1);
+        assert_eq!(FuOp::FCmpLt.eval(f(2.0), f(1.0), 0), 0);
+        assert_eq!(FuOp::FToI.eval(f(7.9), 0, 0), 7);
+        assert_eq!(f64::from_bits(FuOp::IToF.eval((-3i64) as u64, 0, 0)), -3.0);
+    }
+
+    #[test]
+    fn latencies_positive() {
+        for op in FuOp::ALL {
+            assert!(op.latency() >= 1, "{op}");
+        }
+        assert!(FuOp::FDiv.latency() > FuOp::FAdd.latency());
+        assert!(FuOp::IMul.latency() > FuOp::IAdd.latency());
+    }
+
+    #[test]
+    fn kinds_partition_sensibly() {
+        assert!(FuKind::IntSimple.supports(FuOp::IAdd));
+        assert!(!FuKind::IntSimple.supports(FuOp::IMul));
+        assert!(FuKind::IntMul.supports(FuOp::IMul));
+        assert!(!FuKind::IntMul.supports(FuOp::FAdd));
+        assert!(FuKind::FpAdd.supports(FuOp::FAdd));
+        assert!(!FuKind::FpAdd.supports(FuOp::FMul));
+        assert!(FuKind::FpMul.supports(FuOp::FSqrt));
+        for op in FuOp::ALL {
+            assert!(FuKind::Universal.supports(op));
+        }
+    }
+
+    #[test]
+    fn every_op_has_a_home_in_the_default_pattern() {
+        for op in FuOp::ALL {
+            let supported = (0..2)
+                .flat_map(|r| (0..2).map(move |c| FuKind::default_pattern(r, c)))
+                .any(|k| k.supports(op));
+            assert!(supported, "{op} unsupported by the default 2x2 tile");
+        }
+    }
+
+    #[test]
+    fn all_kinds_support_passthrough_and_select() {
+        for kind in [FuKind::IntSimple, FuKind::IntMul, FuKind::FpAdd, FuKind::FpMul] {
+            assert!(kind.supports(FuOp::PassA), "{kind:?} must relay");
+            assert!(kind.supports(FuOp::Select), "{kind:?} must select");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Fabric statistics: activity counters (for the energy model, E6) and
+//! structural counts (for the resource table, E1).
+
+use crate::config::{FabricConfig, OutDir};
+use crate::geom::FabricGeometry;
+use crate::op::FuKind;
+
+/// Dynamic activity counters accumulated while the fabric executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Cycles the fabric was ticked.
+    pub cycles: u64,
+    /// Cycles in which at least one value moved or an FU fired.
+    pub active_cycles: u64,
+    /// Integer FU firings.
+    pub int_fu_fires: u64,
+    /// Floating-point FU firings.
+    pub fp_fu_fires: u64,
+    /// Values moved across switch-output registers (one per hop).
+    pub switch_hops: u64,
+    /// Extra copies made by fan-out (beyond the first consumer).
+    pub fanout_copies: u64,
+    /// Values accepted on input ports.
+    pub port_in: u64,
+    /// Values delivered from output ports.
+    pub port_out: u64,
+    /// Configurations loaded.
+    pub configs_loaded: u64,
+    /// Total configuration bits streamed.
+    pub config_bits: u64,
+    /// Results dropped because no route consumed them (indicates a
+    /// mis-built manual configuration; the compiler never produces these).
+    pub dropped_results: u64,
+}
+
+impl FabricStats {
+    /// Total FU firings.
+    pub fn fu_fires(&self) -> u64 {
+        self.int_fu_fires + self.fp_fu_fires
+    }
+
+    /// Fraction of ticked cycles with any activity.
+    pub fn occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Structural resource counts of a fabric geometry — the simulator-level
+/// stand-in for the paper's FPGA resource table (see `DESIGN.md`, E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuralStats {
+    /// The geometry.
+    pub geometry: FabricGeometry,
+    /// Functional units in total.
+    pub fus: usize,
+    /// Simple integer units.
+    pub int_simple: usize,
+    /// Integer multiply/divide units.
+    pub int_mul: usize,
+    /// Floating-point add units.
+    pub fp_add: usize,
+    /// Floating-point multiply units.
+    pub fp_mul: usize,
+    /// Universal units.
+    pub universal: usize,
+    /// Switches.
+    pub switches: usize,
+    /// Directed physical links (switch outputs that exist).
+    pub links: usize,
+    /// Input ports.
+    pub input_ports: usize,
+    /// Output ports.
+    pub output_ports: usize,
+    /// Configuration frame size in bits (empty configuration).
+    pub frame_bits: u64,
+}
+
+impl StructuralStats {
+    /// Computes the structural statistics of a geometry with the given
+    /// per-site hardware kinds.
+    pub fn compute(geometry: FabricGeometry, kinds: &[FuKind]) -> Self {
+        assert_eq!(kinds.len(), geometry.fu_count(), "one kind per FU site");
+        let count = |k: FuKind| kinds.iter().filter(|&&x| x == k).count();
+        let empty = FabricConfig::empty(geometry);
+        let links = geometry
+            .switches()
+            .map(|sw| OutDir::ALL.iter().filter(|&&d| empty.output_exists(sw, d)).count())
+            .sum();
+        StructuralStats {
+            geometry,
+            fus: geometry.fu_count(),
+            int_simple: count(FuKind::IntSimple),
+            int_mul: count(FuKind::IntMul),
+            fp_add: count(FuKind::FpAdd),
+            fp_mul: count(FuKind::FpMul),
+            universal: count(FuKind::Universal),
+            switches: geometry.switch_count(),
+            links,
+            input_ports: geometry.input_ports(),
+            output_ports: geometry.output_ports(),
+            frame_bits: empty.frame_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_counts_scale() {
+        let g2 = FabricGeometry::new(2, 2);
+        let g8 = FabricGeometry::new(8, 8);
+        let k2: Vec<FuKind> =
+            g2.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        let k8: Vec<FuKind> =
+            g8.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        let s2 = StructuralStats::compute(g2, &k2);
+        let s8 = StructuralStats::compute(g8, &k8);
+        assert_eq!(s2.fus, 4);
+        assert_eq!(s8.fus, 64);
+        assert_eq!(s8.int_simple + s8.int_mul + s8.fp_add + s8.fp_mul + s8.universal, 64);
+        assert!(s8.links > s2.links);
+        assert!(s8.frame_bits > s2.frame_bits);
+        assert_eq!(s2.switches, 9);
+        assert_eq!(s8.switches, 81);
+    }
+
+    #[test]
+    fn default_pattern_is_balanced_on_even_grids() {
+        let g = FabricGeometry::new(4, 4);
+        let kinds: Vec<FuKind> = g.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
+        let s = StructuralStats::compute(g, &kinds);
+        assert_eq!(s.int_simple, 4);
+        assert_eq!(s.int_mul, 4);
+        assert_eq!(s.fp_add, 4);
+        assert_eq!(s.fp_mul, 4);
+    }
+
+    #[test]
+    fn occupancy_bounds() {
+        let mut s = FabricStats::default();
+        assert_eq!(s.occupancy(), 0.0);
+        s.cycles = 10;
+        s.active_cycles = 5;
+        assert_eq!(s.occupancy(), 0.5);
+        s.int_fu_fires = 3;
+        s.fp_fu_fires = 4;
+        assert_eq!(s.fu_fires(), 7);
+    }
+}

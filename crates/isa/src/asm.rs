@@ -1,0 +1,324 @@
+//! A two-pass assembler with named labels.
+//!
+//! The [`Assembler`] collects instructions and label definitions, then
+//! resolves label references into word displacements and emits the encoded
+//! program. It is used by the compiler back end and by hand-written kernels
+//! (the paper's "manually optimized" codes).
+//!
+//! Branch items reference labels by name; everything else is pushed as an
+//! already-complete [`Instr`]. Delay slots are *not* inserted automatically:
+//! callers own their delay-slot scheduling, as the compiler's peephole pass
+//! does.
+//!
+//! ```
+//! use dyser_isa::{Assembler, Instr, AluOp, Op2, ICond, regs};
+//!
+//! let mut asm = Assembler::new();
+//! asm.push(Instr::mov_imm(regs::O0, 3));
+//! asm.label("loop");
+//! asm.push(Instr::alu(AluOp::SubCc, regs::O0, regs::O0, Op2::Imm(1)));
+//! asm.branch(ICond::Ne, "loop");
+//! asm.push(Instr::Nop); // delay slot
+//! asm.push(Instr::Halt);
+//! let words = asm.assemble().unwrap();
+//! assert_eq!(words.len(), 5);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cond::{FCond, ICond, RCond};
+use crate::encode::encode;
+use crate::instr::Instr;
+use crate::reg::Reg;
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// A resolved displacement does not fit its encoding field.
+    DisplacementOverflow {
+        /// The target label.
+        label: String,
+        /// The displacement, in instruction words.
+        disp: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::DisplacementOverflow { label, disp } => {
+                write!(f, "branch to `{label}` has displacement {disp} words, out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Plain(Instr),
+    Branch { cond: ICond, label: String },
+    BranchF { cond: FCond, label: String },
+    BranchReg { cond: RCond, rs1: Reg, label: String },
+    Call { label: String },
+}
+
+/// A two-pass assembler producing encoded instruction words.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.items.push(Item::Plain(instr));
+        self
+    }
+
+    /// Appends several instructions.
+    pub fn extend<I: IntoIterator<Item = Instr>>(&mut self, instrs: I) -> &mut Self {
+        for i in instrs {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// A duplicate definition is reported by [`Assembler::assemble`].
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let pos = self.items.len();
+        if self.labels.insert(name.clone(), pos).is_some() && self.error.is_none() {
+            self.error = Some(AsmError::DuplicateLabel { label: name });
+        }
+        self
+    }
+
+    /// Appends an integer condition-code branch to a label.
+    pub fn branch(&mut self, cond: ICond, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Branch { cond, label: label.into() });
+        self
+    }
+
+    /// Appends a floating-point branch to a label.
+    pub fn branch_f(&mut self, cond: FCond, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchF { cond, label: label.into() });
+        self
+    }
+
+    /// Appends a register branch to a label.
+    pub fn branch_reg(&mut self, cond: RCond, rs1: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchReg { cond, rs1, label: label.into() });
+        self
+    }
+
+    /// Appends a call to a label.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Call { label: label.into() });
+        self
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves labels and returns the decoded instruction stream (useful
+    /// for tests and for the disassembly listings in the examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined or duplicate labels and for branches
+    /// whose displacement does not fit the encoding.
+    pub fn resolve(&self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let lookup = |label: &str, from: usize, bits: u32| -> Result<i32, AsmError> {
+            let Some(&target) = self.labels.get(label) else {
+                return Err(AsmError::UndefinedLabel { label: label.to_owned() });
+            };
+            let disp = target as i64 - from as i64;
+            let min = -(1i64 << (bits - 1));
+            let max = (1i64 << (bits - 1)) - 1;
+            if !(min..=max).contains(&disp) {
+                return Err(AsmError::DisplacementOverflow { label: label.to_owned(), disp });
+            }
+            Ok(disp as i32)
+        };
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(pos, item)| {
+                Ok(match item {
+                    Item::Plain(i) => *i,
+                    Item::Branch { cond, label } => {
+                        Instr::Branch { cond: *cond, disp: lookup(label, pos, 22)? }
+                    }
+                    Item::BranchF { cond, label } => {
+                        Instr::BranchF { cond: *cond, disp: lookup(label, pos, 22)? }
+                    }
+                    Item::BranchReg { cond, rs1, label } => Instr::BranchReg {
+                        cond: *cond,
+                        rs1: *rs1,
+                        disp: lookup(label, pos, 16)?,
+                    },
+                    Item::Call { label } => Instr::Call { disp: lookup(label, pos, 30)? },
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves labels and encodes the program into instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined or duplicate labels and for branches
+    /// whose displacement does not fit the encoding.
+    pub fn assemble(&self) -> Result<Vec<u32>, AsmError> {
+        Ok(self.resolve()?.iter().map(encode).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+    use crate::instr::{AluOp, Op2};
+    use crate::reg::reg;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut asm = Assembler::new();
+        asm.label("top");
+        asm.push(Instr::Nop);
+        asm.push(Instr::Nop);
+        asm.branch(ICond::Always, "top");
+        let prog = asm.resolve().unwrap();
+        assert_eq!(prog[2], Instr::Branch { cond: ICond::Always, disp: -2 });
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut asm = Assembler::new();
+        asm.branch(ICond::Eq, "done");
+        asm.push(Instr::Nop);
+        asm.push(Instr::Nop);
+        asm.label("done");
+        asm.push(Instr::Halt);
+        let prog = asm.resolve().unwrap();
+        assert_eq!(prog[0], Instr::Branch { cond: ICond::Eq, disp: 3 });
+    }
+
+    #[test]
+    fn branch_to_self_is_zero_disp() {
+        let mut asm = Assembler::new();
+        asm.label("spin");
+        asm.branch(ICond::Always, "spin");
+        let prog = asm.resolve().unwrap();
+        assert_eq!(prog[0], Instr::Branch { cond: ICond::Always, disp: 0 });
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut asm = Assembler::new();
+        asm.branch(ICond::Always, "nowhere");
+        assert_eq!(
+            asm.assemble(),
+            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut asm = Assembler::new();
+        asm.label("x");
+        asm.push(Instr::Nop);
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel { label: "x".into() }));
+    }
+
+    #[test]
+    fn register_branch_overflow_detected() {
+        let mut asm = Assembler::new();
+        asm.label("far");
+        for _ in 0..40000 {
+            asm.push(Instr::Nop);
+        }
+        asm.branch_reg(RCond::Zero, reg::O0, "far");
+        match asm.assemble() {
+            Err(AsmError::DisplacementOverflow { label, disp }) => {
+                assert_eq!(label, "far");
+                assert_eq!(disp, -40000);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assemble_roundtrips_through_decode() {
+        let mut asm = Assembler::new();
+        asm.push(Instr::mov_imm(reg::O0, 10));
+        asm.label("loop");
+        asm.push(Instr::alu(AluOp::SubCc, reg::O0, reg::O0, Op2::Imm(1)));
+        asm.branch(ICond::Ne, "loop");
+        asm.push(Instr::Nop);
+        asm.push(Instr::Halt);
+        let words = asm.assemble().unwrap();
+        let resolved = asm.resolve().unwrap();
+        for (word, instr) in words.iter().zip(&resolved) {
+            assert_eq!(decode(*word).unwrap(), *instr);
+        }
+    }
+
+    #[test]
+    fn call_and_branch_variants() {
+        let mut asm = Assembler::new();
+        asm.call("f");
+        asm.push(Instr::Nop);
+        asm.branch_f(FCond::Lt, "f");
+        asm.push(Instr::Nop);
+        asm.label("f");
+        asm.push(Instr::Halt);
+        let prog = asm.resolve().unwrap();
+        assert_eq!(prog[0], Instr::Call { disp: 4 });
+        assert_eq!(prog[2], Instr::BranchF { cond: FCond::Lt, disp: 2 });
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut asm = Assembler::new();
+        assert!(asm.is_empty());
+        asm.push(Instr::Nop);
+        assert_eq!(asm.len(), 1);
+        assert!(!asm.is_empty());
+    }
+}

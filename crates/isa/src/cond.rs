@@ -1,0 +1,528 @@
+//! Condition codes and branch conditions.
+//!
+//! The integer condition codes (`icc`) are the SPARC `n`/`z`/`v`/`c` bits
+//! produced by `addcc`/`subcc`; the floating-point condition code (`fcc`)
+//! is the four-way relation produced by `fcmpd`. Branch condition encodings
+//! follow the SPARC V9 tables so that disassembly reads naturally.
+
+use std::fmt;
+
+/// The integer condition-code register: negative, zero, overflow, carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Icc {
+    /// Result was negative (bit 63 set).
+    pub n: bool,
+    /// Result was zero.
+    pub z: bool,
+    /// Signed overflow occurred.
+    pub v: bool,
+    /// Carry out / borrow occurred.
+    pub c: bool,
+}
+
+impl Icc {
+    /// Computes the condition codes of a 64-bit addition `a + b`.
+    pub fn from_add(a: u64, b: u64) -> Self {
+        let (res, carry) = a.overflowing_add(b);
+        let v = ((a ^ res) & (b ^ res)) >> 63 == 1;
+        Icc { n: (res >> 63) == 1, z: res == 0, v, c: carry }
+    }
+
+    /// Computes the condition codes of a 64-bit subtraction `a - b`.
+    pub fn from_sub(a: u64, b: u64) -> Self {
+        let (res, borrow) = a.overflowing_sub(b);
+        let v = ((a ^ b) & (a ^ res)) >> 63 == 1;
+        Icc { n: (res >> 63) == 1, z: res == 0, v, c: borrow }
+    }
+
+    /// Computes the condition codes of a logical result (only `n`/`z`).
+    pub fn from_logic(res: u64) -> Self {
+        Icc { n: (res >> 63) == 1, z: res == 0, v: false, c: false }
+    }
+}
+
+impl fmt::Display for Icc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { '-' },
+            if self.z { 'Z' } else { '-' },
+            if self.v { 'V' } else { '-' },
+            if self.c { 'C' } else { '-' }
+        )
+    }
+}
+
+/// Integer branch conditions (`bicc`), with their SPARC V9 4-bit encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ICond {
+    /// Branch never.
+    Never = 0b0000,
+    /// Branch always.
+    Always = 0b1000,
+    /// Equal (`z`).
+    Eq = 0b0001,
+    /// Not equal (`!z`).
+    Ne = 0b1001,
+    /// Signed less-or-equal.
+    Le = 0b0010,
+    /// Signed greater.
+    Gt = 0b1010,
+    /// Signed less.
+    Lt = 0b0011,
+    /// Signed greater-or-equal.
+    Ge = 0b1011,
+    /// Unsigned less-or-equal.
+    Leu = 0b0100,
+    /// Unsigned greater.
+    Gtu = 0b1100,
+    /// Carry set (unsigned less).
+    Ltu = 0b0101,
+    /// Carry clear (unsigned greater-or-equal).
+    Geu = 0b1101,
+    /// Negative.
+    Neg = 0b0110,
+    /// Positive or zero.
+    Pos = 0b1110,
+    /// Overflow set.
+    Vs = 0b0111,
+    /// Overflow clear.
+    Vc = 0b1111,
+}
+
+impl ICond {
+    /// All conditions, useful for exhaustive tests.
+    pub const ALL: [ICond; 16] = [
+        ICond::Never,
+        ICond::Always,
+        ICond::Eq,
+        ICond::Ne,
+        ICond::Le,
+        ICond::Gt,
+        ICond::Lt,
+        ICond::Ge,
+        ICond::Leu,
+        ICond::Gtu,
+        ICond::Ltu,
+        ICond::Geu,
+        ICond::Neg,
+        ICond::Pos,
+        ICond::Vs,
+        ICond::Vc,
+    ];
+
+    /// Decodes the 4-bit condition field.
+    pub fn from_bits(bits: u32) -> Self {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.bits() == bits & 0xF)
+            .expect("all 16 encodings are covered")
+    }
+
+    /// The 4-bit encoding field.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against a set of condition codes.
+    pub fn eval(self, icc: Icc) -> bool {
+        let Icc { n, z, v, c } = icc;
+        match self {
+            ICond::Never => false,
+            ICond::Always => true,
+            ICond::Eq => z,
+            ICond::Ne => !z,
+            ICond::Le => z || (n ^ v),
+            ICond::Gt => !(z || (n ^ v)),
+            ICond::Lt => n ^ v,
+            ICond::Ge => !(n ^ v),
+            ICond::Leu => c || z,
+            ICond::Gtu => !(c || z),
+            ICond::Ltu => c,
+            ICond::Geu => !c,
+            ICond::Neg => n,
+            ICond::Pos => !n,
+            ICond::Vs => v,
+            ICond::Vc => !v,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> Self {
+        match self {
+            ICond::Never => ICond::Always,
+            ICond::Always => ICond::Never,
+            ICond::Eq => ICond::Ne,
+            ICond::Ne => ICond::Eq,
+            ICond::Le => ICond::Gt,
+            ICond::Gt => ICond::Le,
+            ICond::Lt => ICond::Ge,
+            ICond::Ge => ICond::Lt,
+            ICond::Leu => ICond::Gtu,
+            ICond::Gtu => ICond::Leu,
+            ICond::Ltu => ICond::Geu,
+            ICond::Geu => ICond::Ltu,
+            ICond::Neg => ICond::Pos,
+            ICond::Pos => ICond::Neg,
+            ICond::Vs => ICond::Vc,
+            ICond::Vc => ICond::Vs,
+        }
+    }
+
+    /// The assembly mnemonic suffix (`be`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ICond::Never => "bn",
+            ICond::Always => "ba",
+            ICond::Eq => "be",
+            ICond::Ne => "bne",
+            ICond::Le => "ble",
+            ICond::Gt => "bg",
+            ICond::Lt => "bl",
+            ICond::Ge => "bge",
+            ICond::Leu => "bleu",
+            ICond::Gtu => "bgu",
+            ICond::Ltu => "blu",
+            ICond::Geu => "bgeu",
+            ICond::Neg => "bneg",
+            ICond::Pos => "bpos",
+            ICond::Vs => "bvs",
+            ICond::Vc => "bvc",
+        }
+    }
+}
+
+impl fmt::Display for ICond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The floating-point condition code: the relation produced by `fcmpd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fcc {
+    /// Operands compared equal.
+    #[default]
+    Eq,
+    /// First operand was less.
+    Lt,
+    /// First operand was greater.
+    Gt,
+    /// At least one operand was NaN.
+    Unordered,
+}
+
+impl Fcc {
+    /// Computes the relation of two doubles, honouring NaN.
+    pub fn compare(a: f64, b: f64) -> Self {
+        match a.partial_cmp(&b) {
+            Some(std::cmp::Ordering::Equal) => Fcc::Eq,
+            Some(std::cmp::Ordering::Less) => Fcc::Lt,
+            Some(std::cmp::Ordering::Greater) => Fcc::Gt,
+            None => Fcc::Unordered,
+        }
+    }
+}
+
+/// Floating-point branch conditions (`fbfcc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FCond {
+    /// Branch never.
+    Never = 0b0000,
+    /// Branch always.
+    Always = 0b1000,
+    /// Equal.
+    Eq = 0b0001,
+    /// Not equal (includes unordered).
+    Ne = 0b1001,
+    /// Less.
+    Lt = 0b0010,
+    /// Greater or equal (ordered).
+    Ge = 0b1010,
+    /// Less or equal.
+    Le = 0b0011,
+    /// Greater (ordered).
+    Gt = 0b1011,
+    /// Unordered.
+    Unordered = 0b0100,
+    /// Ordered.
+    Ordered = 0b1100,
+}
+
+impl FCond {
+    /// All conditions, useful for exhaustive tests.
+    pub const ALL: [FCond; 10] = [
+        FCond::Never,
+        FCond::Always,
+        FCond::Eq,
+        FCond::Ne,
+        FCond::Lt,
+        FCond::Ge,
+        FCond::Le,
+        FCond::Gt,
+        FCond::Unordered,
+        FCond::Ordered,
+    ];
+
+    /// Decodes the 4-bit condition field.
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.bits() == bits & 0xF)
+    }
+
+    /// The 4-bit encoding field.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against a floating-point relation.
+    pub fn eval(self, fcc: Fcc) -> bool {
+        match self {
+            FCond::Never => false,
+            FCond::Always => true,
+            FCond::Eq => fcc == Fcc::Eq,
+            FCond::Ne => fcc != Fcc::Eq,
+            FCond::Lt => fcc == Fcc::Lt,
+            FCond::Ge => matches!(fcc, Fcc::Gt | Fcc::Eq),
+            FCond::Le => matches!(fcc, Fcc::Lt | Fcc::Eq),
+            FCond::Gt => fcc == Fcc::Gt,
+            FCond::Unordered => fcc == Fcc::Unordered,
+            FCond::Ordered => fcc != Fcc::Unordered,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCond::Never => "fbn",
+            FCond::Always => "fba",
+            FCond::Eq => "fbe",
+            FCond::Ne => "fbne",
+            FCond::Lt => "fbl",
+            FCond::Ge => "fbge",
+            FCond::Le => "fble",
+            FCond::Gt => "fbg",
+            FCond::Unordered => "fbu",
+            FCond::Ordered => "fbo",
+        }
+    }
+}
+
+impl fmt::Display for FCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Register branch conditions (`brz` and friends), per SPARC V9 `BPr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RCond {
+    /// Branch if the register is zero.
+    Zero = 0b001,
+    /// Branch if the register is less than or equal to zero (signed).
+    LeZero = 0b010,
+    /// Branch if the register is less than zero (signed).
+    LtZero = 0b011,
+    /// Branch if the register is non-zero.
+    NonZero = 0b101,
+    /// Branch if the register is greater than zero (signed).
+    GtZero = 0b110,
+    /// Branch if the register is greater than or equal to zero (signed).
+    GeZero = 0b111,
+}
+
+impl RCond {
+    /// All conditions, useful for exhaustive tests.
+    pub const ALL: [RCond; 6] = [
+        RCond::Zero,
+        RCond::LeZero,
+        RCond::LtZero,
+        RCond::NonZero,
+        RCond::GtZero,
+        RCond::GeZero,
+    ];
+
+    /// Decodes the 3-bit condition field.
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.bits() == bits & 0x7)
+    }
+
+    /// The 3-bit encoding field.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against a register value (as signed).
+    pub fn eval(self, value: u64) -> bool {
+        let v = value as i64;
+        match self {
+            RCond::Zero => v == 0,
+            RCond::LeZero => v <= 0,
+            RCond::LtZero => v < 0,
+            RCond::NonZero => v != 0,
+            RCond::GtZero => v > 0,
+            RCond::GeZero => v >= 0,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> Self {
+        match self {
+            RCond::Zero => RCond::NonZero,
+            RCond::NonZero => RCond::Zero,
+            RCond::LeZero => RCond::GtZero,
+            RCond::GtZero => RCond::LeZero,
+            RCond::LtZero => RCond::GeZero,
+            RCond::GeZero => RCond::LtZero,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RCond::Zero => "brz",
+            RCond::LeZero => "brlez",
+            RCond::LtZero => "brlz",
+            RCond::NonZero => "brnz",
+            RCond::GtZero => "brgz",
+            RCond::GeZero => "brgez",
+        }
+    }
+}
+
+impl fmt::Display for RCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icc_add_overflow() {
+        // i64::MAX + 1 overflows signed but not unsigned.
+        let icc = Icc::from_add(i64::MAX as u64, 1);
+        assert!(icc.v);
+        assert!(icc.n);
+        assert!(!icc.c);
+    }
+
+    #[test]
+    fn icc_sub_borrow() {
+        let icc = Icc::from_sub(1, 2);
+        assert!(icc.c, "1 - 2 borrows");
+        assert!(icc.n);
+        assert!(!icc.z);
+    }
+
+    #[test]
+    fn icc_zero() {
+        let icc = Icc::from_sub(7, 7);
+        assert!(icc.z);
+        assert!(!icc.n);
+        assert!(!icc.c);
+    }
+
+    #[test]
+    fn icond_matches_signed_comparison() {
+        let pairs: [(i64, i64); 7] =
+            [(0, 0), (1, 2), (2, 1), (-5, 3), (3, -5), (i64::MIN, 1), (i64::MAX, -1)];
+        for (a, b) in pairs {
+            let icc = Icc::from_sub(a as u64, b as u64);
+            assert_eq!(ICond::Eq.eval(icc), a == b, "{a} == {b}");
+            assert_eq!(ICond::Ne.eval(icc), a != b, "{a} != {b}");
+            assert_eq!(ICond::Lt.eval(icc), a < b, "{a} < {b}");
+            assert_eq!(ICond::Le.eval(icc), a <= b, "{a} <= {b}");
+            assert_eq!(ICond::Gt.eval(icc), a > b, "{a} > {b}");
+            assert_eq!(ICond::Ge.eval(icc), a >= b, "{a} >= {b}");
+        }
+    }
+
+    #[test]
+    fn icond_matches_unsigned_comparison() {
+        let pairs: [(u64, u64); 5] = [(0, 0), (1, 2), (2, 1), (u64::MAX, 1), (1, u64::MAX)];
+        for (a, b) in pairs {
+            let icc = Icc::from_sub(a, b);
+            assert_eq!(ICond::Ltu.eval(icc), a < b, "{a} <u {b}");
+            assert_eq!(ICond::Leu.eval(icc), a <= b, "{a} <=u {b}");
+            assert_eq!(ICond::Gtu.eval(icc), a > b, "{a} >u {b}");
+            assert_eq!(ICond::Geu.eval(icc), a >= b, "{a} >=u {b}");
+        }
+    }
+
+    #[test]
+    fn icond_negate_is_involution_and_complements() {
+        for cond in ICond::ALL {
+            assert_eq!(cond.negate().negate(), cond);
+            for n in [false, true] {
+                for z in [false, true] {
+                    for v in [false, true] {
+                        for c in [false, true] {
+                            let icc = Icc { n, z, v, c };
+                            assert_ne!(cond.eval(icc), cond.negate().eval(icc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn icond_bits_roundtrip() {
+        for cond in ICond::ALL {
+            assert_eq!(ICond::from_bits(cond.bits()), cond);
+        }
+    }
+
+    #[test]
+    fn fcc_handles_nan() {
+        assert_eq!(Fcc::compare(f64::NAN, 1.0), Fcc::Unordered);
+        assert_eq!(Fcc::compare(1.0, 1.0), Fcc::Eq);
+        assert_eq!(Fcc::compare(0.5, 1.0), Fcc::Lt);
+        assert_eq!(Fcc::compare(2.0, 1.0), Fcc::Gt);
+    }
+
+    #[test]
+    fn fcond_bits_roundtrip() {
+        for cond in FCond::ALL {
+            assert_eq!(FCond::from_bits(cond.bits()), Some(cond));
+        }
+    }
+
+    #[test]
+    fn fcond_eval() {
+        assert!(FCond::Ne.eval(Fcc::Unordered), "fbne includes unordered");
+        assert!(!FCond::Ge.eval(Fcc::Unordered), "fbge is an ordered compare");
+        assert!(FCond::Le.eval(Fcc::Eq));
+        assert!(FCond::Ordered.eval(Fcc::Gt));
+    }
+
+    #[test]
+    fn rcond_matches_sign_tests() {
+        for v in [-3i64, -1, 0, 1, 42] {
+            let raw = v as u64;
+            assert_eq!(RCond::Zero.eval(raw), v == 0);
+            assert_eq!(RCond::NonZero.eval(raw), v != 0);
+            assert_eq!(RCond::LtZero.eval(raw), v < 0);
+            assert_eq!(RCond::LeZero.eval(raw), v <= 0);
+            assert_eq!(RCond::GtZero.eval(raw), v > 0);
+            assert_eq!(RCond::GeZero.eval(raw), v >= 0);
+        }
+    }
+
+    #[test]
+    fn rcond_bits_roundtrip_and_negate() {
+        for cond in RCond::ALL {
+            assert_eq!(RCond::from_bits(cond.bits()), Some(cond));
+            assert_eq!(cond.negate().negate(), cond);
+            for v in [-2i64, 0, 2] {
+                assert_ne!(cond.eval(v as u64), cond.negate().eval(v as u64));
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The DySER ISA extension.
+//!
+//! DySER is exposed to software through a small set of instructions that
+//! move values between the core and the fabric's named input/output ports,
+//! plus configuration management. This mirrors the extension the prototype
+//! adds to the OpenSPARC decode stage:
+//!
+//! * `dinit cfg` — begin loading configuration `cfg` from the configuration
+//!   table (the compiler emits one table entry per accelerated region),
+//! * `dsend rs -> p` / `dsendf` — enqueue a register value on input port `p`,
+//! * `drecv p -> rd` / `drecvf` — dequeue a value from output port `p`,
+//! * `dload [addr] -> p` — load from memory straight into an input port,
+//!   bypassing the register file (the paper's memory-interface optimization),
+//! * `dstore p -> [addr]` — store an output-port value straight to memory,
+//! * `dsendv` / `drecvv` — vector transfers: move a run of consecutive
+//!   registers through a *vector port*, which the configuration fans out to
+//!   several scalar ports (the flexible vector interface),
+//! * `dfence` — wait until the fabric has drained (region exit barrier).
+
+use std::fmt;
+
+use crate::reg::{FReg, Reg};
+
+/// A scalar fabric port identifier (input or output, 0..32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(u8);
+
+impl Port {
+    /// Maximum number of scalar ports addressable by the ISA.
+    pub const COUNT: usize = 32;
+
+    /// Creates a port from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "port index {index} out of range");
+        Port(index)
+    }
+
+    /// Creates a port from its index if it is in range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 32).then_some(Port(index))
+    }
+
+    /// The port index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw 5-bit encoding field.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A vector port identifier. A vector port is configured to fan out to (or
+/// gather from) a list of scalar ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VecPort(u8);
+
+impl VecPort {
+    /// Maximum number of vector ports addressable by the ISA.
+    pub const COUNT: usize = 8;
+
+    /// Creates a vector port from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 8, "vector port index {index} out of range");
+        VecPort(index)
+    }
+
+    /// Creates a vector port from its index if it is in range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 8).then_some(VecPort(index))
+    }
+
+    /// The vector port index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw 3-bit encoding field.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for VecPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vp{}", self.0)
+    }
+}
+
+/// An index into the program's configuration table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ConfigId(u16);
+
+impl ConfigId {
+    /// Maximum number of configurations addressable by `dinit`.
+    pub const COUNT: usize = 1 << 12;
+
+    /// Creates a configuration id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4096` (the `dinit` immediate field width).
+    pub fn new(index: u16) -> Self {
+        assert!((index as usize) < Self::COUNT, "config id {index} out of range");
+        ConfigId(index)
+    }
+
+    /// The table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw encoding field.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg{}", self.0)
+    }
+}
+
+/// A decoded DySER-extension instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DyserInstr {
+    /// Begin loading a fabric configuration. Blocks at the interface until
+    /// the configuration bitstream has streamed in (unless it is already
+    /// the active configuration, in which case it is free).
+    Init {
+        /// The configuration table entry to load.
+        config: ConfigId,
+    },
+    /// Send an integer register to an input port.
+    Send {
+        /// Destination input port.
+        port: Port,
+        /// Source register.
+        rs: Reg,
+    },
+    /// Send a floating-point register to an input port.
+    SendF {
+        /// Destination input port.
+        port: Port,
+        /// Source fp register.
+        rs: FReg,
+    },
+    /// Receive from an output port into an integer register.
+    Recv {
+        /// Source output port.
+        port: Port,
+        /// Destination register.
+        rd: Reg,
+    },
+    /// Receive from an output port into a floating-point register.
+    RecvF {
+        /// Source output port.
+        port: Port,
+        /// Destination fp register.
+        rd: FReg,
+    },
+    /// Load a 64-bit word from memory straight into an input port.
+    Load {
+        /// Destination input port.
+        port: Port,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: crate::instr::Op2,
+    },
+    /// Store an output-port value straight to memory (64-bit).
+    Store {
+        /// Source output port.
+        port: Port,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: crate::instr::Op2,
+    },
+    /// Send `count` consecutive integer registers starting at `base`
+    /// through a vector port.
+    SendVec {
+        /// The vector port.
+        vport: VecPort,
+        /// First source register.
+        base: Reg,
+        /// Number of registers (1..=8).
+        count: u8,
+    },
+    /// Receive `count` values from a vector port into consecutive integer
+    /// registers starting at `base`.
+    RecvVec {
+        /// The vector port.
+        vport: VecPort,
+        /// First destination register.
+        base: Reg,
+        /// Number of registers (1..=8).
+        count: u8,
+    },
+    /// Wait until the fabric has no values in flight.
+    Fence,
+}
+
+impl fmt::Display for DyserInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DyserInstr::Init { config } => write!(f, "dinit {config}"),
+            DyserInstr::Send { port, rs } => write!(f, "dsend {rs}, {port}"),
+            DyserInstr::SendF { port, rs } => write!(f, "dsendf {rs}, {port}"),
+            DyserInstr::Recv { port, rd } => write!(f, "drecv {port}, {rd}"),
+            DyserInstr::RecvF { port, rd } => write!(f, "drecvf {port}, {rd}"),
+            DyserInstr::Load { port, rs1, op2 } => write!(f, "dload [{rs1} + {op2}], {port}"),
+            DyserInstr::Store { port, rs1, op2 } => write!(f, "dstore {port}, [{rs1} + {op2}]"),
+            DyserInstr::SendVec { vport, base, count } => {
+                write!(f, "dsendv {base}..{count}, {vport}")
+            }
+            DyserInstr::RecvVec { vport, base, count } => {
+                write!(f, "drecvv {vport}, {base}..{count}")
+            }
+            DyserInstr::Fence => write!(f, "dfence"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Op2;
+    use crate::reg::reg;
+
+    #[test]
+    fn port_bounds() {
+        assert!(Port::try_new(31).is_some());
+        assert!(Port::try_new(32).is_none());
+        assert!(VecPort::try_new(7).is_some());
+        assert!(VecPort::try_new(8).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_new_panics() {
+        let _ = Port::new(32);
+    }
+
+    #[test]
+    fn config_id_bounds() {
+        assert_eq!(ConfigId::new(0).index(), 0);
+        assert_eq!(ConfigId::new(4095).index(), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn config_id_panics() {
+        let _ = ConfigId::new(4096);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DyserInstr::Init { config: ConfigId::new(2) }.to_string(), "dinit cfg2");
+        assert_eq!(
+            DyserInstr::Send { port: Port::new(1), rs: reg::O0 }.to_string(),
+            "dsend %o0, p1"
+        );
+        assert_eq!(
+            DyserInstr::Load { port: Port::new(3), rs1: reg::O1, op2: Op2::Imm(8) }.to_string(),
+            "dload [%o1 + 8], p3"
+        );
+        assert_eq!(DyserInstr::Fence.to_string(), "dfence");
+    }
+}

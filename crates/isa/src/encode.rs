@@ -1,0 +1,609 @@
+//! Binary instruction encoding and decoding.
+//!
+//! Instructions are fixed 32-bit words laid out in the spirit of the SPARC
+//! V9 formats:
+//!
+//! * **format 1** (`op = 01`): `call`, with a signed 30-bit word displacement;
+//! * **format 2** (`op = 00`): `sethi` and the branch families, selected by
+//!   the `op2` field in bits `[24:22]`;
+//! * **format 3** (`op = 10`/`11`): register/register or register/immediate
+//!   operations, selected by the 6-bit `op3` field in bits `[24:19]`, with
+//!   the `i` bit (`[13]`) choosing between `rs2` and a signed 13-bit
+//!   immediate.
+//!
+//! The DySER extension occupies the `op3 = 0x20..=0x29` block of the
+//! arithmetic format — the block real SPARC reserves for tagged arithmetic,
+//! repurposed here the way the prototype repurposes `IMPDEP1/2`.
+//!
+//! The encoding is lossless: `decode(encode(i)) == i` for every encodable
+//! instruction except the canonical NOP, which is by definition
+//! `sethi 0, %g0` and decodes to [`Instr::Nop`].
+
+use std::fmt;
+
+use crate::cond::{FCond, ICond, RCond};
+use crate::dyser::{ConfigId, DyserInstr, Port, VecPort};
+use crate::instr::{AluOp, FpOp, Instr, LoadKind, Op2, StoreKind};
+use crate::reg::{FReg, Reg};
+
+/// Error produced when a 32-bit word is not a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// op3 assignments for the arithmetic format (op = 10).
+mod op3a {
+    pub const ADD: u32 = 0x00;
+    pub const SUB: u32 = 0x01;
+    pub const AND: u32 = 0x02;
+    pub const OR: u32 = 0x03;
+    pub const XOR: u32 = 0x04;
+    pub const ANDN: u32 = 0x05;
+    pub const ORN: u32 = 0x06;
+    pub const XNOR: u32 = 0x07;
+    pub const SLLX: u32 = 0x08;
+    pub const SRLX: u32 = 0x09;
+    pub const SRAX: u32 = 0x0A;
+    pub const MULX: u32 = 0x0B;
+    pub const SDIVX: u32 = 0x0C;
+    pub const UDIVX: u32 = 0x0D;
+    pub const ADDCC: u32 = 0x10;
+    pub const SUBCC: u32 = 0x11;
+    pub const MOVCC: u32 = 0x15;
+    pub const JMPL: u32 = 0x18;
+    pub const DINIT: u32 = 0x20;
+    pub const DSEND: u32 = 0x21;
+    pub const DSENDF: u32 = 0x22;
+    pub const DRECV: u32 = 0x23;
+    pub const DRECVF: u32 = 0x24;
+    pub const DLOAD: u32 = 0x25;
+    pub const DSTORE: u32 = 0x26;
+    pub const DSENDV: u32 = 0x27;
+    pub const DRECVV: u32 = 0x28;
+    pub const DFENCE: u32 = 0x29;
+    pub const FPOP1: u32 = 0x34;
+    pub const FPOP2: u32 = 0x35;
+    pub const SIMCALL: u32 = 0x3D;
+    pub const HALT: u32 = 0x3E;
+}
+
+// op3 assignments for the memory format (op = 11).
+mod op3m {
+    pub const LDX: u32 = 0x00;
+    pub const LDUW: u32 = 0x01;
+    pub const LDSW: u32 = 0x02;
+    pub const LDUB: u32 = 0x03;
+    pub const STX: u32 = 0x04;
+    pub const STW: u32 = 0x05;
+    pub const STB: u32 = 0x06;
+    pub const LDDF: u32 = 0x08;
+    pub const STDF: u32 = 0x09;
+}
+
+// opf assignments within FPop1.
+mod opf {
+    pub const ADDD: u32 = 1;
+    pub const SUBD: u32 = 2;
+    pub const MULD: u32 = 3;
+    pub const DIVD: u32 = 4;
+    pub const SQRTD: u32 = 5;
+    pub const NEGD: u32 = 6;
+    pub const ABSD: u32 = 7;
+    pub const MOVD: u32 = 8;
+    pub const XTOD: u32 = 9;
+    pub const DTOX: u32 = 10;
+    pub const MAXD: u32 = 11;
+    pub const MIND: u32 = 12;
+}
+
+fn alu_op3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => op3a::ADD,
+        AluOp::Sub => op3a::SUB,
+        AluOp::And => op3a::AND,
+        AluOp::Or => op3a::OR,
+        AluOp::Xor => op3a::XOR,
+        AluOp::Andn => op3a::ANDN,
+        AluOp::Orn => op3a::ORN,
+        AluOp::Xnor => op3a::XNOR,
+        AluOp::Sllx => op3a::SLLX,
+        AluOp::Srlx => op3a::SRLX,
+        AluOp::Srax => op3a::SRAX,
+        AluOp::Mulx => op3a::MULX,
+        AluOp::Sdivx => op3a::SDIVX,
+        AluOp::Udivx => op3a::UDIVX,
+        AluOp::AddCc => op3a::ADDCC,
+        AluOp::SubCc => op3a::SUBCC,
+    }
+}
+
+fn op3_alu(op3: u32) -> Option<AluOp> {
+    Some(match op3 {
+        op3a::ADD => AluOp::Add,
+        op3a::SUB => AluOp::Sub,
+        op3a::AND => AluOp::And,
+        op3a::OR => AluOp::Or,
+        op3a::XOR => AluOp::Xor,
+        op3a::ANDN => AluOp::Andn,
+        op3a::ORN => AluOp::Orn,
+        op3a::XNOR => AluOp::Xnor,
+        op3a::SLLX => AluOp::Sllx,
+        op3a::SRLX => AluOp::Srlx,
+        op3a::SRAX => AluOp::Srax,
+        op3a::MULX => AluOp::Mulx,
+        op3a::SDIVX => AluOp::Sdivx,
+        op3a::UDIVX => AluOp::Udivx,
+        op3a::ADDCC => AluOp::AddCc,
+        op3a::SUBCC => AluOp::SubCc,
+        _ => return None,
+    })
+}
+
+fn fp_opf(op: FpOp) -> u32 {
+    match op {
+        FpOp::Addd => opf::ADDD,
+        FpOp::Subd => opf::SUBD,
+        FpOp::Muld => opf::MULD,
+        FpOp::Divd => opf::DIVD,
+        FpOp::Sqrtd => opf::SQRTD,
+        FpOp::Negd => opf::NEGD,
+        FpOp::Absd => opf::ABSD,
+        FpOp::Movd => opf::MOVD,
+        FpOp::Xtod => opf::XTOD,
+        FpOp::Dtox => opf::DTOX,
+        FpOp::Maxd => opf::MAXD,
+        FpOp::Mind => opf::MIND,
+    }
+}
+
+fn opf_fp(bits: u32) -> Option<FpOp> {
+    Some(match bits {
+        opf::ADDD => FpOp::Addd,
+        opf::SUBD => FpOp::Subd,
+        opf::MULD => FpOp::Muld,
+        opf::DIVD => FpOp::Divd,
+        opf::SQRTD => FpOp::Sqrtd,
+        opf::NEGD => FpOp::Negd,
+        opf::ABSD => FpOp::Absd,
+        opf::MOVD => FpOp::Movd,
+        opf::XTOD => FpOp::Xtod,
+        opf::DTOX => FpOp::Dtox,
+        opf::MAXD => FpOp::Maxd,
+        opf::MIND => FpOp::Mind,
+        _ => return None,
+    })
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn fits_signed(value: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+fn encode_op2(op2: Op2) -> u32 {
+    match op2 {
+        Op2::Reg(r) => r.bits(),
+        Op2::Imm(i) => {
+            assert!(
+                fits_signed(i64::from(i), 13),
+                "immediate {i} does not fit the signed 13-bit field"
+            );
+            (1 << 13) | ((i as u32) & 0x1FFF)
+        }
+    }
+}
+
+fn decode_op2(word: u32) -> Op2 {
+    if word & (1 << 13) != 0 {
+        Op2::Imm(sign_extend(word & 0x1FFF, 13) as i16)
+    } else {
+        Op2::Reg(Reg::new((word & 0x1F) as u8))
+    }
+}
+
+fn f3(op: u32, rd: u32, op3: u32, rs1: u32, rest: u32) -> u32 {
+    (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | rest
+}
+
+fn check_disp(disp: i32, bits: u32, what: &str) {
+    assert!(fits_signed(i64::from(disp), bits), "{what} displacement {disp} does not fit {bits} bits");
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if a displacement or immediate does not fit its encoding field
+/// (the [`crate::Assembler`] checks these ranges and reports errors instead).
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Alu { op, rd, rs1, op2 } => {
+            f3(0b10, rd.bits(), alu_op3(op), rs1.bits(), encode_op2(op2))
+        }
+        Instr::Sethi { rd, imm22 } => {
+            assert!(imm22 < (1 << 22), "sethi immediate 0x{imm22:x} does not fit 22 bits");
+            (0b100 << 22) | (rd.bits() << 25) | imm22
+        }
+        Instr::MovCc { cond, rd, op2 } => {
+            f3(0b10, rd.bits(), op3a::MOVCC, cond.bits(), encode_op2(op2))
+        }
+        Instr::Load { kind, rd, rs1, op2 } => {
+            let op3 = match kind {
+                LoadKind::Ldx => op3m::LDX,
+                LoadKind::Lduw => op3m::LDUW,
+                LoadKind::Ldsw => op3m::LDSW,
+                LoadKind::Ldub => op3m::LDUB,
+            };
+            f3(0b11, rd.bits(), op3, rs1.bits(), encode_op2(op2))
+        }
+        Instr::Store { kind, rs, rs1, op2 } => {
+            let op3 = match kind {
+                StoreKind::Stx => op3m::STX,
+                StoreKind::Stw => op3m::STW,
+                StoreKind::Stb => op3m::STB,
+            };
+            f3(0b11, rs.bits(), op3, rs1.bits(), encode_op2(op2))
+        }
+        Instr::LoadF { rd, rs1, op2 } => f3(0b11, rd.bits(), op3m::LDDF, rs1.bits(), encode_op2(op2)),
+        Instr::StoreF { rs, rs1, op2 } => f3(0b11, rs.bits(), op3m::STDF, rs1.bits(), encode_op2(op2)),
+        Instr::Fpu { op, rd, rs1, rs2 } => {
+            f3(0b10, rd.bits(), op3a::FPOP1, rs1.bits(), (fp_opf(op) << 5) | rs2.bits())
+        }
+        Instr::FCmp { rs1, rs2 } => f3(0b10, 0, op3a::FPOP2, rs1.bits(), (1 << 5) | rs2.bits()),
+        Instr::Branch { cond, disp } => {
+            check_disp(disp, 22, "bicc");
+            (cond.bits() << 25) | (0b010 << 22) | ((disp as u32) & 0x3F_FFFF)
+        }
+        Instr::BranchF { cond, disp } => {
+            check_disp(disp, 22, "fbfcc");
+            (cond.bits() << 25) | (0b110 << 22) | ((disp as u32) & 0x3F_FFFF)
+        }
+        Instr::BranchReg { cond, rs1, disp } => {
+            check_disp(disp, 16, "bpr");
+            let d = disp as u32;
+            (cond.bits() << 25)
+                | (0b011 << 22)
+                | (((d >> 14) & 0x3) << 20)
+                | (rs1.bits() << 14)
+                | (d & 0x3FFF)
+        }
+        Instr::Call { disp } => {
+            check_disp(disp, 30, "call");
+            (0b01 << 30) | ((disp as u32) & 0x3FFF_FFFF)
+        }
+        Instr::Jmpl { rd, rs1, op2 } => f3(0b10, rd.bits(), op3a::JMPL, rs1.bits(), encode_op2(op2)),
+        Instr::Dyser(d) => encode_dyser(d),
+        Instr::Nop => 0b100 << 22, // sethi 0, %g0
+        Instr::Halt => f3(0b10, 0, op3a::HALT, 0, 0),
+        Instr::SimCall { code } => {
+            assert!(code < (1 << 12), "simcall code {code} does not fit 12 bits");
+            f3(0b10, 0, op3a::SIMCALL, 0, (1 << 13) | u32::from(code))
+        }
+    }
+}
+
+fn encode_dyser(d: DyserInstr) -> u32 {
+    match d {
+        DyserInstr::Init { config } => f3(0b10, 0, op3a::DINIT, 0, (1 << 13) | config.bits()),
+        DyserInstr::Send { port, rs } => f3(0b10, port.bits(), op3a::DSEND, rs.bits(), 1 << 13),
+        DyserInstr::SendF { port, rs } => f3(0b10, port.bits(), op3a::DSENDF, rs.bits(), 1 << 13),
+        DyserInstr::Recv { port, rd } => f3(0b10, rd.bits(), op3a::DRECV, port.bits(), 1 << 13),
+        DyserInstr::RecvF { port, rd } => f3(0b10, rd.bits(), op3a::DRECVF, port.bits(), 1 << 13),
+        DyserInstr::Load { port, rs1, op2 } => {
+            f3(0b10, port.bits(), op3a::DLOAD, rs1.bits(), encode_op2(op2))
+        }
+        DyserInstr::Store { port, rs1, op2 } => {
+            f3(0b10, port.bits(), op3a::DSTORE, rs1.bits(), encode_op2(op2))
+        }
+        DyserInstr::SendVec { vport, base, count } => {
+            assert!((1..=8).contains(&count), "vector transfer count {count} out of range");
+            f3(0b10, vport.bits(), op3a::DSENDV, base.bits(), (1 << 13) | u32::from(count))
+        }
+        DyserInstr::RecvVec { vport, base, count } => {
+            assert!((1..=8).contains(&count), "vector transfer count {count} out of range");
+            f3(0b10, vport.bits(), op3a::DRECVV, base.bits(), (1 << 13) | u32::from(count))
+        }
+        DyserInstr::Fence => f3(0b10, 0, op3a::DFENCE, 0, 0),
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not correspond to any
+/// instruction in the ISA.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let op = word >> 30;
+    let err = Err(DecodeError { word });
+    match op {
+        0b01 => Ok(Instr::Call { disp: sign_extend(word & 0x3FFF_FFFF, 30) }),
+        0b00 => {
+            let op2f = (word >> 22) & 0x7;
+            match op2f {
+                0b100 => {
+                    let rd = Reg::new(((word >> 25) & 0x1F) as u8);
+                    let imm22 = word & 0x3F_FFFF;
+                    if rd.is_zero() && imm22 == 0 {
+                        Ok(Instr::Nop)
+                    } else {
+                        Ok(Instr::Sethi { rd, imm22 })
+                    }
+                }
+                0b010 => {
+                    let cond = ICond::from_bits((word >> 25) & 0xF);
+                    Ok(Instr::Branch { cond, disp: sign_extend(word & 0x3F_FFFF, 22) })
+                }
+                0b110 => {
+                    let Some(cond) = FCond::from_bits((word >> 25) & 0xF) else { return err };
+                    Ok(Instr::BranchF { cond, disp: sign_extend(word & 0x3F_FFFF, 22) })
+                }
+                0b011 => {
+                    let Some(cond) = RCond::from_bits((word >> 25) & 0x7) else { return err };
+                    if (word >> 28) & 0x3 != 0 {
+                        return err;
+                    }
+                    let rs1 = Reg::new(((word >> 14) & 0x1F) as u8);
+                    let d = (((word >> 20) & 0x3) << 14) | (word & 0x3FFF);
+                    Ok(Instr::BranchReg { cond, rs1, disp: sign_extend(d, 16) })
+                }
+                _ => err,
+            }
+        }
+        0b10 => decode_arith(word),
+        _ => decode_mem(word),
+    }
+}
+
+fn decode_arith(word: u32) -> Result<Instr, DecodeError> {
+    let rd_bits = ((word >> 25) & 0x1F) as u8;
+    let op3 = (word >> 19) & 0x3F;
+    let rs1_bits = ((word >> 14) & 0x1F) as u8;
+    let err = Err(DecodeError { word });
+
+    if let Some(op) = op3_alu(op3) {
+        return Ok(Instr::Alu {
+            op,
+            rd: Reg::new(rd_bits),
+            rs1: Reg::new(rs1_bits),
+            op2: decode_op2(word),
+        });
+    }
+    match op3 {
+        op3a::MOVCC => Ok(Instr::MovCc {
+            cond: ICond::from_bits(u32::from(rs1_bits) & 0xF),
+            rd: Reg::new(rd_bits),
+            op2: decode_op2(word),
+        }),
+        op3a::JMPL => Ok(Instr::Jmpl {
+            rd: Reg::new(rd_bits),
+            rs1: Reg::new(rs1_bits),
+            op2: decode_op2(word),
+        }),
+        op3a::FPOP1 => {
+            let Some(op) = opf_fp((word >> 5) & 0x1FF) else { return err };
+            Ok(Instr::Fpu {
+                op,
+                rd: FReg::new(rd_bits),
+                rs1: FReg::new(rs1_bits),
+                rs2: FReg::new((word & 0x1F) as u8),
+            })
+        }
+        op3a::FPOP2 => {
+            if (word >> 5) & 0x1FF != 1 {
+                return err;
+            }
+            Ok(Instr::FCmp { rs1: FReg::new(rs1_bits), rs2: FReg::new((word & 0x1F) as u8) })
+        }
+        op3a::DINIT => Ok(Instr::Dyser(DyserInstr::Init {
+            config: ConfigId::new((word & 0xFFF) as u16),
+        })),
+        op3a::DSEND => {
+            let Some(port) = Port::try_new(rd_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::Send { port, rs: Reg::new(rs1_bits) }))
+        }
+        op3a::DSENDF => {
+            let Some(port) = Port::try_new(rd_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::SendF { port, rs: FReg::new(rs1_bits) }))
+        }
+        op3a::DRECV => {
+            let Some(port) = Port::try_new(rs1_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::Recv { port, rd: Reg::new(rd_bits) }))
+        }
+        op3a::DRECVF => {
+            let Some(port) = Port::try_new(rs1_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::RecvF { port, rd: FReg::new(rd_bits) }))
+        }
+        op3a::DLOAD => {
+            let Some(port) = Port::try_new(rd_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::Load { port, rs1: Reg::new(rs1_bits), op2: decode_op2(word) }))
+        }
+        op3a::DSTORE => {
+            let Some(port) = Port::try_new(rd_bits) else { return err };
+            Ok(Instr::Dyser(DyserInstr::Store { port, rs1: Reg::new(rs1_bits), op2: decode_op2(word) }))
+        }
+        op3a::DSENDV => {
+            let Some(vport) = VecPort::try_new(rd_bits) else { return err };
+            let count = (word & 0xF) as u8;
+            if !(1..=8).contains(&count) {
+                return err;
+            }
+            Ok(Instr::Dyser(DyserInstr::SendVec { vport, base: Reg::new(rs1_bits), count }))
+        }
+        op3a::DRECVV => {
+            let Some(vport) = VecPort::try_new(rd_bits) else { return err };
+            let count = (word & 0xF) as u8;
+            if !(1..=8).contains(&count) {
+                return err;
+            }
+            Ok(Instr::Dyser(DyserInstr::RecvVec { vport, base: Reg::new(rs1_bits), count }))
+        }
+        op3a::DFENCE => Ok(Instr::Dyser(DyserInstr::Fence)),
+        op3a::SIMCALL => Ok(Instr::SimCall { code: (word & 0xFFF) as u16 }),
+        op3a::HALT => Ok(Instr::Halt),
+        _ => err,
+    }
+}
+
+fn decode_mem(word: u32) -> Result<Instr, DecodeError> {
+    let rd_bits = ((word >> 25) & 0x1F) as u8;
+    let op3 = (word >> 19) & 0x3F;
+    let rs1 = Reg::new(((word >> 14) & 0x1F) as u8);
+    let op2 = decode_op2(word);
+    let load = |kind| Instr::Load { kind, rd: Reg::new(rd_bits), rs1, op2 };
+    let store = |kind| Instr::Store { kind, rs: Reg::new(rd_bits), rs1, op2 };
+    match op3 {
+        op3m::LDX => Ok(load(LoadKind::Ldx)),
+        op3m::LDUW => Ok(load(LoadKind::Lduw)),
+        op3m::LDSW => Ok(load(LoadKind::Ldsw)),
+        op3m::LDUB => Ok(load(LoadKind::Ldub)),
+        op3m::STX => Ok(store(StoreKind::Stx)),
+        op3m::STW => Ok(store(StoreKind::Stw)),
+        op3m::STB => Ok(store(StoreKind::Stb)),
+        op3m::LDDF => Ok(Instr::LoadF { rd: FReg::new(rd_bits), rs1, op2 }),
+        op3m::STDF => Ok(Instr::StoreF { rs: FReg::new(rd_bits), rs1, op2 }),
+        _ => Err(DecodeError { word }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::reg;
+
+    fn roundtrip(i: Instr) {
+        let word = encode(&i);
+        let back = decode(word).unwrap_or_else(|e| panic!("decoding {i}: {e}"));
+        assert_eq!(back, i, "roundtrip of {i} (word 0x{word:08x})");
+    }
+
+    #[test]
+    fn roundtrip_alu_all_ops() {
+        for op in AluOp::ALL {
+            roundtrip(Instr::Alu { op, rd: reg::O0, rs1: reg::O1, op2: Op2::Reg(reg::O2) });
+            roundtrip(Instr::Alu { op, rd: reg::L3, rs1: reg::I2, op2: Op2::Imm(-42) });
+            roundtrip(Instr::Alu { op, rd: reg::G1, rs1: reg::G0, op2: Op2::Imm(4095) });
+            roundtrip(Instr::Alu { op, rd: reg::G1, rs1: reg::G0, op2: Op2::Imm(-4096) });
+        }
+    }
+
+    #[test]
+    fn roundtrip_fp_all_ops() {
+        for op in FpOp::ALL {
+            roundtrip(Instr::Fpu { op, rd: FReg::new(0), rs1: FReg::new(7), rs2: FReg::new(31) });
+        }
+        roundtrip(Instr::FCmp { rs1: FReg::new(2), rs2: FReg::new(3) });
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        for kind in LoadKind::ALL {
+            roundtrip(Instr::Load { kind, rd: reg::O0, rs1: reg::O1, op2: Op2::Imm(16) });
+        }
+        for kind in StoreKind::ALL {
+            roundtrip(Instr::Store { kind, rs: reg::O3, rs1: reg::O4, op2: Op2::Reg(reg::O5) });
+        }
+        roundtrip(Instr::LoadF { rd: FReg::new(4), rs1: reg::O0, op2: Op2::Imm(-8) });
+        roundtrip(Instr::StoreF { rs: FReg::new(5), rs1: reg::O1, op2: Op2::Imm(8) });
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for cond in ICond::ALL {
+            roundtrip(Instr::Branch { cond, disp: -100 });
+            roundtrip(Instr::Branch { cond, disp: (1 << 21) - 1 });
+        }
+        for cond in FCond::ALL {
+            roundtrip(Instr::BranchF { cond, disp: 77 });
+        }
+        for cond in RCond::ALL {
+            roundtrip(Instr::BranchReg { cond, rs1: reg::L0, disp: -32768 });
+            roundtrip(Instr::BranchReg { cond, rs1: reg::L0, disp: 32767 });
+        }
+        roundtrip(Instr::Call { disp: -123456 });
+        roundtrip(Instr::Jmpl { rd: reg::G0, rs1: reg::O7, op2: Op2::Imm(8) });
+    }
+
+    #[test]
+    fn roundtrip_dyser() {
+        use DyserInstr as D;
+        let p = Port::new(5);
+        let vp = VecPort::new(3);
+        let cases = [
+            D::Init { config: ConfigId::new(17) },
+            D::Send { port: p, rs: reg::O2 },
+            D::SendF { port: p, rs: FReg::new(9) },
+            D::Recv { port: p, rd: reg::L1 },
+            D::RecvF { port: p, rd: FReg::new(30) },
+            D::Load { port: p, rs1: reg::O0, op2: Op2::Imm(24) },
+            D::Store { port: p, rs1: reg::O1, op2: Op2::Reg(reg::O2) },
+            D::SendVec { vport: vp, base: reg::L0, count: 4 },
+            D::RecvVec { vport: vp, base: reg::L4, count: 1 },
+            D::Fence,
+        ];
+        for d in cases {
+            roundtrip(Instr::Dyser(d));
+        }
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        roundtrip(Instr::Sethi { rd: reg::O0, imm22: 0x3F_FFFF });
+        roundtrip(Instr::MovCc { cond: ICond::Gt, rd: reg::O0, op2: Op2::Imm(1) });
+        roundtrip(Instr::Nop);
+        roundtrip(Instr::Halt);
+        roundtrip(Instr::SimCall { code: 3 });
+    }
+
+    #[test]
+    fn canonical_nop_is_sethi_zero() {
+        assert_eq!(encode(&Instr::Nop), encode(&Instr::Sethi { rd: reg::G0, imm22: 0 }));
+        assert_eq!(decode(encode(&Instr::Nop)).unwrap(), Instr::Nop);
+    }
+
+    #[test]
+    fn illegal_words_error() {
+        // op=00 with an unused op2 field.
+        assert!(decode(0).is_err());
+        // Arithmetic format with an unassigned op3.
+        assert!(decode((0b10 << 30) | (0x3F << 19)).is_err());
+        // Memory format with an unassigned op3.
+        assert!(decode((0b11u32 << 30) | (0x3F << 19)).is_err());
+        // Vector transfer with count 0.
+        let bad = (0b10 << 30) | (super::op3a::DSENDV << 19) | (1 << 13);
+        assert!(decode(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_branch_panics() {
+        let _ = encode(&Instr::Branch { cond: ICond::Always, disp: 1 << 22 });
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_imm_panics() {
+        let _ = encode(&Instr::Alu { op: AluOp::Add, rd: reg::O0, rs1: reg::O1, op2: Op2::Imm(4096) });
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError { word: 0xDEAD_BEEF };
+        assert_eq!(e.to_string(), "illegal instruction word 0xdeadbeef");
+    }
+}

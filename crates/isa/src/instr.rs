@@ -1,0 +1,741 @@
+//! The decoded instruction set.
+//!
+//! [`Instr`] is the single instruction representation shared by the
+//! assembler, the binary encoder/decoder, the compiler back end, and the
+//! pipeline model. Every variant carries fully decoded operands; the
+//! bit-level view lives in the [`mod@crate::encode`] module.
+
+use std::fmt;
+
+use crate::cond::{FCond, ICond, Icc, RCond};
+use crate::dyser::DyserInstr;
+use crate::reg::{FReg, Reg};
+
+/// Integer ALU operations (format-3 register ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// 64-bit addition.
+    Add,
+    /// 64-bit subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise and-not (`rs1 & !op2`).
+    Andn,
+    /// Bitwise or-not (`rs1 | !op2`).
+    Orn,
+    /// Bitwise xnor.
+    Xnor,
+    /// Logical shift left (64-bit, count mod 64).
+    Sllx,
+    /// Logical shift right.
+    Srlx,
+    /// Arithmetic shift right.
+    Srax,
+    /// 64-bit multiply.
+    Mulx,
+    /// Signed 64-bit divide (`x / 0 = 0`, matching the simulator's trap-free model).
+    Sdivx,
+    /// Unsigned 64-bit divide (`x / 0 = 0`).
+    Udivx,
+    /// Addition that also sets the integer condition codes.
+    AddCc,
+    /// Subtraction that also sets the integer condition codes.
+    SubCc,
+}
+
+impl AluOp {
+    /// All operations, useful for exhaustive tests.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Andn,
+        AluOp::Orn,
+        AluOp::Xnor,
+        AluOp::Sllx,
+        AluOp::Srlx,
+        AluOp::Srax,
+        AluOp::Mulx,
+        AluOp::Sdivx,
+        AluOp::Udivx,
+        AluOp::AddCc,
+        AluOp::SubCc,
+    ];
+
+    /// Evaluates the operation, returning the result and, for the `cc`
+    /// variants, the updated condition codes.
+    ///
+    /// Division by zero yields zero rather than trapping: the simulator is
+    /// trap-free and the compiler never emits unguarded divides.
+    pub fn eval(self, a: u64, b: u64) -> (u64, Option<Icc>) {
+        match self {
+            AluOp::Add => (a.wrapping_add(b), None),
+            AluOp::Sub => (a.wrapping_sub(b), None),
+            AluOp::And => (a & b, None),
+            AluOp::Or => (a | b, None),
+            AluOp::Xor => (a ^ b, None),
+            AluOp::Andn => (a & !b, None),
+            AluOp::Orn => (a | !b, None),
+            AluOp::Xnor => (!(a ^ b), None),
+            AluOp::Sllx => (a.wrapping_shl(b as u32 & 63), None),
+            AluOp::Srlx => (a.wrapping_shr(b as u32 & 63), None),
+            AluOp::Srax => (((a as i64).wrapping_shr(b as u32 & 63)) as u64, None),
+            AluOp::Mulx => (a.wrapping_mul(b), None),
+            AluOp::Sdivx => {
+                let res = if b == 0 { 0 } else { (a as i64).wrapping_div(b as i64) as u64 };
+                (res, None)
+            }
+            AluOp::Udivx => (a.checked_div(b).unwrap_or(0), None),
+            AluOp::AddCc => (a.wrapping_add(b), Some(Icc::from_add(a, b))),
+            AluOp::SubCc => (a.wrapping_sub(b), Some(Icc::from_sub(a, b))),
+        }
+    }
+
+    /// Whether the operation writes the integer condition codes.
+    pub fn sets_cc(self) -> bool {
+        matches!(self, AluOp::AddCc | AluOp::SubCc)
+    }
+
+    /// Execute-stage latency class: `1` for simple ops, more for mul/div,
+    /// matching the OpenSPARC T1's long-latency integer unit.
+    pub fn latency(self) -> u32 {
+        match self {
+            AluOp::Mulx => 8,
+            AluOp::Sdivx | AluOp::Udivx => 40,
+            _ => 1,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Andn => "andn",
+            AluOp::Orn => "orn",
+            AluOp::Xnor => "xnor",
+            AluOp::Sllx => "sllx",
+            AluOp::Srlx => "srlx",
+            AluOp::Srax => "srax",
+            AluOp::Mulx => "mulx",
+            AluOp::Sdivx => "sdivx",
+            AluOp::Udivx => "udivx",
+            AluOp::AddCc => "addcc",
+            AluOp::SubCc => "subcc",
+        }
+    }
+}
+
+/// Floating-point operations (`FPop1`), all on 64-bit doubles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Double addition.
+    Addd,
+    /// Double subtraction.
+    Subd,
+    /// Double multiplication.
+    Muld,
+    /// Double division.
+    Divd,
+    /// Double square root (unary; `rs1` is ignored).
+    Sqrtd,
+    /// Negation (unary).
+    Negd,
+    /// Absolute value (unary).
+    Absd,
+    /// Register move (unary).
+    Movd,
+    /// Convert a 64-bit integer (held in an fp register) to double (unary).
+    Xtod,
+    /// Convert a double to a 64-bit integer, truncating (unary).
+    Dtox,
+    /// Maximum (VIS-style, used by the DySER compiler's reductions).
+    Maxd,
+    /// Minimum (VIS-style).
+    Mind,
+}
+
+impl FpOp {
+    /// All operations, useful for exhaustive tests.
+    pub const ALL: [FpOp; 12] = [
+        FpOp::Addd,
+        FpOp::Subd,
+        FpOp::Muld,
+        FpOp::Divd,
+        FpOp::Sqrtd,
+        FpOp::Negd,
+        FpOp::Absd,
+        FpOp::Movd,
+        FpOp::Xtod,
+        FpOp::Dtox,
+        FpOp::Maxd,
+        FpOp::Mind,
+    ];
+
+    /// Whether the operation ignores its first source operand.
+    pub fn is_unary(self) -> bool {
+        matches!(
+            self,
+            FpOp::Sqrtd | FpOp::Negd | FpOp::Absd | FpOp::Movd | FpOp::Xtod | FpOp::Dtox
+        )
+    }
+
+    /// Evaluates the operation on raw 64-bit register values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        let fa = f64::from_bits(a);
+        let fb = f64::from_bits(b);
+        match self {
+            FpOp::Addd => (fa + fb).to_bits(),
+            FpOp::Subd => (fa - fb).to_bits(),
+            FpOp::Muld => (fa * fb).to_bits(),
+            FpOp::Divd => (fa / fb).to_bits(),
+            FpOp::Sqrtd => fb.sqrt().to_bits(),
+            FpOp::Negd => (-fb).to_bits(),
+            FpOp::Absd => fb.abs().to_bits(),
+            FpOp::Movd => b,
+            FpOp::Xtod => ((b as i64) as f64).to_bits(),
+            FpOp::Dtox => (fb as i64) as u64,
+            FpOp::Maxd => fa.max(fb).to_bits(),
+            FpOp::Mind => fa.min(fb).to_bits(),
+        }
+    }
+
+    /// Execute-stage latency. The OpenSPARC T1 services floating point in
+    /// a single shared, far-away FPU: per-operation latencies seen by a
+    /// thread are large (tens of cycles on silicon). The values here are
+    /// the calibrated "T1-class FPU" latencies from DESIGN.md.
+    pub fn latency(self) -> u32 {
+        match self {
+            FpOp::Addd | FpOp::Subd | FpOp::Maxd | FpOp::Mind => 8,
+            FpOp::Muld => 10,
+            FpOp::Divd => 32,
+            FpOp::Sqrtd => 36,
+            FpOp::Movd | FpOp::Negd | FpOp::Absd => 2,
+            FpOp::Xtod | FpOp::Dtox => 6,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Addd => "faddd",
+            FpOp::Subd => "fsubd",
+            FpOp::Muld => "fmuld",
+            FpOp::Divd => "fdivd",
+            FpOp::Sqrtd => "fsqrtd",
+            FpOp::Negd => "fnegd",
+            FpOp::Absd => "fabsd",
+            FpOp::Movd => "fmovd",
+            FpOp::Xtod => "fxtod",
+            FpOp::Dtox => "fdtox",
+            FpOp::Maxd => "fmaxd",
+            FpOp::Mind => "fmind",
+        }
+    }
+}
+
+/// The second ALU operand: a register or a signed 13-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op2 {
+    /// A register operand.
+    Reg(Reg),
+    /// A signed immediate, representable in 13 bits (`-4096..=4095`).
+    Imm(i16),
+}
+
+impl Op2 {
+    /// Inclusive immediate range of the 13-bit field.
+    pub const IMM_MIN: i16 = -4096;
+    /// Inclusive immediate range of the 13-bit field.
+    pub const IMM_MAX: i16 = 4095;
+
+    /// Whether a value fits the signed 13-bit immediate field.
+    pub fn fits_imm(value: i64) -> bool {
+        (Self::IMM_MIN as i64..=Self::IMM_MAX as i64).contains(&value)
+    }
+}
+
+impl From<Reg> for Op2 {
+    fn from(r: Reg) -> Self {
+        Op2::Reg(r)
+    }
+}
+
+impl fmt::Display for Op2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op2::Reg(r) => write!(f, "{r}"),
+            Op2::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Integer load flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// 64-bit load.
+    Ldx,
+    /// 32-bit zero-extending load.
+    Lduw,
+    /// 32-bit sign-extending load.
+    Ldsw,
+    /// 8-bit zero-extending load.
+    Ldub,
+}
+
+impl LoadKind {
+    /// All load kinds.
+    pub const ALL: [LoadKind; 4] = [LoadKind::Ldx, LoadKind::Lduw, LoadKind::Ldsw, LoadKind::Ldub];
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            LoadKind::Ldx => 8,
+            LoadKind::Lduw | LoadKind::Ldsw => 4,
+            LoadKind::Ldub => 1,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::Ldx => "ldx",
+            LoadKind::Lduw => "lduw",
+            LoadKind::Ldsw => "ldsw",
+            LoadKind::Ldub => "ldub",
+        }
+    }
+}
+
+/// Integer store flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// 64-bit store.
+    Stx,
+    /// 32-bit store.
+    Stw,
+    /// 8-bit store.
+    Stb,
+}
+
+impl StoreKind {
+    /// All store kinds.
+    pub const ALL: [StoreKind; 3] = [StoreKind::Stx, StoreKind::Stw, StoreKind::Stb];
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            StoreKind::Stx => 8,
+            StoreKind::Stw => 4,
+            StoreKind::Stb => 1,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::Stx => "stx",
+            StoreKind::Stw => "stw",
+            StoreKind::Stb => "stb",
+        }
+    }
+}
+
+/// Coarse instruction classes, used by the statistics and energy models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Simple integer ALU work.
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMulDiv,
+    /// Floating-point arithmetic.
+    Fp,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer.
+    Branch,
+    /// DySER interface instruction.
+    Dyser,
+    /// Everything else (nop, halt, simcall).
+    Other,
+}
+
+impl InstrClass {
+    /// All classes, in reporting order.
+    pub const ALL: [InstrClass; 8] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMulDiv,
+        InstrClass::Fp,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::Dyser,
+        InstrClass::Other,
+    ];
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "int-alu",
+            InstrClass::IntMulDiv => "int-muldiv",
+            InstrClass::Fp => "fp",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Dyser => "dyser",
+            InstrClass::Other => "other",
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Branch displacements are in *instruction words* relative to the branch's
+/// own address (`target = pc + 4 * disp`), with SPARC delay-slot semantics:
+/// the instruction after a taken branch still executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Integer ALU operation: `rd = rs1 op op2`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second operand.
+        op2: Op2,
+    },
+    /// Set the high 22 bits of a register: `rd = imm22 << 10`.
+    Sethi {
+        /// Destination register.
+        rd: Reg,
+        /// The 22-bit immediate.
+        imm22: u32,
+    },
+    /// Conditional move on the integer condition codes: `if cond { rd = op2 }`.
+    MovCc {
+        /// The condition to test.
+        cond: ICond,
+        /// Destination register.
+        rd: Reg,
+        /// Value moved when the condition holds.
+        op2: Op2,
+    },
+    /// Integer load: `rd = mem[rs1 + op2]`.
+    Load {
+        /// Load width/extension.
+        kind: LoadKind,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: Op2,
+    },
+    /// Integer store: `mem[rs1 + op2] = rs`.
+    Store {
+        /// Store width.
+        kind: StoreKind,
+        /// Data register.
+        rs: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: Op2,
+    },
+    /// Floating-point double load: `rd = mem[rs1 + op2]`.
+    LoadF {
+        /// Destination fp register.
+        rd: FReg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: Op2,
+    },
+    /// Floating-point double store: `mem[rs1 + op2] = rs`.
+    StoreF {
+        /// Data fp register.
+        rs: FReg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset.
+        op2: Op2,
+    },
+    /// Floating-point arithmetic: `rd = rs1 op rs2` (unary ops use `rs2`).
+    Fpu {
+        /// The operation.
+        op: FpOp,
+        /// Destination fp register.
+        rd: FReg,
+        /// First source fp register (ignored by unary ops).
+        rs1: FReg,
+        /// Second source fp register.
+        rs2: FReg,
+    },
+    /// Floating-point compare, setting `fcc`.
+    FCmp {
+        /// First source fp register.
+        rs1: FReg,
+        /// Second source fp register.
+        rs2: FReg,
+    },
+    /// Branch on integer condition codes, with a delay slot.
+    Branch {
+        /// The condition.
+        cond: ICond,
+        /// Word displacement from this instruction.
+        disp: i32,
+    },
+    /// Branch on floating-point condition code, with a delay slot.
+    BranchF {
+        /// The condition.
+        cond: FCond,
+        /// Word displacement from this instruction.
+        disp: i32,
+    },
+    /// Branch on a register's relation to zero, with a delay slot.
+    BranchReg {
+        /// The register condition.
+        cond: RCond,
+        /// Register tested.
+        rs1: Reg,
+        /// Word displacement from this instruction.
+        disp: i32,
+    },
+    /// Call: `%o7 = pc; pc = pc + 4*disp`, with a delay slot.
+    Call {
+        /// Word displacement from this instruction.
+        disp: i32,
+    },
+    /// Jump and link: `rd = pc; pc = rs1 + op2`, with a delay slot.
+    Jmpl {
+        /// Register receiving the return address.
+        rd: Reg,
+        /// Base register of the target.
+        rs1: Reg,
+        /// Target offset.
+        op2: Op2,
+    },
+    /// A DySER accelerator-interface instruction.
+    Dyser(DyserInstr),
+    /// No operation.
+    Nop,
+    /// Stop the simulation (the prototype's benchmark-exit trap).
+    Halt,
+    /// Simulator service call; `code` selects the service (e.g. print `%o0`).
+    SimCall {
+        /// Service selector.
+        code: u16,
+    },
+}
+
+impl Instr {
+    /// Convenience constructor for ALU operations.
+    pub fn alu(op: AluOp, rd: Reg, rs1: Reg, op2: impl Into<Op2>) -> Self {
+        Instr::Alu { op, rd, rs1, op2: op2.into() }
+    }
+
+    /// Convenience constructor for a register-to-register move (`or rd, %g0, rs`).
+    pub fn mov(rd: Reg, rs: Reg) -> Self {
+        Instr::Alu { op: AluOp::Or, rd, rs1: crate::reg::reg::G0, op2: Op2::Reg(rs) }
+    }
+
+    /// Convenience constructor for loading a small immediate (`or rd, %g0, imm`).
+    pub fn mov_imm(rd: Reg, imm: i16) -> Self {
+        Instr::Alu { op: AluOp::Or, rd, rs1: crate::reg::reg::G0, op2: Op2::Imm(imm) }
+    }
+
+    /// Convenience constructor for `cmp rs1, op2` (`subcc %g0, ...`).
+    pub fn cmp(rs1: Reg, op2: impl Into<Op2>) -> Self {
+        Instr::Alu { op: AluOp::SubCc, rd: crate::reg::reg::G0, rs1, op2: op2.into() }
+    }
+
+    /// The coarse class of this instruction, for statistics and energy.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Alu { op, .. } => match op {
+                AluOp::Mulx | AluOp::Sdivx | AluOp::Udivx => InstrClass::IntMulDiv,
+                _ => InstrClass::IntAlu,
+            },
+            Instr::Sethi { .. } | Instr::MovCc { .. } => InstrClass::IntAlu,
+            Instr::Load { .. } | Instr::LoadF { .. } => InstrClass::Load,
+            Instr::Store { .. } | Instr::StoreF { .. } => InstrClass::Store,
+            Instr::Fpu { .. } | Instr::FCmp { .. } => InstrClass::Fp,
+            Instr::Branch { .. }
+            | Instr::BranchF { .. }
+            | Instr::BranchReg { .. }
+            | Instr::Call { .. }
+            | Instr::Jmpl { .. } => InstrClass::Branch,
+            Instr::Dyser(_) => InstrClass::Dyser,
+            Instr::Nop | Instr::Halt | Instr::SimCall { .. } => InstrClass::Other,
+        }
+    }
+
+    /// Whether this is a control-transfer instruction (has a delay slot).
+    pub fn is_cti(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::BranchF { .. }
+                | Instr::BranchReg { .. }
+                | Instr::Call { .. }
+                | Instr::Jmpl { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, rd, rs1, op2 } => {
+                write!(f, "{} {rs1}, {op2}, {rd}", op.mnemonic())
+            }
+            Instr::Sethi { rd, imm22 } => write!(f, "sethi 0x{imm22:x}, {rd}"),
+            Instr::MovCc { cond, rd, op2 } => {
+                write!(f, "mov{} {op2}, {rd}", &cond.mnemonic()[1..])
+            }
+            Instr::Load { kind, rd, rs1, op2 } => {
+                write!(f, "{} [{rs1} + {op2}], {rd}", kind.mnemonic())
+            }
+            Instr::Store { kind, rs, rs1, op2 } => {
+                write!(f, "{} {rs}, [{rs1} + {op2}]", kind.mnemonic())
+            }
+            Instr::LoadF { rd, rs1, op2 } => write!(f, "lddf [{rs1} + {op2}], {rd}"),
+            Instr::StoreF { rs, rs1, op2 } => write!(f, "stdf {rs}, [{rs1} + {op2}]"),
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                if op.is_unary() {
+                    write!(f, "{} {rs2}, {rd}", op.mnemonic())
+                } else {
+                    write!(f, "{} {rs1}, {rs2}, {rd}", op.mnemonic())
+                }
+            }
+            Instr::FCmp { rs1, rs2 } => write!(f, "fcmpd {rs1}, {rs2}"),
+            Instr::Branch { cond, disp } => write!(f, "{} {disp:+}", cond.mnemonic()),
+            Instr::BranchF { cond, disp } => write!(f, "{} {disp:+}", cond.mnemonic()),
+            Instr::BranchReg { cond, rs1, disp } => {
+                write!(f, "{} {rs1}, {disp:+}", cond.mnemonic())
+            }
+            Instr::Call { disp } => write!(f, "call {disp:+}"),
+            Instr::Jmpl { rd, rs1, op2 } => write!(f, "jmpl {rs1} + {op2}, {rd}"),
+            Instr::Dyser(d) => write!(f, "{d}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::SimCall { code } => write!(f, "simcall {code}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::reg;
+
+    #[test]
+    fn alu_eval_matches_rust_semantics() {
+        assert_eq!(AluOp::Add.eval(3, 4).0, 7);
+        assert_eq!(AluOp::Sub.eval(3, 4).0, (-1i64) as u64);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010).0, 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010).0, 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010).0, 0b0110);
+        assert_eq!(AluOp::Andn.eval(0b1100, 0b1010).0, 0b0100);
+        assert_eq!(AluOp::Sllx.eval(1, 63).0, 1 << 63);
+        assert_eq!(AluOp::Srlx.eval(u64::MAX, 63).0, 1);
+        assert_eq!(AluOp::Srax.eval((-8i64) as u64, 2).0, (-2i64) as u64);
+        assert_eq!(AluOp::Mulx.eval(6, 7).0, 42);
+        assert_eq!(AluOp::Sdivx.eval((-42i64) as u64, 7).0, (-6i64) as u64);
+        assert_eq!(AluOp::Udivx.eval(42, 7).0, 6);
+    }
+
+    #[test]
+    fn alu_divide_by_zero_is_zero() {
+        assert_eq!(AluOp::Sdivx.eval(5, 0).0, 0);
+        assert_eq!(AluOp::Udivx.eval(5, 0).0, 0);
+    }
+
+    #[test]
+    fn alu_shift_counts_are_mod_64() {
+        assert_eq!(AluOp::Sllx.eval(1, 64).0, 1);
+        assert_eq!(AluOp::Srlx.eval(2, 65).0, 1);
+    }
+
+    #[test]
+    fn cc_variants_report_flags() {
+        let (res, icc) = AluOp::SubCc.eval(5, 5);
+        assert_eq!(res, 0);
+        assert!(icc.expect("subcc sets flags").z);
+        assert!(AluOp::Add.eval(1, 1).1.is_none());
+    }
+
+    #[test]
+    fn fp_eval_basics() {
+        let a = 2.5f64.to_bits();
+        let b = 1.5f64.to_bits();
+        assert_eq!(f64::from_bits(FpOp::Addd.eval(a, b)), 4.0);
+        assert_eq!(f64::from_bits(FpOp::Subd.eval(a, b)), 1.0);
+        assert_eq!(f64::from_bits(FpOp::Muld.eval(a, b)), 3.75);
+        assert_eq!(f64::from_bits(FpOp::Sqrtd.eval(0, 9.0f64.to_bits())), 3.0);
+        assert_eq!(f64::from_bits(FpOp::Absd.eval(0, (-2.0f64).to_bits())), 2.0);
+        assert_eq!(FpOp::Dtox.eval(0, 7.9f64.to_bits()), 7);
+        assert_eq!(f64::from_bits(FpOp::Xtod.eval(0, (-3i64) as u64)), -3.0);
+        assert_eq!(f64::from_bits(FpOp::Maxd.eval(a, b)), 2.5);
+        assert_eq!(f64::from_bits(FpOp::Mind.eval(a, b)), 1.5);
+    }
+
+    #[test]
+    fn op2_imm_range() {
+        assert!(Op2::fits_imm(0));
+        assert!(Op2::fits_imm(4095));
+        assert!(Op2::fits_imm(-4096));
+        assert!(!Op2::fits_imm(4096));
+        assert!(!Op2::fits_imm(-4097));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Instr::alu(AluOp::Add, reg::O0, reg::O1, Op2::Imm(1)).class(), InstrClass::IntAlu);
+        assert_eq!(
+            Instr::alu(AluOp::Mulx, reg::O0, reg::O1, Op2::Imm(1)).class(),
+            InstrClass::IntMulDiv
+        );
+        assert_eq!(Instr::Halt.class(), InstrClass::Other);
+        assert_eq!(Instr::Branch { cond: ICond::Always, disp: 2 }.class(), InstrClass::Branch);
+        assert!(Instr::Branch { cond: ICond::Always, disp: 2 }.is_cti());
+        assert!(!Instr::Nop.is_cti());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let samples = [
+            Instr::alu(AluOp::Add, reg::O0, reg::O1, Op2::Imm(4)),
+            Instr::Sethi { rd: reg::O0, imm22: 0x1234 },
+            Instr::Load { kind: LoadKind::Ldx, rd: reg::O0, rs1: reg::O1, op2: Op2::Imm(8) },
+            Instr::Fpu { op: FpOp::Addd, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(2) },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        for i in samples {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mov_helpers() {
+        let m = Instr::mov(reg::O0, reg::O1);
+        assert_eq!(m.to_string(), "or %g0, %o1, %o0");
+        let c = Instr::cmp(reg::O0, Op2::Imm(3));
+        assert!(matches!(c, Instr::Alu { op: AluOp::SubCc, rd, .. } if rd.is_zero()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Integer and floating-point register files.
+//!
+//! The integer file follows the SPARC naming convention — `%g0..%g7`
+//! (globals), `%o0..%o7` (outs), `%l0..%l7` (locals), `%i0..%i7` (ins) —
+//! but the file is *flat*: the prototype's register windows are not
+//! modelled because none of the measured kernels spill across windows
+//! (see `DESIGN.md`). `%g0` reads as zero and ignores writes, as on SPARC.
+
+use std::fmt;
+
+/// An integer register, one of the 32 SPARC integer registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index if it is in range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register's index in the file, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw 5-bit encoding field.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Whether this is `%g0`, the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (bank, off) = match self.0 / 8 {
+            0 => ('g', self.0),
+            1 => ('o', self.0 - 8),
+            2 => ('l', self.0 - 16),
+            _ => ('i', self.0 - 24),
+        };
+        write!(f, "%{bank}{off}")
+    }
+}
+
+/// A floating-point register holding a 64-bit double (`%f0..%f31`).
+///
+/// The prototype uses SPARC's even/odd register pairing for doubles; here
+/// every `%fN` is a full 64-bit register, which is equivalent for the
+/// kernels under study and simplifies the compiler's allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// Creates a floating-point register from its index if it is in range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 32).then_some(FReg(index))
+    }
+
+    /// The register's index in the file, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw 5-bit encoding field.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%f{}", self.0)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("The `%", stringify!($name), "` register.")]
+            #[allow(non_upper_case_globals)]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+/// Named constants for every integer register (`reg::G0`, `reg::O0`, ...).
+pub mod reg_names {
+    use super::Reg;
+    named_regs!(
+        G0 = 0, G1 = 1, G2 = 2, G3 = 3, G4 = 4, G5 = 5, G6 = 6, G7 = 7,
+        O0 = 8, O1 = 9, O2 = 10, O3 = 11, O4 = 12, O5 = 13, SP = 14, O7 = 15,
+        L0 = 16, L1 = 17, L2 = 18, L3 = 19, L4 = 20, L5 = 21, L6 = 22, L7 = 23,
+        I0 = 24, I1 = 25, I2 = 26, I3 = 27, I4 = 28, I5 = 29, FP = 30, I7 = 31,
+    );
+}
+
+pub use reg_names as reg;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_banks() {
+        assert_eq!(Reg::new(0).to_string(), "%g0");
+        assert_eq!(Reg::new(7).to_string(), "%g7");
+        assert_eq!(Reg::new(8).to_string(), "%o0");
+        assert_eq!(Reg::new(15).to_string(), "%o7");
+        assert_eq!(Reg::new(16).to_string(), "%l0");
+        assert_eq!(Reg::new(24).to_string(), "%i0");
+        assert_eq!(Reg::new(31).to_string(), "%i7");
+    }
+
+    #[test]
+    fn g0_is_zero() {
+        assert!(reg_names::G0.is_zero());
+        assert!(!reg_names::O0.is_zero());
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+        assert!(FReg::try_new(31).is_some());
+        assert!(FReg::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn freg_display() {
+        assert_eq!(FReg::new(3).to_string(), "%f3");
+    }
+}

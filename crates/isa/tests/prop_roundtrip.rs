@@ -1,0 +1,170 @@
+//! Property tests: every encodable instruction round-trips through the
+//! binary encoding, and every decodable word re-encodes to itself.
+
+use dyser_isa::{
+    decode, encode, AluOp, Assembler, ConfigId, DyserInstr, FCond, FReg, FpOp, ICond, Instr,
+    LoadKind, Op2, Port, RCond, Reg, StoreKind, VecPort,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn arb_op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![arb_reg().prop_map(Op2::Reg), (-4096i16..=4095).prop_map(Op2::Imm)]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_fp_op() -> impl Strategy<Value = FpOp> {
+    proptest::sample::select(FpOp::ALL.to_vec())
+}
+
+fn arb_icond() -> impl Strategy<Value = ICond> {
+    proptest::sample::select(ICond::ALL.to_vec())
+}
+
+fn arb_fcond() -> impl Strategy<Value = FCond> {
+    proptest::sample::select(FCond::ALL.to_vec())
+}
+
+fn arb_rcond() -> impl Strategy<Value = RCond> {
+    proptest::sample::select(RCond::ALL.to_vec())
+}
+
+fn arb_port() -> impl Strategy<Value = Port> {
+    (0u8..32).prop_map(Port::new)
+}
+
+fn arb_vport() -> impl Strategy<Value = VecPort> {
+    (0u8..8).prop_map(VecPort::new)
+}
+
+fn arb_dyser() -> impl Strategy<Value = DyserInstr> {
+    prop_oneof![
+        (0u16..4096).prop_map(|c| DyserInstr::Init { config: ConfigId::new(c) }),
+        (arb_port(), arb_reg()).prop_map(|(port, rs)| DyserInstr::Send { port, rs }),
+        (arb_port(), arb_freg()).prop_map(|(port, rs)| DyserInstr::SendF { port, rs }),
+        (arb_port(), arb_reg()).prop_map(|(port, rd)| DyserInstr::Recv { port, rd }),
+        (arb_port(), arb_freg()).prop_map(|(port, rd)| DyserInstr::RecvF { port, rd }),
+        (arb_port(), arb_reg(), arb_op2())
+            .prop_map(|(port, rs1, op2)| DyserInstr::Load { port, rs1, op2 }),
+        (arb_port(), arb_reg(), arb_op2())
+            .prop_map(|(port, rs1, op2)| DyserInstr::Store { port, rs1, op2 }),
+        (arb_vport(), arb_reg(), 1u8..=8)
+            .prop_map(|(vport, base, count)| DyserInstr::SendVec { vport, base, count }),
+        (arb_vport(), arb_reg(), 1u8..=8)
+            .prop_map(|(vport, base, count)| DyserInstr::RecvVec { vport, base, count }),
+        Just(DyserInstr::Fence),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_op2())
+            .prop_map(|(op, rd, rs1, op2)| Instr::Alu { op, rd, rs1, op2 }),
+        // Avoid the canonical NOP pattern (rd = %g0, imm = 0).
+        (1u8..32, 0u32..(1 << 22))
+            .prop_map(|(rd, imm22)| Instr::Sethi { rd: Reg::new(rd), imm22 }),
+        (arb_icond(), arb_reg(), arb_op2())
+            .prop_map(|(cond, rd, op2)| Instr::MovCc { cond, rd, op2 }),
+        (
+            proptest::sample::select(LoadKind::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_op2()
+        )
+            .prop_map(|(kind, rd, rs1, op2)| Instr::Load { kind, rd, rs1, op2 }),
+        (
+            proptest::sample::select(StoreKind::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_op2()
+        )
+            .prop_map(|(kind, rs, rs1, op2)| Instr::Store { kind, rs, rs1, op2 }),
+        (arb_freg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::LoadF { rd, rs1, op2 }),
+        (arb_freg(), arb_reg(), arb_op2()).prop_map(|(rs, rs1, op2)| Instr::StoreF { rs, rs1, op2 }),
+        (arb_fp_op(), arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Fpu { op, rd, rs1, rs2 }),
+        (arb_freg(), arb_freg()).prop_map(|(rs1, rs2)| Instr::FCmp { rs1, rs2 }),
+        (arb_icond(), -(1i32 << 21)..(1 << 21)).prop_map(|(cond, disp)| Instr::Branch { cond, disp }),
+        (arb_fcond(), -(1i32 << 21)..(1 << 21))
+            .prop_map(|(cond, disp)| Instr::BranchF { cond, disp }),
+        (arb_rcond(), arb_reg(), -(1i32 << 15)..(1 << 15))
+            .prop_map(|(cond, rs1, disp)| Instr::BranchReg { cond, rs1, disp }),
+        (-(1i32 << 29)..(1 << 29)).prop_map(|disp| Instr::Call { disp }),
+        (arb_reg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::Jmpl { rd, rs1, op2 }),
+        arb_dyser().prop_map(Instr::Dyser),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (0u16..4096).prop_map(|code| Instr::SimCall { code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let word = encode(&instr);
+        let back = decode(word).expect("encoded instructions must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_encode_is_identity(word in any::<u32>()) {
+        // Not every word decodes; but whenever it does, re-encoding must
+        // reproduce the exact bits that matter (we require full equality,
+        // which also guarantees reserved fields are preserved as zero).
+        if let Ok(instr) = decode(word) {
+            let reencoded = encode(&instr);
+            let back = decode(reencoded).expect("re-encoded word must decode");
+            prop_assert_eq!(back, instr);
+        }
+    }
+
+    #[test]
+    fn display_never_empty(instr in arb_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    #[test]
+    fn assembler_program_roundtrip(count in 1usize..40, seed in any::<u64>()) {
+        // Build a straight-line program of `count` nops with one backward
+        // branch; the resolved displacement must equal the label distance.
+        let mut asm = Assembler::new();
+        asm.label("top");
+        for _ in 0..count {
+            asm.push(Instr::Nop);
+        }
+        let cond = ICond::ALL[(seed % 16) as usize];
+        asm.branch(cond, "top");
+        let prog = asm.resolve().unwrap();
+        match prog.last().unwrap() {
+            Instr::Branch { disp, .. } => prop_assert_eq!(*disp as i64, -(count as i64)),
+            other => prop_assert!(false, "expected branch, got {}", other),
+        }
+    }
+
+    #[test]
+    fn alu_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        let (sum, _) = AluOp::Add.eval(a, b);
+        let (diff, _) = AluOp::Sub.eval(sum, b);
+        prop_assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn alu_cc_comparisons_agree_with_rust(a in any::<i64>(), b in any::<i64>()) {
+        let (_, icc) = AluOp::SubCc.eval(a as u64, b as u64);
+        let icc = icc.unwrap();
+        prop_assert_eq!(ICond::Lt.eval(icc), a < b);
+        prop_assert_eq!(ICond::Eq.eval(icc), a == b);
+        prop_assert_eq!(ICond::Gt.eval(icc), a > b);
+        prop_assert_eq!(ICond::Ltu.eval(icc), (a as u64) < (b as u64));
+    }
+}

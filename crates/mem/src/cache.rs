@@ -1,0 +1,258 @@
+//! A timing-only set-associative cache model.
+//!
+//! The cache tracks tags, dirtiness, and true-LRU recency; it does not hold
+//! data (the functional store is [`crate::Memory`]). An access reports
+//! whether it hit and whether a dirty victim was evicted; the
+//! [`crate::Hierarchy`] turns those outcomes into latencies.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access hit in this level.
+    pub hit: bool,
+    /// A dirty line was evicted to make room (miss only).
+    pub evicted_dirty: bool,
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic recency stamp; larger = more recent.
+    stamp: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with true LRU.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Option<Line>>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if any
+    /// dimension is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways > 0, "associativity must be non-zero");
+        Cache {
+            config,
+            sets: vec![vec![None; config.ways]; config.sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The line-aligned address of the line containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes - 1)
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes;
+        let set = (line as usize) & (self.config.sets - 1);
+        let tag = line / self.config.sets as u64;
+        (set, tag)
+    }
+
+    /// Performs one access, allocating the line on a miss.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().flatten().find(|l| l.tag == tag) {
+            line.stamp = self.tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return AccessOutcome { hit: true, evicted_dirty: false };
+        }
+
+        self.stats.misses += 1;
+        // Prefer an invalid way; otherwise evict the least recently used.
+        let victim = match set.iter().position(Option::is_none) {
+            Some(idx) => idx,
+            None => {
+                let (idx, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.map(|l| l.stamp).unwrap_or(0))
+                    .expect("associativity is non-zero");
+                idx
+            }
+        };
+        let evicted_dirty = set[victim].is_some_and(|l| l.dirty);
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        set[victim] = Some(Line { tag, dirty: write, stamp: self.tick });
+        AccessOutcome { hit: false, evicted_dirty }
+    }
+
+    /// Whether the line containing `addr` is currently resident (no state
+    /// change; useful for tests and warm-up checks).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().flatten().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates all lines and forgets dirtiness (no writeback modelling;
+    /// used between benchmark runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { sets: 4, ways: 2, line_bytes: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x10F, false).hit, "same line");
+        assert!(!c.access(0x110, false).hit, "next line");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = sets*line = 64).
+        let (a, b, d) = (0x000, 0x040, 0x080);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now most recent
+        c.access(d, false); // evicts b (LRU)
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small();
+        let (a, b, d) = (0x000, 0x040, 0x080);
+        c.access(a, true); // dirty
+        c.access(b, false);
+        let out = c.access(d, false); // evicts a (LRU, dirty)
+        assert!(out.evicted_dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        let (a, b, d) = (0x000, 0x040, 0x080);
+        c.access(a, false);
+        c.access(a, true); // dirty via write hit
+        c.access(b, false);
+        c.access(b, false); // b most recent; a is LRU
+        let out = c.access(d, false);
+        assert!(out.evicted_dirty, "write-hit dirtied the line");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.access(i * 8, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(s.miss_rate() > 0.0 && s.miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = small();
+        c.access(0, false);
+        assert!(c.probe(0));
+        c.flush();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn capacity() {
+        let cfg = CacheConfig { sets: 64, ways: 4, line_bytes: 32, hit_latency: 1 };
+        assert_eq!(cfg.capacity(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { sets: 3, ways: 1, line_bytes: 16, hit_latency: 1 });
+    }
+}

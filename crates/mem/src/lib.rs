@@ -1,0 +1,43 @@
+//! # dyser-mem
+//!
+//! Memory substrate for the SPARC-DySER simulator.
+//!
+//! The prototype runs on an FPGA board with the OpenSPARC T1's simple
+//! blocking memory system; this crate rebuilds that substrate at the
+//! abstraction level the evaluation needs:
+//!
+//! * [`Memory`] — the *functional* store: a sparse, paged, big-endian
+//!   physical memory (SPARC is big-endian),
+//! * [`Cache`] — a *timing-only* set-associative write-back cache model
+//!   with LRU replacement,
+//! * [`Hierarchy`] — L1I + L1D + unified L2 + fixed-latency DRAM, with
+//!   per-level access statistics.
+//!
+//! Functional data and timing are deliberately split: all loads and stores
+//! read/write [`Memory`] immediately, while the caches only compute the
+//! latency and maintain tag state. This is the standard
+//! functional-first/timing-second simulator organisation and keeps the two
+//! concerns independently testable.
+//!
+//! ```
+//! use dyser_mem::{Hierarchy, MemConfig, Memory};
+//!
+//! let mut mem = Memory::new();
+//! mem.write_u64(0x1000, 42);
+//! assert_eq!(mem.read_u64(0x1000), 42);
+//!
+//! let mut hier = Hierarchy::new(MemConfig::default());
+//! let cold = hier.load(0x1000);
+//! let warm = hier.load(0x1000);
+//! assert!(cold > warm, "second access hits in L1");
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod cache;
+pub mod hierarchy;
+pub mod memory;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, MemConfig, MemStats};
+pub use memory::Memory;

@@ -1,0 +1,219 @@
+//! The functional physical memory: sparse, paged, big-endian.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, paged, big-endian physical memory.
+///
+/// Pages are allocated on first touch and read as zero before that, which
+/// matches the simulator's zero-initialised DRAM. All multi-byte accessors
+/// are big-endian, as on SPARC; unaligned accesses are permitted (the
+/// timing model charges them as a single access — the measured kernels are
+/// fully aligned).
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages that have been touched.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        page[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    fn read_be(&self, addr: u64, bytes: u32) -> u64 {
+        let mut v = 0u64;
+        for i in 0..bytes {
+            v = (v << 8) | u64::from(self.read_u8(addr.wrapping_add(u64::from(i))));
+        }
+        v
+    }
+
+    fn write_be(&mut self, addr: u64, bytes: u32, value: u64) {
+        for i in 0..bytes {
+            let shift = 8 * (bytes - 1 - i);
+            self.write_u8(addr.wrapping_add(u64::from(i)), (value >> shift) as u8);
+        }
+    }
+
+    /// Reads a big-endian 16-bit value.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_be(addr, 2) as u16
+    }
+
+    /// Writes a big-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_be(addr, 2, u64::from(value));
+    }
+
+    /// Reads a big-endian 32-bit value.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_be(addr, 4) as u32
+    }
+
+    /// Writes a big-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_be(addr, 4, u64::from(value));
+    }
+
+    /// Reads a big-endian 64-bit value.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_be(addr, 8)
+    }
+
+    /// Writes a big-endian 64-bit value.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_be(addr, 8, value);
+    }
+
+    /// Reads a double stored as a 64-bit big-endian word.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes a double as a 64-bit big-endian word.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Writes a slice of 64-bit words contiguously starting at `addr`.
+    pub fn write_u64_slice(&mut self, addr: u64, words: &[u64]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, *w);
+        }
+    }
+
+    /// Reads `len` contiguous 64-bit words starting at `addr`.
+    pub fn read_u64_slice(&self, addr: u64, len: usize) -> Vec<u64> {
+        (0..len).map(|i| self.read_u64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Writes a slice of doubles contiguously starting at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` contiguous doubles starting at `addr`.
+    pub fn read_f64_slice(&self, addr: u64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Writes a program image (32-bit instruction words) starting at `addr`.
+    pub fn write_code(&mut self, addr: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(0), 0);
+        assert_eq!(mem.read_u8(0xFFFF_FFFF_FFFF), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn readback_u64() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x100, 0x0123_4567_89AB_CDEF);
+        assert_eq!(mem.read_u64(0x100), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn big_endian_byte_order() {
+        let mut mem = Memory::new();
+        mem.write_u32(0, 0x1122_3344);
+        assert_eq!(mem.read_u8(0), 0x11, "most significant byte first");
+        assert_eq!(mem.read_u8(3), 0x44);
+        assert_eq!(mem.read_u16(1), 0x2233);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << 12) - 4; // straddles the first page boundary
+        mem.write_u64(addr, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(mem.read_u64(addr), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_f64(0x80, -3.75);
+        assert_eq!(mem.read_f64(0x80), -3.75);
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut mem = Memory::new();
+        let ws = [1u64, 2, 3, u64::MAX];
+        mem.write_u64_slice(0x1000, &ws);
+        assert_eq!(mem.read_u64_slice(0x1000, 4), ws);
+        let fs = [0.5, -1.5, 2.25];
+        mem.write_f64_slice(0x2000, &fs);
+        assert_eq!(mem.read_f64_slice(0x2000, 3), fs);
+        mem.write_bytes(0x3000, &[9, 8, 7]);
+        assert_eq!(mem.read_bytes(0x3000, 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn code_image() {
+        let mut mem = Memory::new();
+        mem.write_code(0x4000, &[0xDEAD_BEEF, 0x0BAD_F00D]);
+        assert_eq!(mem.read_u32(0x4000), 0xDEAD_BEEF);
+        assert_eq!(mem.read_u32(0x4004), 0x0BAD_F00D);
+    }
+
+    #[test]
+    fn overwrite() {
+        let mut mem = Memory::new();
+        mem.write_u64(0, 1);
+        mem.write_u64(0, 2);
+        assert_eq!(mem.read_u64(0), 2);
+    }
+}

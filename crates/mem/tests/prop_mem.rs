@@ -1,0 +1,72 @@
+//! Property tests for the memory substrate.
+
+use dyser_mem::{Cache, CacheConfig, Hierarchy, MemConfig, Memory};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn memory_readback_u64(writes in proptest::collection::vec((0u64..0x10_0000, any::<u64>()), 1..50)) {
+        let mut mem = Memory::new();
+        // Align to 8 so later writes can't partially overlap earlier ones
+        // in a way the model under test shouldn't have to disambiguate.
+        let mut last = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let a = addr & !7;
+            mem.write_u64(a, *val);
+            last.insert(a, *val);
+        }
+        for (a, v) in last {
+            prop_assert_eq!(mem.read_u64(a), v);
+        }
+    }
+
+    #[test]
+    fn memory_bytes_compose_words(addr in 0u64..0x1_0000, val in any::<u64>()) {
+        let mut mem = Memory::new();
+        mem.write_u64(addr, val);
+        let mut rebuilt = 0u64;
+        for i in 0..8 {
+            rebuilt = (rebuilt << 8) | u64::from(mem.read_u8(addr + i));
+        }
+        prop_assert_eq!(rebuilt, val, "big-endian byte composition");
+    }
+
+    #[test]
+    fn cache_counters_are_consistent(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+        let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, line_bytes: 32, hit_latency: 1 });
+        for (i, a) in addrs.iter().enumerate() {
+            c.access(*a, i % 2 == 0);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.writebacks <= s.misses, "only misses can evict");
+    }
+
+    #[test]
+    fn cache_repeat_access_hits(addr in 0u64..0x10_0000) {
+        let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, line_bytes: 32, hit_latency: 1 });
+        c.access(addr, false);
+        prop_assert!(c.access(addr, false).hit);
+    }
+
+    #[test]
+    fn hierarchy_latency_is_bounded(addrs in proptest::collection::vec(0u64..0x10_0000, 1..100)) {
+        let cfg = MemConfig::default();
+        let max = cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.dram_latency;
+        let mut h = Hierarchy::new(cfg);
+        for a in addrs {
+            let lat = h.load(a);
+            prop_assert!(lat >= cfg.l1d.hit_latency && lat <= max, "latency {lat} out of bounds");
+        }
+    }
+
+    #[test]
+    fn hierarchy_is_deterministic(addrs in proptest::collection::vec(0u64..0x10_0000, 1..100)) {
+        let mut h1 = Hierarchy::new(MemConfig::tiny());
+        let mut h2 = Hierarchy::new(MemConfig::tiny());
+        for a in &addrs {
+            prop_assert_eq!(h1.load(*a), h2.load(*a));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The memory interface seen by the pipeline.
+//!
+//! [`Bus`] unifies the functional and timing views: every access returns
+//! both the data and the number of cycles the (blocking) access takes.
+//! The system crate implements it over the real cache hierarchy;
+//! [`SimpleBus`] provides a fixed-latency implementation for unit tests.
+
+use dyser_mem::Memory;
+
+/// The pipeline's view of the memory system.
+pub trait Bus {
+    /// Fetches a 32-bit instruction word; returns `(word, latency_cycles)`.
+    fn fetch_instr(&mut self, addr: u64) -> (u32, u64);
+
+    /// Loads `bytes` bytes (1, 4, or 8), optionally sign-extending;
+    /// returns `(value, latency_cycles)`.
+    fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64);
+
+    /// Stores the low `bytes` bytes of `value`; returns the latency.
+    fn store(&mut self, addr: u64, bytes: u64, value: u64) -> u64;
+}
+
+/// Helper shared by `Bus` implementations: a sized, optionally
+/// sign-extended read from a [`Memory`].
+pub fn read_sized(mem: &Memory, addr: u64, bytes: u64, signed: bool) -> u64 {
+    match (bytes, signed) {
+        (8, _) => mem.read_u64(addr),
+        (4, false) => u64::from(mem.read_u32(addr)),
+        (4, true) => mem.read_u32(addr) as i32 as i64 as u64,
+        (1, false) => u64::from(mem.read_u8(addr)),
+        (1, true) => mem.read_u8(addr) as i8 as i64 as u64,
+        _ => panic!("unsupported access width {bytes}"),
+    }
+}
+
+/// Helper shared by `Bus` implementations: a sized write to a [`Memory`].
+pub fn write_sized(mem: &mut Memory, addr: u64, bytes: u64, value: u64) {
+    match bytes {
+        8 => mem.write_u64(addr, value),
+        4 => mem.write_u32(addr, value as u32),
+        1 => mem.write_u8(addr, value as u8),
+        _ => panic!("unsupported access width {bytes}"),
+    }
+}
+
+/// A flat memory with fixed access latencies; used in unit tests and as
+/// the "perfect cache" ablation substrate.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleBus {
+    memory: Memory,
+    /// Latency of every instruction fetch.
+    pub fetch_latency: u64,
+    /// Latency of every data access.
+    pub data_latency: u64,
+}
+
+impl SimpleBus {
+    /// Creates a bus with 1-cycle accesses.
+    pub fn new() -> Self {
+        SimpleBus { memory: Memory::new(), fetch_latency: 1, data_latency: 1 }
+    }
+
+    /// The underlying functional memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to the underlying functional memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+}
+
+impl Bus for SimpleBus {
+    fn fetch_instr(&mut self, addr: u64) -> (u32, u64) {
+        (self.memory.read_u32(addr), self.fetch_latency)
+    }
+
+    fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64) {
+        (read_sized(&self.memory, addr, bytes, signed), self.data_latency)
+    }
+
+    fn store(&mut self, addr: u64, bytes: u64, value: u64) -> u64 {
+        write_sized(&mut self.memory, addr, bytes, value);
+        self.data_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_reads() {
+        let mut mem = Memory::new();
+        mem.write_u64(0, 0xFFFF_FFFF_8000_0001);
+        assert_eq!(read_sized(&mem, 0, 8, false), 0xFFFF_FFFF_8000_0001);
+        assert_eq!(read_sized(&mem, 4, 4, false), 0x8000_0001);
+        assert_eq!(read_sized(&mem, 4, 4, true), 0x8000_0001u32 as i32 as i64 as u64);
+        assert_eq!(read_sized(&mem, 4, 1, false), 0x80);
+        assert_eq!(read_sized(&mem, 4, 1, true), 0x80u8 as i8 as i64 as u64);
+    }
+
+    #[test]
+    fn sized_writes() {
+        let mut mem = Memory::new();
+        write_sized(&mut mem, 0, 8, 0x1122_3344_5566_7788);
+        write_sized(&mut mem, 0, 1, 0xAA);
+        assert_eq!(mem.read_u64(0), 0xAA22_3344_5566_7788);
+        write_sized(&mut mem, 4, 4, 0xDEAD_BEEF);
+        assert_eq!(mem.read_u32(4), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn simple_bus_roundtrip() {
+        let mut bus = SimpleBus::new();
+        let lat = bus.store(0x100, 8, 42);
+        assert_eq!(lat, 1);
+        let (v, lat) = bus.load(0x100, 8, false);
+        assert_eq!((v, lat), (42, 1));
+    }
+}

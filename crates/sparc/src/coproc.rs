@@ -1,0 +1,122 @@
+//! The coprocessor interface: how the pipeline talks to DySER.
+//!
+//! The prototype exposes the fabric at the decode/execute boundary of the
+//! OpenSPARC pipeline; here that boundary is the [`Coproc`] trait. The
+//! system crate implements it over the real fabric; [`NullCoproc`] stands
+//! in when no accelerator is attached (the pure-baseline configuration of
+//! experiment E10).
+
+/// Errors a coprocessor operation can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoprocError {
+    /// `dinit` named a configuration that is not in the program's table.
+    UnknownConfig {
+        /// The requested table index.
+        config: usize,
+    },
+    /// A configuration failed to load into the fabric.
+    LoadFailed {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A DySER instruction executed with no accelerator attached.
+    NoAccelerator,
+}
+
+impl std::fmt::Display for CoprocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoprocError::UnknownConfig { config } => {
+                write!(f, "dinit references unknown configuration {config}")
+            }
+            CoprocError::LoadFailed { reason } => write!(f, "configuration load failed: {reason}"),
+            CoprocError::NoAccelerator => write!(f, "DySER instruction with no accelerator"),
+        }
+    }
+}
+
+impl std::error::Error for CoprocError {}
+
+/// The pipeline's view of the DySER accelerator.
+pub trait Coproc {
+    /// Tries to enqueue a value on input port `port`; `false` means the
+    /// FIFO is full and the pipeline must stall and retry.
+    fn cp_send(&mut self, port: usize, value: u64) -> bool;
+
+    /// Tries to dequeue a value from output port `port`; `None` means no
+    /// result is ready yet.
+    fn cp_recv(&mut self, port: usize) -> Option<u64>;
+
+    /// Begins loading configuration `config`; returns the number of stall
+    /// cycles (zero if it is already the active configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration does not exist or cannot load.
+    fn cp_init(&mut self, config: usize) -> Result<u64, CoprocError>;
+
+    /// Number of values in flight inside the accelerator (`dfence` waits
+    /// for zero).
+    fn cp_in_flight(&self) -> usize;
+
+    /// The scalar input ports behind vector input port `vp`.
+    fn cp_vec_in(&self, vp: usize) -> Vec<usize>;
+
+    /// The scalar output ports behind vector output port `vp`.
+    fn cp_vec_out(&self, vp: usize) -> Vec<usize>;
+}
+
+/// A coprocessor that is not there: every operation fails.
+///
+/// Baseline binaries contain no DySER instructions, so none of these
+/// methods is ever called when simulating the unaccelerated system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCoproc;
+
+impl Coproc for NullCoproc {
+    fn cp_send(&mut self, _port: usize, _value: u64) -> bool {
+        false
+    }
+
+    fn cp_recv(&mut self, _port: usize) -> Option<u64> {
+        None
+    }
+
+    fn cp_init(&mut self, _config: usize) -> Result<u64, CoprocError> {
+        Err(CoprocError::NoAccelerator)
+    }
+
+    fn cp_in_flight(&self) -> usize {
+        0
+    }
+
+    fn cp_vec_in(&self, _vp: usize) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn cp_vec_out(&self, _vp: usize) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_coproc_refuses_everything() {
+        let mut c = NullCoproc;
+        assert!(!c.cp_send(0, 1));
+        assert_eq!(c.cp_recv(0), None);
+        assert_eq!(c.cp_init(0), Err(CoprocError::NoAccelerator));
+        assert_eq!(c.cp_in_flight(), 0);
+        assert!(c.cp_vec_in(0).is_empty());
+        assert!(c.cp_vec_out(0).is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CoprocError::UnknownConfig { config: 3 }.to_string().contains('3'));
+        assert!(!CoprocError::NoAccelerator.to_string().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # dyser-sparc
+//!
+//! A cycle-level timing model of an OpenSPARC-T1-like core: in-order,
+//! single-issue, with SPARC delay-slot semantics — the baseline processor
+//! the DySER prototype integrates into.
+//!
+//! The model is a timed state machine rather than a stage-by-stage RTL
+//! mirror: each [`Pipeline::tick`] advances exactly one cycle, charging
+//! the stall sources that dominate an in-order scalar core (and that the
+//! ISPASS 2015 evaluation measures):
+//!
+//! * instruction-cache and data-cache miss latency (blocking),
+//! * load-use interlock (one bubble),
+//! * taken-branch bubbles beyond the delay slot,
+//! * long-latency integer multiply/divide and floating-point operations,
+//! * DySER interface stalls: sends into a full port FIFO, receives from an
+//!   empty one, configuration loads, and `dfence` drains.
+//!
+//! The core talks to memory through the [`Bus`] trait and to the DySER
+//! fabric through the [`Coproc`] trait, so the pipeline is testable in
+//! isolation (see [`SimpleBus`] and [`NullCoproc`]) and composable by the
+//! system crate, which wires in the real cache hierarchy and fabric.
+//!
+//! ```
+//! use dyser_sparc::{NullCoproc, Pipeline, SimpleBus};
+//! use dyser_isa::{Assembler, Instr, AluOp, Op2, regs};
+//!
+//! let mut asm = Assembler::new();
+//! asm.push(Instr::mov_imm(regs::O0, 40));
+//! asm.push(Instr::alu(AluOp::Add, regs::O0, regs::O0, Op2::Imm(2)));
+//! asm.push(Instr::Halt);
+//! let words = asm.assemble()?;
+//!
+//! let mut bus = SimpleBus::new();
+//! bus.memory_mut().write_code(0x1000, &words);
+//! let mut cpu = Pipeline::new(0x1000);
+//! cpu.run(&mut bus, &mut NullCoproc, 1_000)?;
+//! assert_eq!(cpu.regs().read(regs::O0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod bus;
+pub mod coproc;
+pub mod pipeline;
+pub mod regfile;
+pub mod stats;
+
+pub use bus::{Bus, SimpleBus};
+pub use coproc::{Coproc, NullCoproc};
+pub use pipeline::{CoreError, Pipeline};
+pub use regfile::{FRegFile, RegFile};
+pub use stats::{CoreStats, StallCause};

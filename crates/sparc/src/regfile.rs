@@ -1,0 +1,106 @@
+//! Architectural register files.
+
+use dyser_isa::{FReg, Reg};
+
+/// The integer register file. `%g0` reads as zero and ignores writes.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    regs: [u64; Reg::COUNT],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile { regs: [0; Reg::COUNT] }
+    }
+}
+
+impl RegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register (`%g0` is always zero).
+    pub fn read(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to `%g0` are discarded).
+    pub fn write(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+}
+
+/// The floating-point register file (64-bit doubles, bit-punned).
+#[derive(Debug, Clone)]
+pub struct FRegFile {
+    regs: [u64; FReg::COUNT],
+}
+
+impl Default for FRegFile {
+    fn default() -> Self {
+        FRegFile { regs: [0; FReg::COUNT] }
+    }
+}
+
+impl FRegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register's raw bits.
+    pub fn read(&self, r: FReg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register's raw bits.
+    pub fn write(&mut self, r: FReg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Reads a register as a double.
+    pub fn read_f64(&self, r: FReg) -> f64 {
+        f64::from_bits(self.read(r))
+    }
+
+    /// Writes a register as a double.
+    pub fn write_f64(&mut self, r: FReg, value: f64) {
+        self.write(r, value.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyser_isa::regs;
+
+    #[test]
+    fn g0_is_hardwired_zero() {
+        let mut rf = RegFile::new();
+        rf.write(regs::G0, 123);
+        assert_eq!(rf.read(regs::G0), 0);
+    }
+
+    #[test]
+    fn readback() {
+        let mut rf = RegFile::new();
+        rf.write(regs::O3, 77);
+        assert_eq!(rf.read(regs::O3), 77);
+        assert_eq!(rf.read(regs::O4), 0);
+    }
+
+    #[test]
+    fn fp_double_view() {
+        let mut rf = FRegFile::new();
+        rf.write_f64(FReg::new(2), -1.25);
+        assert_eq!(rf.read_f64(FReg::new(2)), -1.25);
+        assert_eq!(rf.read(FReg::new(2)), (-1.25f64).to_bits());
+    }
+}

@@ -1,0 +1,173 @@
+//! Core execution statistics: cycle counts, dynamic instruction counts by
+//! class, and a stall breakdown by cause — the raw material of the
+//! evaluation's instruction-reduction (E5) and overhead (E10) exhibits.
+
+use dyser_isa::InstrClass;
+
+/// The causes a cycle can stall for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Instruction-cache miss.
+    ICache,
+    /// Data-cache miss (blocking load/store).
+    DCache,
+    /// Load-use interlock.
+    LoadUse,
+    /// Taken-branch bubbles beyond the delay slot.
+    Branch,
+    /// Long-latency integer multiply/divide occupancy.
+    IntMulDiv,
+    /// Floating-point occupancy.
+    Fp,
+    /// DySER send into a full input FIFO.
+    DyserSend,
+    /// DySER receive from an empty output FIFO.
+    DyserRecv,
+    /// DySER configuration load.
+    DyserConfig,
+    /// `dfence` waiting for the fabric to drain.
+    DyserFence,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub const ALL: [StallCause; 10] = [
+        StallCause::ICache,
+        StallCause::DCache,
+        StallCause::LoadUse,
+        StallCause::Branch,
+        StallCause::IntMulDiv,
+        StallCause::Fp,
+        StallCause::DyserSend,
+        StallCause::DyserRecv,
+        StallCause::DyserConfig,
+        StallCause::DyserFence,
+    ];
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::ICache => "icache",
+            StallCause::DCache => "dcache",
+            StallCause::LoadUse => "load-use",
+            StallCause::Branch => "branch",
+            StallCause::IntMulDiv => "int-muldiv",
+            StallCause::Fp => "fp",
+            StallCause::DyserSend => "dyser-send",
+            StallCause::DyserRecv => "dyser-recv",
+            StallCause::DyserConfig => "dyser-config",
+            StallCause::DyserFence => "dyser-fence",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::ICache => 0,
+            StallCause::DCache => 1,
+            StallCause::LoadUse => 2,
+            StallCause::Branch => 3,
+            StallCause::IntMulDiv => 4,
+            StallCause::Fp => 5,
+            StallCause::DyserSend => 6,
+            StallCause::DyserRecv => 7,
+            StallCause::DyserConfig => 8,
+            StallCause::DyserFence => 9,
+        }
+    }
+}
+
+/// Accumulated core statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Retired instructions by class (indexed like [`InstrClass::ALL`]).
+    class_counts: [u64; 8],
+    /// Stall cycles by cause (indexed like [`StallCause::ALL`]).
+    stall_counts: [u64; 10],
+}
+
+impl CoreStats {
+    /// Records one retired instruction of the given class.
+    pub fn retire(&mut self, class: InstrClass) {
+        self.instructions += 1;
+        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in table");
+        self.class_counts[idx] += 1;
+    }
+
+    /// Records `cycles` stall cycles attributed to `cause`.
+    pub fn stall(&mut self, cause: StallCause, cycles: u64) {
+        self.stall_counts[cause.index()] += cycles;
+    }
+
+    /// Retired instructions of one class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in table");
+        self.class_counts[idx]
+    }
+
+    /// Stall cycles attributed to one cause.
+    pub fn stall_count(&self, cause: StallCause) -> u64 {
+        self.stall_counts[cause.index()]
+    }
+
+    /// Total stall cycles across all causes.
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_counts.iter().sum()
+    }
+
+    /// Cycles per instruction (0 when nothing retired).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_and_query() {
+        let mut s = CoreStats::default();
+        s.retire(InstrClass::IntAlu);
+        s.retire(InstrClass::IntAlu);
+        s.retire(InstrClass::Load);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.class_count(InstrClass::IntAlu), 2);
+        assert_eq!(s.class_count(InstrClass::Load), 1);
+        assert_eq!(s.class_count(InstrClass::Fp), 0);
+    }
+
+    #[test]
+    fn stalls_accumulate() {
+        let mut s = CoreStats::default();
+        s.stall(StallCause::DCache, 10);
+        s.stall(StallCause::DCache, 5);
+        s.stall(StallCause::Branch, 2);
+        assert_eq!(s.stall_count(StallCause::DCache), 15);
+        assert_eq!(s.total_stalls(), 17);
+    }
+
+    #[test]
+    fn cpi() {
+        let mut s = CoreStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        s.cycles = 20;
+        s.retire(InstrClass::IntAlu);
+        s.retire(InstrClass::IntAlu);
+        assert_eq!(s.cpi(), 10.0);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            StallCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), StallCause::ALL.len());
+    }
+}

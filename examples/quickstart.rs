@@ -1,0 +1,32 @@
+//! Quickstart: compile one kernel for both machines, run both, compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sparc_dyser::core::{run_kernel, RunConfig};
+use sparc_dyser::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels = suite();
+    let kernel = kernels.iter().find(|k| k.name == "poly6").expect("poly6 in suite");
+
+    // One call compiles the kernel twice (OpenSPARC baseline and
+    // SPARC-DySER), runs both on identically configured systems, and
+    // verifies both outputs against the reference implementation.
+    let mut config = RunConfig::default();
+    config.compiler = kernel.compiler_options(config.system.geometry);
+    let result = run_kernel(&kernel.case(512, 42), &config)?;
+
+    println!("{}", sparc_dyser::core::report::comparison(&result));
+    println!("dyser stall breakdown:");
+    println!("{}", sparc_dyser::core::report::stall_breakdown(&result.dyser));
+
+    for region in &result.regions {
+        println!(
+            "region {} : {} fabric ops, {} in / {} out ports",
+            region.name, region.compute_ops, region.inputs, region.outputs
+        );
+    }
+    Ok(())
+}

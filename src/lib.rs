@@ -1,0 +1,45 @@
+//! # sparc-dyser
+//!
+//! An end-to-end reproduction of the SPARC-DySER prototype system
+//! evaluated in *"Performance evaluation of a DySER FPGA prototype system
+//! spanning the compiler, microarchitecture, and hardware implementation"*
+//! (ISPASS 2015): the DySER coarse-grained reconfigurable fabric
+//! integrated into an OpenSPARC-T1-like core, with its co-designed
+//! compiler, rebuilt as a cycle-level simulation stack in Rust.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`isa`] — the SPARC-flavoured ISA with the DySER extension,
+//! * [`mem`] — functional memory and the blocking cache hierarchy,
+//! * [`fabric`] — the cycle-level DySER fabric model,
+//! * [`sparc`] — the in-order pipeline timing model,
+//! * [`compiler`] — the co-designed compiler (SSA IR → SPARC+DySER),
+//! * [`core`] — the integrated system and experiment harness,
+//! * [`energy`] — the activity-based power/energy model,
+//! * [`workloads`] — the benchmark suite and manual DySER mappings.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sparc_dyser::core::{run_kernel, RunConfig};
+//! use sparc_dyser::workloads::suite;
+//!
+//! let kernels = suite();
+//! let saxpy = kernels.iter().find(|k| k.name == "saxpy").unwrap();
+//! let mut config = RunConfig::default();
+//! config.compiler = saxpy.compiler_options(config.system.geometry);
+//! let result = run_kernel(&saxpy.case(64, 42), &config)?;
+//! assert!(result.speedup > 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+
+#![warn(missing_docs)]
+pub use dyser_compiler as compiler;
+pub use dyser_core as core;
+pub use dyser_energy as energy;
+pub use dyser_fabric as fabric;
+pub use dyser_isa as isa;
+pub use dyser_mem as mem;
+pub use dyser_sparc as sparc;
+pub use dyser_workloads as workloads;

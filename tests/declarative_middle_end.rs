@@ -1,0 +1,48 @@
+//! The declarative middle-end override: a custom pass combination drives
+//! the whole compilation, and the result still verifies end to end.
+
+use sparc_dyser::compiler::{CompilerOptions, PassSpec};
+use sparc_dyser::core::{run_kernel, RunConfig};
+use sparc_dyser::workloads::suite;
+
+#[test]
+fn custom_pass_combination_compiles_and_verifies() {
+    let kernels = suite();
+    let k = kernels.iter().find(|k| k.name == "saxpy").unwrap();
+    for spec_text in [
+        "ifconv, licm, cleanup, unroll(4), cleanup",
+        "cleanup, unroll(2)",
+        "ifconv, cse, dce",
+        "licm",
+    ] {
+        let spec: PassSpec = spec_text.parse().unwrap();
+        let mut config = RunConfig::default();
+        config.compiler = CompilerOptions {
+            middle_end: Some(spec),
+            ..k.compiler_options(config.system.geometry)
+        };
+        let r = run_kernel(&k.case(37, 5), &config)
+            .unwrap_or_else(|e| panic!("spec `{spec_text}`: {e}"));
+        assert!(r.baseline.halted && r.dyser.halted, "spec `{spec_text}`");
+    }
+}
+
+#[test]
+fn declarative_default_matches_builtin_pipeline() {
+    // The spec equivalent of the built-in sequence produces the same
+    // accelerated cycle count.
+    let kernels = suite();
+    let k = kernels.iter().find(|k| k.name == "poly6").unwrap();
+    let mut builtin = RunConfig::default();
+    builtin.compiler = k.compiler_options(builtin.system.geometry);
+    let r1 = run_kernel(&k.case(64, 9), &builtin).unwrap();
+
+    let mut declared = RunConfig::default();
+    declared.compiler = CompilerOptions {
+        middle_end: Some("ifconv, licm, cleanup, unroll(4), cleanup".parse().unwrap()),
+        ..k.compiler_options(declared.system.geometry)
+    };
+    let r2 = run_kernel(&k.case(64, 9), &declared).unwrap();
+    assert_eq!(r1.dyser.cycles, r2.dyser.cycles);
+    assert_eq!(r1.baseline.cycles, r2.baseline.cycles);
+}

@@ -1,0 +1,39 @@
+//! The whole stack is deterministic: identical seeds produce identical
+//! binaries, identical cycle counts, and identical statistics.
+
+use sparc_dyser::core::{run_kernel, RunConfig};
+use sparc_dyser::workloads::suite;
+
+#[test]
+fn repeated_runs_are_cycle_identical() {
+    let kernels = suite();
+    for name in ["saxpy", "poly6", "find_first"] {
+        let k = kernels.iter().find(|k| k.name == name).unwrap();
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        let r1 = run_kernel(&k.case(64, 7), &config).unwrap();
+        let r2 = run_kernel(&k.case(64, 7), &config).unwrap();
+        assert_eq!(r1.baseline.cycles, r2.baseline.cycles, "{name}");
+        assert_eq!(r1.dyser.cycles, r2.dyser.cycles, "{name}");
+        assert_eq!(
+            r1.dyser.fabric.switch_hops, r2.dyser.fabric.switch_hops,
+            "{name}: fabric activity must be identical"
+        );
+        assert_eq!(r1.code_sizes, r2.code_sizes, "{name}: binaries must be identical");
+    }
+}
+
+#[test]
+fn compiled_binaries_are_bit_identical_across_compilations() {
+    let kernels = suite();
+    let k = kernels.iter().find(|k| k.name == "stencil3").unwrap();
+    let opts = k.compiler_options(sparc_dyser::fabric::FabricGeometry::new(8, 8));
+    let c1 = sparc_dyser::compiler::compile(&k.function(), &opts).unwrap();
+    let c2 = sparc_dyser::compiler::compile(&k.function(), &opts).unwrap();
+    assert_eq!(c1.baseline.code, c2.baseline.code);
+    assert_eq!(c1.accelerated.code, c2.accelerated.code);
+    assert_eq!(c1.accelerated.configs.len(), c2.accelerated.configs.len());
+    for (a, b) in c1.accelerated.configs.iter().zip(&c2.accelerated.configs) {
+        assert_eq!(a, b, "fabric configurations must be identical");
+    }
+}

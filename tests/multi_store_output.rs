@@ -1,0 +1,70 @@
+//! A compute value stored to two different arrays: the fabric produces it
+//! once per invocation, so the code generator must receive it into a
+//! register and perform both stores from there (two `dstore`s on one port
+//! would deadlock).
+
+use sparc_dyser::compiler::ir::interp::{interpret, InterpMem};
+use sparc_dyser::compiler::{compile, BinOp, CmpOp, CompilerOptions, FunctionBuilder, Type};
+use sparc_dyser::core::{run_program, RunConfig};
+
+const BUF_A: u64 = 0x20_0000;
+const BUF_C: u64 = 0x40_0000;
+const BUF_D: u64 = 0x50_0000;
+
+#[test]
+fn value_stored_twice_verifies() {
+    // c[i] = d[i] = a[i]*a[i] + 1
+    let mut b = FunctionBuilder::new(
+        "dup",
+        &[("a", Type::Ptr), ("c", Type::Ptr), ("d", Type::Ptr), ("n", Type::I64)],
+    );
+    let (a, c, d, n) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    let pa = b.gep(a, i, 8);
+    let x = b.load(pa, Type::I64);
+    let xx = b.bin(BinOp::Mul, x, x);
+    let v = b.bin(BinOp::Add, xx, one);
+    let pc = b.gep(c, i, 8);
+    let pd = b.gep(d, i, 8);
+    b.store(v, pc);
+    b.store(v, pd);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    let f = b.build().unwrap();
+
+    for unroll in [1usize, 4] {
+        let n = 27usize;
+        let input: Vec<u64> = (0..n as u64).map(|k| k * 3 + 1).collect();
+        let args = [BUF_A, BUF_C, BUF_D, n as u64];
+
+        let mut imem = InterpMem::new();
+        imem.write_u64_slice(BUF_A, &input);
+        interpret(&f, &args, &mut imem, 1_000_000).unwrap();
+        let want_c = imem.read_u64_slice(BUF_C, n);
+        let want_d = imem.read_u64_slice(BUF_D, n);
+
+        let opts = CompilerOptions { unroll_factor: unroll, ..CompilerOptions::default() };
+        let compiled = compile(&f, &opts).unwrap();
+        assert!(compiled.accelerated_any, "the region must still accelerate");
+
+        let init = vec![(BUF_A, input.clone())];
+        let want = vec![(BUF_C, want_c.clone()), (BUF_D, want_d.clone())];
+        let rc = RunConfig::default();
+        run_program("baseline", &compiled.baseline, &args, &init, &want, &rc)
+            .unwrap_or_else(|e| panic!("baseline unroll {unroll}: {e}"));
+        run_program("dyser", &compiled.accelerated, &args, &init, &want, &rc)
+            .unwrap_or_else(|e| panic!("dyser unroll {unroll}: {e}"));
+    }
+}

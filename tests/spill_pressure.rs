@@ -1,0 +1,145 @@
+//! Register-pressure stress: kernels with more simultaneously live values
+//! than the machine has registers force the linear-scan allocator down its
+//! spill paths (int and fp), and the results must still match the
+//! interpreter on both binaries.
+
+use sparc_dyser::compiler::ir::interp::{interpret, InterpMem};
+use sparc_dyser::compiler::{
+    compile, BinOp, CmpOp, CompilerOptions, Function, FunctionBuilder, Type, Value,
+};
+use sparc_dyser::core::{run_program, RunConfig};
+
+const BUF_A: u64 = 0x20_0000;
+const BUF_C: u64 = 0x40_0000;
+
+/// Loads `width` values up front, keeps them all live across a long chain,
+/// then combines everything — more than 18 live integers at once.
+fn wide_int_kernel(width: usize) -> Function {
+    let mut b = FunctionBuilder::new("wide", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    // `width` long-lived loads.
+    let lanes: Vec<Value> = (0..width)
+        .map(|k| {
+            let off = b.const_i(k as i64);
+            let idx = b.bin(BinOp::Add, i, off);
+            let p = b.gep(a, idx, 8);
+            b.load(p, Type::I64)
+        })
+        .collect();
+    // A chain that keeps every lane live until its final use.
+    let mut acc = lanes[0];
+    for (k, &lane) in lanes.iter().enumerate().skip(1) {
+        let rot = b.const_i((k % 7 + 1) as i64);
+        let shifted = b.bin(BinOp::Shl, lane, rot);
+        acc = b.bin(BinOp::Xor, acc, shifted);
+    }
+    // Re-touch all lanes in reverse, extending their live ranges across
+    // the whole chain above.
+    for &lane in lanes.iter().rev() {
+        acc = b.bin(BinOp::Add, acc, lane);
+    }
+    let pc = b.gep(c, i, 8);
+    b.store(acc, pc);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().unwrap()
+}
+
+/// Same idea over doubles: more than 30 live fp values.
+fn wide_fp_kernel(width: usize) -> Function {
+    let mut b = FunctionBuilder::new("widefp", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    let lanes: Vec<Value> = (0..width)
+        .map(|k| {
+            let off = b.const_i(k as i64);
+            let idx = b.bin(BinOp::Add, i, off);
+            let p = b.gep(a, idx, 8);
+            b.load(p, Type::F64)
+        })
+        .collect();
+    let mut acc = lanes[0];
+    for &lane in lanes.iter().skip(1) {
+        acc = b.bin(BinOp::Fmul, acc, lane);
+    }
+    for &lane in lanes.iter().rev() {
+        acc = b.bin(BinOp::Fadd, acc, lane);
+    }
+    let pc = b.gep(c, i, 8);
+    b.store(acc, pc);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().unwrap()
+}
+
+fn check(f: &Function, n: usize, width: usize, fp: bool) {
+    let total = n + width;
+    let a: Vec<u64> = if fp {
+        (0..total).map(|k| (1.0 + (k as f64) * 0.01).to_bits()).collect()
+    } else {
+        (0..total as u64).map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1).collect()
+    };
+    let args = [BUF_A, BUF_C, n as u64];
+
+    let mut imem = InterpMem::new();
+    imem.write_u64_slice(BUF_A, &a);
+    interpret(f, &args, &mut imem, 50_000_000).unwrap();
+    let expected = imem.read_u64_slice(BUF_C, n);
+
+    // No unrolling: pressure is already extreme; exercise both binaries.
+    let opts = CompilerOptions { unroll_factor: 1, ..CompilerOptions::default() };
+    let compiled = compile(f, &opts).unwrap();
+    assert!(
+        compiled.baseline.spill_slots > 1,
+        "this kernel must actually spill (got {} slots)",
+        compiled.baseline.spill_slots
+    );
+    let init = vec![(BUF_A, a)];
+    let want = vec![(BUF_C, expected)];
+    let rc = RunConfig::default();
+    run_program("baseline", &compiled.baseline, &args, &init, &want, &rc)
+        .unwrap_or_else(|e| panic!("baseline width {width}: {e}"));
+    run_program("dyser", &compiled.accelerated, &args, &init, &want, &rc)
+        .unwrap_or_else(|e| panic!("dyser width {width}: {e}"));
+}
+
+#[test]
+fn int_spills_are_correct() {
+    for width in [20usize, 26] {
+        let f = wide_int_kernel(width);
+        check(&f, 13, width, false);
+    }
+}
+
+#[test]
+fn fp_spills_are_correct() {
+    for width in [32usize, 40] {
+        let f = wide_fp_kernel(width);
+        check(&f, 9, width, true);
+    }
+}

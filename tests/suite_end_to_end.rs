@@ -1,0 +1,119 @@
+//! The central integration test: every kernel in the suite compiles both
+//! ways, runs on the cycle-level machine, and produces bit-exact outputs —
+//! on the default geometry and on a small one.
+
+use sparc_dyser::core::{run_kernel, RunConfig};
+use sparc_dyser::fabric::FabricGeometry;
+use sparc_dyser::workloads::{suite, Category};
+
+fn small_n(name: &str) -> usize {
+    match name {
+        "mm" => 6,
+        _ => 40,
+    }
+}
+
+#[test]
+fn every_kernel_verifies_on_the_default_geometry() {
+    for k in suite() {
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        let case = k.case(small_n(k.name), 11);
+        let result = run_kernel(&case, &config).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(result.baseline.halted && result.dyser.halted, "{}", k.name);
+        assert!(result.baseline.cycles > 0, "{}", k.name);
+    }
+}
+
+#[test]
+fn acceleratable_kernels_actually_accelerate() {
+    for k in suite() {
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        let case = k.case(small_n(k.name), 11);
+        let result = run_kernel(&case, &config).unwrap();
+        match k.name {
+            // Shape A and shape B loops must NOT be accelerated — the
+            // paper's compiler finding.
+            "find_first" | "cond_store" => {
+                assert!(!result.accelerated_any, "{} should stay on the core", k.name);
+                assert_eq!(result.baseline.cycles, result.dyser.cycles, "{}", k.name);
+            }
+            _ => {
+                assert!(result.accelerated_any, "{}: {:?}", k.name, result.regions);
+                assert!(result.dyser.fabric.fu_fires() > 0, "{}", k.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_kernels_speed_up_substantially_at_size() {
+    for k in suite().iter().filter(|k| k.category == Category::Micro) {
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        let case = k.case(256, 5);
+        let result = run_kernel(&case, &config).unwrap();
+        assert!(
+            result.speedup > 1.5,
+            "{}: expected a substantial speedup, got {:.2} (base {} vs dyser {})",
+            k.name,
+            result.speedup,
+            result.baseline.cycles,
+            result.dyser.cycles
+        );
+    }
+}
+
+#[test]
+fn suite_verifies_on_a_4x4_fabric() {
+    for k in suite() {
+        let mut config = RunConfig::default();
+        config.system.geometry = FabricGeometry::new(4, 4);
+        config.compiler = k.compiler_options(config.system.geometry);
+        // A smaller fabric may not fit an unroll-by-4 slice; degrade to 2.
+        config.compiler.unroll_factor = config.compiler.unroll_factor.min(2);
+        let case = k.case(small_n(k.name), 19);
+        run_kernel(&case, &config).unwrap_or_else(|e| panic!("{} on 4x4: {e}", k.name));
+    }
+}
+
+#[test]
+fn suite_verifies_on_an_asymmetric_fabric() {
+    // A 3x6 fabric: port maps, routing, and scheduling must not assume
+    // square geometries.
+    for k in suite().into_iter().filter(|k| k.category != Category::Irregular) {
+        let mut config = RunConfig::default();
+        config.system.geometry = FabricGeometry::new(3, 6);
+        config.compiler = k.compiler_options(config.system.geometry);
+        config.compiler.unroll_factor = config.compiler.unroll_factor.min(2);
+        let case = k.case(small_n(k.name), 13);
+        run_kernel(&case, &config).unwrap_or_else(|e| panic!("{} on 3x6: {e}", k.name));
+    }
+}
+
+#[test]
+fn different_seeds_still_verify() {
+    for seed in [1u64, 99, 31415] {
+        for k in suite().iter().filter(|k| k.category == Category::Regular) {
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            let case = k.case(small_n(k.name), seed);
+            run_kernel(&case, &config)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", k.name));
+        }
+    }
+}
+
+#[test]
+fn unroll_sweep_verifies() {
+    let kernels = suite();
+    let saxpy = kernels.iter().find(|k| k.name == "saxpy").unwrap();
+    for unroll in [1usize, 2, 4, 8] {
+        let mut config = RunConfig::default();
+        config.compiler = saxpy.compiler_options(config.system.geometry);
+        config.compiler.unroll_factor = unroll;
+        let case = saxpy.case(53, 2); // odd size exercises the epilogue
+        run_kernel(&case, &config).unwrap_or_else(|e| panic!("unroll {unroll}: {e}"));
+    }
+}

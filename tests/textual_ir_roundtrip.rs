@@ -1,0 +1,53 @@
+//! Every kernel in the suite survives a print -> parse round trip through
+//! the textual IR with identical semantics (checked by interpreting both
+//! forms on the kernel's own inputs).
+
+use sparc_dyser::compiler::ir::interp::{interpret, InterpMem};
+use sparc_dyser::compiler::ir::parser::parse_module;
+use sparc_dyser::compiler::Module;
+use sparc_dyser::workloads::suite;
+
+#[test]
+fn all_kernels_roundtrip_through_text() {
+    for k in suite() {
+        let n = if k.name == "mm" { 5 } else { 17 };
+        let case = k.case(n, 23);
+        let f0 = &case.function;
+
+        let text = f0.to_string();
+        let module = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{text}", k.name));
+        let f1 = module.function(f0.name()).expect("function name preserved");
+
+        let mut m0 = InterpMem::new();
+        for (addr, words) in &case.init {
+            m0.write_u64_slice(*addr, words);
+        }
+        let mut m1 = m0.clone();
+        let r0 = interpret(f0, &case.args, &mut m0, 50_000_000)
+            .unwrap_or_else(|e| panic!("{} original: {e}", k.name));
+        let r1 = interpret(f1, &case.args, &mut m1, 50_000_000)
+            .unwrap_or_else(|e| panic!("{} reparsed: {e}", k.name));
+        assert_eq!(r0.ret, r1.ret, "{}", k.name);
+        assert_eq!(r0.steps, r1.steps, "{}: step counts must match exactly", k.name);
+
+        for (addr, words) in &case.expected {
+            for (i, w) in words.iter().enumerate() {
+                let a = addr + 8 * i as u64;
+                assert_eq!(m1.read_u64(a), *w, "{} reparsed output at {a:#x}", k.name);
+                assert_eq!(m0.read_u64(a), *w, "{} original output at {a:#x}", k.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn module_of_all_kernels_parses_as_one_unit() {
+    let mut module = Module::new();
+    for k in suite() {
+        module.functions.push(k.function());
+    }
+    let text = module.to_string();
+    let reparsed = parse_module(&text).unwrap_or_else(|e| panic!("suite module: {e}"));
+    assert_eq!(reparsed.functions.len(), module.functions.len());
+}
