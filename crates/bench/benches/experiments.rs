@@ -1,23 +1,41 @@
-//! Criterion benches: one per reconstructed table/figure (E1–E10), timing
-//! the full simulation stack at reduced input sizes, plus component
+//! Dependency-free benches: one per reconstructed table/figure (E1–E10),
+//! timing the full simulation stack at reduced input sizes, plus component
 //! microbenches for the fabric and pipeline.
+//!
+//! This is a plain `harness = false` binary (run with `cargo bench`) using a
+//! small internal timing loop, so the workspace builds with no crates.io
+//! access. Each benchmark reports min/median/mean over a fixed number of
+//! timed iterations after a warmup pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use dyser_bench::experiments::{run_experiment_scaled, Scale};
 use dyser_fabric::{ConfigBuilder, Fabric, FabricGeometry, FuOp};
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    for id in dyser_bench::EXPERIMENT_IDS {
-        group.bench_function(id, |b| {
-            b.iter(|| run_experiment_scaled(id, Scale(0.08)));
-        });
+/// Times `f` for `iters` iterations (after one warmup call) and prints a
+/// criterion-style summary line.
+fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f()); // warmup
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
     }
-    group.finish();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!("{name:<28} min {min:>10.3} ms   median {median:>10.3} ms   mean {mean:>10.3} ms");
 }
 
-fn bench_fabric_throughput(c: &mut Criterion) {
+fn bench_experiments() {
+    for id in dyser_bench::EXPERIMENT_IDS {
+        bench(&format!("experiments/{id}"), 5, || run_experiment_scaled(id, Scale(0.08)));
+    }
+}
+
+fn bench_fabric_throughput() {
     // Steady-state fabric simulation speed: one adder at full occupancy.
     let geom = FabricGeometry::new(4, 4);
     let mut b = ConfigBuilder::new(geom);
@@ -27,47 +45,55 @@ fn bench_fabric_throughput(c: &mut Criterion) {
     b.output_value(s, 0);
     let config = b.build().unwrap();
 
-    c.bench_function("fabric_tick_1k", |bencher| {
-        bencher.iter(|| {
-            let mut fabric = Fabric::new(geom);
-            fabric.load_config(&config).unwrap();
-            let mut got = 0u64;
-            for i in 0..1000u64 {
-                while !fabric.try_send(0, i) {
-                    fabric.tick();
-                    while fabric.try_recv(0).is_some() {
-                        got += 1;
-                    }
-                }
-                let _ = fabric.try_send(1, 1);
+    bench("fabric_tick_1k", 50, || {
+        let mut fabric = Fabric::new(geom);
+        fabric.load_config(&config).unwrap();
+        let mut got = 0u64;
+        for i in 0..1000u64 {
+            while !fabric.try_send(0, i) {
                 fabric.tick();
                 while fabric.try_recv(0).is_some() {
                     got += 1;
                 }
             }
-            while got < 1000 {
-                fabric.tick();
-                while fabric.try_recv(0).is_some() {
-                    got += 1;
-                }
+            let _ = fabric.try_send(1, 1);
+            fabric.tick();
+            while fabric.try_recv(0).is_some() {
+                got += 1;
             }
-            got
-        });
+        }
+        while got < 1000 {
+            fabric.tick();
+            while fabric.try_recv(0).is_some() {
+                got += 1;
+            }
+        }
+        got
     });
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile() {
     // Compiler end-to-end latency on a representative kernel.
-    let kernel = dyser_workloads::suite()
-        .into_iter()
-        .find(|k| k.name == "poly6")
-        .unwrap();
+    let kernel = dyser_workloads::suite().into_iter().find(|k| k.name == "poly6").unwrap();
     let f = kernel.function();
     let opts = kernel.compiler_options(FabricGeometry::new(8, 8));
-    c.bench_function("compile_poly6", |bencher| {
-        bencher.iter(|| dyser_compiler::compile(&f, &opts).unwrap());
-    });
+    bench("compile_poly6", 20, || dyser_compiler::compile(&f, &opts).unwrap());
 }
 
-criterion_group!(benches, bench_experiments, bench_fabric_throughput, bench_compile);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes flags like `--bench`; a filter substring may also
+    // be given — honour it so `cargo bench fabric` works as expected.
+    let filter: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let wants = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+
+    if wants("experiments") {
+        bench_experiments();
+    }
+    if wants("fabric_tick_1k") {
+        bench_fabric_throughput();
+    }
+    if wants("compile_poly6") {
+        bench_compile();
+    }
+}

@@ -17,8 +17,7 @@ use std::collections::HashMap;
 use dyser_fabric::{
     BuildError, ConfigBuilder, FabricConfig, FabricGeometry, FuId, FuKind, FuOp, ValueId,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyser_rng::Rng64;
 
 use crate::dyser::region::Region;
 use crate::ir::{BinOp, CmpOp, Function, Inst, UnOp, Value};
@@ -292,7 +291,7 @@ pub fn schedule_region(
 
     // Random-restart refinement: hint a random subset of ops to random
     // compatible sites, keep improvements.
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Rng64::seed_from_u64(options.seed);
     let sites: Vec<FuId> = geometry.fus().collect();
     for _ in 0..options.refinement_rounds {
         let mut hints = HashMap::new();

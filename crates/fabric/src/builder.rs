@@ -486,10 +486,14 @@ impl<'a> Placer<'a> {
         if self.reg_owner.contains_key(&(goal_sw, goal_dir)) {
             return Err(BuildError::Unroutable { edge: format!("{label}: goal register busy") });
         }
-        let seeds: Vec<RouteState> = match self.signal_states.get(&signal) {
+        let mut seeds: Vec<RouteState> = match self.signal_states.get(&signal) {
             Some(states) if !states.is_empty() => states.iter().copied().collect(),
             _ => self.seed_states(signal)?,
         };
+        // HashSet iteration order varies between instances; the BFS breaks
+        // shortest-path ties by seed order, so sort to keep routing (and
+        // therefore every downstream cycle count) fully deterministic.
+        seeds.sort_unstable();
 
         let mut parent: HashMap<RouteState, Option<(RouteState, OutDir)>> = HashMap::new();
         let mut queue: VecDeque<RouteState> = VecDeque::new();

@@ -15,7 +15,7 @@ use crate::geom::{FabricGeometry, FuId, SwitchId};
 use crate::op::{FuKind, FuOp};
 
 /// A switch input line: where a value arrives from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InDir {
     /// From the north neighbour switch.
     North,

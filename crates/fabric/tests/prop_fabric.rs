@@ -1,10 +1,11 @@
-//! End-to-end property test: any random dataflow graph that the builder
+//! End-to-end randomized test: any random dataflow graph that the builder
 //! can place and route must, when executed on the cycle-level fabric,
 //! produce exactly the values a software interpretation of the graph
-//! produces — for every invocation in a pipelined stream.
+//! produces — for every invocation in a pipelined stream. Seeded with the
+//! in-workspace PRNG so the case set is identical on every run.
 
 use dyser_fabric::{ConfigBuilder, Fabric, FabricGeometry, FuOp, ValueId};
-use proptest::prelude::*;
+use dyser_rng::Rng64;
 
 /// Integer operations safe for randomized comparison (no FP rounding).
 const INT_OPS: [FuOp; 14] = [
@@ -31,21 +32,17 @@ struct RandomDfg {
     ops: Vec<(FuOp, Vec<usize>)>,
 }
 
-fn arb_dfg() -> impl Strategy<Value = RandomDfg> {
-    (1usize..=4, 1usize..=6).prop_flat_map(|(inputs, n_ops)| {
-        let mut op_strategies: Vec<BoxedStrategy<(FuOp, Vec<usize>)>> = Vec::new();
-        for i in 0..n_ops {
-            let avail = inputs + i; // nodes created before this op
-            let st = (0..INT_OPS.len(), proptest::collection::vec(0..avail, 3))
-                .prop_map(move |(op_idx, args)| {
-                    let op = INT_OPS[op_idx];
-                    (op, args[..op.arity()].to_vec())
-                })
-                .boxed();
-            op_strategies.push(st);
-        }
-        op_strategies.prop_map(move |ops| RandomDfg { inputs, ops })
-    })
+fn rand_dfg(rng: &mut Rng64) -> RandomDfg {
+    let inputs = rng.gen_range(1usize..5);
+    let n_ops = rng.gen_range(1usize..7);
+    let mut ops = Vec::with_capacity(n_ops);
+    for i in 0..n_ops {
+        let avail = inputs + i; // nodes created before this op
+        let op = INT_OPS[rng.gen_range(0..INT_OPS.len())];
+        let args: Vec<usize> = (0..op.arity()).map(|_| rng.gen_range(0..avail)).collect();
+        ops.push((op, args));
+    }
+    RandomDfg { inputs, ops }
 }
 
 fn interpret(dfg: &RandomDfg, input_vals: &[u64]) -> u64 {
@@ -57,11 +54,13 @@ fn interpret(dfg: &RandomDfg, input_vals: &[u64]) -> u64 {
     *vals.last().expect("at least one op")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn fabric_matches_interpreter() {
+    let mut rng = Rng64::seed_from_u64(0xFAB_0001);
+    for _ in 0..64 {
+        let dfg = rand_dfg(&mut rng);
+        let raw_inputs: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
 
-    #[test]
-    fn fabric_matches_interpreter(dfg in arb_dfg(), raw_inputs in proptest::collection::vec(any::<u64>(), 12)) {
         let geom = FabricGeometry::new(6, 6);
         let mut b = ConfigBuilder::with_kinds(
             geom,
@@ -78,14 +77,16 @@ proptest! {
 
         // Some random graphs exhaust routing resources; that is a capacity
         // outcome, not a correctness failure.
-        let Ok(config) = b.build() else { return Ok(()) };
+        let Ok(config) = b.build() else { continue };
 
         let mut fabric = Fabric::universal(geom);
         fabric.load_config(&config).expect("built configs always load");
 
         // Drive three pipelined invocations with different inputs.
         let invocations: Vec<Vec<u64>> = (0..3)
-            .map(|inv| (0..dfg.inputs).map(|i| raw_inputs[(inv * 4 + i) % raw_inputs.len()]).collect())
+            .map(|inv| {
+                (0..dfg.inputs).map(|i| raw_inputs[(inv * 4 + i) % raw_inputs.len()]).collect()
+            })
             .collect();
 
         let mut outputs = Vec::new();
@@ -93,11 +94,10 @@ proptest! {
         for _ in 0..5000 {
             // Start the next invocation only when every port has FIFO room,
             // so a whole operand set is never sent partially.
-            if send_cursor < invocations.len()
-                && (0..dfg.inputs).all(|p| fabric.input_free(p) > 0)
+            if send_cursor < invocations.len() && (0..dfg.inputs).all(|p| fabric.input_free(p) > 0)
             {
                 for (p, v) in invocations[send_cursor].iter().enumerate() {
-                    prop_assert!(fabric.try_send(p, *v), "space was checked");
+                    assert!(fabric.try_send(p, *v), "space was checked");
                 }
                 send_cursor += 1;
             }
@@ -110,9 +110,9 @@ proptest! {
             }
         }
 
-        prop_assert_eq!(outputs.len(), invocations.len(), "all invocations must complete");
+        assert_eq!(outputs.len(), invocations.len(), "all invocations must complete");
         for (inv, out) in invocations.iter().zip(&outputs) {
-            prop_assert_eq!(*out, interpret(&dfg, inv));
+            assert_eq!(*out, interpret(&dfg, inv));
         }
     }
 }

@@ -1,170 +1,204 @@
-//! Property tests: every encodable instruction round-trips through the
+//! Randomized tests: every encodable instruction round-trips through the
 //! binary encoding, and every decodable word re-encodes to itself.
+//!
+//! Seeded with `dyser-rng` so the case set is identical on every run and
+//! every machine (no external property-testing dependency).
 
 use dyser_isa::{
     decode, encode, AluOp, Assembler, ConfigId, DyserInstr, FCond, FReg, FpOp, ICond, Instr,
     LoadKind, Op2, Port, RCond, Reg, StoreKind, VecPort,
 };
-use proptest::prelude::*;
+use dyser_rng::Rng64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn rand_reg(rng: &mut Rng64) -> Reg {
+    Reg::new(rng.gen_range(0u64..32) as u8)
 }
 
-fn arb_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg::new)
+fn rand_freg(rng: &mut Rng64) -> FReg {
+    FReg::new(rng.gen_range(0u64..32) as u8)
 }
 
-fn arb_op2() -> impl Strategy<Value = Op2> {
-    prop_oneof![arb_reg().prop_map(Op2::Reg), (-4096i16..=4095).prop_map(Op2::Imm)]
+fn rand_op2(rng: &mut Rng64) -> Op2 {
+    if rng.gen_bool(0.5) {
+        Op2::Reg(rand_reg(rng))
+    } else {
+        Op2::Imm(rng.gen_range(-4096i64..4096) as i16)
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    proptest::sample::select(AluOp::ALL.to_vec())
+fn pick<T: Copy>(rng: &mut Rng64, all: &[T]) -> T {
+    all[rng.gen_range(0..all.len())]
 }
 
-fn arb_fp_op() -> impl Strategy<Value = FpOp> {
-    proptest::sample::select(FpOp::ALL.to_vec())
+fn rand_port(rng: &mut Rng64) -> Port {
+    Port::new(rng.gen_range(0u64..32) as u8)
 }
 
-fn arb_icond() -> impl Strategy<Value = ICond> {
-    proptest::sample::select(ICond::ALL.to_vec())
+fn rand_vport(rng: &mut Rng64) -> VecPort {
+    VecPort::new(rng.gen_range(0u64..8) as u8)
 }
 
-fn arb_fcond() -> impl Strategy<Value = FCond> {
-    proptest::sample::select(FCond::ALL.to_vec())
+fn rand_dyser(rng: &mut Rng64) -> DyserInstr {
+    match rng.gen_range(0u64..10) {
+        0 => DyserInstr::Init { config: ConfigId::new(rng.gen_range(0u64..4096) as u16) },
+        1 => DyserInstr::Send { port: rand_port(rng), rs: rand_reg(rng) },
+        2 => DyserInstr::SendF { port: rand_port(rng), rs: rand_freg(rng) },
+        3 => DyserInstr::Recv { port: rand_port(rng), rd: rand_reg(rng) },
+        4 => DyserInstr::RecvF { port: rand_port(rng), rd: rand_freg(rng) },
+        5 => DyserInstr::Load { port: rand_port(rng), rs1: rand_reg(rng), op2: rand_op2(rng) },
+        6 => DyserInstr::Store { port: rand_port(rng), rs1: rand_reg(rng), op2: rand_op2(rng) },
+        7 => DyserInstr::SendVec {
+            vport: rand_vport(rng),
+            base: rand_reg(rng),
+            count: rng.gen_range(1u64..9) as u8,
+        },
+        8 => DyserInstr::RecvVec {
+            vport: rand_vport(rng),
+            base: rand_reg(rng),
+            count: rng.gen_range(1u64..9) as u8,
+        },
+        _ => DyserInstr::Fence,
+    }
 }
 
-fn arb_rcond() -> impl Strategy<Value = RCond> {
-    proptest::sample::select(RCond::ALL.to_vec())
-}
-
-fn arb_port() -> impl Strategy<Value = Port> {
-    (0u8..32).prop_map(Port::new)
-}
-
-fn arb_vport() -> impl Strategy<Value = VecPort> {
-    (0u8..8).prop_map(VecPort::new)
-}
-
-fn arb_dyser() -> impl Strategy<Value = DyserInstr> {
-    prop_oneof![
-        (0u16..4096).prop_map(|c| DyserInstr::Init { config: ConfigId::new(c) }),
-        (arb_port(), arb_reg()).prop_map(|(port, rs)| DyserInstr::Send { port, rs }),
-        (arb_port(), arb_freg()).prop_map(|(port, rs)| DyserInstr::SendF { port, rs }),
-        (arb_port(), arb_reg()).prop_map(|(port, rd)| DyserInstr::Recv { port, rd }),
-        (arb_port(), arb_freg()).prop_map(|(port, rd)| DyserInstr::RecvF { port, rd }),
-        (arb_port(), arb_reg(), arb_op2())
-            .prop_map(|(port, rs1, op2)| DyserInstr::Load { port, rs1, op2 }),
-        (arb_port(), arb_reg(), arb_op2())
-            .prop_map(|(port, rs1, op2)| DyserInstr::Store { port, rs1, op2 }),
-        (arb_vport(), arb_reg(), 1u8..=8)
-            .prop_map(|(vport, base, count)| DyserInstr::SendVec { vport, base, count }),
-        (arb_vport(), arb_reg(), 1u8..=8)
-            .prop_map(|(vport, base, count)| DyserInstr::RecvVec { vport, base, count }),
-        Just(DyserInstr::Fence),
-    ]
-}
-
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_op2())
-            .prop_map(|(op, rd, rs1, op2)| Instr::Alu { op, rd, rs1, op2 }),
+fn rand_instr(rng: &mut Rng64) -> Instr {
+    match rng.gen_range(0u64..18) {
+        0 => Instr::Alu {
+            op: pick(rng, &AluOp::ALL),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            op2: rand_op2(rng),
+        },
         // Avoid the canonical NOP pattern (rd = %g0, imm = 0).
-        (1u8..32, 0u32..(1 << 22))
-            .prop_map(|(rd, imm22)| Instr::Sethi { rd: Reg::new(rd), imm22 }),
-        (arb_icond(), arb_reg(), arb_op2())
-            .prop_map(|(cond, rd, op2)| Instr::MovCc { cond, rd, op2 }),
-        (
-            proptest::sample::select(LoadKind::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            arb_op2()
-        )
-            .prop_map(|(kind, rd, rs1, op2)| Instr::Load { kind, rd, rs1, op2 }),
-        (
-            proptest::sample::select(StoreKind::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            arb_op2()
-        )
-            .prop_map(|(kind, rs, rs1, op2)| Instr::Store { kind, rs, rs1, op2 }),
-        (arb_freg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::LoadF { rd, rs1, op2 }),
-        (arb_freg(), arb_reg(), arb_op2()).prop_map(|(rs, rs1, op2)| Instr::StoreF { rs, rs1, op2 }),
-        (arb_fp_op(), arb_freg(), arb_freg(), arb_freg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Fpu { op, rd, rs1, rs2 }),
-        (arb_freg(), arb_freg()).prop_map(|(rs1, rs2)| Instr::FCmp { rs1, rs2 }),
-        (arb_icond(), -(1i32 << 21)..(1 << 21)).prop_map(|(cond, disp)| Instr::Branch { cond, disp }),
-        (arb_fcond(), -(1i32 << 21)..(1 << 21))
-            .prop_map(|(cond, disp)| Instr::BranchF { cond, disp }),
-        (arb_rcond(), arb_reg(), -(1i32 << 15)..(1 << 15))
-            .prop_map(|(cond, rs1, disp)| Instr::BranchReg { cond, rs1, disp }),
-        (-(1i32 << 29)..(1 << 29)).prop_map(|disp| Instr::Call { disp }),
-        (arb_reg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::Jmpl { rd, rs1, op2 }),
-        arb_dyser().prop_map(Instr::Dyser),
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        (0u16..4096).prop_map(|code| Instr::SimCall { code }),
-    ]
+        1 => Instr::Sethi {
+            rd: Reg::new(rng.gen_range(1u64..32) as u8),
+            imm22: rng.gen_range(0u64..(1 << 22)) as u32,
+        },
+        2 => Instr::MovCc { cond: pick(rng, &ICond::ALL), rd: rand_reg(rng), op2: rand_op2(rng) },
+        3 => Instr::Load {
+            kind: pick(rng, &LoadKind::ALL),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            op2: rand_op2(rng),
+        },
+        4 => Instr::Store {
+            kind: pick(rng, &StoreKind::ALL),
+            rs: rand_reg(rng),
+            rs1: rand_reg(rng),
+            op2: rand_op2(rng),
+        },
+        5 => Instr::LoadF { rd: rand_freg(rng), rs1: rand_reg(rng), op2: rand_op2(rng) },
+        6 => Instr::StoreF { rs: rand_freg(rng), rs1: rand_reg(rng), op2: rand_op2(rng) },
+        7 => Instr::Fpu {
+            op: pick(rng, &FpOp::ALL),
+            rd: rand_freg(rng),
+            rs1: rand_freg(rng),
+            rs2: rand_freg(rng),
+        },
+        8 => Instr::FCmp { rs1: rand_freg(rng), rs2: rand_freg(rng) },
+        9 => Instr::Branch {
+            cond: pick(rng, &ICond::ALL),
+            disp: rng.gen_range(-(1i64 << 21)..(1 << 21)) as i32,
+        },
+        10 => Instr::BranchF {
+            cond: pick(rng, &FCond::ALL),
+            disp: rng.gen_range(-(1i64 << 21)..(1 << 21)) as i32,
+        },
+        11 => Instr::BranchReg {
+            cond: pick(rng, &RCond::ALL),
+            rs1: rand_reg(rng),
+            disp: rng.gen_range(-(1i64 << 15)..(1 << 15)) as i32,
+        },
+        12 => Instr::Call { disp: rng.gen_range(-(1i64 << 29)..(1 << 29)) as i32 },
+        13 => Instr::Jmpl { rd: rand_reg(rng), rs1: rand_reg(rng), op2: rand_op2(rng) },
+        14 => Instr::Dyser(rand_dyser(rng)),
+        15 => Instr::Nop,
+        16 => Instr::Halt,
+        _ => Instr::SimCall { code: rng.gen_range(0u64..4096) as u16 },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instr()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x15A_0001);
+    for _ in 0..2000 {
+        let instr = rand_instr(&mut rng);
         let word = encode(&instr);
         let back = decode(word).expect("encoded instructions must decode");
-        prop_assert_eq!(back, instr);
+        assert_eq!(back, instr);
     }
+}
 
-    #[test]
-    fn decode_encode_is_identity(word in any::<u32>()) {
-        // Not every word decodes; but whenever it does, re-encoding must
-        // reproduce the exact bits that matter (we require full equality,
-        // which also guarantees reserved fields are preserved as zero).
+#[test]
+fn decode_encode_is_identity() {
+    // Not every word decodes; but whenever it does, re-encoding must
+    // reproduce the exact bits that matter (we require full equality,
+    // which also guarantees reserved fields are preserved as zero).
+    let mut rng = Rng64::seed_from_u64(0x15A_0002);
+    for _ in 0..20_000 {
+        let word = rng.next_u64() as u32;
         if let Ok(instr) = decode(word) {
             let reencoded = encode(&instr);
             let back = decode(reencoded).expect("re-encoded word must decode");
-            prop_assert_eq!(back, instr);
+            assert_eq!(back, instr);
         }
     }
+}
 
-    #[test]
-    fn display_never_empty(instr in arb_instr()) {
-        prop_assert!(!instr.to_string().is_empty());
+#[test]
+fn display_never_empty() {
+    let mut rng = Rng64::seed_from_u64(0x15A_0003);
+    for _ in 0..1000 {
+        let instr = rand_instr(&mut rng);
+        assert!(!instr.to_string().is_empty());
     }
+}
 
-    #[test]
-    fn assembler_program_roundtrip(count in 1usize..40, seed in any::<u64>()) {
-        // Build a straight-line program of `count` nops with one backward
-        // branch; the resolved displacement must equal the label distance.
+#[test]
+fn assembler_program_roundtrip() {
+    // Build a straight-line program of `count` nops with one backward
+    // branch; the resolved displacement must equal the label distance.
+    let mut rng = Rng64::seed_from_u64(0x15A_0004);
+    for _ in 0..200 {
+        let count = rng.gen_range(1usize..40);
+        let cond = ICond::ALL[rng.gen_range(0usize..16)];
         let mut asm = Assembler::new();
         asm.label("top");
         for _ in 0..count {
             asm.push(Instr::Nop);
         }
-        let cond = ICond::ALL[(seed % 16) as usize];
         asm.branch(cond, "top");
         let prog = asm.resolve().unwrap();
         match prog.last().unwrap() {
-            Instr::Branch { disp, .. } => prop_assert_eq!(*disp as i64, -(count as i64)),
-            other => prop_assert!(false, "expected branch, got {}", other),
+            Instr::Branch { disp, .. } => assert_eq!(*disp as i64, -(count as i64)),
+            other => panic!("expected branch, got {other}"),
         }
     }
+}
 
-    #[test]
-    fn alu_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn alu_add_sub_inverse() {
+    let mut rng = Rng64::seed_from_u64(0x15A_0005);
+    for _ in 0..1000 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let (sum, _) = AluOp::Add.eval(a, b);
         let (diff, _) = AluOp::Sub.eval(sum, b);
-        prop_assert_eq!(diff, a);
+        assert_eq!(diff, a);
     }
+}
 
-    #[test]
-    fn alu_cc_comparisons_agree_with_rust(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn alu_cc_comparisons_agree_with_rust() {
+    let mut rng = Rng64::seed_from_u64(0x15A_0006);
+    for _ in 0..1000 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
         let (_, icc) = AluOp::SubCc.eval(a as u64, b as u64);
         let icc = icc.unwrap();
-        prop_assert_eq!(ICond::Lt.eval(icc), a < b);
-        prop_assert_eq!(ICond::Eq.eval(icc), a == b);
-        prop_assert_eq!(ICond::Gt.eval(icc), a > b);
-        prop_assert_eq!(ICond::Ltu.eval(icc), (a as u64) < (b as u64));
+        assert_eq!(ICond::Lt.eval(icc), a < b);
+        assert_eq!(ICond::Eq.eval(icc), a == b);
+        assert_eq!(ICond::Gt.eval(icc), a > b);
+        assert_eq!(ICond::Ltu.eval(icc), (a as u64) < (b as u64));
     }
 }

@@ -1,72 +1,100 @@
-//! Property tests for the memory substrate.
+//! Randomized tests for the memory substrate, driven by the seeded
+//! in-workspace PRNG so runs are reproducible everywhere.
 
 use dyser_mem::{Cache, CacheConfig, Hierarchy, MemConfig, Memory};
-use proptest::prelude::*;
+use dyser_rng::Rng64;
 
-proptest! {
-    #[test]
-    fn memory_readback_u64(writes in proptest::collection::vec((0u64..0x10_0000, any::<u64>()), 1..50)) {
+#[test]
+fn memory_readback_u64() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0001);
+    for _ in 0..200 {
+        let count = rng.gen_range(1usize..50);
         let mut mem = Memory::new();
         // Align to 8 so later writes can't partially overlap earlier ones
         // in a way the model under test shouldn't have to disambiguate.
         let mut last = std::collections::HashMap::new();
-        for (addr, val) in &writes {
-            let a = addr & !7;
-            mem.write_u64(a, *val);
-            last.insert(a, *val);
+        for _ in 0..count {
+            let a = rng.gen_range(0u64..0x10_0000) & !7;
+            let val = rng.next_u64();
+            mem.write_u64(a, val);
+            last.insert(a, val);
         }
         for (a, v) in last {
-            prop_assert_eq!(mem.read_u64(a), v);
+            assert_eq!(mem.read_u64(a), v);
         }
     }
+}
 
-    #[test]
-    fn memory_bytes_compose_words(addr in 0u64..0x1_0000, val in any::<u64>()) {
+#[test]
+fn memory_bytes_compose_words() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0002);
+    for _ in 0..500 {
+        let addr = rng.gen_range(0u64..0x1_0000);
+        let val = rng.next_u64();
         let mut mem = Memory::new();
         mem.write_u64(addr, val);
         let mut rebuilt = 0u64;
         for i in 0..8 {
             rebuilt = (rebuilt << 8) | u64::from(mem.read_u8(addr + i));
         }
-        prop_assert_eq!(rebuilt, val, "big-endian byte composition");
+        assert_eq!(rebuilt, val, "big-endian byte composition");
     }
+}
 
-    #[test]
-    fn cache_counters_are_consistent(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+#[test]
+fn cache_counters_are_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0003);
+    for _ in 0..100 {
+        let count = rng.gen_range(1usize..200);
         let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, line_bytes: 32, hit_latency: 1 });
-        for (i, a) in addrs.iter().enumerate() {
-            c.access(*a, i % 2 == 0);
+        for i in 0..count {
+            let a = rng.gen_range(0u64..0x4000);
+            c.access(a, i % 2 == 0);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert!(s.writebacks <= s.misses, "only misses can evict");
+        assert_eq!(s.accesses, count as u64);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(s.writebacks <= s.misses, "only misses can evict");
     }
+}
 
-    #[test]
-    fn cache_repeat_access_hits(addr in 0u64..0x10_0000) {
+#[test]
+fn cache_repeat_access_hits() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0004);
+    for _ in 0..500 {
+        let addr = rng.gen_range(0u64..0x10_0000);
         let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, line_bytes: 32, hit_latency: 1 });
         c.access(addr, false);
-        prop_assert!(c.access(addr, false).hit);
+        assert!(c.access(addr, false).hit);
     }
+}
 
-    #[test]
-    fn hierarchy_latency_is_bounded(addrs in proptest::collection::vec(0u64..0x10_0000, 1..100)) {
+#[test]
+fn hierarchy_latency_is_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0005);
+    for _ in 0..50 {
+        let count = rng.gen_range(1usize..100);
         let cfg = MemConfig::default();
         let max = cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.dram_latency;
         let mut h = Hierarchy::new(cfg);
-        for a in addrs {
+        for _ in 0..count {
+            let a = rng.gen_range(0u64..0x10_0000);
             let lat = h.load(a);
-            prop_assert!(lat >= cfg.l1d.hit_latency && lat <= max, "latency {lat} out of bounds");
+            assert!(lat >= cfg.l1d.hit_latency && lat <= max, "latency {lat} out of bounds");
         }
     }
+}
 
-    #[test]
-    fn hierarchy_is_deterministic(addrs in proptest::collection::vec(0u64..0x10_0000, 1..100)) {
+#[test]
+fn hierarchy_is_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x3E3_0006);
+    for _ in 0..50 {
+        let count = rng.gen_range(1usize..100);
+        let addrs: Vec<u64> = (0..count).map(|_| rng.gen_range(0u64..0x10_0000)).collect();
         let mut h1 = Hierarchy::new(MemConfig::tiny());
         let mut h2 = Hierarchy::new(MemConfig::tiny());
         for a in &addrs {
-            prop_assert_eq!(h1.load(*a), h2.load(*a));
+            assert_eq!(h1.load(*a), h2.load(*a));
         }
     }
 }

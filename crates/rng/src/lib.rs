@@ -1,0 +1,180 @@
+//! Deterministic pseudo-random number generation for the workspace.
+//!
+//! The simulator's workload generators, the scheduler's random-restart
+//! refinement, and the seeded property tests all need reproducible random
+//! streams, but none of them needs cryptographic quality. This crate provides
+//! a tiny [SplitMix64](https://prng.di.unimi.it/splitmix64.c)-style generator
+//! with a `rand`-like surface (`seed_from_u64`, `gen_range`, `gen_bool`) so
+//! the workspace builds with no external dependencies — a requirement for the
+//! offline tier-1 verify.
+//!
+//! Streams are stable across platforms and releases: changing them would
+//! silently change every generated workload, so treat the output sequence as
+//! part of the crate's API.
+
+use std::ops::Range;
+
+/// A 64-bit SplitMix64 generator. Cheap to seed, cheap to step, and good
+/// enough statistically for test-data generation and randomized placement.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a value uniformly distributed over `range` (half-open).
+    ///
+    /// Mirrors `rand::Rng::gen_range` for the range types the workspace uses,
+    /// so call sites read the same with either backend.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Half-open ranges that [`Rng64::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+/// Uniform draw from `[0, span)` without modulo bias (Lemire multiply-shift;
+/// the tiny remaining bias at 64-bit spans is irrelevant for test data).
+fn below(rng: &mut Rng64, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample(self, rng: &mut Rng64) -> u64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut Rng64) -> i64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(below(rng, span) as i64)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample(self, rng: &mut Rng64) -> u32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + below(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn stream_is_stable() {
+        // The exact sequence is part of the API: workload inputs and golden
+        // stats depend on it. Update these constants only deliberately.
+        let mut rng = Rng64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-100i64..100);
+            assert!((-100..100).contains(&i));
+            let s = rng.gen_range(0usize..5);
+            assert!(s < 5);
+            let f = rng.gen_range(-4.0f64..4.0);
+            assert!((-4.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

@@ -1,23 +1,20 @@
-//! Property tests: the timed pipeline's architectural results match a
+//! Randomized tests: the timed pipeline's architectural results match a
 //! direct functional evaluation for random straight-line programs, and
-//! its cycle accounting obeys the model's invariants.
+//! its cycle accounting obeys the model's invariants. Seeded with the
+//! in-workspace PRNG so the case set is identical on every run.
 
 use dyser_isa::{AluOp, Assembler, Instr, Op2, Reg};
+use dyser_rng::Rng64;
 use dyser_sparc::{NullCoproc, Pipeline, SimpleBus};
-use proptest::prelude::*;
 
 const ENTRY: u64 = 0x1000;
 
-/// Registers the generator is allowed to touch (no scratch/frame regs).
-fn arb_work_reg() -> impl Strategy<Value = Reg> {
-    prop_oneof![
-        (16u8..24).prop_map(Reg::new), // %l0..%l7
-        (8u8..14).prop_map(Reg::new),  // %o0..%o5
-    ]
-}
+/// Registers the generator is allowed to touch (no scratch/frame regs):
+/// %l0..%l7 and %o0..%o5.
+const WORK_REGS: [u8; 14] = [16, 17, 18, 19, 20, 21, 22, 23, 8, 9, 10, 11, 12, 13];
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    proptest::sample::select(AluOp::ALL.to_vec())
+fn rand_work_reg(rng: &mut Rng64) -> Reg {
+    Reg::new(WORK_REGS[rng.gen_range(0..WORK_REGS.len())])
 }
 
 #[derive(Debug, Clone)]
@@ -28,14 +25,35 @@ struct Step {
     op2: Result<Reg, i16>,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    (
-        arb_alu_op(),
-        arb_work_reg(),
-        arb_work_reg(),
-        prop_oneof![arb_work_reg().prop_map(Ok), (-4096i16..=4095).prop_map(Err)],
-    )
-        .prop_map(|(op, rd, rs1, op2)| Step { op, rd, rs1, op2 })
+fn rand_step(rng: &mut Rng64) -> Step {
+    Step {
+        op: AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())],
+        rd: rand_work_reg(rng),
+        rs1: rand_work_reg(rng),
+        op2: if rng.gen_bool(0.5) {
+            Ok(rand_work_reg(rng))
+        } else {
+            Err(rng.gen_range(-4096i64..4096) as i16)
+        },
+    }
+}
+
+fn rand_steps(rng: &mut Rng64) -> Vec<Step> {
+    let count = rng.gen_range(1usize..40);
+    (0..count).map(|_| rand_step(rng)).collect()
+}
+
+fn assemble(steps: &[Step]) -> Vec<u32> {
+    let mut asm = Assembler::new();
+    for s in steps {
+        let op2 = match s.op2 {
+            Ok(r) => Op2::Reg(r),
+            Err(i) => Op2::Imm(i),
+        };
+        asm.push(Instr::Alu { op: s.op, rd: s.rd, rs1: s.rs1, op2 });
+    }
+    asm.push(Instr::Halt);
+    asm.assemble().unwrap()
 }
 
 /// Oracle: evaluate the program over an architectural register array.
@@ -60,32 +78,16 @@ fn oracle(init: &[(Reg, u64)], steps: &[Step]) -> [u64; 32] {
     regs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn pipeline_matches_functional_oracle(
-        steps in proptest::collection::vec(arb_step(), 1..40),
-        seeds in proptest::collection::vec(any::<u64>(), 14),
-    ) {
+#[test]
+fn pipeline_matches_functional_oracle() {
+    let mut rng = Rng64::seed_from_u64(0x5BA7C_0001);
+    for _ in 0..96 {
+        let steps = rand_steps(&mut rng);
         // Initial values for %l0..%l7 and %o0..%o5.
-        let init: Vec<(Reg, u64)> = (16u8..24)
-            .chain(8u8..14)
-            .zip(seeds.iter().copied())
-            .map(|(r, v)| (Reg::new(r), v))
-            .collect();
+        let init: Vec<(Reg, u64)> =
+            WORK_REGS.iter().map(|&r| (Reg::new(r), rng.next_u64())).collect();
 
-        let mut asm = Assembler::new();
-        for s in &steps {
-            let op2 = match s.op2 {
-                Ok(r) => Op2::Reg(r),
-                Err(i) => Op2::Imm(i),
-            };
-            asm.push(Instr::Alu { op: s.op, rd: s.rd, rs1: s.rs1, op2 });
-        }
-        asm.push(Instr::Halt);
-        let words = asm.assemble().unwrap();
-
+        let words = assemble(&steps);
         let mut bus = SimpleBus::new();
         bus.memory_mut().write_code(ENTRY, &words);
         let mut cpu = Pipeline::new(ENTRY);
@@ -93,12 +95,12 @@ proptest! {
             cpu.regs_mut().write(*r, *v);
         }
         let halted = cpu.run(&mut bus, &mut NullCoproc, 1_000_000).unwrap();
-        prop_assert!(halted);
+        assert!(halted);
 
         let want = oracle(&init, &steps);
         for idx in 0..32u8 {
             let r = Reg::new(idx);
-            prop_assert_eq!(
+            assert_eq!(
                 cpu.regs().read(r),
                 want[idx as usize],
                 "register {} after {} steps",
@@ -107,21 +109,14 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn cycle_count_is_instructions_plus_attributed_stalls(
-        steps in proptest::collection::vec(arb_step(), 1..40),
-    ) {
-        let mut asm = Assembler::new();
-        for s in &steps {
-            let op2 = match s.op2 {
-                Ok(r) => Op2::Reg(r),
-                Err(i) => Op2::Imm(i),
-            };
-            asm.push(Instr::Alu { op: s.op, rd: s.rd, rs1: s.rs1, op2 });
-        }
-        asm.push(Instr::Halt);
-        let words = asm.assemble().unwrap();
+#[test]
+fn cycle_count_is_instructions_plus_attributed_stalls() {
+    let mut rng = Rng64::seed_from_u64(0x5BA7C_0002);
+    for _ in 0..96 {
+        let steps = rand_steps(&mut rng);
+        let words = assemble(&steps);
         let mut bus = SimpleBus::new();
         bus.memory_mut().write_code(ENTRY, &words);
         let mut cpu = Pipeline::new(ENTRY);
@@ -130,7 +125,7 @@ proptest! {
         // The timing model's core identity: every cycle is either a retire
         // or an attributed stall.
         let stats = cpu.stats();
-        prop_assert_eq!(stats.cycles, stats.instructions + stats.total_stalls());
-        prop_assert_eq!(stats.instructions, steps.len() as u64 + 1, "all steps + halt retire");
+        assert_eq!(stats.cycles, stats.instructions + stats.total_stalls());
+        assert_eq!(stats.instructions, steps.len() as u64 + 1, "all steps + halt retire");
     }
 }

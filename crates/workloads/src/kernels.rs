@@ -5,8 +5,7 @@ use dyser_compiler::{
 };
 use dyser_core::KernelCase;
 use dyser_fabric::FabricGeometry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyser_rng::Rng64;
 
 use crate::{BUF_A, BUF_B, BUF_C, BUF_D};
 
@@ -103,7 +102,7 @@ fn f64s(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
-fn rand_f64s(n: usize, rng: &mut StdRng) -> Vec<f64> {
+fn rand_f64s(n: usize, rng: &mut Rng64) -> Vec<f64> {
     (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect()
 }
 
@@ -154,7 +153,7 @@ fn poly6_ref(x: f64) -> f64 {
 }
 
 fn case_poly6(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let c: Vec<f64> = a.iter().map(|&x| poly6_ref(x)).collect();
     CaseData {
@@ -200,7 +199,7 @@ fn build_dist() -> Function {
 }
 
 fn case_dist(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let bv = rand_f64s(n, &mut rng);
     let c: Vec<f64> = a.iter().zip(&bv).map(|(x, y)| (x * x + y * y).sqrt()).collect();
@@ -259,8 +258,8 @@ fn hashmix_ref(x0: u64) -> u64 {
 }
 
 fn case_hashmix(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let a: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let a: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
     let c: Vec<u64> = a.iter().map(|&x| hashmix_ref(x)).collect();
     CaseData {
         args: vec![BUF_A, BUF_C, n as u64],
@@ -308,7 +307,7 @@ fn build_vecadd() -> Function {
 }
 
 fn case_vecadd(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let bv = rand_f64s(n, &mut rng);
     let c: Vec<f64> = a.iter().zip(&bv).map(|(x, y)| (x + y) * 1.0).collect();
@@ -354,7 +353,7 @@ fn build_saxpy() -> Function {
 }
 
 fn case_saxpy(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let bv = rand_f64s(n, &mut rng);
     let c: Vec<f64> = a.iter().zip(&bv).map(|(x, y)| x * 2.5 + y).collect();
@@ -404,7 +403,7 @@ fn build_dot() -> Function {
 }
 
 fn case_dot(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let bv = rand_f64s(n, &mut rng);
     let mut acc = 0.0f64;
@@ -490,7 +489,7 @@ fn build_mm() -> Function {
 }
 
 fn case_mm(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n * n, &mut rng);
     let bv = rand_f64s(n * n, &mut rng);
     let mut c = vec![0.0f64; n * n];
@@ -553,7 +552,7 @@ fn build_stencil3() -> Function {
 }
 
 fn case_stencil3(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let mut c = vec![0.0f64; n];
     for i in 1..n - 1 {
@@ -602,7 +601,7 @@ fn build_gather() -> Function {
 }
 
 fn case_gather(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let x = rand_f64s(n, &mut rng);
     let idx: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n as u64)).collect();
@@ -659,7 +658,7 @@ fn build_fir4() -> Function {
 }
 
 fn case_fir4(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n + 3, &mut rng);
     let taps = [0.25, 0.5, -0.125, 0.375];
     let c: Vec<f64> = (0..n)
@@ -745,7 +744,7 @@ fn build_relu_clamp() -> Function {
 }
 
 fn case_relu_clamp(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let c: Vec<f64> = a
         .iter()
@@ -800,7 +799,7 @@ fn build_absmax() -> Function {
 }
 
 fn case_absmax(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a = rand_f64s(n, &mut rng);
     let mut m = 0.0f64;
     for &x in &a {
@@ -856,7 +855,7 @@ fn build_find_first() -> Function {
 }
 
 fn case_find_first(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
     let key = 0xDEAD_BEEFu64;
     let hit = n * 3 / 5; // key placed ~60% in
@@ -905,7 +904,7 @@ fn build_cond_store() -> Function {
 }
 
 fn case_cond_store(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a: Vec<u64> = (0..n).map(|_| rng.gen_range(-100i64..100) as u64).collect();
     let init_c: Vec<u64> = (0..n).map(|i| 1000 + i as u64).collect();
     let c: Vec<u64> = a
@@ -956,12 +955,12 @@ fn build_scan_poly() -> Function {
 }
 
 fn case_scan_poly(n: usize, seed: u64) -> CaseData {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // Strictly increasing positives so the scan always terminates in range.
     let mut a: Vec<u64> = Vec::with_capacity(n);
     let mut v = 1i64;
     for _ in 0..n {
-        v += rng.gen_range(1..4);
+        v += rng.gen_range(1i64..4);
         a.push(v as u64);
     }
     // Stop roughly 70% in.

@@ -14,8 +14,7 @@ use dyser_fabric::{ConfigBuilder, FabricGeometry, FuOp};
 use dyser_isa::{
     regs, AluOp, Assembler, ConfigId, DyserInstr, FReg, ICond, Instr, Op2, Port, Reg, VecPort,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyser_rng::Rng64;
 
 use crate::{BUF_A, BUF_B, BUF_C, BUF_D};
 
@@ -94,7 +93,7 @@ pub fn vecadd(geometry: FabricGeometry, n: usize, seed: u64) -> Option<ManualCas
     asm.push(Instr::Dyser(DyserInstr::Fence));
     asm.push(Instr::Halt);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let bv: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let c: Vec<f64> = a.iter().zip(&bv).map(|(x, y)| x + y).collect();
@@ -185,7 +184,7 @@ pub fn saxpy(geometry: FabricGeometry, n: usize, seed: u64) -> Option<ManualCase
     asm.push(Instr::Dyser(DyserInstr::Fence));
     asm.push(Instr::Halt);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let bv: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let c: Vec<f64> = a.iter().zip(&bv).map(|(x, y)| x * 2.5 + y).collect();
@@ -266,7 +265,7 @@ pub fn dot(geometry: FabricGeometry, n: usize, seed: u64) -> Option<ManualCase> 
     asm.push(Instr::Dyser(DyserInstr::Fence));
     asm.push(Instr::Halt);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let bv: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
     // Tree-within-batch reference, matching the configuration exactly.
@@ -406,7 +405,7 @@ pub fn find_first_speculative(
         asm.push(Instr::Halt);
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let key_v = 0xDEAD_BEEFu64;
     // Same data recipe as the compiler kernel, plus one window of padding
     // for the speculative loads.

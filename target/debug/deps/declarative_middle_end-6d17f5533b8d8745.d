@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/declarative_middle_end-6d17f5533b8d8745.d: tests/declarative_middle_end.rs
+
+/root/repo/target/debug/deps/declarative_middle_end-6d17f5533b8d8745: tests/declarative_middle_end.rs
+
+tests/declarative_middle_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-470cab8e8d4175a1.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-470cab8e8d4175a1: tests/determinism.rs
+
+tests/determinism.rs:

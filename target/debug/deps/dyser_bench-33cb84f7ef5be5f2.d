@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyser_bench-33cb84f7ef5be5f2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/dyser_bench-33cb84f7ef5be5f2: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/dyser_compiler-5dc81946c81cb983.d: crates/compiler/src/lib.rs crates/compiler/src/analysis/mod.rs crates/compiler/src/analysis/cfg.rs crates/compiler/src/analysis/dom.rs crates/compiler/src/analysis/loops.rs crates/compiler/src/codegen/mod.rs crates/compiler/src/dyser/mod.rs crates/compiler/src/dyser/region.rs crates/compiler/src/dyser/shapes.rs crates/compiler/src/ir/mod.rs crates/compiler/src/ir/interp.rs crates/compiler/src/ir/parser.rs crates/compiler/src/ir/verify.rs crates/compiler/src/opt/mod.rs crates/compiler/src/opt/constfold.rs crates/compiler/src/opt/cse.rs crates/compiler/src/opt/dce.rs crates/compiler/src/opt/ifconv.rs crates/compiler/src/opt/licm.rs crates/compiler/src/opt/spec.rs crates/compiler/src/opt/unroll.rs crates/compiler/src/pipeline.rs crates/compiler/src/schedule.rs
+
+/root/repo/target/debug/deps/dyser_compiler-5dc81946c81cb983: crates/compiler/src/lib.rs crates/compiler/src/analysis/mod.rs crates/compiler/src/analysis/cfg.rs crates/compiler/src/analysis/dom.rs crates/compiler/src/analysis/loops.rs crates/compiler/src/codegen/mod.rs crates/compiler/src/dyser/mod.rs crates/compiler/src/dyser/region.rs crates/compiler/src/dyser/shapes.rs crates/compiler/src/ir/mod.rs crates/compiler/src/ir/interp.rs crates/compiler/src/ir/parser.rs crates/compiler/src/ir/verify.rs crates/compiler/src/opt/mod.rs crates/compiler/src/opt/constfold.rs crates/compiler/src/opt/cse.rs crates/compiler/src/opt/dce.rs crates/compiler/src/opt/ifconv.rs crates/compiler/src/opt/licm.rs crates/compiler/src/opt/spec.rs crates/compiler/src/opt/unroll.rs crates/compiler/src/pipeline.rs crates/compiler/src/schedule.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/analysis/mod.rs:
+crates/compiler/src/analysis/cfg.rs:
+crates/compiler/src/analysis/dom.rs:
+crates/compiler/src/analysis/loops.rs:
+crates/compiler/src/codegen/mod.rs:
+crates/compiler/src/dyser/mod.rs:
+crates/compiler/src/dyser/region.rs:
+crates/compiler/src/dyser/shapes.rs:
+crates/compiler/src/ir/mod.rs:
+crates/compiler/src/ir/interp.rs:
+crates/compiler/src/ir/parser.rs:
+crates/compiler/src/ir/verify.rs:
+crates/compiler/src/opt/mod.rs:
+crates/compiler/src/opt/constfold.rs:
+crates/compiler/src/opt/cse.rs:
+crates/compiler/src/opt/dce.rs:
+crates/compiler/src/opt/ifconv.rs:
+crates/compiler/src/opt/licm.rs:
+crates/compiler/src/opt/spec.rs:
+crates/compiler/src/opt/unroll.rs:
+crates/compiler/src/pipeline.rs:
+crates/compiler/src/schedule.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyser_core-35b3555698c411cc.d: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/dyser_core-35b3555698c411cc: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/harness.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyser_core-af006398e15c1f5b.d: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libdyser_core-af006398e15c1f5b.rlib: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libdyser_core-af006398e15c1f5b.rmeta: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/harness.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

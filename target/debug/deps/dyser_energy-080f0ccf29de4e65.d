@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyser_energy-080f0ccf29de4e65.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libdyser_energy-080f0ccf29de4e65.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libdyser_energy-080f0ccf29de4e65.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

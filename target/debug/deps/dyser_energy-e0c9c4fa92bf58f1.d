@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyser_energy-e0c9c4fa92bf58f1.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/dyser_energy-e0c9c4fa92bf58f1: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dyser_fabric-03f9b5612f6b42fc.d: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/libdyser_fabric-03f9b5612f6b42fc.rlib: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/libdyser_fabric-03f9b5612f6b42fc.rmeta: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/builder.rs:
+crates/fabric/src/config.rs:
+crates/fabric/src/exec.rs:
+crates/fabric/src/geom.rs:
+crates/fabric/src/op.rs:
+crates/fabric/src/stats.rs:

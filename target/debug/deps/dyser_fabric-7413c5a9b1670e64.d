@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dyser_fabric-7413c5a9b1670e64.d: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/dyser_fabric-7413c5a9b1670e64: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/builder.rs:
+crates/fabric/src/config.rs:
+crates/fabric/src/exec.rs:
+crates/fabric/src/geom.rs:
+crates/fabric/src/op.rs:
+crates/fabric/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dyser_isa-4e439d932eb7a69a.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/dyser_isa-4e439d932eb7a69a: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/dyser.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:

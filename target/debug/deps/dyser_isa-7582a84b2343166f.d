@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dyser_isa-7582a84b2343166f.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libdyser_isa-7582a84b2343166f.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libdyser_isa-7582a84b2343166f.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/dyser.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyser_mem-02612be9062ec5a0.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+/root/repo/target/debug/deps/libdyser_mem-02612be9062ec5a0.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+/root/repo/target/debug/deps/libdyser_mem-02612be9062ec5a0.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/memory.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyser_mem-4f7347aa7e042a2d.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+/root/repo/target/debug/deps/dyser_mem-4f7347aa7e042a2d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/memory.rs:

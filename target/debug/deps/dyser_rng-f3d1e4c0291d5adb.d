@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyser_rng-f3d1e4c0291d5adb.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdyser_rng-f3d1e4c0291d5adb.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdyser_rng-f3d1e4c0291d5adb.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyser_rng-fbae46d9011a95db.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/dyser_rng-fbae46d9011a95db: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

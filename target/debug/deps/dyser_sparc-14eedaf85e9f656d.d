@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyser_sparc-14eedaf85e9f656d.d: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+/root/repo/target/debug/deps/libdyser_sparc-14eedaf85e9f656d.rlib: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+/root/repo/target/debug/deps/libdyser_sparc-14eedaf85e9f656d.rmeta: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+crates/sparc/src/lib.rs:
+crates/sparc/src/bus.rs:
+crates/sparc/src/coproc.rs:
+crates/sparc/src/pipeline.rs:
+crates/sparc/src/regfile.rs:
+crates/sparc/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyser_sparc-d9b6323b664a5c57.d: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+/root/repo/target/debug/deps/dyser_sparc-d9b6323b664a5c57: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+crates/sparc/src/lib.rs:
+crates/sparc/src/bus.rs:
+crates/sparc/src/coproc.rs:
+crates/sparc/src/pipeline.rs:
+crates/sparc/src/regfile.rs:
+crates/sparc/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyser_workloads-0013def920d313f5.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+/root/repo/target/debug/deps/dyser_workloads-0013def920d313f5: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/manual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyser_workloads-b578682fa870812c.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+/root/repo/target/debug/deps/libdyser_workloads-b578682fa870812c.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+/root/repo/target/debug/deps/libdyser_workloads-b578682fa870812c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/manual.rs:

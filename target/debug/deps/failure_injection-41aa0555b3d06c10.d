@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-41aa0555b3d06c10.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-41aa0555b3d06c10: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowering_zoo-974fd587a0f2c398.d: tests/lowering_zoo.rs
+
+/root/repo/target/debug/deps/lowering_zoo-974fd587a0f2c398: tests/lowering_zoo.rs
+
+tests/lowering_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_region-9a38d6a15285e97f.d: tests/multi_region.rs
+
+/root/repo/target/debug/deps/multi_region-9a38d6a15285e97f: tests/multi_region.rs
+
+tests/multi_region.rs:

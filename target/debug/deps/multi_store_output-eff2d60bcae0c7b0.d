@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_store_output-eff2d60bcae0c7b0.d: tests/multi_store_output.rs
+
+/root/repo/target/debug/deps/multi_store_output-eff2d60bcae0c7b0: tests/multi_store_output.rs
+
+tests/multi_store_output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_differential-0f1894a6c8e02848.d: tests/prop_differential.rs
+
+/root/repo/target/debug/deps/prop_differential-0f1894a6c8e02848: tests/prop_differential.rs
+
+tests/prop_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fabric-c09a5f96ccaf9195.d: crates/fabric/tests/prop_fabric.rs
+
+/root/repo/target/debug/deps/prop_fabric-c09a5f96ccaf9195: crates/fabric/tests/prop_fabric.rs
+
+crates/fabric/tests/prop_fabric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mem-1b5f12235966fe7f.d: crates/mem/tests/prop_mem.rs
+
+/root/repo/target/debug/deps/prop_mem-1b5f12235966fe7f: crates/mem/tests/prop_mem.rs
+
+crates/mem/tests/prop_mem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_pipeline-781d8f9cb6f076bc.d: crates/sparc/tests/prop_pipeline.rs
+
+/root/repo/target/debug/deps/prop_pipeline-781d8f9cb6f076bc: crates/sparc/tests/prop_pipeline.rs
+
+crates/sparc/tests/prop_pipeline.rs:

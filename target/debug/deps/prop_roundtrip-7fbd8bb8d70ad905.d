@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-7fbd8bb8d70ad905.d: crates/isa/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-7fbd8bb8d70ad905: crates/isa/tests/prop_roundtrip.rs
+
+crates/isa/tests/prop_roundtrip.rs:

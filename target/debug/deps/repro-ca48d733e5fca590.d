@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ca48d733e5fca590.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ca48d733e5fca590: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

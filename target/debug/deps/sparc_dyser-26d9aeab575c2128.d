@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparc_dyser-26d9aeab575c2128.d: src/lib.rs
+
+/root/repo/target/debug/deps/sparc_dyser-26d9aeab575c2128: src/lib.rs
+
+src/lib.rs:

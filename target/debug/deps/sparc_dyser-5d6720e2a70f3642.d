@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sparc_dyser-5d6720e2a70f3642.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsparc_dyser-5d6720e2a70f3642.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsparc_dyser-5d6720e2a70f3642.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spill_pressure-4ba60553540f13ad.d: tests/spill_pressure.rs
+
+/root/repo/target/debug/deps/spill_pressure-4ba60553540f13ad: tests/spill_pressure.rs
+
+tests/spill_pressure.rs:

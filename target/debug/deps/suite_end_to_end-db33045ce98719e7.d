@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_end_to_end-db33045ce98719e7.d: tests/suite_end_to_end.rs
+
+/root/repo/target/debug/deps/suite_end_to_end-db33045ce98719e7: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/textual_ir_roundtrip-48da1f9fe470c47d.d: tests/textual_ir_roundtrip.rs
+
+/root/repo/target/debug/deps/textual_ir_roundtrip-48da1f9fe470c47d: tests/textual_ir_roundtrip.rs
+
+tests/textual_ir_roundtrip.rs:

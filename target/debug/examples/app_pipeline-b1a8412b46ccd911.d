@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_pipeline-b1a8412b46ccd911.d: examples/app_pipeline.rs
+
+/root/repo/target/debug/examples/app_pipeline-b1a8412b46ccd911: examples/app_pipeline.rs
+
+examples/app_pipeline.rs:

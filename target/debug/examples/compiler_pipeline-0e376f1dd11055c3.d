@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_pipeline-0e376f1dd11055c3.d: examples/compiler_pipeline.rs
+
+/root/repo/target/debug/examples/compiler_pipeline-0e376f1dd11055c3: examples/compiler_pipeline.rs
+
+examples/compiler_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_fabric-d90b30fdd2ef5930.d: examples/custom_fabric.rs
+
+/root/repo/target/debug/examples/custom_fabric-d90b30fdd2ef5930: examples/custom_fabric.rs
+
+examples/custom_fabric.rs:

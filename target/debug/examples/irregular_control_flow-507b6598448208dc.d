@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/irregular_control_flow-507b6598448208dc.d: examples/irregular_control_flow.rs
+
+/root/repo/target/debug/examples/irregular_control_flow-507b6598448208dc: examples/irregular_control_flow.rs
+
+examples/irregular_control_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa3218c4a6161035.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fa3218c4a6161035: examples/quickstart.rs
+
+examples/quickstart.rs:

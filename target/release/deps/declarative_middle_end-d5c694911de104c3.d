@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/declarative_middle_end-d5c694911de104c3.d: tests/declarative_middle_end.rs
+
+/root/repo/target/release/deps/declarative_middle_end-d5c694911de104c3: tests/declarative_middle_end.rs
+
+tests/declarative_middle_end.rs:

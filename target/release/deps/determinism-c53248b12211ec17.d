@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-c53248b12211ec17.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-c53248b12211ec17: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dyser_core-6b4c31252cc9edd5.d: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libdyser_core-6b4c31252cc9edd5.rlib: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libdyser_core-6b4c31252cc9edd5.rmeta: crates/core/src/lib.rs crates/core/src/harness.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/harness.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

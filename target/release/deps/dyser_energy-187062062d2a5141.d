@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dyser_energy-187062062d2a5141.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libdyser_energy-187062062d2a5141.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libdyser_energy-187062062d2a5141.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dyser_fabric-072999e823ee9a1c.d: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/libdyser_fabric-072999e823ee9a1c.rlib: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/libdyser_fabric-072999e823ee9a1c.rmeta: crates/fabric/src/lib.rs crates/fabric/src/builder.rs crates/fabric/src/config.rs crates/fabric/src/exec.rs crates/fabric/src/geom.rs crates/fabric/src/op.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/builder.rs:
+crates/fabric/src/config.rs:
+crates/fabric/src/exec.rs:
+crates/fabric/src/geom.rs:
+crates/fabric/src/op.rs:
+crates/fabric/src/stats.rs:

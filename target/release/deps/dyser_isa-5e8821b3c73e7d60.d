@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dyser_isa-5e8821b3c73e7d60.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libdyser_isa-5e8821b3c73e7d60.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libdyser_isa-5e8821b3c73e7d60.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/dyser.rs crates/isa/src/encode.rs crates/isa/src/instr.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/dyser.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:

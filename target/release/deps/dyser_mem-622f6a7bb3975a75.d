@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dyser_mem-622f6a7bb3975a75.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+/root/repo/target/release/deps/libdyser_mem-622f6a7bb3975a75.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+/root/repo/target/release/deps/libdyser_mem-622f6a7bb3975a75.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/memory.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/memory.rs:

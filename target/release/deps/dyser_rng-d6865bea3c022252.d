@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dyser_rng-d6865bea3c022252.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdyser_rng-d6865bea3c022252.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdyser_rng-d6865bea3c022252.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

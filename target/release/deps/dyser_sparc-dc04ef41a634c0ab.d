@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dyser_sparc-dc04ef41a634c0ab.d: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+/root/repo/target/release/deps/libdyser_sparc-dc04ef41a634c0ab.rlib: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+/root/repo/target/release/deps/libdyser_sparc-dc04ef41a634c0ab.rmeta: crates/sparc/src/lib.rs crates/sparc/src/bus.rs crates/sparc/src/coproc.rs crates/sparc/src/pipeline.rs crates/sparc/src/regfile.rs crates/sparc/src/stats.rs
+
+crates/sparc/src/lib.rs:
+crates/sparc/src/bus.rs:
+crates/sparc/src/coproc.rs:
+crates/sparc/src/pipeline.rs:
+crates/sparc/src/regfile.rs:
+crates/sparc/src/stats.rs:

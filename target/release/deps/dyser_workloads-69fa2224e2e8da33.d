@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dyser_workloads-69fa2224e2e8da33.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+/root/repo/target/release/deps/libdyser_workloads-69fa2224e2e8da33.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+/root/repo/target/release/deps/libdyser_workloads-69fa2224e2e8da33.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/manual.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/manual.rs:

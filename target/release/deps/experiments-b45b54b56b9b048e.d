@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-b45b54b56b9b048e.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-b45b54b56b9b048e: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

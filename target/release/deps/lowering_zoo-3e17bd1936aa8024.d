@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lowering_zoo-3e17bd1936aa8024.d: tests/lowering_zoo.rs
+
+/root/repo/target/release/deps/lowering_zoo-3e17bd1936aa8024: tests/lowering_zoo.rs
+
+tests/lowering_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_region-9d42cb5afaa02cba.d: tests/multi_region.rs
+
+/root/repo/target/release/deps/multi_region-9d42cb5afaa02cba: tests/multi_region.rs
+
+tests/multi_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_store_output-6dd1d22d06127e4f.d: tests/multi_store_output.rs
+
+/root/repo/target/release/deps/multi_store_output-6dd1d22d06127e4f: tests/multi_store_output.rs
+
+tests/multi_store_output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_differential-1fcf6fd7dd596bc5.d: tests/prop_differential.rs
+
+/root/repo/target/release/deps/prop_differential-1fcf6fd7dd596bc5: tests/prop_differential.rs
+
+tests/prop_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-fb7b0e494a31a0ac.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-fb7b0e494a31a0ac: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

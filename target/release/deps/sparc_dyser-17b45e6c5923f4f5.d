@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sparc_dyser-17b45e6c5923f4f5.d: src/lib.rs
+
+/root/repo/target/release/deps/libsparc_dyser-17b45e6c5923f4f5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsparc_dyser-17b45e6c5923f4f5.rmeta: src/lib.rs
+
+src/lib.rs:

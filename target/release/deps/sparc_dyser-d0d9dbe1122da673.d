@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sparc_dyser-d0d9dbe1122da673.d: src/lib.rs
+
+/root/repo/target/release/deps/sparc_dyser-d0d9dbe1122da673: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spill_pressure-a6f4a566180feea5.d: tests/spill_pressure.rs
+
+/root/repo/target/release/deps/spill_pressure-a6f4a566180feea5: tests/spill_pressure.rs
+
+tests/spill_pressure.rs:

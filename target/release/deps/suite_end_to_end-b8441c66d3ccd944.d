@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_end_to_end-b8441c66d3ccd944.d: tests/suite_end_to_end.rs
+
+/root/repo/target/release/deps/suite_end_to_end-b8441c66d3ccd944: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/textual_ir_roundtrip-8e908a3fe44894b5.d: tests/textual_ir_roundtrip.rs
+
+/root/repo/target/release/deps/textual_ir_roundtrip-8e908a3fe44894b5: tests/textual_ir_roundtrip.rs
+
+tests/textual_ir_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/app_pipeline-dcf6b8b050512cec.d: examples/app_pipeline.rs
+
+/root/repo/target/release/examples/app_pipeline-dcf6b8b050512cec: examples/app_pipeline.rs
+
+examples/app_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_pipeline-3f13d35444cfcb65.d: examples/compiler_pipeline.rs
+
+/root/repo/target/release/examples/compiler_pipeline-3f13d35444cfcb65: examples/compiler_pipeline.rs
+
+examples/compiler_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_fabric-165d8242df9886a0.d: examples/custom_fabric.rs
+
+/root/repo/target/release/examples/custom_fabric-165d8242df9886a0: examples/custom_fabric.rs
+
+examples/custom_fabric.rs:

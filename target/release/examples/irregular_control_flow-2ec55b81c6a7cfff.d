@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/irregular_control_flow-2ec55b81c6a7cfff.d: examples/irregular_control_flow.rs
+
+/root/repo/target/release/examples/irregular_control_flow-2ec55b81c6a7cfff: examples/irregular_control_flow.rs
+
+examples/irregular_control_flow.rs:

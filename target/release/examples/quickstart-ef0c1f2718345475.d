@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ef0c1f2718345475.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ef0c1f2718345475: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,4 +1,4 @@
-//! Differential property testing of the whole stack.
+//! Differential randomized testing of the whole stack.
 //!
 //! For randomly generated kernels — a canonical loop whose body is a
 //! random expression DAG over the loop index, two loaded streams, and
@@ -11,8 +11,10 @@
 //! unrolling with epilogues, region slicing, spatial scheduling, both code
 //! generators, the assembler/encoder, the pipeline, the caches, and the
 //! fabric — against the one independent source of truth.
+//!
+//! Seeded with `dyser-rng` so the case set is identical on every run.
 
-use proptest::prelude::*;
+use dyser_rng::Rng64;
 use sparc_dyser::compiler::ir::interp::{interpret, InterpMem};
 use sparc_dyser::compiler::{
     compile, BinOp, CmpOp, CompilerOptions, Function, FunctionBuilder, Type, Value,
@@ -56,32 +58,34 @@ fn int_bin(tag: u8) -> BinOp {
     }
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
+fn rand_recipe(rng: &mut Rng64) -> Recipe {
     // Full-range constants exercise the 64-bit materialisation paths in
     // the code generator and the fabric's configured constants.
-    let leaf = (0u8..4, any::<i64>()).prop_map(|(k, c)| Node::Leaf(k, c));
-    (proptest::collection::vec(leaf, 2..4), 0usize..6, (1usize..=3), (1usize..=3), 8usize..28)
-        .prop_flat_map(|(leaves, extra_ops, unroll_pow, lag, n)| {
-            let base = leaves.len();
-            let ops = proptest::collection::vec(
-                (any::<u8>(), any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
-                extra_ops + 1,
-            );
-            ops.prop_map(move |specs| {
-                let mut nodes = leaves.clone();
-                for (sel, tag, x, y, z) in &specs {
-                    let avail = nodes.len();
-                    let node = if sel % 4 == 0 && avail >= 3 {
-                        Node::Select(x % avail, y % avail, z % avail)
-                    } else {
-                        Node::Bin(*tag, x % avail, y % avail)
-                    };
-                    nodes.push(node);
-                }
-                let _ = base;
-                Recipe { nodes, unroll: 1 << (unroll_pow - 1), lag_depth: lag, n }
-            })
-        })
+    let n_leaves = rng.gen_range(2usize..4);
+    let mut nodes: Vec<Node> = (0..n_leaves)
+        .map(|_| Node::Leaf(rng.gen_range(0u64..4) as u8, rng.next_u64() as i64))
+        .collect();
+    let extra_ops = rng.gen_range(0usize..6);
+    for _ in 0..extra_ops + 1 {
+        let avail = nodes.len();
+        let sel = rng.next_u64() as u8;
+        let node = if sel % 4 == 0 && avail >= 3 {
+            Node::Select(
+                rng.gen_range(0..avail),
+                rng.gen_range(0..avail),
+                rng.gen_range(0..avail),
+            )
+        } else {
+            Node::Bin(rng.next_u64() as u8, rng.gen_range(0..avail), rng.gen_range(0..avail))
+        };
+        nodes.push(node);
+    }
+    Recipe {
+        nodes,
+        unroll: 1 << rng.gen_range(0usize..3),
+        lag_depth: rng.gen_range(1usize..4),
+        n: rng.gen_range(8usize..28),
+    }
 }
 
 /// Builds the kernel: for i in 0..n { c[i] = expr(a[i], b[i], i) }.
@@ -113,9 +117,6 @@ fn build_kernel(recipe: &Recipe) -> Function {
             Node::Leaf(_, cst) => b.const_i(*cst),
             Node::Bin(tag, x, y) => {
                 let op = int_bin(*tag);
-                // Mask shift amounts so Ashr stays in a sane range — the
-                // semantics are defined either way; this just keeps values
-                // interesting.
                 b.bin(op, vals[*x], vals[*y])
             }
             Node::Select(x, y, z) => {
@@ -205,22 +206,28 @@ fn build_fp_kernel(recipe: &Recipe) -> Function {
     b.build().expect("random fp kernels are well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// xorshift input stream, kept separate from the recipe PRNG so input data
+/// matches the pre-port behaviour of seeding from a single u64.
+fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
 
-    #[test]
-    fn interpreter_baseline_and_dyser_agree(recipe in arb_recipe(), seed in any::<u64>()) {
+#[test]
+fn interpreter_baseline_and_dyser_agree() {
+    let mut rng = Rng64::seed_from_u64(0xD1FF_0001);
+    for _ in 0..24 {
+        let recipe = rand_recipe(&mut rng);
         let f = build_kernel(&recipe);
         let n = recipe.n;
 
-        // Deterministic pseudo-random inputs from the seed.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        // Deterministic pseudo-random inputs from a per-case seed.
+        let mut next = xorshift_stream(rng.next_u64());
         let a: Vec<u64> = (0..n).map(|_| next()).collect();
         let b: Vec<u64> = (0..n).map(|_| next()).collect();
         let args = [BUF_A, BUF_B, BUF_C, n as u64];
@@ -233,10 +240,8 @@ proptest! {
         let expected = imem.read_u64_slice(BUF_C, n);
 
         // Compile once with the randomized knobs.
-        let mut opts = CompilerOptions {
-            unroll_factor: recipe.unroll,
-            ..CompilerOptions::default()
-        };
+        let mut opts =
+            CompilerOptions { unroll_factor: recipe.unroll, ..CompilerOptions::default() };
         opts.codegen.lag_depth = recipe.lag_depth;
         let compiled = compile(&f, &opts).expect("random kernels compile");
 
@@ -247,33 +252,27 @@ proptest! {
         // run_program verifies the output against `want` and errors on the
         // first mismatching word.
         run_program("baseline", &compiled.baseline, &args, &init, &want, &rc)
-            .map_err(|e| TestCaseError::fail(format!("baseline: {e}\n{f}")))?;
-        run_program("dyser", &compiled.accelerated, &args, &init, &want, &rc)
-            .map_err(|e| TestCaseError::fail(format!(
-                "dyser (unroll {}, lag {}): {e}\n{f}",
-                recipe.unroll, recipe.lag_depth
-            )))?;
+            .unwrap_or_else(|e| panic!("baseline: {e}\n{f}"));
+        run_program("dyser", &compiled.accelerated, &args, &init, &want, &rc).unwrap_or_else(
+            |e| panic!("dyser (unroll {}, lag {}): {e}\n{f}", recipe.unroll, recipe.lag_depth),
+        );
     }
+}
 
-    #[test]
-    fn fp_kernels_agree_bit_for_bit(recipe in arb_recipe(), seed in any::<u64>()) {
+#[test]
+fn fp_kernels_agree_bit_for_bit() {
+    let mut rng = Rng64::seed_from_u64(0xD1FF_0002);
+    for _ in 0..24 {
+        let recipe = rand_recipe(&mut rng);
         let f = build_fp_kernel(&recipe);
         let n = recipe.n;
 
         // Inputs spanning normal values, plus injected specials.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut a: Vec<u64> = (0..n)
-            .map(|_| (((next() % 4000) as f64) / 100.0 - 20.0).to_bits())
-            .collect();
-        let b: Vec<u64> = (0..n)
-            .map(|_| (((next() % 4000) as f64) / 100.0 - 20.0).to_bits())
-            .collect();
+        let mut next = xorshift_stream(rng.next_u64());
+        let mut a: Vec<u64> =
+            (0..n).map(|_| (((next() % 4000) as f64) / 100.0 - 20.0).to_bits()).collect();
+        let b: Vec<u64> =
+            (0..n).map(|_| (((next() % 4000) as f64) / 100.0 - 20.0).to_bits()).collect();
         // Specials: a NaN, an infinity, a signed zero.
         if n >= 4 {
             a[0] = f64::NAN.to_bits();
@@ -288,10 +287,8 @@ proptest! {
         interpret(&f, &args, &mut imem, 10_000_000).expect("interpreter runs");
         let expected = imem.read_u64_slice(BUF_C, n);
 
-        let mut opts = CompilerOptions {
-            unroll_factor: recipe.unroll,
-            ..CompilerOptions::default()
-        };
+        let mut opts =
+            CompilerOptions { unroll_factor: recipe.unroll, ..CompilerOptions::default() };
         opts.codegen.lag_depth = recipe.lag_depth;
         let compiled = compile(&f, &opts).expect("random fp kernels compile");
 
@@ -299,8 +296,8 @@ proptest! {
         let init = vec![(BUF_A, a.clone()), (BUF_B, b.clone())];
         let want = vec![(BUF_C, expected.clone())];
         run_program("baseline", &compiled.baseline, &args, &init, &want, &rc)
-            .map_err(|e| TestCaseError::fail(format!("fp baseline: {e}\n{f}")))?;
+            .unwrap_or_else(|e| panic!("fp baseline: {e}\n{f}"));
         run_program("dyser", &compiled.accelerated, &args, &init, &want, &rc)
-            .map_err(|e| TestCaseError::fail(format!("fp dyser: {e}\n{f}")))?;
+            .unwrap_or_else(|e| panic!("fp dyser: {e}\n{f}"));
     }
 }
