@@ -323,7 +323,7 @@ impl Fabric {
             let fi = self.geom.fu_index(fu);
             let Some(value) = active.fus[fi].out else { continue };
             let sw = topo::fu_output_switch(fu);
-            let consumers = Self::targets_of(&active.config.switch(sw).clone(), InDir::FuOut);
+            let consumers = Self::targets_of(active.config.switch(sw), InDir::FuOut);
             if consumers.is_empty() {
                 // No route consumes this result: drop it (manual configs only).
                 active.fus[fi].out = None;

@@ -1,0 +1,194 @@
+//! Golden-stats regression tests for the cycle engine.
+//!
+//! These pin the *exact* `FabricStats` counters produced by fixed
+//! configurations under fixed input schedules. The golden values were
+//! captured from the reference engine (the straightforward per-cycle
+//! implementation of `Fabric::tick`); any rewrite of the engine — such as
+//! the precomputed-routing-table fast path — must reproduce them bit for
+//! bit, because every experiment's cycle counts and activity factors (and
+//! therefore the energy model) derive from these counters.
+//!
+//! Scenario 1 is a hand-authored manual configuration chosen to exercise
+//! every phase of the tick: external injection on north and west edges, a
+//! four-hop mesh route, a fan-out of two from one FU result, an integer FU,
+//! a floating-point FU with a configured constant, an FU whose result is
+//! deliberately unconsumed (the `dropped_results` path), and drains on
+//! south and east edges. Scenario 2 is a builder-produced dataflow graph
+//! driven at full pipeline occupancy.
+
+use dyser_fabric::{
+    ConfigBuilder, Fabric, FabricConfig, FabricGeometry, FabricStats, FuConfig, FuId, FuOp,
+    InDir, OperandSrc, OutDir, SwitchId,
+};
+
+fn sw(row: usize, col: usize) -> SwitchId {
+    SwitchId { row, col }
+}
+
+/// A 2x2 manual configuration touching every engine phase (see module doc).
+fn manual_config() -> FabricConfig {
+    let geom = FabricGeometry::new(2, 2);
+    let mut cfg = FabricConfig::empty(geom);
+    cfg.set_name("stats_regression::manual");
+
+    // FU (0,0): integer add of input ports 0 and 1.
+    cfg.switch_mut(sw(0, 0)).set_source(OutDir::FuOp0, InDir::ExtIn);
+    cfg.switch_mut(sw(0, 1)).set_source(OutDir::FuOp1, InDir::ExtIn);
+    cfg.set_fu(
+        FuId { row: 0, col: 0 },
+        FuConfig {
+            op: FuOp::IAdd,
+            operands: [OperandSrc::Switch, OperandSrc::Switch, OperandSrc::None],
+        },
+    );
+    // Fan the IAdd result out twice from its output switch (1,1): south to
+    // output port 1 and east to output port 3.
+    cfg.switch_mut(sw(1, 1)).set_source(OutDir::South, InDir::FuOut);
+    cfg.switch_mut(sw(1, 1)).set_source(OutDir::East, InDir::FuOut);
+    cfg.switch_mut(sw(2, 1)).set_source(OutDir::ExtOut, InDir::North);
+    cfg.switch_mut(sw(1, 2)).set_source(OutDir::ExtOut, InDir::West);
+
+    // FU (0,1): floating-point add of input port 1 (shared injection with
+    // the IAdd's second operand — a same-line fanout) and a constant.
+    cfg.switch_mut(sw(0, 1)).set_source(OutDir::FuOp0, InDir::ExtIn);
+    cfg.set_fu(
+        FuId { row: 0, col: 1 },
+        FuConfig {
+            op: FuOp::FAdd,
+            operands: [
+                OperandSrc::Switch,
+                OperandSrc::Const(2.5f64.to_bits()),
+                OperandSrc::None,
+            ],
+        },
+    );
+    // Route the FAdd result north-then-out to output port 4.
+    cfg.switch_mut(sw(1, 2)).set_source(OutDir::North, InDir::FuOut);
+    cfg.switch_mut(sw(0, 2)).set_source(OutDir::ExtOut, InDir::South);
+
+    // FU (1,0): integer multiply of input port 3 by a constant, whose
+    // result is deliberately NOT consumed by any route — every fire must
+    // count one dropped result.
+    cfg.switch_mut(sw(1, 0)).set_source(OutDir::FuOp0, InDir::ExtIn);
+    cfg.set_fu(
+        FuId { row: 1, col: 0 },
+        FuConfig {
+            op: FuOp::IMul,
+            operands: [OperandSrc::Switch, OperandSrc::Const(3), OperandSrc::None],
+        },
+    );
+
+    // A four-hop pure-mesh route: input port 2 at (0,2) travels
+    // west, south, west, south and drains at output port 0.
+    cfg.switch_mut(sw(0, 2)).set_source(OutDir::West, InDir::ExtIn);
+    cfg.switch_mut(sw(0, 1)).set_source(OutDir::South, InDir::East);
+    cfg.switch_mut(sw(1, 1)).set_source(OutDir::West, InDir::North);
+    cfg.switch_mut(sw(1, 0)).set_source(OutDir::South, InDir::East);
+    cfg.switch_mut(sw(2, 0)).set_source(OutDir::ExtOut, InDir::North);
+
+    cfg.validate().expect("manual regression config is structurally valid");
+    cfg
+}
+
+/// Drives the manual configuration on a fixed schedule and returns stats.
+fn run_manual() -> FabricStats {
+    let geom = FabricGeometry::new(2, 2);
+    let mut fabric = Fabric::universal(geom);
+    fabric.load_config(&manual_config()).expect("manual config loads");
+
+    // Fixed schedule: offer one value per port per iteration for 8
+    // iterations, tick 40 more cycles to drain, collecting all outputs.
+    let mut received = 0u64;
+    for i in 0..48u64 {
+        if i < 8 {
+            fabric.try_send(0, 100 + i);
+            fabric.try_send(1, (i as f64).to_bits());
+            fabric.try_send(2, 7000 + i);
+            fabric.try_send(3, 9000 + i);
+        }
+        fabric.tick();
+        for port in [0usize, 1, 3, 4] {
+            while fabric.try_recv(port).is_some() {
+                received += 1;
+            }
+        }
+    }
+    // 8 mesh pass-throughs + 8 IAdd results x 2 fanout + 8 FAdd results.
+    assert_eq!(received, 32, "all scheduled values must drain");
+    *fabric.stats()
+}
+
+/// Drives a builder-produced DFG at full occupancy and returns stats.
+fn run_builder_dfg() -> FabricStats {
+    let geom = FabricGeometry::new(4, 4);
+    let mut b = ConfigBuilder::new(geom);
+    let x = b.input_value(0);
+    let y = b.input_value(1);
+    let z = b.input_value(2);
+    let sum = b.op(FuOp::IAdd, &[x, y]);
+    let sq = b.op(FuOp::IMul, &[sum, sum]);
+    let out = b.op(FuOp::IMax, &[sq, z]);
+    b.output_value(out, 0);
+    let config = b.build().expect("DFG routes on 4x4");
+
+    let mut fabric = Fabric::universal(geom);
+    fabric.load_config(&config).expect("built config loads");
+
+    let mut received = 0u64;
+    let mut sent = 0u64;
+    for _ in 0..400u64 {
+        if sent < 32 && (0..3).all(|p| fabric.input_free(p) > 0) {
+            fabric.try_send(0, sent);
+            fabric.try_send(1, sent ^ 0x5555);
+            fabric.try_send(2, 1 << (sent % 60));
+            sent += 1;
+        }
+        fabric.tick();
+        while fabric.try_recv(0).is_some() {
+            received += 1;
+        }
+        if received == 32 {
+            break;
+        }
+    }
+    assert_eq!(received, 32, "all invocations must complete");
+    *fabric.stats()
+}
+
+#[test]
+fn manual_config_stats_are_golden() {
+    let s = run_manual();
+    let golden = FabricStats {
+        cycles: 48,
+        active_cycles: 15,
+        int_fu_fires: 16,
+        fp_fu_fires: 8,
+        switch_hops: 120,
+        fanout_copies: 16,
+        port_in: 32,
+        port_out: 32,
+        configs_loaded: 1,
+        config_bits: 299,
+        dropped_results: 8,
+    };
+    assert_eq!(s, golden, "manual-config counters changed: {s:#?}");
+}
+
+#[test]
+fn builder_dfg_stats_are_golden() {
+    let s = run_builder_dfg();
+    let golden = FabricStats {
+        cycles: 82,
+        active_cycles: 82,
+        int_fu_fires: 96,
+        fp_fu_fires: 0,
+        switch_hops: 544,
+        fanout_copies: 32,
+        port_in: 96,
+        port_out: 32,
+        configs_loaded: 1,
+        config_bits: 603,
+        dropped_results: 0,
+    };
+    assert_eq!(s, golden, "builder-DFG counters changed: {s:#?}");
+}
