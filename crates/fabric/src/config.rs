@@ -35,6 +35,21 @@ impl InDir {
     /// All input directions.
     pub const ALL: [InDir; 6] =
         [InDir::North, InDir::South, InDir::East, InDir::West, InDir::FuOut, InDir::ExtIn];
+
+    /// Number of distinct input lines per switch.
+    pub const COUNT: usize = 6;
+
+    /// Index used for flat storage.
+    pub const fn index(self) -> usize {
+        match self {
+            InDir::North => 0,
+            InDir::South => 1,
+            InDir::East => 2,
+            InDir::West => 3,
+            InDir::FuOut => 4,
+            InDir::ExtIn => 5,
+        }
+    }
 }
 
 /// A switch output line: where a value is driven to.

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::config::topo;
-use crate::config::{ConfigError, FabricConfig, InDir, OperandSrc, OutDir, SwitchConfig};
+use crate::config::{ConfigError, FabricConfig, InDir, OperandSrc, OutDir};
 use crate::geom::{FabricGeometry, FuId, SwitchId};
 use crate::op::{FuKind, Value};
 use crate::stats::FabricStats;
@@ -46,11 +46,154 @@ impl FuState {
     }
 }
 
+/// Where a switch-output register delivers its value, resolved once at
+/// configuration-load time so the per-cycle loop does no topology math.
+#[derive(Debug, Clone, Copy)]
+enum RegDest {
+    /// Into another switch: the [`RouteTable`] consumer key of
+    /// `(destination switch, arriving line)`.
+    Switch { key: u32 },
+    /// Into an FU operand latch.
+    FuLatch { fu: u32, slot: u8 },
+    /// Into an output-port FIFO.
+    Port { port: u32 },
+}
+
+/// One configured register in the sinks-first topological move order.
+#[derive(Debug, Clone, Copy)]
+struct RegStep {
+    /// Register index: `switch_index * 8 + OutDir::index()`.
+    src: u32,
+    dest: RegDest,
+}
+
+/// Dense routing tables precomputed from a configuration.
+///
+/// Everything `tick` needs per cycle is resolved here once per
+/// `load_config`: consumer lists for every `(switch, input line)` pair in
+/// CSR form, the register move plan, each FU's output-line key, and the
+/// set of input ports the configuration actually wires. The tick loop
+/// then runs on flat index arithmetic with zero heap allocation.
+#[derive(Debug, Clone)]
+struct RouteTable {
+    /// CSR offsets into `targets`, indexed by
+    /// `switch_index * InDir::COUNT + InDir::index()`; length is one more
+    /// than the key count.
+    offsets: Vec<u32>,
+    /// Concatenated consumer register indices for every key.
+    targets: Vec<u32>,
+    /// Register move plan, in sinks-first topological order.
+    steps: Vec<RegStep>,
+    /// Per FU index, the consumer key of its output switch's `FuOut` line.
+    fu_out_keys: Vec<u32>,
+    /// `(port, key)` for each input port whose `ExtIn` line has consumers.
+    wired_inputs: Vec<(u32, u32)>,
+}
+
+impl RouteTable {
+    fn key(geom: &FabricGeometry, sw: SwitchId, line: InDir) -> u32 {
+        (geom.switch_index(sw) * InDir::COUNT + line.index()) as u32
+    }
+
+    /// Consumer register indices of input line `key`.
+    fn consumers(&self, key: u32) -> &[u32] {
+        let lo = self.offsets[key as usize] as usize;
+        let hi = self.offsets[key as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    fn build(
+        geom: &FabricGeometry,
+        config: &FabricConfig,
+        reg_order: &[(SwitchId, OutDir)],
+    ) -> Self {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); geom.switch_count() * InDir::COUNT];
+        for sw in geom.switches() {
+            let si = geom.switch_index(sw);
+            for (d, line) in config.switch(sw).routes() {
+                lists[si * InDir::COUNT + line.index()].push((si * 8 + d.index()) as u32);
+            }
+        }
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for list in &lists {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+
+        let steps = reg_order
+            .iter()
+            .map(|&(sw, d)| {
+                let dest = match d {
+                    OutDir::North | OutDir::South | OutDir::East | OutDir::West => {
+                        let dest = topo::neighbor(geom, sw, d)
+                            .expect("validated mesh route has a neighbour");
+                        RegDest::Switch { key: Self::key(geom, dest, topo::mirror(d)) }
+                    }
+                    OutDir::FuOp0 | OutDir::FuOp1 | OutDir::FuOp2 => {
+                        let (fu, slot) = topo::fu_operand_target(geom, sw, d)
+                            .expect("validated operand route targets an FU");
+                        RegDest::FuLatch { fu: geom.fu_index(fu) as u32, slot: slot as u8 }
+                    }
+                    OutDir::ExtOut => {
+                        let port = geom
+                            .switch_output_port(sw)
+                            .expect("validated ExtOut route sits on an output edge");
+                        RegDest::Port { port: port as u32 }
+                    }
+                };
+                RegStep { src: (geom.switch_index(sw) * 8 + d.index()) as u32, dest }
+            })
+            .collect();
+
+        let fu_out_keys = geom
+            .fus()
+            .map(|fu| Self::key(geom, topo::fu_output_switch(fu), InDir::FuOut))
+            .collect();
+
+        let mut wired_inputs = Vec::new();
+        let mut table = RouteTable { offsets, targets, steps, fu_out_keys, wired_inputs: vec![] };
+        for port in 0..geom.input_ports() {
+            let sw = geom.input_port_switch(port).expect("port index in range");
+            let key = Self::key(geom, sw, InDir::ExtIn);
+            if !table.consumers(key).is_empty() {
+                wired_inputs.push((port as u32, key));
+            }
+        }
+        table.wired_inputs = wired_inputs;
+        table
+    }
+}
+
+/// Copies `value` into every consumer register of `key`, atomically (all
+/// must be free). Returns whether the value moved.
+fn deliver(
+    regs: &mut [Option<Value>],
+    table: &RouteTable,
+    key: u32,
+    value: Value,
+    stats: &mut FabricStats,
+) -> bool {
+    let consumers = table.consumers(key);
+    if consumers.is_empty() {
+        return false;
+    }
+    if consumers.iter().any(|&i| regs[i as usize].is_some()) {
+        return false;
+    }
+    for &i in consumers {
+        regs[i as usize] = Some(value);
+    }
+    stats.fanout_copies += (consumers.len() - 1) as u64;
+    true
+}
+
 #[derive(Debug, Clone)]
 struct Active {
     config: FabricConfig,
-    /// Configured switch-output registers in sinks-first topological order.
-    reg_order: Vec<(SwitchId, OutDir)>,
+    /// Precomputed routing tables (see [`RouteTable`]).
+    table: RouteTable,
     /// Register contents, indexed by `switch_index * 8 + OutDir::index()`.
     regs: Vec<Option<Value>>,
     fus: Vec<FuState>,
@@ -179,6 +322,7 @@ impl Fabric {
             }
         }
         let reg_order = config.check_acyclic()?;
+        let table = RouteTable::build(&self.geom, config, &reg_order);
         let mut fus: Vec<FuState> = (0..self.geom.fu_count()).map(|_| FuState::empty()).collect();
         for fu in self.geom.fus() {
             fus[self.geom.fu_index(fu)].config = config.fu(fu).copied();
@@ -187,7 +331,7 @@ impl Fabric {
         self.stats.config_bits += config.frame_bits();
         self.active = Some(Active {
             config: config.clone(),
-            reg_order,
+            table,
             regs: vec![None; self.geom.switch_count() * 8],
             fus,
             in_fifos: vec![VecDeque::new(); self.geom.input_ports()],
@@ -262,33 +406,29 @@ impl Fabric {
         self.active.as_ref().map(|a| a.config.vec_out(vp)).unwrap_or(&[])
     }
 
-    fn reg_idx(&self, sw: SwitchId, d: OutDir) -> usize {
-        self.geom.switch_index(sw) * 8 + d.index()
-    }
-
     /// Advances the fabric by one cycle.
+    ///
+    /// The five phases run entirely on the precomputed [`RouteTable`]:
+    /// flat index loads and stores, no per-cycle topology lookups and no
+    /// heap allocation in steady state.
     pub fn tick(&mut self) {
         self.cycle += 1;
         self.stats.cycles += 1;
-        let Some(mut active) = self.active.take() else { return };
+        let cycle = self.cycle;
+        let fifo_depth = self.fifo_depth;
+        let stats = &mut self.stats;
+        let Some(active) = self.active.as_mut() else { return };
+        let Active { table, regs, fus, in_fifos, out_fifos, .. } = active;
         let mut any_activity = false;
 
         // Phase 1: move switch-output registers, sinks first.
-        for i in 0..active.reg_order.len() {
-            let (sw, d) = active.reg_order[i];
-            let src_idx = self.reg_idx(sw, d);
-            let Some(value) = active.regs[src_idx] else { continue };
-            let moved = match d {
-                OutDir::North | OutDir::South | OutDir::East | OutDir::West => {
-                    let dest = topo::neighbor(&self.geom, sw, d)
-                        .expect("validated mesh route has a neighbour");
-                    let arrive = topo::mirror(d);
-                    self.deliver_to_switch(&mut active, dest, arrive, value)
-                }
-                OutDir::FuOp0 | OutDir::FuOp1 | OutDir::FuOp2 => {
-                    let (fu, slot) = topo::fu_operand_target(&self.geom, sw, d)
-                        .expect("validated operand route targets an FU");
-                    let latch = &mut active.fus[self.geom.fu_index(fu)].latch[slot];
+        for step in &table.steps {
+            let src = step.src as usize;
+            let Some(value) = regs[src] else { continue };
+            let moved = match step.dest {
+                RegDest::Switch { key } => deliver(regs, table, key, value, stats),
+                RegDest::FuLatch { fu, slot } => {
+                    let latch = &mut fus[fu as usize].latch[slot as usize];
                     if latch.is_none() {
                         *latch = Some(value);
                         true
@@ -296,13 +436,9 @@ impl Fabric {
                         false
                     }
                 }
-                OutDir::ExtOut => {
-                    let port = self
-                        .geom
-                        .switch_output_port(sw)
-                        .expect("validated ExtOut route sits on an output edge");
-                    let fifo = &mut active.out_fifos[port];
-                    if fifo.len() < self.fifo_depth {
+                RegDest::Port { port } => {
+                    let fifo = &mut out_fifos[port as usize];
+                    if fifo.len() < fifo_depth {
                         fifo.push_back(value);
                         true
                     } else {
@@ -311,36 +447,33 @@ impl Fabric {
                 }
             };
             if moved {
-                active.regs[src_idx] = None;
-                self.stats.switch_hops += 1;
+                regs[src] = None;
+                stats.switch_hops += 1;
                 any_activity = true;
             }
         }
 
         // Phase 2: inject FU results into their south-east switches.
-        let all_fus: Vec<FuId> = self.geom.fus().collect();
-        for fu in all_fus {
-            let fi = self.geom.fu_index(fu);
-            let Some(value) = active.fus[fi].out else { continue };
-            let sw = topo::fu_output_switch(fu);
-            let consumers = Self::targets_of(active.config.switch(sw), InDir::FuOut);
-            if consumers.is_empty() {
+        for fi in 0..fus.len() {
+            let Some(value) = fus[fi].out else { continue };
+            let key = table.fu_out_keys[fi];
+            if table.consumers(key).is_empty() {
                 // No route consumes this result: drop it (manual configs only).
-                active.fus[fi].out = None;
-                self.stats.dropped_results += 1;
+                fus[fi].out = None;
+                stats.dropped_results += 1;
                 continue;
             }
-            if self.deliver_to_switch(&mut active, sw, InDir::FuOut, value) {
-                active.fus[fi].out = None;
+            if deliver(regs, table, key, value, stats) {
+                fus[fi].out = None;
                 any_activity = true;
             }
         }
 
         // Phase 3: advance FU pipelines into output buffers.
-        for fu_state in &mut active.fus {
+        for fu_state in fus.iter_mut() {
             if fu_state.out.is_none() {
                 if let Some(&(ready, v)) = fu_state.pipe.front() {
-                    if self.cycle >= ready {
+                    if cycle >= ready {
                         fu_state.out = Some(v);
                         fu_state.pipe.pop_front();
                         any_activity = true;
@@ -350,7 +483,7 @@ impl Fabric {
         }
 
         // Phase 4: fire ready FUs.
-        for fu_state in &mut active.fus {
+        for fu_state in fus.iter_mut() {
             let Some(cfg) = fu_state.config else { continue };
             let capacity = cfg.op.latency().max(1) as usize;
             if fu_state.pipe.len() >= capacity {
@@ -380,61 +513,27 @@ impl Fabric {
                 }
             }
             let result = cfg.op.eval(operands[0], operands[1], operands[2]);
-            fu_state.pipe.push_back((self.cycle + cfg.op.latency(), result));
+            fu_state.pipe.push_back((cycle + cfg.op.latency(), result));
             if cfg.op.is_fp() {
-                self.stats.fp_fu_fires += 1;
+                stats.fp_fu_fires += 1;
             } else {
-                self.stats.int_fu_fires += 1;
+                stats.int_fu_fires += 1;
             }
             any_activity = true;
         }
 
-        // Phase 5: inject input-port values into their edge switches.
-        for port in 0..self.geom.input_ports() {
-            let Some(&value) = active.in_fifos[port].front() else { continue };
-            let sw = self.geom.input_port_switch(port).expect("port index in range");
-            if Self::targets_of(active.config.switch(sw), InDir::ExtIn).is_empty() {
-                continue; // port not wired by this configuration
-            }
-            if self.deliver_to_switch(&mut active, sw, InDir::ExtIn, value) {
-                active.in_fifos[port].pop_front();
+        // Phase 5: inject input-port values into their wired edge switches.
+        for &(port, key) in &table.wired_inputs {
+            let Some(&value) = in_fifos[port as usize].front() else { continue };
+            if deliver(regs, table, key, value, stats) {
+                in_fifos[port as usize].pop_front();
                 any_activity = true;
             }
         }
 
         if any_activity {
-            self.stats.active_cycles += 1;
+            stats.active_cycles += 1;
         }
-        self.active = Some(active);
-    }
-
-    /// Output directions of `sw` that source from `line`.
-    fn targets_of(sw_cfg: &SwitchConfig, line: InDir) -> Vec<OutDir> {
-        sw_cfg.routes().filter(|&(_, s)| s == line).map(|(d, _)| d).collect()
-    }
-
-    /// Copies `value` into every output register of `dest` sourced from
-    /// `line`, atomically (all must be free). Returns whether it moved.
-    fn deliver_to_switch(
-        &mut self,
-        active: &mut Active,
-        dest: SwitchId,
-        line: InDir,
-        value: Value,
-    ) -> bool {
-        let targets = Self::targets_of(active.config.switch(dest), line);
-        if targets.is_empty() {
-            return false;
-        }
-        let indices: Vec<usize> = targets.iter().map(|&d| self.reg_idx(dest, d)).collect();
-        if indices.iter().any(|&i| active.regs[i].is_some()) {
-            return false;
-        }
-        for &i in &indices {
-            active.regs[i] = Some(value);
-        }
-        self.stats.fanout_copies += (indices.len() - 1) as u64;
-        true
     }
 
     /// Runs until output port `port` has a value, then returns it.
