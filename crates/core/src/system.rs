@@ -200,12 +200,12 @@ impl Coproc for SysCoproc {
         self.fabric.as_ref().map_or(0, Fabric::in_flight)
     }
 
-    fn cp_vec_in(&self, vp: usize) -> Vec<usize> {
-        self.fabric.as_ref().map_or(Vec::new(), |f| f.vec_in_ports(vp).to_vec())
+    fn cp_vec_in(&self, vp: usize) -> &[usize] {
+        self.fabric.as_ref().map_or(&[], |f| f.vec_in_ports(vp))
     }
 
-    fn cp_vec_out(&self, vp: usize) -> Vec<usize> {
-        self.fabric.as_ref().map_or(Vec::new(), |f| f.vec_out_ports(vp).to_vec())
+    fn cp_vec_out(&self, vp: usize) -> &[usize] {
+        self.fabric.as_ref().map_or(&[], |f| f.vec_out_ports(vp))
     }
 }
 

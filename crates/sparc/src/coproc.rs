@@ -60,10 +60,10 @@ pub trait Coproc {
     fn cp_in_flight(&self) -> usize;
 
     /// The scalar input ports behind vector input port `vp`.
-    fn cp_vec_in(&self, vp: usize) -> Vec<usize>;
+    fn cp_vec_in(&self, vp: usize) -> &[usize];
 
     /// The scalar output ports behind vector output port `vp`.
-    fn cp_vec_out(&self, vp: usize) -> Vec<usize>;
+    fn cp_vec_out(&self, vp: usize) -> &[usize];
 }
 
 /// A coprocessor that is not there: every operation fails.
@@ -90,12 +90,12 @@ impl Coproc for NullCoproc {
         0
     }
 
-    fn cp_vec_in(&self, _vp: usize) -> Vec<usize> {
-        Vec::new()
+    fn cp_vec_in(&self, _vp: usize) -> &[usize] {
+        &[]
     }
 
-    fn cp_vec_out(&self, _vp: usize) -> Vec<usize> {
-        Vec::new()
+    fn cp_vec_out(&self, _vp: usize) -> &[usize] {
+        &[]
     }
 }
 

@@ -189,72 +189,45 @@ impl Pipeline {
         }
     }
 
-    /// Integer source registers of an instruction (for the load-use check).
-    fn int_sources(instr: &Instr) -> Vec<Reg> {
-        let mut v = Vec::new();
-        let push_op2 = |op2: &Op2, v: &mut Vec<Reg>| {
-            if let Op2::Reg(r) = op2 {
-                v.push(*r);
-            }
-        };
+    /// Whether `instr` reads integer register `reg` (the load-use check).
+    fn int_uses(instr: &Instr, reg: Reg) -> bool {
+        let op2_is = |op2: &Op2| matches!(op2, Op2::Reg(r) if *r == reg);
         match instr {
-            Instr::Alu { rs1, op2, .. } => {
-                v.push(*rs1);
-                push_op2(op2, &mut v);
-            }
-            Instr::MovCc { op2, .. } => push_op2(op2, &mut v),
+            Instr::Alu { rs1, op2, .. } => *rs1 == reg || op2_is(op2),
+            Instr::MovCc { op2, .. } => op2_is(op2),
             Instr::Load { rs1, op2, .. } | Instr::LoadF { rs1, op2, .. } => {
-                v.push(*rs1);
-                push_op2(op2, &mut v);
+                *rs1 == reg || op2_is(op2)
             }
-            Instr::Store { rs, rs1, op2, .. } => {
-                v.push(*rs);
-                v.push(*rs1);
-                push_op2(op2, &mut v);
-            }
-            Instr::StoreF { rs1, op2, .. } => {
-                v.push(*rs1);
-                push_op2(op2, &mut v);
-            }
-            Instr::BranchReg { rs1, .. } => v.push(*rs1),
-            Instr::Jmpl { rs1, op2, .. } => {
-                v.push(*rs1);
-                push_op2(op2, &mut v);
-            }
+            Instr::Store { rs, rs1, op2, .. } => *rs == reg || *rs1 == reg || op2_is(op2),
+            Instr::StoreF { rs1, op2, .. } => *rs1 == reg || op2_is(op2),
+            Instr::BranchReg { rs1, .. } => *rs1 == reg,
+            Instr::Jmpl { rs1, op2, .. } => *rs1 == reg || op2_is(op2),
             Instr::Dyser(d) => match d {
-                DyserInstr::Send { rs, .. } => v.push(*rs),
+                DyserInstr::Send { rs, .. } => *rs == reg,
                 DyserInstr::Load { rs1, op2, .. } | DyserInstr::Store { rs1, op2, .. } => {
-                    v.push(*rs1);
-                    push_op2(op2, &mut v);
+                    *rs1 == reg || op2_is(op2)
                 }
                 DyserInstr::SendVec { base, count, .. } => {
-                    for i in 0..*count {
-                        if let Some(r) = Reg::try_new(base.index() as u8 + i) {
-                            v.push(r);
-                        }
-                    }
+                    let base = base.index() as u16;
+                    let r = reg.index() as u16;
+                    r >= base && r < base + u16::from(*count)
                 }
-                _ => {}
+                _ => false,
             },
-            _ => {}
+            _ => false,
         }
-        v
     }
 
-    /// Floating-point source registers of an instruction.
-    fn fp_sources(instr: &Instr) -> Vec<FReg> {
+    /// Whether `instr` reads floating-point register `reg`.
+    fn fp_uses(instr: &Instr, reg: FReg) -> bool {
         match instr {
             Instr::Fpu { op, rs1, rs2, .. } => {
-                if op.is_unary() {
-                    vec![*rs2]
-                } else {
-                    vec![*rs1, *rs2]
-                }
+                (!op.is_unary() && *rs1 == reg) || *rs2 == reg
             }
-            Instr::FCmp { rs1, rs2 } => vec![*rs1, *rs2],
-            Instr::StoreF { rs, .. } => vec![*rs],
-            Instr::Dyser(DyserInstr::SendF { rs, .. }) => vec![*rs],
-            _ => Vec::new(),
+            Instr::FCmp { rs1, rs2 } => *rs1 == reg || *rs2 == reg,
+            Instr::StoreF { rs, .. } => *rs == reg,
+            Instr::Dyser(DyserInstr::SendF { rs, .. }) => *rs == reg,
+            _ => false,
         }
     }
 
@@ -360,12 +333,12 @@ impl Pipeline {
         // Load-use interlock against the previous instruction.
         let mut load_use = false;
         if let Some(last) = self.last_load_int {
-            if Self::int_sources(&instr).contains(&last) {
+            if Self::int_uses(&instr, last) {
                 load_use = true;
             }
         }
         if let Some(last) = self.last_load_fp {
-            if Self::fp_sources(&instr).contains(&last) {
+            if Self::fp_uses(&instr, last) {
                 load_use = true;
             }
         }
