@@ -2,7 +2,9 @@
 //! table/figure of the evaluation (see `DESIGN.md` for the index).
 
 use dyser_compiler::LoopShape;
-use dyser_core::{run_kernel, run_program, KernelResult, RunConfig};
+use dyser_core::{
+    default_workers, run_kernel, run_kernels, run_program, KernelJob, KernelResult, RunConfig,
+};
 use dyser_energy::EnergyModel;
 use dyser_fabric::{FabricGeometry, FuKind, StructuralStats};
 use dyser_sparc::StallCause;
@@ -69,12 +71,34 @@ fn kernel_by_name(name: &str) -> Kernel {
         .unwrap_or_else(|| panic!("kernel `{name}` in suite"))
 }
 
-fn run_one(k: &Kernel, n: usize, config_mut: impl FnOnce(&mut RunConfig)) -> KernelResult {
+fn job_for(k: &Kernel, n: usize, config_mut: impl FnOnce(&mut RunConfig)) -> KernelJob {
     let mut config = RunConfig::default();
     config.compiler = k.compiler_options(config.system.geometry);
     config_mut(&mut config);
-    run_kernel(&k.case(n, SEED), &config)
-        .unwrap_or_else(|e| panic!("{} (n={n}): {e}", k.name))
+    (k.case(n, SEED), config)
+}
+
+fn run_one(k: &Kernel, n: usize, config_mut: impl FnOnce(&mut RunConfig)) -> KernelResult {
+    let (case, config) = job_for(k, n, config_mut);
+    run_kernel(&case, &config).unwrap_or_else(|e| panic!("{} (n={n}): {e}", k.name))
+}
+
+/// Runs every kernel at its scaled default size, fanned across the
+/// harness's worker pool; results come back in input order.
+fn run_suite(kernels: Vec<Kernel>, scale: Scale) -> Vec<(Kernel, usize, KernelResult)> {
+    let sizes: Vec<usize> = kernels.iter().map(|k| scale.n(k.default_n)).collect();
+    let jobs: Vec<KernelJob> =
+        kernels.iter().zip(&sizes).map(|(k, &n)| job_for(k, n, |_| {})).collect();
+    let results = run_kernels(&jobs, default_workers());
+    kernels
+        .into_iter()
+        .zip(sizes)
+        .zip(results)
+        .map(|((k, n), r)| {
+            let r = r.unwrap_or_else(|e| panic!("{} (n={n}): {e}", k.name));
+            (k, n, r)
+        })
+        .collect()
 }
 
 fn geomean(xs: &[f64]) -> f64 {
@@ -127,9 +151,9 @@ pub fn e2_micro_speedup(scale: Scale) -> ExpTable {
     );
     let mut speedups = Vec::new();
     let mut peak: f64 = 0.0;
-    for k in suite().into_iter().filter(|k| k.category == Category::Micro) {
-        let n = scale.n(k.default_n);
-        let r = run_one(&k, n, |_| {});
+    let micro: Vec<Kernel> =
+        suite().into_iter().filter(|k| k.category == Category::Micro).collect();
+    for (k, n, r) in run_suite(micro, scale) {
         speedups.push(r.speedup);
         peak = peak.max(r.speedup);
         t.row(vec![
@@ -165,9 +189,7 @@ pub fn e3_suite_speedup(scale: Scale) -> ExpTable {
         (Category::Regular, Vec::new()),
         (Category::Irregular, Vec::new()),
     ];
-    for k in suite() {
-        let n = scale.n(k.default_n);
-        let r = run_one(&k, n, |_| {});
+    for (k, n, r) in run_suite(suite(), scale) {
         by_cat.iter_mut().find(|(c, _)| *c == k.category).expect("category").1.push(r.speedup);
         t.row(vec![
             k.name.into(),
@@ -229,9 +251,7 @@ pub fn e5_instruction_reduction(scale: Scale) -> ExpTable {
         &["kernel", "base instrs", "dyser instrs", "reduction", "base fp+mul", "dyser fp+mul", "fabric ops"],
     );
     use dyser_isa::InstrClass as C;
-    for k in suite() {
-        let n = scale.n(k.default_n);
-        let r = run_one(&k, n, |_| {});
+    for (k, _n, r) in run_suite(suite(), scale) {
         let heavy = |s: &dyser_core::RunStats| {
             s.core.class_count(C::Fp) + s.core.class_count(C::IntMulDiv)
         };
@@ -260,9 +280,7 @@ pub fn e6_energy(scale: Scale) -> ExpTable {
     );
     let model = EnergyModel::default();
     let mut fabric_powers = Vec::new();
-    for k in suite() {
-        let n = scale.n(k.default_n);
-        let r = run_one(&k, n, |_| {});
+    for (k, _n, r) in run_suite(suite(), scale) {
         let eb = r.baseline.energy(&model);
         let ed = r.dyser.energy(&model);
         if r.accelerated_any {

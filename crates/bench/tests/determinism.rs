@@ -1,0 +1,75 @@
+//! The parallel harness must be a pure scheduling change: fanning the
+//! suite across worker threads has to produce bit-identical
+//! `KernelResult`s — cycles, stats, speedups — to running the same jobs
+//! back to back on one thread.
+
+use dyser_bench::experiments::SEED;
+use dyser_core::{compile_cached, run_kernel, run_kernels, KernelJob, RunConfig};
+use dyser_workloads::suite;
+
+/// Every suite kernel at a small size, under its own compiler options.
+fn suite_jobs() -> Vec<KernelJob> {
+    suite()
+        .iter()
+        .map(|k| {
+            let n = (k.default_n / 16).max(8) / 4 * 4;
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            (k.case(n, SEED), config)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_suite_is_bit_identical_to_serial() {
+    let jobs = suite_jobs();
+
+    let serial: Vec<String> = jobs
+        .iter()
+        .map(|(case, config)| {
+            let r = run_kernel(case, config)
+                .unwrap_or_else(|e| panic!("serial {}: {e}", case.name));
+            format!("{r:?}")
+        })
+        .collect();
+
+    for threads in [1, 4] {
+        let parallel = run_kernels(&jobs, threads);
+        assert_eq!(parallel.len(), jobs.len());
+        for ((case, _), (want, got)) in jobs.iter().zip(serial.iter().zip(&parallel)) {
+            let got = got
+                .as_ref()
+                .unwrap_or_else(|e| panic!("parallel ({threads} threads) {}: {e}", case.name));
+            assert_eq!(
+                want,
+                &format!("{got:?}"),
+                "{} diverged between serial and {threads}-thread runs",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn more_workers_than_jobs_is_fine() {
+    let jobs: Vec<KernelJob> = suite_jobs().into_iter().take(2).collect();
+    let results = run_kernels(&jobs, 64);
+    assert_eq!(results.len(), 2);
+    for (i, r) in results.iter().enumerate() {
+        let r = r.as_ref().expect("run verifies");
+        assert_eq!(r.name, jobs[i].0.name, "results must come back in job order");
+    }
+}
+
+#[test]
+fn identical_inputs_compile_once_per_process() {
+    let k = suite().into_iter().next().expect("non-empty suite");
+    let opts = k.compiler_options(RunConfig::default().system.geometry);
+    let case = k.case(16, SEED);
+    let first = compile_cached(&case.function, &opts).expect("compiles");
+    let second = compile_cached(&case.function, &opts).expect("compiles");
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "second compile of an identical (kernel, options) pair must hit the cache"
+    );
+}

@@ -7,7 +7,11 @@
 //! machines, and correctness is established by comparing every output
 //! buffer against a reference computed independently.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
 
 use dyser_compiler::{
     compile, CompileError, CompiledProgram, CompilerOptions, Function, Program, RegionReport,
@@ -163,31 +167,111 @@ pub fn run_program(
     Ok(stats)
 }
 
+/// Process-global cache of compiled programs.
+///
+/// Experiment sweeps compile the same `(kernel, options)` pair dozens of
+/// times — every experiment rebuilds the suite from scratch. Compilation
+/// is deterministic, so the result can be shared: the cache key is the
+/// exhaustive `Debug` rendering of both inputs (structural equality by
+/// construction, no `Hash`/`Eq` impls required on compiler types).
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<String, Arc<CompiledProgram>>>> = OnceLock::new();
+
+/// Compiles `function` under `options`, memoising the result for the
+/// lifetime of the process.
+///
+/// Compilation runs outside the cache lock, so parallel workers can
+/// compile *different* kernels concurrently; two workers racing on the
+/// same key both compile, and the first insertion wins (the results are
+/// identical — compilation is deterministic).
+///
+/// # Errors
+///
+/// Propagates [`CompileError`]; failures are not cached.
+pub fn compile_cached(
+    function: &Function,
+    options: &CompilerOptions,
+) -> Result<Arc<CompiledProgram>, CompileError> {
+    let key = format!("{function:?}\u{1f}{options:?}");
+    let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("compile cache lock").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let compiled = Arc::new(compile(function, options)?);
+    let mut map = cache.lock().expect("compile cache lock");
+    Ok(Arc::clone(map.entry(key).or_insert(compiled)))
+}
+
 /// Compiles and runs `case` both ways; verifies both runs.
+///
+/// The two simulations are independent, so they execute on two scoped
+/// threads and a multi-core host overlaps them; results and error
+/// priority (baseline first) are identical to running them back to back.
 ///
 /// # Errors
 ///
 /// Fails on compile errors, run faults, or verification mismatches —
 /// a mismatch is a simulator or compiler bug, never tolerated.
 pub fn run_kernel(case: &KernelCase, config: &RunConfig) -> Result<KernelResult, HarnessError> {
-    let CompiledProgram { baseline, accelerated, regions, accelerated_any, .. } =
-        compile(&case.function, &config.compiler)?;
+    let compiled = compile_cached(&case.function, &config.compiler)?;
+    let CompiledProgram { baseline, accelerated, regions, accelerated_any, .. } = &*compiled;
 
-    let base_stats =
-        run_program("baseline", &baseline, &case.args, &case.init, &case.expected, config)?;
-    let dyser_stats =
-        run_program("dyser", &accelerated, &case.args, &case.init, &case.expected, config)?;
+    let (base_stats, dyser_stats) = thread::scope(|s| {
+        let base = s.spawn(|| {
+            run_program("baseline", baseline, &case.args, &case.init, &case.expected, config)
+        });
+        let dyser =
+            run_program("dyser", accelerated, &case.args, &case.init, &case.expected, config);
+        (base.join().expect("baseline run thread"), dyser)
+    });
+    let base_stats = base_stats?;
+    let dyser_stats = dyser_stats?;
 
     let speedup = base_stats.cycles as f64 / dyser_stats.cycles.max(1) as f64;
     Ok(KernelResult {
         name: case.name.clone(),
         speedup,
-        accelerated_any,
-        regions,
+        accelerated_any: *accelerated_any,
+        regions: regions.clone(),
         code_sizes: (baseline.len(), accelerated.len()),
         baseline: base_stats,
         dyser: dyser_stats,
     })
+}
+
+/// One queued kernel experiment: the case plus the configuration to run
+/// it under.
+pub type KernelJob = (KernelCase, RunConfig);
+
+/// Worker count for [`run_kernels`]: the host's available parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs every job, fanning them across `threads` scoped worker threads.
+///
+/// Workers claim jobs from a shared atomic index and write each outcome
+/// into the slot matching its input position, so the returned vector is
+/// in job order — bit-identical to running the jobs serially — no matter
+/// which worker finished first. `threads` is clamped to `1..=jobs.len()`.
+pub fn run_kernels(jobs: &[KernelJob], threads: usize) -> Vec<Result<KernelResult, HarnessError>> {
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<KernelResult, HarnessError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((case, config)) = jobs.get(i) else { break };
+                *slots[i].lock().expect("result slot lock") = Some(run_kernel(case, config));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot lock").expect("worker filled the slot"))
+        .collect()
 }
 
 #[cfg(test)]

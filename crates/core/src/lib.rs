@@ -40,5 +40,8 @@ pub mod harness;
 pub mod report;
 pub mod system;
 
-pub use harness::{run_kernel, run_program, HarnessError, KernelCase, KernelResult, RunConfig};
+pub use harness::{
+    compile_cached, default_workers, run_kernel, run_kernels, run_program, HarnessError,
+    KernelCase, KernelJob, KernelResult, RunConfig,
+};
 pub use system::{RunStats, SysError, System, SystemConfig};

@@ -86,6 +86,9 @@ struct RouteTable {
     steps: Vec<RegStep>,
     /// Per FU index, the consumer key of its output switch's `FuOut` line.
     fu_out_keys: Vec<u32>,
+    /// Indices of the FUs the configuration actually programs; the FU
+    /// phases iterate only these instead of the whole grid.
+    active_fus: Vec<u32>,
     /// `(port, key)` for each input port whose `ExtIn` line has consumers.
     wired_inputs: Vec<(u32, u32)>,
 }
@@ -152,8 +155,15 @@ impl RouteTable {
             .map(|fu| Self::key(geom, topo::fu_output_switch(fu), InDir::FuOut))
             .collect();
 
+        let active_fus = geom
+            .fus()
+            .filter(|&fu| config.fu(fu).is_some())
+            .map(|fu| geom.fu_index(fu) as u32)
+            .collect();
+
         let mut wired_inputs = Vec::new();
-        let mut table = RouteTable { offsets, targets, steps, fu_out_keys, wired_inputs: vec![] };
+        let mut table =
+            RouteTable { offsets, targets, steps, fu_out_keys, active_fus, wired_inputs: vec![] };
         for port in 0..geom.input_ports() {
             let sw = geom.input_port_switch(port).expect("port index in range");
             let key = Self::key(geom, sw, InDir::ExtIn);
@@ -454,7 +464,10 @@ impl Fabric {
         }
 
         // Phase 2: inject FU results into their south-east switches.
-        for fi in 0..fus.len() {
+        // Only configured FUs can hold results, so the FU phases walk the
+        // active list instead of the whole grid.
+        for &fi in &table.active_fus {
+            let fi = fi as usize;
             let Some(value) = fus[fi].out else { continue };
             let key = table.fu_out_keys[fi];
             if table.consumers(key).is_empty() {
@@ -470,7 +483,8 @@ impl Fabric {
         }
 
         // Phase 3: advance FU pipelines into output buffers.
-        for fu_state in fus.iter_mut() {
+        for &fi in &table.active_fus {
+            let fu_state = &mut fus[fi as usize];
             if fu_state.out.is_none() {
                 if let Some(&(ready, v)) = fu_state.pipe.front() {
                     if cycle >= ready {
@@ -483,7 +497,8 @@ impl Fabric {
         }
 
         // Phase 4: fire ready FUs.
-        for fu_state in fus.iter_mut() {
+        for &fi in &table.active_fus {
+            let fu_state = &mut fus[fi as usize];
             let Some(cfg) = fu_state.config else { continue };
             let capacity = cfg.op.latency().max(1) as usize;
             if fu_state.pipe.len() >= capacity {
