@@ -4,24 +4,45 @@
 //! cargo run -p dyser-bench --release --bin repro -- all
 //! cargo run -p dyser-bench --release --bin repro -- e2 e6
 //! cargo run -p dyser-bench --release --bin repro -- e2 --csv   # machine-readable
+//! cargo run -p dyser-bench --release --bin repro -- e2 --time  # BENCH_repro.json
 //! ```
 
-use dyser_bench::{run_experiment, EXPERIMENT_IDS};
+use dyser_bench::{run_experiment, time_experiments, timing_json, EXPERIMENT_IDS};
+
+/// Measured repetitions per experiment in `--time` mode (after one
+/// untimed warmup run).
+const TIME_REPS: usize = 3;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
-    args.retain(|a| a != "--csv");
+    let time = args.iter().any(|a| a == "--time");
+    args.retain(|a| a != "--csv" && a != "--time");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
-    for id in ids {
-        if !EXPERIMENT_IDS.contains(&id) {
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(id) {
             eprintln!("unknown experiment `{id}`; valid: {EXPERIMENT_IDS:?}");
             std::process::exit(2);
         }
+    }
+    if time {
+        let timings = time_experiments(&ids, TIME_REPS);
+        for t in &timings {
+            println!(
+                "{:>8}  median {:>9.3} ms  min {:>9.3} ms  {:>12} cycles  {:>8.2} Mcyc/s",
+                t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
+            );
+        }
+        let json = timing_json(&timings, TIME_REPS);
+        std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
+        println!("wrote BENCH_repro.json");
+        return;
+    }
+    for id in ids {
         let table = run_experiment(id);
         if csv {
             println!("{}", table.to_csv());

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};
 pub use table::ExpTable;
+pub use timing::{time_experiments, timing_json, Timing};

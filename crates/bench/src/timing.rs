@@ -1,0 +1,131 @@
+//! Self-timing mode: wall-clock and simulated-cycle throughput per
+//! experiment, recorded to `BENCH_repro.json` so harness speed is
+//! tracked across changes (`repro --time`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dyser_core::simulated_cycles;
+
+use crate::experiments::run_experiment;
+
+/// Pre-change reference medians in milliseconds — `repro e2` (the micro
+/// suite) and `repro all` measured on the same machine with the same
+/// warmup-plus-median scheme before the allocation-free engine, compile
+/// cache, and parallel harness landed. Kept in the report so every
+/// `BENCH_repro.json` carries its point of comparison.
+pub const PRE_CHANGE_E2_MS: f64 = 70.0;
+/// Pre-change `repro all` median (see [`PRE_CHANGE_E2_MS`]).
+pub const PRE_CHANGE_ALL_MS: f64 = 1940.0;
+
+/// One experiment's timing measurement.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Experiment id (`e1`..`e10`, `ablation`).
+    pub id: String,
+    /// Median wall-clock over the measured repetitions.
+    pub wall_ms_median: f64,
+    /// Fastest repetition.
+    pub wall_ms_min: f64,
+    /// Simulated cycles per repetition (identical across repetitions —
+    /// the experiments are deterministic).
+    pub sim_cycles: u64,
+    /// Simulation throughput at the median wall time.
+    pub mcycles_per_sec: f64,
+}
+
+/// Times each experiment: one untimed warmup run (fills the compile
+/// cache and pages the binary in), then `reps` measured repetitions;
+/// the median is the headline number.
+///
+/// # Panics
+///
+/// Panics on unknown ids or experiment failures, like
+/// [`run_experiment`].
+pub fn time_experiments(ids: &[&str], reps: usize) -> Vec<Timing> {
+    let reps = reps.max(1);
+    ids.iter()
+        .map(|&id| {
+            run_experiment(id);
+            let mut walls = Vec::with_capacity(reps);
+            let mut cycles = 0;
+            for _ in 0..reps {
+                let c0 = simulated_cycles();
+                let t0 = Instant::now();
+                run_experiment(id);
+                walls.push(t0.elapsed().as_secs_f64() * 1e3);
+                cycles = simulated_cycles() - c0;
+            }
+            walls.sort_by(f64::total_cmp);
+            let median = walls[walls.len() / 2];
+            let throughput =
+                if median > 0.0 { cycles as f64 / 1e6 / (median / 1e3) } else { 0.0 };
+            Timing {
+                id: id.to_owned(),
+                wall_ms_median: median,
+                wall_ms_min: walls[0],
+                sim_cycles: cycles,
+                mcycles_per_sec: throughput,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measurements as the `BENCH_repro.json` document.
+///
+/// The `reference` block restates the pre-change medians and, when the
+/// matching ids were timed, the improvement factors — the numbers the
+/// acceptance gate and future PRs compare against.
+#[must_use]
+pub fn timing_json(timings: &[Timing], reps: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"repro timing mode\",");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    s.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"wall_ms_median\": {:.3}, \"wall_ms_min\": {:.3}, \
+             \"sim_cycles\": {}, \"mcycles_per_sec\": {:.3}}}",
+            t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
+        );
+        s.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let total: f64 = timings.iter().map(|t| t.wall_ms_median).sum();
+    let _ = writeln!(s, "  \"total_wall_ms_median\": {total:.3},");
+    s.push_str("  \"reference\": {\n");
+    s.push_str(
+        "    \"note\": \"pre-change medians, same machine and repetition scheme; \
+         improvement = pre-change / measured\",\n",
+    );
+    let _ = writeln!(s, "    \"e2_pre_change_ms\": {PRE_CHANGE_E2_MS:.1},");
+    let _ = write!(s, "    \"all_pre_change_ms\": {PRE_CHANGE_ALL_MS:.1}");
+    if let Some(e2) = timings.iter().find(|t| t.id == "e2") {
+        let _ = write!(s, ",\n    \"e2_improvement\": {:.2}", PRE_CHANGE_E2_MS / e2.wall_ms_median);
+    }
+    if crate::EXPERIMENT_IDS.iter().all(|id| timings.iter().any(|t| t.id == *id)) {
+        let _ = write!(s, ",\n    \"all_improvement\": {:.2}", PRE_CHANGE_ALL_MS / total);
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_measures_and_renders_json() {
+        let timings = time_experiments(&["e1"], 1);
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].id, "e1");
+        assert!(timings[0].wall_ms_median >= timings[0].wall_ms_min);
+        let json = timing_json(&timings, 1);
+        assert!(json.contains("\"id\": \"e1\""));
+        assert!(json.contains("\"e2_pre_change_ms\""));
+        assert!(!json.contains("e2_improvement"), "e2 was not timed");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+}

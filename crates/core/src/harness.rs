@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
@@ -132,6 +132,17 @@ impl From<CompileError> for HarnessError {
     }
 }
 
+/// Simulated cycles accumulated by every [`run_program`] call in this
+/// process; the numerator of the harness's cycles-per-second throughput
+/// reported by `repro --time`.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulated cycles across all runs so far in this process.
+#[must_use]
+pub fn simulated_cycles() -> u64 {
+    SIM_CYCLES.load(Ordering::Relaxed)
+}
+
 /// Runs one already-compiled program (IR not required — manual DySER
 /// implementations use this too) and verifies its outputs.
 ///
@@ -155,6 +166,7 @@ pub fn run_program(
     sys.set_args(args);
     let stats =
         sys.run(config.max_cycles).map_err(|source| HarnessError::Run { which, source })?;
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     for (addr, words) in expected {
         for (i, want) in words.iter().enumerate() {
             let a = addr + 8 * i as u64;

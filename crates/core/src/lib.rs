@@ -41,7 +41,7 @@ pub mod report;
 pub mod system;
 
 pub use harness::{
-    compile_cached, default_workers, run_kernel, run_kernels, run_program, HarnessError,
-    KernelCase, KernelJob, KernelResult, RunConfig,
+    compile_cached, default_workers, run_kernel, run_kernels, run_program, simulated_cycles,
+    HarnessError, KernelCase, KernelJob, KernelResult, RunConfig,
 };
 pub use system::{RunStats, SysError, System, SystemConfig};
