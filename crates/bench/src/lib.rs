@@ -4,12 +4,13 @@
 //! reconstructed ISPASS 2015 evaluation (experiments E1–E10; the index
 //! lives in `DESIGN.md`, the measured results in `EXPERIMENTS.md`).
 //!
-//! Two entry points:
+//! Entry points:
 //!
 //! * `cargo run -p dyser-bench --release --bin repro -- <e1..e10|all>`
-//!   prints each experiment's rows,
+//!   prints each experiment's rows (`--csv` for machine-readable output,
+//!   `--time` to record wall-clock and throughput to `BENCH_repro.json`),
 //! * `cargo bench -p dyser-bench` runs the same experiments (at reduced
-//!   sizes) under Criterion, timing the simulation stack itself.
+//!   sizes) under a dependency-free timing loop.
 
 
 #![warn(missing_docs)]

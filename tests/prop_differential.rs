@@ -69,7 +69,7 @@ fn rand_recipe(rng: &mut Rng64) -> Recipe {
     for _ in 0..extra_ops + 1 {
         let avail = nodes.len();
         let sel = rng.next_u64() as u8;
-        let node = if sel % 4 == 0 && avail >= 3 {
+        let node = if sel.is_multiple_of(4) && avail >= 3 {
             Node::Select(
                 rng.gen_range(0..avail),
                 rng.gen_range(0..avail),
