@@ -3,20 +3,38 @@
 //! ```text
 //! cargo run -p dyser-bench --release --bin repro -- all
 //! cargo run -p dyser-bench --release --bin repro -- e2 e6
-//! cargo run -p dyser-bench --release --bin repro -- e2 --csv   # machine-readable
-//! cargo run -p dyser-bench --release --bin repro -- e2 --time  # BENCH_repro.json
+//! cargo run -p dyser-bench --release --bin repro -- e2 --csv     # machine-readable
+//! cargo run -p dyser-bench --release --bin repro -- e2 --time    # BENCH_repro.json
+//! cargo run -p dyser-bench --release --bin repro -- stats        # cycle attribution
+//! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
 //! ```
 
-use dyser_bench::{run_experiment, time_experiments, timing_json, EXPERIMENT_IDS};
+use dyser_bench::{
+    load_reference, run_experiment, stats_attribution, time_experiments, timing_json, Scale,
+    EXPERIMENT_IDS,
+};
 
 /// Measured repetitions per experiment in `--time` mode (after one
 /// untimed warmup run).
 const TIME_REPS: usize = 3;
 
+/// Per-component ring-buffer capacity in `--trace` mode. Big enough to
+/// keep a whole microbenchmark run; longer runs keep the newest events.
+const TRACE_EVENTS: usize = 65_536;
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let time = args.iter().any(|a| a == "--time");
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--trace requires an output path");
+            std::process::exit(2);
+        }
+        let path = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        path
+    });
     args.retain(|a| a != "--csv" && a != "--time");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()
@@ -24,12 +42,13 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
     for id in &ids {
-        if !EXPERIMENT_IDS.contains(id) {
-            eprintln!("unknown experiment `{id}`; valid: {EXPERIMENT_IDS:?}");
+        if *id != "stats" && !EXPERIMENT_IDS.contains(id) {
+            eprintln!("unknown experiment `{id}`; valid: {EXPERIMENT_IDS:?} or `stats`");
             std::process::exit(2);
         }
     }
     if time {
+        let reference = load_reference("BENCH_repro.json");
         let timings = time_experiments(&ids, TIME_REPS);
         for t in &timings {
             println!(
@@ -37,17 +56,28 @@ fn main() {
                 t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
             );
         }
-        let json = timing_json(&timings, TIME_REPS);
+        let json = timing_json(&timings, TIME_REPS, &reference);
         std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
         println!("wrote BENCH_repro.json");
         return;
     }
+    if trace_path.is_some() {
+        dyser_core::set_trace_capacity(TRACE_EVENTS);
+    }
     for id in ids {
-        let table = run_experiment(id);
+        let table =
+            if id == "stats" { stats_attribution(Scale(1.0)) } else { run_experiment(id) };
         if csv {
             println!("{}", table.to_csv());
         } else {
             println!("{table}");
         }
+    }
+    if let Some(path) = trace_path {
+        let runs = dyser_core::take_traces();
+        let events: usize = runs.iter().map(|r| r.events.len()).sum();
+        let json = dyser_trace::chrome_trace_json(&runs);
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}: {} runs, {events} events (chrome://tracing format)", runs.len());
     }
 }

@@ -7,7 +7,7 @@ use dyser_core::{
 };
 use dyser_energy::EnergyModel;
 use dyser_fabric::{FabricGeometry, FuKind, StructuralStats};
-use dyser_sparc::StallCause;
+use dyser_sparc::{CycleBucket, StallCause};
 use dyser_workloads::{manual, suite, Category, Kernel};
 
 use crate::table::ExpTable;
@@ -101,6 +101,27 @@ fn run_suite(kernels: Vec<Kernel>, scale: Scale) -> Vec<(Kernel, usize, KernelRe
         .collect()
 }
 
+/// The attribution bucket labels, used as CSV-only column headers on the
+/// per-kernel tables and as the `repro stats` breakdown columns.
+fn bucket_labels() -> [&'static str; 8] {
+    CycleBucket::ALL.map(CycleBucket::label)
+}
+
+/// The accelerated run's cycle attribution as raw per-bucket cycle
+/// counts, with the identity `sum(buckets) == cycles` asserted (in every
+/// build, not just debug) before the numbers enter a report.
+fn attribution_extras(r: &KernelResult) -> Vec<String> {
+    let acct = r.dyser.cycle_account();
+    assert!(
+        acct.balanced(),
+        "{}: attribution identity violated ({} bucket cycles vs {} total)",
+        r.name,
+        acct.sum(),
+        acct.total_cycles
+    );
+    CycleBucket::ALL.iter().map(|b| acct.get(*b).to_string()).collect()
+}
+
 fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -149,6 +170,7 @@ pub fn e2_micro_speedup(scale: Scale) -> ExpTable {
         "E2: microbenchmark speedup (SPARC-DySER vs OpenSPARC)",
         &["kernel", "n", "base cycles", "dyser cycles", "speedup"],
     );
+    t.csv_extra_headers(&bucket_labels());
     let mut speedups = Vec::new();
     let mut peak: f64 = 0.0;
     let micro: Vec<Kernel> =
@@ -156,13 +178,17 @@ pub fn e2_micro_speedup(scale: Scale) -> ExpTable {
     for (k, n, r) in run_suite(micro, scale) {
         speedups.push(r.speedup);
         peak = peak.max(r.speedup);
-        t.row(vec![
-            k.name.into(),
-            n.to_string(),
-            r.baseline.cycles.to_string(),
-            r.dyser.cycles.to_string(),
-            format!("{:.2}x", r.speedup),
-        ]);
+        let extras = attribution_extras(&r);
+        t.row_with_extras(
+            vec![
+                k.name.into(),
+                n.to_string(),
+                r.baseline.cycles.to_string(),
+                r.dyser.cycles.to_string(),
+                format!("{:.2}x", r.speedup),
+            ],
+            extras,
+        );
     }
     t.row(vec![
         "geomean".into(),
@@ -189,19 +215,77 @@ pub fn e3_suite_speedup(scale: Scale) -> ExpTable {
         (Category::Regular, Vec::new()),
         (Category::Irregular, Vec::new()),
     ];
+    t.csv_extra_headers(&bucket_labels());
     for (k, n, r) in run_suite(suite(), scale) {
         by_cat.iter_mut().find(|(c, _)| *c == k.category).expect("category").1.push(r.speedup);
-        t.row(vec![
-            k.name.into(),
-            k.category.label().into(),
-            n.to_string(),
-            format!("{:.2}x", r.speedup),
-            if r.accelerated_any { "yes".into() } else { "no".into() },
-        ]);
+        let extras = attribution_extras(&r);
+        t.row_with_extras(
+            vec![
+                k.name.into(),
+                k.category.label().into(),
+                n.to_string(),
+                format!("{:.2}x", r.speedup),
+                if r.accelerated_any { "yes".into() } else { "no".into() },
+            ],
+            extras,
+        );
     }
     for (cat, xs) in by_cat {
         t.note(format!("{} geomean: {:.2}x over {} kernels", cat.label(), geomean(&xs), xs.len()));
     }
+    t
+}
+
+// --------------------------------------------------------------- stats
+
+/// `repro stats`: per-kernel cycle attribution for both runs of every
+/// suite kernel — where each cycle of the evaluation goes.
+///
+/// The human-facing table shows each bucket as a percentage of the run's
+/// cycles; the CSV rendering appends the raw per-bucket cycle counts.
+/// Every row is checked against the attribution identity
+/// `sum(buckets) == cycles`, and the `mem-miss` bucket is cross-checked
+/// against the memory hierarchy's own stall accounting.
+///
+/// # Panics
+///
+/// Panics if any kernel fails verification or any attribution check
+/// fails — an unbalanced account is a simulator bug, not a result.
+pub fn stats_attribution(scale: Scale) -> ExpTable {
+    let mut headers: Vec<&str> = vec!["kernel", "run", "cycles"];
+    headers.extend(bucket_labels());
+    let mut t = ExpTable::new("Stats: cycle attribution by bucket (% of run cycles)", &headers);
+    let raw_headers: Vec<String> =
+        bucket_labels().iter().map(|l| format!("{l}-cycles")).collect();
+    t.csv_extra_headers(&raw_headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (k, _n, r) in run_suite(suite(), scale) {
+        for (run, stats) in [("baseline", &r.baseline), ("dyser", &r.dyser)] {
+            let acct = stats.cycle_account();
+            assert!(
+                acct.balanced(),
+                "{} ({run}): attribution identity violated ({} vs {})",
+                k.name,
+                acct.sum(),
+                acct.total_cycles
+            );
+            assert_eq!(
+                acct.get(CycleBucket::MemMiss),
+                stats.mem_miss_stall_cycles(),
+                "{} ({run}): core and hierarchy disagree on memory stalls",
+                k.name
+            );
+            let mut cells = vec![k.name.to_string(), run.into(), acct.total_cycles.to_string()];
+            cells.extend(
+                CycleBucket::ALL.iter().map(|b| format!("{:.1}%", 100.0 * acct.fraction(*b))),
+            );
+            t.row_with_extras(
+                cells,
+                CycleBucket::ALL.iter().map(|b| acct.get(*b).to_string()).collect(),
+            );
+        }
+    }
+    t.note("buckets are exclusive and exhaustive: each row's buckets sum to its cycle count");
+    t.note("mem-miss equals the hierarchy's own stall count on every row (cross-checked)");
     t
 }
 

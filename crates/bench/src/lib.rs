@@ -18,6 +18,6 @@ pub mod experiments;
 pub mod table;
 pub mod timing;
 
-pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use experiments::{run_experiment, stats_attribution, Scale, EXPERIMENT_IDS};
 pub use table::ExpTable;
-pub use timing::{time_experiments, timing_json, Timing};
+pub use timing::{load_reference, time_experiments, timing_json, Reference, Timing};

@@ -13,6 +13,12 @@ pub struct ExpTable {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes printed under the table.
     pub notes: Vec<String>,
+    /// Machine-readable columns appended only to the CSV rendering (the
+    /// human-facing `Display` table stays unchanged).
+    csv_extra_headers: Vec<String>,
+    /// Per-row extra cells, parallel to `rows`; rows added without extras
+    /// render as empty cells.
+    csv_extra_rows: Vec<Vec<String>>,
 }
 
 impl ExpTable {
@@ -23,7 +29,16 @@ impl ExpTable {
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            csv_extra_headers: Vec::new(),
+            csv_extra_rows: Vec::new(),
         }
+    }
+
+    /// Declares extra columns that appear only in [`ExpTable::to_csv`]
+    /// output, after the regular columns. Call before adding rows that
+    /// carry extras.
+    pub fn csv_extra_headers(&mut self, headers: &[&str]) {
+        self.csv_extra_headers = headers.iter().map(|s| (*s).to_owned()).collect();
     }
 
     /// Appends a row.
@@ -34,6 +49,19 @@ impl ExpTable {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
+        self.csv_extra_rows.push(Vec::new());
+    }
+
+    /// Appends a row together with its CSV-only extra cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either arity differs from the corresponding headers.
+    pub fn row_with_extras(&mut self, cells: Vec<String>, extras: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        assert_eq!(extras.len(), self.csv_extra_headers.len(), "extras arity mismatch");
+        self.rows.push(cells);
+        self.csv_extra_rows.push(extras);
     }
 
     /// Appends a note.
@@ -42,23 +70,37 @@ impl ExpTable {
     }
 
     /// Renders the table as CSV (headers + rows; notes become `#` comments).
+    ///
+    /// Cells containing commas, quotes, or line breaks are quoted per RFC
+    /// 4180, so multi-line cells survive a round trip through any CSV
+    /// reader instead of corrupting the row structure.
     pub fn to_csv(&self) -> String {
         let escape = |cell: &str| {
-            if cell.contains(',') || cell.contains('"') {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r')
+            {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_owned()
             }
         };
+        let emit = |s: &mut String, cells: &[String], extras: &[String]| {
+            let mut fields: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            if !self.csv_extra_headers.is_empty() {
+                fields.extend(
+                    (0..self.csv_extra_headers.len())
+                        .map(|i| extras.get(i).map_or(String::new(), |c| escape(c))),
+                );
+            }
+            s.push_str(&fields.join(","));
+            s.push('\n');
+        };
         let mut s = String::new();
         for note in &self.notes {
             s.push_str(&format!("# {note}\n"));
         }
-        s.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
-        s.push('\n');
-        for row in &self.rows {
-            s.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
-            s.push('\n');
+        emit(&mut s, &self.headers, &self.csv_extra_headers);
+        for (row, extras) in self.rows.iter().zip(&self.csv_extra_rows) {
+            emit(&mut s, row, extras);
         }
         s
     }
@@ -116,6 +158,32 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("# hello\n"));
         assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn csv_quotes_line_breaks() {
+        let mut t = ExpTable::new("t", &["a", "b"]);
+        t.row(vec!["multi\nline".into(), "cr\rcell".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"multi\nline\",\"cr\rcell\""), "{csv}");
+        // The quoted row must still parse as exactly one record: the only
+        // unquoted newline after the header terminates it.
+        let body = csv.split_once('\n').unwrap().1;
+        assert_eq!(body.matches('\n').count(), 2, "{body:?}");
+    }
+
+    #[test]
+    fn csv_extras_appear_only_in_csv() {
+        let mut t = ExpTable::new("t", &["a"]);
+        t.csv_extra_headers(&["x", "y"]);
+        t.row_with_extras(vec!["1".into()], vec!["2".into(), "3".into()]);
+        t.row(vec!["4".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("a,x,y\n"), "{csv}");
+        assert!(csv.contains("1,2,3\n"), "{csv}");
+        assert!(csv.contains("4,,\n"), "{csv}");
+        let text = t.to_string();
+        assert!(!text.contains('x'), "Display must not show extras: {text}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dyser_core::simulated_cycles;
+use dyser_core::{cycle_bucket_totals, simulated_cycles};
+use dyser_sparc::CycleBucket;
 
 use crate::experiments::run_experiment;
 
@@ -17,6 +18,69 @@ use crate::experiments::run_experiment;
 pub const PRE_CHANGE_E2_MS: f64 = 70.0;
 /// Pre-change `repro all` median (see [`PRE_CHANGE_E2_MS`]).
 pub const PRE_CHANGE_ALL_MS: f64 = 1940.0;
+
+/// The medians a timing report compares itself against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reference {
+    /// Reference `repro e2` median in milliseconds.
+    pub e2_ms: f64,
+    /// Reference `repro all` median in milliseconds.
+    pub all_ms: f64,
+    /// Where the medians came from: `"reference"` for the built-in
+    /// pre-change constants, `"previous-run"` when read back from an
+    /// earlier `BENCH_repro.json` on this machine.
+    pub machine: String,
+}
+
+impl Default for Reference {
+    fn default() -> Self {
+        Reference {
+            e2_ms: PRE_CHANGE_E2_MS,
+            all_ms: PRE_CHANGE_ALL_MS,
+            machine: "reference".into(),
+        }
+    }
+}
+
+/// Extracts the number following `"key":` in a hand-written JSON
+/// document. Good enough for the fixed shape `timing_json` emits; not a
+/// general JSON parser.
+fn json_number_after(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{key}\":"))?;
+    let rest = text[at..].split_once(':')?.1;
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Loads reference medians from a previous `BENCH_repro.json` at `path`,
+/// so successive `repro --time` runs on one machine compare against their
+/// own history rather than the built-in pre-change constants.
+///
+/// Falls back to [`Reference::default`] (labelled `"reference"`) when the
+/// file is absent or either median cannot be extracted. The `repro all`
+/// median is only trusted when the previous run timed the full sweep
+/// (its report carries `total_wall_ms_median` over every experiment,
+/// marked by the `all_improvement` key).
+#[must_use]
+pub fn load_reference(path: &str) -> Reference {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Reference::default();
+    };
+    let e2 = text
+        .find("\"id\": \"e2\"")
+        .and_then(|at| json_number_after(&text[at..], "wall_ms_median"));
+    let all = if text.contains("\"all_improvement\"") {
+        json_number_after(&text, "total_wall_ms_median")
+    } else {
+        None
+    };
+    match (e2, all) {
+        (Some(e2_ms), Some(all_ms)) if e2_ms > 0.0 && all_ms > 0.0 => {
+            Reference { e2_ms, all_ms, machine: "previous-run".into() }
+        }
+        _ => Reference::default(),
+    }
+}
 
 /// One experiment's timing measurement.
 #[derive(Debug, Clone)]
@@ -57,7 +121,14 @@ pub fn time_experiments(ids: &[&str], reps: usize) -> Vec<Timing> {
                 cycles = simulated_cycles() - c0;
             }
             walls.sort_by(f64::total_cmp);
-            let median = walls[walls.len() / 2];
+            let mid = walls.len() / 2;
+            let median = if walls.len() % 2 == 0 {
+                // Even repetition counts have no middle sample; average
+                // the two central ones like any textbook median.
+                (walls[mid - 1] + walls[mid]) / 2.0
+            } else {
+                walls[mid]
+            };
             let throughput =
                 if median > 0.0 { cycles as f64 / 1e6 / (median / 1e3) } else { 0.0 };
             Timing {
@@ -73,11 +144,13 @@ pub fn time_experiments(ids: &[&str], reps: usize) -> Vec<Timing> {
 
 /// Renders the measurements as the `BENCH_repro.json` document.
 ///
-/// The `reference` block restates the pre-change medians and, when the
+/// The `reference` block restates `reference`'s medians and, when the
 /// matching ids were timed, the improvement factors — the numbers the
-/// acceptance gate and future PRs compare against.
+/// acceptance gate and future PRs compare against. The `cycle_buckets`
+/// block snapshots the process-wide cycle attribution accumulated across
+/// every simulated run so far (see [`cycle_bucket_totals`]).
 #[must_use]
-pub fn timing_json(timings: &[Timing], reps: usize) -> String {
+pub fn timing_json(timings: &[Timing], reps: usize, reference: &Reference) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"repro timing mode\",");
@@ -95,18 +168,26 @@ pub fn timing_json(timings: &[Timing], reps: usize) -> String {
     s.push_str("  ],\n");
     let total: f64 = timings.iter().map(|t| t.wall_ms_median).sum();
     let _ = writeln!(s, "  \"total_wall_ms_median\": {total:.3},");
+    let acct = cycle_bucket_totals();
+    s.push_str("  \"cycle_buckets\": {\n");
+    for bucket in CycleBucket::ALL {
+        let _ = writeln!(s, "    \"{}\": {},", bucket.label(), acct.get(bucket));
+    }
+    let _ = writeln!(s, "    \"total\": {}", acct.total_cycles);
+    s.push_str("  },\n");
     s.push_str("  \"reference\": {\n");
     s.push_str(
-        "    \"note\": \"pre-change medians, same machine and repetition scheme; \
-         improvement = pre-change / measured\",\n",
+        "    \"note\": \"reference medians, same repetition scheme; \
+         improvement = reference / measured\",\n",
     );
-    let _ = writeln!(s, "    \"e2_pre_change_ms\": {PRE_CHANGE_E2_MS:.1},");
-    let _ = write!(s, "    \"all_pre_change_ms\": {PRE_CHANGE_ALL_MS:.1}");
+    let _ = writeln!(s, "    \"machine\": \"{}\",", reference.machine);
+    let _ = writeln!(s, "    \"e2_pre_change_ms\": {:.1},", reference.e2_ms);
+    let _ = write!(s, "    \"all_pre_change_ms\": {:.1}", reference.all_ms);
     if let Some(e2) = timings.iter().find(|t| t.id == "e2") {
-        let _ = write!(s, ",\n    \"e2_improvement\": {:.2}", PRE_CHANGE_E2_MS / e2.wall_ms_median);
+        let _ = write!(s, ",\n    \"e2_improvement\": {:.2}", reference.e2_ms / e2.wall_ms_median);
     }
     if crate::EXPERIMENT_IDS.iter().all(|id| timings.iter().any(|t| t.id == *id)) {
-        let _ = write!(s, ",\n    \"all_improvement\": {:.2}", PRE_CHANGE_ALL_MS / total);
+        let _ = write!(s, ",\n    \"all_improvement\": {:.2}", reference.all_ms / total);
     }
     s.push_str("\n  }\n}\n");
     s
@@ -122,10 +203,50 @@ mod tests {
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].id, "e1");
         assert!(timings[0].wall_ms_median >= timings[0].wall_ms_min);
-        let json = timing_json(&timings, 1);
+        let json = timing_json(&timings, 1, &Reference::default());
         assert!(json.contains("\"id\": \"e1\""));
         assert!(json.contains("\"e2_pre_change_ms\""));
+        assert!(json.contains("\"machine\": \"reference\""));
+        assert!(json.contains("\"cycle_buckets\""));
+        assert!(json.contains("\"core-compute\""));
         assert!(!json.contains("e2_improvement"), "e2 was not timed");
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        dyser_trace::validate_json(&json).expect("report is well-formed JSON");
+    }
+
+    #[test]
+    fn even_rep_median_averages_middle_samples() {
+        // Indirect check via a quick two-rep timing: the median must lie
+        // between (inclusive) the min and the max sample.
+        let timings = time_experiments(&["e1"], 2);
+        let t = &timings[0];
+        assert!(t.wall_ms_median >= t.wall_ms_min);
+    }
+
+    #[test]
+    fn reference_round_trips_through_the_report() {
+        let all_ids: Vec<&str> = crate::EXPERIMENT_IDS.to_vec();
+        let timings: Vec<Timing> = all_ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| Timing {
+                id: (*id).to_owned(),
+                wall_ms_median: 10.0 + i as f64,
+                wall_ms_min: 9.0,
+                sim_cycles: 1000,
+                mcycles_per_sec: 1.0,
+            })
+            .collect();
+        let json = timing_json(&timings, 3, &Reference::default());
+        let dir = std::env::temp_dir().join("dyser-timing-roundtrip");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_repro.json");
+        std::fs::write(&path, &json).expect("write report");
+        let reloaded = load_reference(path.to_str().expect("utf8 path"));
+        assert_eq!(reloaded.machine, "previous-run");
+        assert!((reloaded.e2_ms - 11.0).abs() < 1e-6, "{reloaded:?}");
+        let total: f64 = timings.iter().map(|t| t.wall_ms_median).sum();
+        assert!((reloaded.all_ms - total).abs() < 1e-3, "{reloaded:?}");
+        assert_eq!(load_reference("/nonexistent/BENCH_repro.json"), Reference::default());
     }
 }

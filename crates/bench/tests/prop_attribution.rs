@@ -1,0 +1,97 @@
+//! Property tests of the cycle-attribution identity: every cycle of every
+//! run is attributed to exactly one bucket, the buckets sum to the cycle
+//! count, the core's memory-stall bucket agrees with the hierarchy's own
+//! latency counters, and the attribution is identical under the serial
+//! and parallel runners.
+
+use dyser_bench::experiments::SEED;
+use dyser_core::{run_kernel, run_kernels, KernelJob, RunConfig, RunStats};
+use dyser_sparc::{CycleAccount, CycleBucket};
+use dyser_workloads::suite;
+
+/// Every suite kernel at a small size, under its own compiler options.
+fn suite_jobs() -> Vec<KernelJob> {
+    suite()
+        .iter()
+        .map(|k| {
+            let n = (k.default_n / 16).max(8) / 4 * 4;
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            (k.case(n, SEED), config)
+        })
+        .collect()
+}
+
+fn check_attribution(name: &str, which: &str, stats: &RunStats) -> CycleAccount {
+    let acct = stats.cycle_account();
+    assert!(
+        acct.balanced(),
+        "{name} ({which}): buckets sum to {} but the run took {} cycles",
+        acct.sum(),
+        acct.total_cycles
+    );
+    assert_eq!(
+        acct.total_cycles, stats.cycles,
+        "{name} ({which}): account total diverged from run cycles"
+    );
+    assert_eq!(
+        acct.get(CycleBucket::MemMiss),
+        stats.mem_miss_stall_cycles(),
+        "{name} ({which}): core-side mem-miss bucket disagrees with the \
+         hierarchy's own stall accounting"
+    );
+    acct
+}
+
+#[test]
+fn every_cycle_is_attributed_serial_and_parallel() {
+    let jobs = suite_jobs();
+
+    let serial: Vec<(CycleAccount, CycleAccount)> = jobs
+        .iter()
+        .map(|(case, config)| {
+            let r = run_kernel(case, config)
+                .unwrap_or_else(|e| panic!("serial {}: {e}", case.name));
+            (
+                check_attribution(&r.name, "baseline", &r.baseline),
+                check_attribution(&r.name, "dyser", &r.dyser),
+            )
+        })
+        .collect();
+
+    let parallel = run_kernels(&jobs, 4);
+    for ((case, _), (serial_accts, got)) in jobs.iter().zip(serial.iter().zip(&parallel)) {
+        let r = got.as_ref().unwrap_or_else(|e| panic!("parallel {}: {e}", case.name));
+        let base = check_attribution(&r.name, "baseline (parallel)", &r.baseline);
+        let dyser = check_attribution(&r.name, "dyser (parallel)", &r.dyser);
+        assert_eq!(
+            (base, dyser),
+            *serial_accts,
+            "{}: attribution diverged between serial and parallel runs",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn baseline_runs_never_use_dyser_buckets() {
+    for (case, config) in suite_jobs().into_iter().take(4) {
+        let r = run_kernel(&case, &config).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let acct = r.baseline.cycle_account();
+        for bucket in [
+            CycleBucket::DyserCompute,
+            CycleBucket::ConfigLoad,
+            CycleBucket::PortSend,
+            CycleBucket::PortRecv,
+            CycleBucket::Drain,
+        ] {
+            assert_eq!(
+                acct.get(bucket),
+                0,
+                "{}: baseline run charged cycles to {}",
+                case.name,
+                bucket.label()
+            );
+        }
+    }
+}

@@ -15,7 +15,8 @@
 use std::collections::HashMap;
 
 use dyser_fabric::{
-    BuildError, ConfigBuilder, FabricConfig, FabricGeometry, FuId, FuKind, FuOp, ValueId,
+    BuildError, ConfigBuilder, FabricConfig, FabricConfigError, FabricGeometry, FuId, FuKind,
+    FuOp, ValueId,
 };
 use dyser_rng::Rng64;
 
@@ -52,6 +53,9 @@ pub enum ScheduleError {
     /// An IR operation has no fabric equivalent (should not happen for
     /// values region selection admits).
     Unsupported(String),
+    /// The caller-supplied hardware description is malformed (e.g. a
+    /// kinds vector whose length does not match the geometry).
+    BadHardware(FabricConfigError),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for ScheduleError {
             ),
             ScheduleError::Unmappable(e) => write!(f, "cannot map region: {e}"),
             ScheduleError::Unsupported(op) => write!(f, "no fabric operation for {op}"),
+            ScheduleError::BadHardware(e) => write!(f, "invalid hardware description: {e}"),
         }
     }
 }
@@ -278,7 +283,8 @@ pub fn schedule_region(
         (FabricConfig, Vec<usize>, Vec<usize>),
         ScheduleError,
     > {
-        let mut builder = ConfigBuilder::with_kinds(geometry, kinds.to_vec());
+        let mut builder = ConfigBuilder::with_kinds(geometry, kinds.to_vec())
+            .map_err(ScheduleError::BadHardware)?;
         builder.set_name(region.name.clone());
         let (ins, outs, _) = build_graph(f, region, &mut builder, hints)?;
         let config = builder.build().map_err(ScheduleError::Unmappable)?;

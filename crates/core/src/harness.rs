@@ -16,6 +16,8 @@ use std::thread;
 use dyser_compiler::{
     compile, CompileError, CompiledProgram, CompilerOptions, Function, Program, RegionReport,
 };
+use dyser_sparc::{CycleAccount, CycleBucket};
+use dyser_trace::TraceRun;
 
 use crate::system::{RunStats, SysError, System, SystemConfig};
 
@@ -143,6 +145,48 @@ pub fn simulated_cycles() -> u64 {
     SIM_CYCLES.load(Ordering::Relaxed)
 }
 
+/// Per-bucket cycle totals accumulated by every [`run_program`] call,
+/// indexed like [`CycleBucket::ALL`]. Together they account for every
+/// entry in [`SIM_CYCLES`] — the process-wide face of the attribution
+/// identity.
+static BUCKET_TOTALS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+
+/// The aggregate cycle attribution of every run so far in this process.
+///
+/// The returned account is balanced by construction: its `total_cycles`
+/// equals [`simulated_cycles`] sampled at the same moment the buckets
+/// were read (modulo races with concurrently finishing runs).
+#[must_use]
+pub fn cycle_bucket_totals() -> CycleAccount {
+    let mut acct = CycleAccount::default();
+    for (i, bucket) in CycleBucket::ALL.iter().enumerate() {
+        acct.add(*bucket, BUCKET_TOTALS[i].load(Ordering::Relaxed));
+    }
+    acct.total_cycles = acct.sum();
+    acct
+}
+
+/// Ring-buffer capacity for event tracing in [`run_program`]; zero (the
+/// default) disables tracing entirely.
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Completed traces awaiting collection by [`take_traces`].
+static TRACE_SINK: Mutex<Vec<TraceRun>> = Mutex::new(Vec::new());
+
+/// Enables (capacity > 0) or disables (capacity == 0) event tracing for
+/// subsequent [`run_program`] calls in this process. Each run traces into
+/// per-component ring buffers of `capacity` events.
+pub fn set_trace_capacity(capacity: usize) {
+    TRACE_CAP.store(capacity, Ordering::Relaxed);
+}
+
+/// Drains every trace recorded since the last call, in run-completion
+/// order.
+#[must_use]
+pub fn take_traces() -> Vec<TraceRun> {
+    std::mem::take(&mut *TRACE_SINK.lock().expect("trace sink lock"))
+}
+
 /// Runs one already-compiled program (IR not required — manual DySER
 /// implementations use this too) and verifies its outputs.
 ///
@@ -157,16 +201,31 @@ pub fn run_program(
     expected: &[(u64, Vec<u64>)],
     config: &RunConfig,
 ) -> Result<RunStats, HarnessError> {
-    let mut sys = System::new(config.system.clone());
+    let mut sys =
+        System::try_new(config.system.clone()).map_err(|source| HarnessError::Run { which, source })?;
     sys.load_program(program)
         .map_err(|source| HarnessError::Run { which, source })?;
     for (addr, words) in init {
         sys.memory_mut().write_u64_slice(*addr, words);
     }
     sys.set_args(args);
+    let trace_cap = TRACE_CAP.load(Ordering::Relaxed);
+    if trace_cap > 0 {
+        sys.enable_trace(trace_cap);
+    }
     let stats =
         sys.run(config.max_cycles).map_err(|source| HarnessError::Run { which, source })?;
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    let acct = stats.cycle_account();
+    for (i, bucket) in CycleBucket::ALL.iter().enumerate() {
+        BUCKET_TOTALS[i].fetch_add(acct.get(*bucket), Ordering::Relaxed);
+    }
+    if let Some((events, dropped)) = sys.take_trace() {
+        TRACE_SINK
+            .lock()
+            .expect("trace sink lock")
+            .push(TraceRun { label: which.to_string(), events, dropped });
+    }
     for (addr, words) in expected {
         for (i, want) in words.iter().enumerate() {
             let a = addr + 8 * i as u64;

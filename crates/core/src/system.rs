@@ -3,11 +3,12 @@
 use std::fmt;
 
 use dyser_compiler::Program;
-use dyser_fabric::{ConfigError, Fabric, FabricConfig, FabricGeometry, FuKind};
+use dyser_fabric::{ConfigError, Fabric, FabricConfig, FabricConfigError, FabricGeometry, FuKind};
 use dyser_mem::{Hierarchy, MemConfig, MemStats, Memory};
 use dyser_sparc::bus::{read_sized, write_sized};
 use dyser_sparc::coproc::CoprocError;
-use dyser_sparc::{Bus, Coproc, CoreError, CoreStats, Pipeline};
+use dyser_sparc::{Bus, Coproc, CoreError, CoreStats, CycleAccount, Pipeline};
+use dyser_trace::TraceEvent;
 
 /// Configuration of a whole system.
 #[derive(Debug, Clone)]
@@ -23,6 +24,30 @@ pub struct SystemConfig {
     /// Whether a fabric is attached at all (the pure-baseline system of
     /// experiment E10 sets this to `false`).
     pub has_fabric: bool,
+}
+
+impl SystemConfig {
+    /// Validates the hardware description without building a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FabricConfigError`] a fabric constructor would
+    /// report: a kinds vector that does not match the grid, or a zero
+    /// FIFO depth.
+    pub fn validate(&self) -> Result<(), FabricConfigError> {
+        if let Some(kinds) = &self.kinds {
+            if kinds.len() != self.geometry.fu_count() {
+                return Err(FabricConfigError::KindCountMismatch {
+                    expected: self.geometry.fu_count(),
+                    got: kinds.len(),
+                });
+            }
+        }
+        if self.has_fabric && self.fifo_depth == 0 {
+            return Err(FabricConfigError::ZeroFifoDepth);
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -50,6 +75,10 @@ pub struct RunStats {
     pub fabric: dyser_fabric::FabricStats,
     /// Whether the program executed `halt`.
     pub halted: bool,
+    /// Memory-latency cycles still queued but unpaid when the run ended —
+    /// nonzero only when the core halts with a fetch or data miss in
+    /// flight (typically the halt instruction's own fetch miss).
+    pub pending_mem_stalls: u64,
 }
 
 impl RunStats {
@@ -81,6 +110,23 @@ impl RunStats {
     pub fn energy(&self, model: &dyser_energy::EnergyModel) -> dyser_energy::EnergyReport {
         model.estimate(&self.activity())
     }
+
+    /// Attributes every cycle of the run to an exclusive
+    /// [`dyser_sparc::CycleBucket`], with `sum(buckets) == cycles`.
+    pub fn cycle_account(&self) -> CycleAccount {
+        self.core.cycle_account()
+    }
+
+    /// The memory hierarchy's own estimate of the stall cycles it caused,
+    /// reconciled with the core: total access latency, minus the one base
+    /// cycle each L1 access overlaps with issue, minus the latency still
+    /// queued but unpaid when the run ended (`pending_mem_stalls`). With
+    /// hit latencies of at least one cycle (all shipped [`MemConfig`]s),
+    /// this equals the account's `MemMiss` bucket exactly — the
+    /// cross-check the attribution property tests assert.
+    pub fn mem_miss_stall_cycles(&self) -> u64 {
+        self.mem.miss_stall_cycles().saturating_sub(self.pending_mem_stalls)
+    }
 }
 
 /// Fatal system errors.
@@ -91,6 +137,8 @@ pub enum SysError {
     /// A configuration in the program's table failed to load at start-up
     /// validation.
     Config(ConfigError),
+    /// The [`SystemConfig`] describes impossible hardware.
+    InvalidConfig(FabricConfigError),
     /// The cycle budget elapsed without `halt`.
     Timeout {
         /// Cycles executed.
@@ -103,6 +151,7 @@ impl fmt::Display for SysError {
         match self {
             SysError::Core(e) => write!(f, "core fault: {e}"),
             SysError::Config(e) => write!(f, "configuration error: {e}"),
+            SysError::InvalidConfig(e) => write!(f, "invalid system configuration: {e}"),
             SysError::Timeout { cycles } => write!(f, "no halt after {cycles} cycles"),
         }
     }
@@ -216,25 +265,87 @@ pub struct System {
     bus: SysBus,
     coproc: SysCoproc,
     config: SystemConfig,
+    tracing: bool,
 }
 
 impl System {
     /// Creates a system with no program loaded (entry `0x10000`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration describes impossible hardware (see
+    /// [`SystemConfig::validate`]); use [`System::try_new`] to handle the
+    /// error instead.
     pub fn new(config: SystemConfig) -> Self {
-        let fabric = config.has_fabric.then(|| {
-            let mut f = match &config.kinds {
-                Some(kinds) => Fabric::with_kinds(config.geometry, kinds.clone()),
-                None => Fabric::new(config.geometry),
-            };
-            f.set_fifo_depth(config.fifo_depth);
-            f
-        });
-        System {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a system, reporting malformed configurations as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::InvalidConfig`] when
+    /// [`SystemConfig::validate`] rejects the hardware description.
+    pub fn try_new(config: SystemConfig) -> Result<Self, SysError> {
+        config.validate().map_err(SysError::InvalidConfig)?;
+        let fabric = match (config.has_fabric, &config.kinds) {
+            (false, _) => None,
+            (true, Some(kinds)) => {
+                let mut f = Fabric::with_kinds(config.geometry, kinds.clone())
+                    .map_err(SysError::InvalidConfig)?;
+                f.set_fifo_depth(config.fifo_depth).map_err(SysError::InvalidConfig)?;
+                Some(f)
+            }
+            (true, None) => {
+                let mut f = Fabric::new(config.geometry);
+                f.set_fifo_depth(config.fifo_depth).map_err(SysError::InvalidConfig)?;
+                Some(f)
+            }
+        };
+        Ok(System {
             cpu: Pipeline::new(dyser_compiler::CODE_BASE),
             bus: SysBus { memory: Memory::new(), hierarchy: Hierarchy::new(config.mem) },
             coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
             config,
+            tracing: false,
+        })
+    }
+
+    /// Enables event tracing on every component, each into its own ring
+    /// buffer of `capacity` events (newest kept on overflow).
+    ///
+    /// When tracing is off — the default — the only cost on the hot path
+    /// is one branch per would-be event.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.cpu.enable_trace(capacity);
+        self.bus.hierarchy.enable_trace(capacity);
+        if let Some(fabric) = &mut self.coproc.fabric {
+            fabric.enable_trace(capacity);
         }
+        self.tracing = true;
+    }
+
+    /// Detaches all trace buffers and returns the merged events ordered by
+    /// cycle, together with the total number of events dropped to ring
+    /// overflow. Returns `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<(Vec<TraceEvent>, u64)> {
+        if !self.tracing {
+            return None;
+        }
+        self.tracing = false;
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let buffers = [
+            self.cpu.take_trace(),
+            self.bus.hierarchy.take_trace(),
+            self.coproc.fabric.as_mut().and_then(|f| f.take_trace()),
+        ];
+        for buf in buffers.into_iter().flatten() {
+            dropped += buf.dropped();
+            events.extend(buf.into_ordered());
+        }
+        events.sort_by_key(|e| e.cycle);
+        Some((events, dropped))
     }
 
     /// The system configuration.
@@ -317,6 +428,11 @@ impl System {
     ///
     /// Propagates core faults.
     pub fn tick(&mut self) -> Result<(), SysError> {
+        if self.tracing {
+            // Stamp the hierarchy with the cycle the core is about to
+            // execute (the pipeline's 0-based trace timestamp).
+            self.bus.hierarchy.set_now(self.cpu.stats().cycles);
+        }
         self.cpu.tick(&mut self.bus, &mut self.coproc)?;
         if let Some(fabric) = &mut self.coproc.fabric {
             fabric.tick();
@@ -356,6 +472,8 @@ impl System {
                 .map(|f| *f.stats())
                 .unwrap_or_default(),
             halted: self.cpu.halted(),
+            pending_mem_stalls: self.cpu.pending_stall_cycles(dyser_sparc::StallCause::ICache)
+                + self.cpu.pending_stall_cycles(dyser_sparc::StallCause::DCache),
         }
     }
 }

@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use crate::config::topo;
-use crate::config::{ConfigError, FabricConfig, FuConfig, InDir, OperandSrc, OutDir};
+use crate::config::{ConfigError, FabricConfig, FabricConfigError, FuConfig, InDir, OperandSrc, OutDir};
 use crate::geom::{FabricGeometry, FuId, SwitchId};
 use crate::op::{FuKind, FuOp};
 
@@ -124,16 +124,31 @@ impl ConfigBuilder {
     /// Creates a builder for `geom` with the default heterogeneous kinds.
     pub fn new(geom: FabricGeometry) -> Self {
         let kinds = geom.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
-        Self::with_kinds(geom, kinds)
+        Self::build_with_kinds(geom, kinds)
     }
 
     /// Creates a builder with explicit per-site hardware kinds (row-major).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `kinds.len() != geom.fu_count()`.
-    pub fn with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
-        assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
+    /// Returns [`FabricConfigError::KindCountMismatch`] if
+    /// `kinds.len() != geom.fu_count()`.
+    pub fn with_kinds(
+        geom: FabricGeometry,
+        kinds: Vec<FuKind>,
+    ) -> Result<Self, FabricConfigError> {
+        if kinds.len() != geom.fu_count() {
+            return Err(FabricConfigError::KindCountMismatch {
+                expected: geom.fu_count(),
+                got: kinds.len(),
+            });
+        }
+        Ok(Self::build_with_kinds(geom, kinds))
+    }
+
+    /// Infallible constructor for kinds vectors built from the geometry.
+    fn build_with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
+        debug_assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
         ConfigBuilder {
             geom,
             kinds,
@@ -668,7 +683,7 @@ mod tests {
     fn unplaceable_when_no_capable_unit() {
         // All-IntSimple hardware cannot place a multiply.
         let g = FabricGeometry::new(2, 2);
-        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 4]);
+        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 4]).unwrap();
         let x = b.input_value(0);
         let y = b.input_value(1);
         let m = b.op(FuOp::IMul, &[x, y]);
@@ -680,7 +695,7 @@ mod tests {
     fn placement_exhaustion_detected() {
         // A 1x1 IntSimple fabric can host exactly one op.
         let g = FabricGeometry::new(1, 1);
-        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 1]);
+        let mut b = ConfigBuilder::with_kinds(g, vec![FuKind::IntSimple; 1]).unwrap();
         let x = b.input_value(0);
         let y = b.input_value(1);
         let s1 = b.op(FuOp::IAdd, &[x, y]);

@@ -338,6 +338,72 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// User-reachable construction errors: a malformed request for fabric
+/// hardware, as opposed to [`ConfigError`], which reports a structurally
+/// invalid *routing configuration*.
+///
+/// These used to be `panic!`s/`assert!`s deep inside the fabric crate;
+/// they are now returned as values from the public constructors
+/// ([`crate::Fabric::with_kinds`], [`crate::ConfigBuilder::with_kinds`],
+/// [`crate::Fabric::set_fifo_depth`]) and the checked `try_*` accessors,
+/// while internal post-validation invariants remain debug assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricConfigError {
+    /// A per-site kinds vector whose length does not match the grid (a
+    /// mismatched hardware frame).
+    KindCountMismatch {
+        /// FU sites in the geometry.
+        expected: usize,
+        /// Kinds supplied.
+        got: usize,
+    },
+    /// A switch or FU coordinate outside the grid.
+    OutOfGrid {
+        /// What was addressed (`"switch"` or `"fu"`).
+        what: &'static str,
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// FU rows in the geometry (switch grids have one more).
+        rows: usize,
+        /// FU columns in the geometry (switch grids have one more).
+        cols: usize,
+    },
+    /// A port index beyond the geometry's edge.
+    BadPort {
+        /// The offending port number.
+        port: usize,
+        /// Whether an input (true) or output (false) port was addressed.
+        input: bool,
+        /// Number of ports of that kind the geometry exposes.
+        limit: usize,
+    },
+    /// A port FIFO depth of zero (the interface could never move data).
+    ZeroFifoDepth,
+}
+
+impl fmt::Display for FabricConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricConfigError::KindCountMismatch { expected, got } => {
+                write!(f, "kinds vector has {got} entries but the grid has {expected} FU sites")
+            }
+            FabricConfigError::OutOfGrid { what, row, col, rows, cols } => write!(
+                f,
+                "{what} ({row},{col}) outside a {rows}x{cols} fabric"
+            ),
+            FabricConfigError::BadPort { port, input, limit } => {
+                let dir = if *input { "input" } else { "output" };
+                write!(f, "{dir} port {port} does not exist (geometry has {limit})")
+            }
+            FabricConfigError::ZeroFifoDepth => write!(f, "port FIFO depth must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for FabricConfigError {}
+
 /// A complete fabric configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
@@ -407,6 +473,77 @@ impl FabricConfig {
         self.fus[idx] = Some(cfg);
     }
 
+    /// Checked variant of [`FabricConfig::switch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::OutOfGrid`] if `sw` is outside the grid.
+    pub fn try_switch(&self, sw: SwitchId) -> Result<&SwitchConfig, FabricConfigError> {
+        self.check_switch(sw)?;
+        Ok(&self.switches[self.geometry.switch_index(sw)])
+    }
+
+    /// Checked variant of [`FabricConfig::switch_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::OutOfGrid`] if `sw` is outside the grid.
+    pub fn try_switch_mut(&mut self, sw: SwitchId) -> Result<&mut SwitchConfig, FabricConfigError> {
+        self.check_switch(sw)?;
+        let idx = self.geometry.switch_index(sw);
+        Ok(&mut self.switches[idx])
+    }
+
+    /// Checked variant of [`FabricConfig::fu`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::OutOfGrid`] if `fu` is outside the grid.
+    pub fn try_fu(&self, fu: FuId) -> Result<Option<&FuConfig>, FabricConfigError> {
+        self.check_fu(fu)?;
+        Ok(self.fus[self.geometry.fu_index(fu)].as_ref())
+    }
+
+    /// Checked variant of [`FabricConfig::set_fu`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::OutOfGrid`] if `fu` is outside the grid.
+    pub fn try_set_fu(&mut self, fu: FuId, cfg: FuConfig) -> Result<(), FabricConfigError> {
+        self.check_fu(fu)?;
+        let idx = self.geometry.fu_index(fu);
+        self.fus[idx] = Some(cfg);
+        Ok(())
+    }
+
+    fn check_switch(&self, sw: SwitchId) -> Result<(), FabricConfigError> {
+        if self.geometry.switch_valid(sw) {
+            Ok(())
+        } else {
+            Err(FabricConfigError::OutOfGrid {
+                what: "switch",
+                row: sw.row,
+                col: sw.col,
+                rows: self.geometry.rows(),
+                cols: self.geometry.cols(),
+            })
+        }
+    }
+
+    fn check_fu(&self, fu: FuId) -> Result<(), FabricConfigError> {
+        if self.geometry.fu_valid(fu) {
+            Ok(())
+        } else {
+            Err(FabricConfigError::OutOfGrid {
+                what: "fu",
+                row: fu.row,
+                col: fu.col,
+                rows: self.geometry.rows(),
+                cols: self.geometry.cols(),
+            })
+        }
+    }
+
     /// The scalar input ports behind vector input port `vp` (empty if unmapped).
     pub fn vec_in(&self, vp: usize) -> &[usize] {
         self.vec_in.get(vp).map(Vec::as_slice).unwrap_or(&[])
@@ -431,6 +568,44 @@ impl FabricConfig {
             self.vec_out.resize(vp + 1, Vec::new());
         }
         self.vec_out[vp] = ports;
+    }
+
+    /// Checked variant of [`FabricConfig::set_vec_in`]: rejects scalar
+    /// port numbers the geometry does not expose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::BadPort`] on an out-of-range port.
+    pub fn try_set_vec_in(
+        &mut self,
+        vp: usize,
+        ports: Vec<usize>,
+    ) -> Result<(), FabricConfigError> {
+        let limit = self.geometry.input_ports();
+        if let Some(&port) = ports.iter().find(|&&p| p >= limit) {
+            return Err(FabricConfigError::BadPort { port, input: true, limit });
+        }
+        self.set_vec_in(vp, ports);
+        Ok(())
+    }
+
+    /// Checked variant of [`FabricConfig::set_vec_out`]: rejects scalar
+    /// port numbers the geometry does not expose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::BadPort`] on an out-of-range port.
+    pub fn try_set_vec_out(
+        &mut self,
+        vp: usize,
+        ports: Vec<usize>,
+    ) -> Result<(), FabricConfigError> {
+        let limit = self.geometry.output_ports();
+        if let Some(&port) = ports.iter().find(|&&p| p >= limit) {
+            return Err(FabricConfigError::BadPort { port, input: false, limit });
+        }
+        self.set_vec_out(vp, ports);
+        Ok(())
     }
 
     /// Number of configured FU sites.

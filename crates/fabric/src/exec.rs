@@ -15,8 +15,10 @@
 
 use std::collections::VecDeque;
 
+use dyser_trace::{detail, EventKind, TraceBuffer, TraceEvent};
+
 use crate::config::topo;
-use crate::config::{ConfigError, FabricConfig, InDir, OperandSrc, OutDir};
+use crate::config::{ConfigError, FabricConfig, FabricConfigError, InDir, OperandSrc, OutDir};
 use crate::geom::{FabricGeometry, FuId, SwitchId};
 use crate::op::{FuKind, Value};
 use crate::stats::FabricStats;
@@ -223,28 +225,43 @@ pub struct Fabric {
     cycle: u64,
     active: Option<Active>,
     stats: FabricStats,
+    /// `None` unless tracing was enabled: the disabled path is a single
+    /// branch per would-be event (see DESIGN.md, "Observability").
+    tracer: Option<Box<TraceBuffer>>,
 }
 
 impl Fabric {
     /// Creates a fabric with the default heterogeneous kind pattern.
     pub fn new(geom: FabricGeometry) -> Self {
         let kinds = geom.fus().map(|f| FuKind::default_pattern(f.row, f.col)).collect();
-        Self::with_kinds(geom, kinds)
+        Self::build(geom, kinds)
     }
 
     /// Creates a fabric where every site is a [`FuKind::Universal`] unit
     /// (used by idealised sweeps).
     pub fn universal(geom: FabricGeometry) -> Self {
-        Self::with_kinds(geom, vec![FuKind::Universal; geom.fu_count()])
+        Self::build(geom, vec![FuKind::Universal; geom.fu_count()])
     }
 
     /// Creates a fabric with explicit per-site kinds (row-major).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `kinds.len() != geom.fu_count()`.
-    pub fn with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
-        assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
+    /// Returns [`FabricConfigError::KindCountMismatch`] if
+    /// `kinds.len() != geom.fu_count()`.
+    pub fn with_kinds(geom: FabricGeometry, kinds: Vec<FuKind>) -> Result<Self, FabricConfigError> {
+        if kinds.len() != geom.fu_count() {
+            return Err(FabricConfigError::KindCountMismatch {
+                expected: geom.fu_count(),
+                got: kinds.len(),
+            });
+        }
+        Ok(Self::build(geom, kinds))
+    }
+
+    /// Infallible constructor for kinds vectors built from the geometry.
+    fn build(geom: FabricGeometry, kinds: Vec<FuKind>) -> Self {
+        debug_assert_eq!(kinds.len(), geom.fu_count(), "one kind per FU site");
         Fabric {
             geom,
             kinds,
@@ -253,17 +270,32 @@ impl Fabric {
             cycle: 0,
             active: None,
             stats: FabricStats::default(),
+            tracer: None,
         }
     }
 
     /// Sets the port FIFO depth (default [`DEFAULT_FIFO_DEPTH`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `depth` is zero.
-    pub fn set_fifo_depth(&mut self, depth: usize) {
-        assert!(depth > 0, "FIFO depth must be non-zero");
+    /// Returns [`FabricConfigError::ZeroFifoDepth`] if `depth` is zero.
+    pub fn set_fifo_depth(&mut self, depth: usize) -> Result<(), FabricConfigError> {
+        if depth == 0 {
+            return Err(FabricConfigError::ZeroFifoDepth);
+        }
         self.fifo_depth = depth;
+        Ok(())
+    }
+
+    /// Enables fabric event tracing (FU fires and port transfers) into a
+    /// ring buffer of at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(TraceBuffer::new(capacity)));
+    }
+
+    /// Takes the trace buffer (disabling further tracing), if any.
+    pub fn take_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.tracer.take()
     }
 
     /// The fabric geometry.
@@ -368,6 +400,14 @@ impl Fabric {
         }
         fifo.push_back(value);
         self.stats.port_in += 1;
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.record(TraceEvent {
+                cycle: self.cycle,
+                kind: EventKind::PortTransfer,
+                arg: port as u64,
+                detail: detail::PORT_IN,
+            });
+        }
         true
     }
 
@@ -376,6 +416,14 @@ impl Fabric {
         let active = self.active.as_mut()?;
         let v = active.out_fifos.get_mut(port)?.pop_front()?;
         self.stats.port_out += 1;
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.record(TraceEvent {
+                cycle: self.cycle,
+                kind: EventKind::PortTransfer,
+                arg: port as u64,
+                detail: detail::PORT_OUT,
+            });
+        }
         Some(v)
     }
 
@@ -427,9 +475,11 @@ impl Fabric {
         let cycle = self.cycle;
         let fifo_depth = self.fifo_depth;
         let stats = &mut self.stats;
+        let mut tracer = self.tracer.as_deref_mut();
         let Some(active) = self.active.as_mut() else { return };
         let Active { table, regs, fus, in_fifos, out_fifos, .. } = active;
         let mut any_activity = false;
+        let mut any_fire = false;
 
         // Phase 1: move switch-output registers, sinks first.
         for step in &table.steps {
@@ -534,7 +584,16 @@ impl Fabric {
             } else {
                 stats.int_fu_fires += 1;
             }
+            if let Some(tracer) = tracer.as_mut() {
+                tracer.record(TraceEvent {
+                    cycle,
+                    kind: EventKind::FabricFire,
+                    arg: fi as u64,
+                    detail: if cfg.op.is_fp() { detail::FIRE_FP } else { detail::FIRE_INT },
+                });
+            }
             any_activity = true;
+            any_fire = true;
         }
 
         // Phase 5: inject input-port values into their wired edge switches.
@@ -548,6 +607,9 @@ impl Fabric {
 
         if any_activity {
             stats.active_cycles += 1;
+        }
+        if any_fire {
+            stats.fire_cycles += 1;
         }
     }
 
@@ -718,7 +780,7 @@ mod tests {
         // Build against a universal placement so the builder succeeds...
         let config = b.build().unwrap();
         // ...then load into restricted hardware.
-        let mut f = Fabric::with_kinds(geom, vec![FuKind::IntSimple; 4]);
+        let mut f = Fabric::with_kinds(geom, vec![FuKind::IntSimple; 4]).unwrap();
         assert!(matches!(f.load_config(&config), Err(ConfigError::UnsupportedOp { .. })));
     }
 

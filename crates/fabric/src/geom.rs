@@ -120,12 +120,20 @@ impl FabricGeometry {
     }
 
     /// Linear index of a switch (row-major).
+    ///
+    /// Callers must have validated the coordinate ([`FabricGeometry::switch_valid`]);
+    /// checked access goes through `FabricConfig::try_switch`.
     pub fn switch_index(&self, sw: SwitchId) -> usize {
+        debug_assert!(self.switch_valid(sw), "switch ({},{}) outside grid", sw.row, sw.col);
         sw.row * (self.cols + 1) + sw.col
     }
 
     /// Linear index of an FU (row-major).
+    ///
+    /// Callers must have validated the coordinate ([`FabricGeometry::fu_valid`]);
+    /// checked access goes through `FabricConfig::try_fu`.
     pub fn fu_index(&self, fu: FuId) -> usize {
+        debug_assert!(self.fu_valid(fu), "fu ({},{}) outside grid", fu.row, fu.col);
         fu.row * self.cols + fu.col
     }
 

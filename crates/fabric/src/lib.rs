@@ -55,7 +55,10 @@ pub mod op;
 pub mod stats;
 
 pub use builder::{BuildError, ConfigBuilder, ValueId};
-pub use config::{ConfigError, FabricConfig, FuConfig, InDir, OperandSrc, OutDir, SwitchConfig};
+pub use config::{
+    ConfigError, FabricConfig, FabricConfigError, FuConfig, InDir, OperandSrc, OutDir,
+    SwitchConfig,
+};
 pub use exec::Fabric;
 pub use geom::{FabricGeometry, FuId, SwitchId};
 pub use op::{FuKind, FuOp};

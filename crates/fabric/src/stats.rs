@@ -16,6 +16,9 @@ pub struct FabricStats {
     pub int_fu_fires: u64,
     /// Floating-point FU firings.
     pub fp_fu_fires: u64,
+    /// Cycles in which at least one FU fired (a compute-occupancy
+    /// refinement of `active_cycles`, which also counts pure routing).
+    pub fire_cycles: u64,
     /// Values moved across switch-output registers (one per hop).
     pub switch_hops: u64,
     /// Extra copies made by fan-out (beyond the first consumer).
@@ -46,6 +49,20 @@ impl FabricStats {
         } else {
             self.active_cycles as f64 / self.cycles as f64
         }
+    }
+
+    /// Fraction of ticked cycles in which at least one FU fired.
+    pub fn fire_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fire_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles the fabric was ticked without any value movement.
+    pub fn idle_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.active_cycles)
     }
 }
 

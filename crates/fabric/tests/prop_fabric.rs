@@ -65,7 +65,8 @@ fn fabric_matches_interpreter() {
         let mut b = ConfigBuilder::with_kinds(
             geom,
             vec![dyser_fabric::FuKind::Universal; geom.fu_count()],
-        );
+        )
+        .expect("kinds built from geometry");
         let input_ids: Vec<ValueId> = (0..dfg.inputs).map(|p| b.input_value(p)).collect();
         let mut ids: Vec<ValueId> = input_ids.clone();
         for (op, args) in &dfg.ops {

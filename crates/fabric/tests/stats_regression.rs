@@ -163,6 +163,7 @@ fn manual_config_stats_are_golden() {
         active_cycles: 15,
         int_fu_fires: 16,
         fp_fu_fires: 8,
+        fire_cycles: 8,
         switch_hops: 120,
         fanout_copies: 16,
         port_in: 32,
@@ -182,6 +183,7 @@ fn builder_dfg_stats_are_golden() {
         active_cycles: 82,
         int_fu_fires: 96,
         fp_fu_fires: 0,
+        fire_cycles: 57,
         switch_hops: 544,
         fanout_copies: 32,
         port_in: 96,

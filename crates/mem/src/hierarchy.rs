@@ -10,6 +10,7 @@
 //! [`store`]: Hierarchy::store
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use dyser_trace::{detail, EventKind, TraceBuffer, TraceEvent};
 
 /// Configuration of the whole hierarchy.
 ///
@@ -84,6 +85,20 @@ pub struct MemStats {
     pub data_cycles: u64,
 }
 
+impl MemStats {
+    /// Stall cycles the hierarchy believes it caused: total access latency
+    /// minus the one base cycle per L1 access that overlaps with issue.
+    ///
+    /// With hit latencies of at least one cycle (all shipped
+    /// [`MemConfig`]s) this equals the pipeline's `MemMiss` attribution
+    /// bucket exactly; the attribution property tests assert the
+    /// cross-check.
+    pub fn miss_stall_cycles(&self) -> u64 {
+        (self.fetch_cycles + self.data_cycles)
+            .saturating_sub(self.l1i.accesses + self.l1d.accesses)
+    }
+}
+
 /// The blocking L1I/L1D/L2/DRAM hierarchy.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
@@ -94,6 +109,13 @@ pub struct Hierarchy {
     dram_accesses: u64,
     fetch_cycles: u64,
     data_cycles: u64,
+    /// Event tracer; `None` (the default) keeps the hot path to a single
+    /// branch per access.
+    tracer: Option<Box<TraceBuffer>>,
+    /// Timestamp for trace events, advanced by the owner via [`set_now`].
+    ///
+    /// [`set_now`]: Hierarchy::set_now
+    now: u64,
 }
 
 impl Hierarchy {
@@ -107,6 +129,38 @@ impl Hierarchy {
             dram_accesses: 0,
             fetch_cycles: 0,
             data_cycles: 0,
+            tracer: None,
+            now: 0,
+        }
+    }
+
+    /// Enables cache-miss tracing into a ring buffer of `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(TraceBuffer::new(capacity)));
+    }
+
+    /// Detaches the trace buffer, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.tracer.take()
+    }
+
+    /// Sets the cycle timestamp used for subsequent trace events.
+    ///
+    /// The hierarchy has no clock of its own; the owning system calls this
+    /// once per core tick when tracing is enabled.
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    #[inline]
+    fn trace_miss(&mut self, addr: u64, which: u32) {
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.record(TraceEvent {
+                cycle: self.now,
+                kind: EventKind::CacheMiss,
+                arg: addr,
+                detail: which,
+            });
         }
     }
 
@@ -122,6 +176,7 @@ impl Hierarchy {
         if !out.hit {
             self.dram_accesses += 1;
             cycles += self.config.dram_latency;
+            self.trace_miss(addr, detail::MISS_L2);
         }
         if out.evicted_dirty {
             // Writebacks to DRAM are buffered; they consume bandwidth but
@@ -136,6 +191,7 @@ impl Hierarchy {
         let out = self.l1i.access(addr, false);
         let mut cycles = self.config.l1i.hit_latency;
         if !out.hit {
+            self.trace_miss(addr, detail::MISS_L1I);
             cycles += self.refill(addr, false);
         }
         self.fetch_cycles += cycles;
@@ -156,6 +212,7 @@ impl Hierarchy {
         let out = self.l1d.access(addr, write);
         let mut cycles = self.config.l1d.hit_latency;
         if !out.hit {
+            self.trace_miss(addr, detail::MISS_L1D);
             cycles += self.refill(addr, write);
         }
         if out.evicted_dirty {

@@ -51,4 +51,4 @@ pub use bus::{Bus, SimpleBus};
 pub use coproc::{Coproc, NullCoproc};
 pub use pipeline::{CoreError, Pipeline};
 pub use regfile::{FRegFile, RegFile};
-pub use stats::{CoreStats, StallCause};
+pub use stats::{CoreStats, CycleAccount, CycleBucket, StallCause};

@@ -15,9 +15,10 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use dyser_isa::{
-    decode, AluOp, DecodeError, DyserInstr, FReg, Fcc, FpOp, Icc, Instr, LoadKind, Op2, Reg,
-    StoreKind,
+    decode, AluOp, DecodeError, DyserInstr, FReg, Fcc, FpOp, Icc, Instr, InstrClass, LoadKind,
+    Op2, Reg, StoreKind,
 };
+use dyser_trace::{EventKind, TraceBuffer, TraceEvent};
 
 use crate::bus::Bus;
 use crate::coproc::{Coproc, CoprocError};
@@ -121,6 +122,10 @@ pub struct Pipeline {
     halted: bool,
     stats: CoreStats,
     simcall_log: Vec<(u16, u64)>,
+    /// `None` unless tracing was enabled for this run: the disabled path
+    /// is a single branch at retire, preserving the allocation-free hot
+    /// path (see DESIGN.md, "Observability").
+    tracer: Option<Box<TraceBuffer>>,
 }
 
 impl Pipeline {
@@ -139,7 +144,20 @@ impl Pipeline {
             halted: false,
             stats: CoreStats::default(),
             simcall_log: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Enables instruction-retire tracing into a ring buffer of at most
+    /// `capacity` events. Tracing is off by default and costs one branch
+    /// per retired instruction when enabled-but-unused paths are ticked.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(TraceBuffer::new(capacity)));
+    }
+
+    /// Takes the trace buffer (disabling further tracing), if any.
+    pub fn take_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.tracer.take()
     }
 
     /// The integer register file.
@@ -229,6 +247,20 @@ impl Pipeline {
             Instr::Dyser(DyserInstr::SendF { rs, .. }) => *rs == reg,
             _ => false,
         }
+    }
+
+    /// Stall cycles of the given cause still queued but not yet paid —
+    /// nonzero only when the core halts with latency in flight (e.g. the
+    /// halt instruction's own fetch miss). Lets observers reconcile the
+    /// memory hierarchy's latency counters with the paid stall cycles.
+    pub fn pending_stall_cycles(&self, cause: StallCause) -> u64 {
+        self.pending
+            .iter()
+            .map(|p| match p {
+                Pending::Stall { cause: c, remaining } if *c == cause => *remaining,
+                _ => 0,
+            })
+            .sum()
     }
 
     fn push_stall(&mut self, cause: StallCause, cycles: u64) {
@@ -349,6 +381,17 @@ impl Pipeline {
         self.last_load_fp = None;
 
         self.stats.retire(instr.class());
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            let class = instr.class();
+            let detail =
+                InstrClass::ALL.iter().position(|c| *c == class).unwrap_or_default() as u32;
+            tracer.record(TraceEvent {
+                cycle: self.stats.cycles - 1,
+                kind: EventKind::InstrRetire,
+                arg: pc,
+                detail,
+            });
+        }
 
         // Default control flow; CTIs overwrite `next_npc`.
         let next_pc = self.npc;

@@ -76,6 +76,130 @@ impl StallCause {
     }
 }
 
+/// The exclusive buckets a simulated cycle is attributed to.
+///
+/// Every cycle of a run falls into exactly one bucket: the in-order core
+/// retires exactly one instruction per non-stall cycle, and every stall
+/// cycle carries exactly one [`StallCause`], so the buckets partition
+/// `CoreStats::cycles` with no overlap and no remainder. The identity
+/// `sum(buckets) == total_cycles` is enforced by a debug assertion in
+/// [`CoreStats::cycle_account`] and by property tests in the bench crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleBucket {
+    /// Issue cycles of ordinary (non-DySER) instructions.
+    CoreCompute,
+    /// Core pipeline interlocks: load-use, branch bubbles, and integer
+    /// multiply/divide or floating-point unit occupancy.
+    CoreInterlock,
+    /// Cycles lost to the blocking memory hierarchy (L1I/L1D misses and
+    /// everything below them — L2 and DRAM latency is charged here too).
+    MemMiss,
+    /// Issue cycles of DySER interface instructions (the core-side face
+    /// of fabric compute: sends, receives, fences, config launches).
+    DyserCompute,
+    /// Stall cycles streaming a configuration bitstream into the fabric.
+    ConfigLoad,
+    /// Stall cycles blocked sending into a full fabric input FIFO.
+    PortSend,
+    /// Stall cycles blocked receiving from an empty fabric output FIFO.
+    PortRecv,
+    /// Stall cycles in `dfence`, waiting for the fabric to drain.
+    Drain,
+}
+
+impl CycleBucket {
+    /// All buckets, in reporting order.
+    pub const ALL: [CycleBucket; 8] = [
+        CycleBucket::CoreCompute,
+        CycleBucket::CoreInterlock,
+        CycleBucket::MemMiss,
+        CycleBucket::DyserCompute,
+        CycleBucket::ConfigLoad,
+        CycleBucket::PortSend,
+        CycleBucket::PortRecv,
+        CycleBucket::Drain,
+    ];
+
+    /// A short label for reports and machine-readable output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleBucket::CoreCompute => "core-compute",
+            CycleBucket::CoreInterlock => "core-interlock",
+            CycleBucket::MemMiss => "mem-miss",
+            CycleBucket::DyserCompute => "dyser-compute",
+            CycleBucket::ConfigLoad => "dyser-config",
+            CycleBucket::PortSend => "port-send",
+            CycleBucket::PortRecv => "port-recv",
+            CycleBucket::Drain => "drain",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CycleBucket::CoreCompute => 0,
+            CycleBucket::CoreInterlock => 1,
+            CycleBucket::MemMiss => 2,
+            CycleBucket::DyserCompute => 3,
+            CycleBucket::ConfigLoad => 4,
+            CycleBucket::PortSend => 5,
+            CycleBucket::PortRecv => 6,
+            CycleBucket::Drain => 7,
+        }
+    }
+}
+
+/// An exclusive attribution of every cycle of a run to one
+/// [`CycleBucket`], derived from the core's retire and stall counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAccount {
+    /// The total cycle count the buckets must sum to.
+    pub total_cycles: u64,
+    buckets: [u64; 8],
+}
+
+impl CycleAccount {
+    /// Cycles attributed to one bucket.
+    pub fn get(&self, bucket: CycleBucket) -> u64 {
+        self.buckets[bucket.index()]
+    }
+
+    /// Sum over all buckets (equal to `total_cycles` by construction).
+    pub fn sum(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether the attribution identity `sum(buckets) == total_cycles`
+    /// holds. Always true for accounts produced by
+    /// [`CoreStats::cycle_account`]; exposed so tests can assert it.
+    pub fn balanced(&self) -> bool {
+        self.sum() == self.total_cycles
+    }
+
+    /// Fraction of total cycles in one bucket (0 when no cycles elapsed).
+    pub fn fraction(&self, bucket: CycleBucket) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.get(bucket) as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Adds `cycles` to one bucket without touching `total_cycles`; the
+    /// caller is responsible for keeping the identity balanced (used by
+    /// aggregators that reconstruct accounts from saved bucket counts).
+    pub fn add(&mut self, bucket: CycleBucket, cycles: u64) {
+        self.buckets[bucket.index()] += cycles;
+    }
+
+    /// Adds another account into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &CycleAccount) {
+        self.total_cycles += other.total_cycles;
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+}
+
 /// Accumulated core statistics.
 #[derive(Debug, Clone, Default)]
 pub struct CoreStats {
@@ -116,6 +240,43 @@ impl CoreStats {
     /// Total stall cycles across all causes.
     pub fn total_stalls(&self) -> u64 {
         self.stall_counts.iter().sum()
+    }
+
+    /// Attributes every elapsed cycle to an exclusive [`CycleBucket`].
+    ///
+    /// The in-order pipeline increments `cycles` exactly once per tick
+    /// and each tick either retires exactly one instruction or charges
+    /// exactly one stall cycle to one [`StallCause`], so
+    /// `cycles == instructions + total_stalls` holds by construction and
+    /// the buckets below partition the run exactly.
+    pub fn cycle_account(&self) -> CycleAccount {
+        let mut acct = CycleAccount { total_cycles: self.cycles, buckets: [0; 8] };
+        let dyser_issue = self.class_count(InstrClass::Dyser);
+        acct.buckets[CycleBucket::CoreCompute.index()] =
+            self.instructions - dyser_issue;
+        acct.buckets[CycleBucket::DyserCompute.index()] = dyser_issue;
+        acct.buckets[CycleBucket::CoreInterlock.index()] = self
+            .stall_count(StallCause::LoadUse)
+            + self.stall_count(StallCause::Branch)
+            + self.stall_count(StallCause::IntMulDiv)
+            + self.stall_count(StallCause::Fp);
+        acct.buckets[CycleBucket::MemMiss.index()] =
+            self.stall_count(StallCause::ICache) + self.stall_count(StallCause::DCache);
+        acct.buckets[CycleBucket::ConfigLoad.index()] =
+            self.stall_count(StallCause::DyserConfig);
+        acct.buckets[CycleBucket::PortSend.index()] =
+            self.stall_count(StallCause::DyserSend);
+        acct.buckets[CycleBucket::PortRecv.index()] =
+            self.stall_count(StallCause::DyserRecv);
+        acct.buckets[CycleBucket::Drain.index()] =
+            self.stall_count(StallCause::DyserFence);
+        debug_assert!(
+            acct.balanced(),
+            "cycle attribution identity violated: {} buckets vs {} cycles",
+            acct.sum(),
+            acct.total_cycles,
+        );
+        acct
     }
 
     /// Cycles per instruction (0 when nothing retired).
@@ -169,5 +330,48 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             StallCause::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), StallCause::ALL.len());
+    }
+
+    #[test]
+    fn bucket_labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            CycleBucket::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), CycleBucket::ALL.len());
+    }
+
+    #[test]
+    fn cycle_account_partitions_exactly() {
+        let mut s = CoreStats::default();
+        s.retire(InstrClass::IntAlu);
+        s.retire(InstrClass::Load);
+        s.retire(InstrClass::Dyser);
+        s.stall(StallCause::DCache, 7);
+        s.stall(StallCause::LoadUse, 1);
+        s.stall(StallCause::DyserRecv, 4);
+        s.cycles = s.instructions + s.total_stalls();
+        let acct = s.cycle_account();
+        assert!(acct.balanced());
+        assert_eq!(acct.get(CycleBucket::CoreCompute), 2);
+        assert_eq!(acct.get(CycleBucket::DyserCompute), 1);
+        assert_eq!(acct.get(CycleBucket::MemMiss), 7);
+        assert_eq!(acct.get(CycleBucket::CoreInterlock), 1);
+        assert_eq!(acct.get(CycleBucket::PortRecv), 4);
+        assert_eq!(acct.sum(), 15);
+        assert!((acct.fraction(CycleBucket::MemMiss) - 7.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_account_merge() {
+        let mut a = CycleAccount::default();
+        let mut s = CoreStats::default();
+        s.retire(InstrClass::IntAlu);
+        s.stall(StallCause::Branch, 2);
+        s.cycles = 3;
+        a.merge(&s.cycle_account());
+        a.merge(&s.cycle_account());
+        assert_eq!(a.total_cycles, 6);
+        assert_eq!(a.get(CycleBucket::CoreCompute), 2);
+        assert_eq!(a.get(CycleBucket::CoreInterlock), 4);
+        assert!(a.balanced());
     }
 }

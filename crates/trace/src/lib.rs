@@ -1,0 +1,485 @@
+//! # dyser-trace
+//!
+//! The opt-in event-tracing layer of the simulator: a fixed-capacity
+//! ring buffer of timestamped [`TraceEvent`]s plus a Chrome
+//! `trace_event` JSON exporter (load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+//!
+//! Tracing is strictly opt-in. Components hold an
+//! `Option<Box<TraceBuffer>>` that is `None` unless tracing was enabled
+//! for the run, so the disabled path costs a single branch per would-be
+//! event — no allocation, no buffering, no formatting (the
+//! "zero-cost when disabled" guarantee documented in `DESIGN.md`).
+//!
+//! The crate is dependency-free; the JSON is hand-written and a small
+//! validating parser ([`validate_json`]) backs the test suite and the CI
+//! smoke check.
+
+#![warn(missing_docs)]
+
+/// The kinds of events the simulator records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An instruction retired in the core. `arg` is the PC, `detail` the
+    /// instruction-class index (as in `dyser_isa::InstrClass::ALL`).
+    InstrRetire,
+    /// A functional unit fired in the fabric. `arg` is the FU's linear
+    /// index, `detail` is [`detail::FIRE_INT`] or [`detail::FIRE_FP`].
+    FabricFire,
+    /// A value crossed a DySER port. `arg` is the port number, `detail`
+    /// is [`detail::PORT_IN`] or [`detail::PORT_OUT`].
+    PortTransfer,
+    /// A cache level missed. `arg` is the address, `detail` one of
+    /// [`detail::MISS_L1I`], [`detail::MISS_L1D`], [`detail::MISS_L2`].
+    CacheMiss,
+}
+
+/// Interpretations of [`TraceEvent::detail`] per [`EventKind`].
+pub mod detail {
+    /// [`super::EventKind::FabricFire`]: an integer functional unit.
+    pub const FIRE_INT: u32 = 0;
+    /// [`super::EventKind::FabricFire`]: a floating-point functional unit.
+    pub const FIRE_FP: u32 = 1;
+    /// [`super::EventKind::PortTransfer`]: value entered an input port.
+    pub const PORT_IN: u32 = 0;
+    /// [`super::EventKind::PortTransfer`]: value left an output port.
+    pub const PORT_OUT: u32 = 1;
+    /// [`super::EventKind::CacheMiss`]: instruction L1 miss.
+    pub const MISS_L1I: u32 = 0;
+    /// [`super::EventKind::CacheMiss`]: data L1 miss.
+    pub const MISS_L1D: u32 = 1;
+    /// [`super::EventKind::CacheMiss`]: shared L2 miss (DRAM access).
+    pub const MISS_L2: u32 = 2;
+}
+
+impl EventKind {
+    /// The Chrome trace category ("thread") this kind renders under.
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::InstrRetire => "core",
+            EventKind::FabricFire => "fabric",
+            EventKind::PortTransfer => "port",
+            EventKind::CacheMiss => "mem",
+        }
+    }
+
+    /// A short event name; `detail` refines it where meaningful.
+    pub fn name(self, detail: u32) -> &'static str {
+        match (self, detail) {
+            (EventKind::InstrRetire, _) => "retire",
+            (EventKind::FabricFire, detail::FIRE_FP) => "fire-fp",
+            (EventKind::FabricFire, _) => "fire-int",
+            (EventKind::PortTransfer, detail::PORT_OUT) => "port-out",
+            (EventKind::PortTransfer, _) => "port-in",
+            (EventKind::CacheMiss, detail::MISS_L1D) => "miss-l1d",
+            (EventKind::CacheMiss, detail::MISS_L2) => "miss-l2",
+            (EventKind::CacheMiss, _) => "miss-l1i",
+        }
+    }
+}
+
+/// One timestamped simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (PC, FU index, port number, address).
+    pub arg: u64,
+    /// Kind-specific refinement (see [`detail`]).
+    pub detail: u32,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are overwritten and counted in
+/// [`TraceBuffer::dropped`] — a bounded-memory guarantee that lets long
+/// runs be traced without growing without bound.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer { events: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Records one event, overwriting the oldest if the buffer is full.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that were overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn into_ordered(self) -> Vec<TraceEvent> {
+        let TraceBuffer { mut events, head, .. } = self;
+        events.rotate_left(head);
+        events
+    }
+}
+
+/// The merged trace of one simulated run, labelled for the exporter.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Display label (kernel and variant, e.g. `"fft/dyser"`).
+    pub label: String,
+    /// Events oldest-first (as produced by [`TraceBuffer::into_ordered`]).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer wrap-around across the run's buffers.
+    pub dropped: u64,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders runs as a Chrome `trace_event` JSON document.
+///
+/// Each run becomes one "process" (pid), each event category one
+/// "thread" within it; timestamps are simulated cycles interpreted as
+/// microseconds. The output is the object form
+/// (`{"traceEvents": [...]}`), which both `chrome://tracing` and
+/// Perfetto accept.
+pub fn chrome_trace_json(runs: &[TraceRun]) -> String {
+    const CATEGORIES: [&str; 4] = ["core", "fabric", "port", "mem"];
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+    let mut first = true;
+    let push_event = |out: &mut String, first: &mut bool, body: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n    ");
+        out.push_str(&body);
+    };
+    for (i, run) in runs.iter().enumerate() {
+        let pid = i + 1;
+        let mut name = String::new();
+        escape_json(&run.label, &mut name);
+        push_event(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+        for (tid, cat) in CATEGORIES.iter().enumerate() {
+            push_event(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{cat}\"}}}}"
+                ),
+            );
+        }
+        for ev in &run.events {
+            let cat = ev.kind.category();
+            let tid = CATEGORIES.iter().position(|c| *c == cat).unwrap_or(0);
+            push_event(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\
+                     \"pid\":{pid},\"tid\":{tid},\"args\":{{\"arg\":{},\"detail\":{}}}}}",
+                    ev.kind.name(ev.detail),
+                    ev.cycle,
+                    ev.arg,
+                    ev.detail
+                ),
+            );
+        }
+    }
+    out.push_str("\n  ],\n  \"metadata\": {");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut name = String::new();
+        escape_json(&run.label, &mut name);
+        out.push_str(&format!(
+            "\n    \"run{}\": {{\"label\": \"{name}\", \"events\": {}, \"dropped\": {}}}",
+            i + 1,
+            run.events.len(),
+            run.dropped
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Validates that `s` is a single well-formed JSON document.
+///
+/// A minimal recursive-descent parser (objects, arrays, strings,
+/// numbers, booleans, null) — enough to assert in tests and CI that the
+/// exporter's hand-written output parses, without pulling in a JSON
+/// dependency.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > 128 {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len()
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: EventKind, arg: u64, detail: u32) -> TraceEvent {
+        TraceEvent { cycle, kind, arg, detail }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.record(ev(i, EventKind::InstrRetire, i * 4, 0));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let cycles: Vec<u64> = buf.into_ordered().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_buffer_partial_fill_in_order() {
+        let mut buf = TraceBuffer::new(8);
+        buf.record(ev(1, EventKind::CacheMiss, 0x100, detail::MISS_L1D));
+        buf.record(ev(2, EventKind::FabricFire, 3, detail::FIRE_FP));
+        assert_eq!(buf.dropped(), 0);
+        let evs = buf.into_ordered();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].cycle, 1);
+        assert_eq!(evs[1].kind, EventKind::FabricFire);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let runs = vec![
+            TraceRun {
+                label: "kernel \"a\"/dyser\n".into(),
+                events: vec![
+                    ev(0, EventKind::InstrRetire, 0x1000, 0),
+                    ev(1, EventKind::PortTransfer, 2, detail::PORT_IN),
+                    ev(5, EventKind::FabricFire, 0, detail::FIRE_INT),
+                    ev(9, EventKind::CacheMiss, 0x2000, detail::MISS_L2),
+                ],
+                dropped: 0,
+            },
+            TraceRun { label: "empty".into(), events: vec![], dropped: 7 },
+        ];
+        let json = chrome_trace_json(&runs);
+        validate_json(&json).expect("exporter output must parse");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("fire-int"));
+        assert!(json.contains("miss-l2"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\": [1, 2.5, -3e+2, true, null, \"x\\u0041\"]}").is_ok());
+        assert!(validate_json("[]").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("[1, 2,]").is_err());
+        assert!(validate_json("{\"a\": 1} extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01").is_ok()); // lenient: leading zeros allowed
+        assert!(validate_json("{1: 2}").is_err());
+    }
+}
