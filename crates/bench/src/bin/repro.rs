@@ -5,6 +5,7 @@
 //! cargo run -p dyser-bench --release --bin repro -- e2 e6
 //! cargo run -p dyser-bench --release --bin repro -- e2 --csv     # machine-readable
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time    # BENCH_repro.json
+//! cargo run -p dyser-bench --release --bin repro -- e2 --time --reps 2
 //! cargo run -p dyser-bench --release --bin repro -- stats        # cycle attribution
 //! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
 //! ```
@@ -14,8 +15,8 @@ use dyser_bench::{
     EXPERIMENT_IDS,
 };
 
-/// Measured repetitions per experiment in `--time` mode (after one
-/// untimed warmup run).
+/// Default measured repetitions per experiment in `--time` mode (after
+/// one untimed warmup run); override with `--reps N`.
 const TIME_REPS: usize = 3;
 
 /// Per-component ring-buffer capacity in `--trace` mode. Big enough to
@@ -35,6 +36,19 @@ fn main() {
         args.drain(i..=i + 1);
         path
     });
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .map(|i| {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+            else {
+                eprintln!("--reps requires a positive repetition count");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            n
+        })
+        .unwrap_or(TIME_REPS);
     args.retain(|a| a != "--csv" && a != "--time");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENT_IDS.to_vec()
@@ -49,14 +63,14 @@ fn main() {
     }
     if time {
         let reference = load_reference("BENCH_repro.json");
-        let timings = time_experiments(&ids, TIME_REPS);
+        let timings = time_experiments(&ids, reps);
         for t in &timings {
             println!(
                 "{:>8}  median {:>9.3} ms  min {:>9.3} ms  {:>12} cycles  {:>8.2} Mcyc/s",
                 t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
             );
         }
-        let json = timing_json(&timings, TIME_REPS, &reference);
+        let json = timing_json(&timings, reps, &reference);
         std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
         println!("wrote BENCH_repro.json");
         return;

@@ -542,7 +542,7 @@ pub fn e10_integration_overhead(scale: Scale) -> ExpTable {
     for k in suite().into_iter().take(6) {
         let n = scale.n(k.default_n / 2);
         let case = k.case(n, SEED);
-        let compiled = dyser_compiler::compile(
+        let compiled = dyser_core::compile_cached(
             &case.function,
             &k.compiler_options(FabricGeometry::new(8, 8)),
         )

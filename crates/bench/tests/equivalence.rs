@@ -1,0 +1,167 @@
+//! Equivalence of the stall fast-forwarding path and the per-cycle
+//! reference path: `RunStats` — cycles, per-cause stalls, cycle buckets,
+//! memory and fabric counters — must be bit-identical between
+//! `System::run` (bulk cycle advance) and `System::run_stepped` for
+//! every workload, including DySER-active ones with port transfers in
+//! flight, under both the serial and the parallel harness, and across
+//! mid-stall timeouts.
+
+use dyser_bench::experiments::SEED;
+use dyser_core::{
+    run_kernel, run_kernels, HarnessError, KernelJob, KernelResult, RunConfig, SysError, System,
+    SystemConfig,
+};
+use dyser_fabric::FuKind;
+use dyser_isa::{regs, AluOp, Assembler, Instr, LoadKind, Op2};
+use dyser_workloads::suite;
+
+/// Every suite kernel at a small size — plus ablation-style variants
+/// (FIFO depth, perfect memory, universal FUs, no unroll) that shift
+/// which stall causes dominate — each under its own compiler options.
+fn equivalence_jobs(stepped: bool) -> Vec<KernelJob> {
+    let mut jobs: Vec<KernelJob> = suite()
+        .iter()
+        .map(|k| {
+            let n = (k.default_n / 16).max(8) / 4 * 4;
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            config.stepped = stepped;
+            (k.case(n, SEED), config)
+        })
+        .collect();
+    let variants: [(&str, fn(&mut RunConfig)); 4] = [
+        ("poly6", |c| c.system.fifo_depth = 2),
+        ("saxpy", |c| c.system.mem = dyser_mem::MemConfig::perfect()),
+        ("fir4", |c| {
+            let g = c.system.geometry;
+            let kinds = vec![FuKind::Universal; g.fu_count()];
+            c.system.kinds = Some(kinds.clone());
+            c.compiler.kinds = Some(kinds);
+        }),
+        ("stencil3", |c| c.compiler.unroll_factor = 1),
+    ];
+    for (name, tweak) in variants {
+        let k = suite().into_iter().find(|k| k.name == name).expect("kernel in suite");
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        config.stepped = stepped;
+        tweak(&mut config);
+        jobs.push((k.case(32, SEED), config));
+    }
+    jobs
+}
+
+/// Asserts every observable field of two results matches bit-for-bit.
+fn assert_identical(name: &str, fast: &KernelResult, stepped: &KernelResult) {
+    for (which, f, s) in
+        [("baseline", &fast.baseline, &stepped.baseline), ("dyser", &fast.dyser, &stepped.dyser)]
+    {
+        assert_eq!(
+            f, s,
+            "{name} ({which}): RunStats diverged between fast-forwarded and stepped runs"
+        );
+        assert_eq!(
+            f.cycle_account(),
+            s.cycle_account(),
+            "{name} ({which}): cycle buckets diverged"
+        );
+    }
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{stepped:?}"),
+        "{name}: results diverged outside the stats"
+    );
+}
+
+#[test]
+fn fast_forward_is_bit_identical_serial_and_parallel() {
+    let fast_jobs = equivalence_jobs(false);
+    let stepped_jobs = equivalence_jobs(true);
+
+    // Serial: one kernel at a time, both paths back to back. The dyser
+    // runs keep port sends/receives in flight while counted stalls are
+    // skipped, so this covers DySER-active fabric states, not just
+    // scalar code.
+    let stepped_serial: Vec<KernelResult> = stepped_jobs
+        .iter()
+        .map(|(case, config)| {
+            run_kernel(case, config).unwrap_or_else(|e| panic!("stepped {}: {e}", case.name))
+        })
+        .collect();
+    for ((case, config), want) in fast_jobs.iter().zip(&stepped_serial) {
+        let fast =
+            run_kernel(case, config).unwrap_or_else(|e| panic!("fast {}: {e}", case.name));
+        assert!(
+            fast.dyser.fabric.port_in > 0 || !fast.accelerated_any || !config.system.has_fabric,
+            "{}: accelerated run exercised no port traffic",
+            case.name
+        );
+        assert_identical(&case.name, &fast, want);
+    }
+
+    // Parallel: the same jobs fanned across workers must agree with the
+    // stepped serial reference too.
+    for results in [run_kernels(&fast_jobs, 4), run_kernels(&stepped_jobs, 4)] {
+        for ((case, _), (want, got)) in fast_jobs.iter().zip(stepped_serial.iter().zip(&results))
+        {
+            let got =
+                got.as_ref().unwrap_or_else(|e| panic!("parallel {}: {e}", case.name));
+            assert_identical(&case.name, got, want);
+        }
+    }
+}
+
+/// An endless loop whose body keeps long-latency stalls in flight:
+/// cache-missing loads, an 8-cycle multiply, and a 40-cycle divide, so
+/// most cycle budgets cut the run mid-stall.
+fn stally_spin() -> Vec<u32> {
+    let mut asm = Assembler::new();
+    asm.push(Instr::Sethi { rd: regs::O0, imm22: 0x800 }); // %o0 = 0x20_0000
+    asm.label("spin");
+    asm.push(Instr::Load { kind: LoadKind::Ldx, rd: regs::O1, rs1: regs::O0, op2: Op2::Imm(0) });
+    asm.push(Instr::alu(AluOp::Mulx, regs::O2, regs::O1, Op2::Imm(3)));
+    asm.push(Instr::alu(AluOp::Sdivx, regs::O3, regs::O2, Op2::Imm(7)));
+    asm.push(Instr::alu(AluOp::Add, regs::O0, regs::O0, Op2::Imm(64)));
+    asm.branch(dyser_isa::ICond::Always, "spin");
+    asm.push(Instr::Nop);
+    asm.assemble().expect("spin assembles")
+}
+
+#[test]
+fn timeout_mid_stall_reports_identical_cycles_both_ways() {
+    let words = stally_spin();
+    // Sweep budgets across a couple of loop iterations so some cut the
+    // run mid-stall and some on an issue cycle; a bulk skip must never
+    // overshoot the budget either way. The fabric-free system (E10's
+    // pure baseline) takes the same fast path, so cover both.
+    for has_fabric in [true, false] {
+        for max_cycles in (40..=160).step_by(7) {
+            let run_one = |stepped: bool| -> (u64, dyser_core::RunStats) {
+                let mut sys =
+                    System::new(SystemConfig { has_fabric, ..SystemConfig::default() });
+                sys.load_raw(0x10000, &words);
+                let err = if stepped {
+                    sys.run_stepped(max_cycles)
+                } else {
+                    sys.run(max_cycles)
+                }
+                .expect_err("spin loop never halts");
+                let SysError::Timeout { cycles } = err else {
+                    panic!("expected timeout, got {err}");
+                };
+                (cycles, sys.stats())
+            };
+            let (fast_cycles, fast_stats) = run_one(false);
+            let (stepped_cycles, stepped_stats) = run_one(true);
+            assert_eq!(
+                fast_cycles, max_cycles,
+                "fast-forwarded timeout overshot or undershot the budget"
+            );
+            assert_eq!(stepped_cycles, max_cycles, "stepped timeout off the budget");
+            assert_eq!(
+                fast_stats, stepped_stats,
+                "max_cycles={max_cycles}: stats diverged at timeout"
+            );
+        }
+    }
+}

@@ -46,6 +46,11 @@ pub struct RunConfig {
     pub compiler: CompilerOptions,
     /// Cycle budget per run.
     pub max_cycles: u64,
+    /// Use the per-cycle reference path (`System::run_stepped`) instead
+    /// of the stall fast-forwarding default. The two paths produce
+    /// bit-identical `RunStats` — this switch exists so the equivalence
+    /// tests can prove it through the full harness.
+    pub stepped: bool,
 }
 
 impl Default for RunConfig {
@@ -54,6 +59,7 @@ impl Default for RunConfig {
             system: SystemConfig::default(),
             compiler: CompilerOptions::default(),
             max_cycles: 50_000_000,
+            stepped: false,
         }
     }
 }
@@ -213,8 +219,12 @@ pub fn run_program(
     if trace_cap > 0 {
         sys.enable_trace(trace_cap);
     }
-    let stats =
-        sys.run(config.max_cycles).map_err(|source| HarnessError::Run { which, source })?;
+    let run = if config.stepped {
+        sys.run_stepped(config.max_cycles)
+    } else {
+        sys.run(config.max_cycles)
+    };
+    let stats = run.map_err(|source| HarnessError::Run { which, source })?;
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     let acct = stats.cycle_account();
     for (i, bucket) in CycleBucket::ALL.iter().enumerate() {

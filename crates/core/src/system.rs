@@ -63,7 +63,11 @@ impl Default for SystemConfig {
 }
 
 /// Aggregated run statistics.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter bit-for-bit — the form the
+/// fast-forward equivalence tests use to assert that bulk cycle advance
+/// (see [`System::run`]) changes nothing observable.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total cycles.
     pub cycles: u64,
@@ -440,13 +444,53 @@ impl System {
         Ok(())
     }
 
-    /// Runs until `halt` or `max_cycles`.
+    /// Runs until `halt` or `max_cycles`, fast-forwarding through
+    /// quiescent stretches.
+    ///
+    /// When the core's only work is draining a counted stall
+    /// ([`Pipeline::skip_horizon`] > 0), those cycles touch neither the
+    /// bus nor the fabric ports, so core and fabric advance together in
+    /// one arithmetic step — clamped to the remaining cycle budget, so a
+    /// timeout lands on exactly the same cycle as the stepped path. The
+    /// fabric bulk-advances only while quiescent and steps otherwise
+    /// (see [`dyser_fabric::Fabric::tick_n`]). Every `RunStats` counter
+    /// is bit-identical to [`System::run_stepped`]; with tracing enabled
+    /// the per-cycle path is used throughout so event timestamps and the
+    /// hierarchy's trace clock stay exact.
     ///
     /// # Errors
     ///
     /// Returns [`SysError::Timeout`] if the budget elapses, or a core
     /// fault.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
+        let mut remaining = max_cycles;
+        while remaining > 0 && !self.cpu.halted() {
+            let skip = if self.tracing { 0 } else { self.cpu.skip_horizon().min(remaining) };
+            if skip > 0 {
+                self.cpu.tick_n(skip);
+                if let Some(fabric) = &mut self.coproc.fabric {
+                    fabric.tick_n(skip);
+                }
+                remaining -= skip;
+            } else {
+                self.tick()?;
+                remaining -= 1;
+            }
+        }
+        if !self.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        }
+        Ok(self.stats())
+    }
+
+    /// Runs until `halt` or `max_cycles`, one [`System::tick`] per cycle —
+    /// the reference path [`System::run`] must match bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::Timeout`] if the budget elapses, or a core
+    /// fault.
+    pub fn run_stepped(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
         for _ in 0..max_cycles {
             if self.cpu.halted() {
                 break;

@@ -211,6 +211,15 @@ struct Active {
     fus: Vec<FuState>,
     in_fifos: Vec<VecDeque<Value>>,
     out_fifos: Vec<VecDeque<Value>>,
+    /// Values occupying FU pipeline stages, maintained incrementally so
+    /// the quiescence check never walks the grid.
+    pipe_count: usize,
+    /// Whether the state is a fixed point of [`Fabric::tick`]: the last
+    /// tick moved nothing, fired nothing, and no FU pipeline entry is
+    /// waiting on a future cycle. Ticks preserve this until an external
+    /// event (port send, output receive, configuration load) perturbs
+    /// the state, so a stationary tick is counters-only.
+    stationary: bool,
 }
 
 /// The DySER fabric: geometry, hardware kinds, and execution state.
@@ -371,6 +380,12 @@ impl Fabric {
         }
         self.stats.configs_loaded += 1;
         self.stats.config_bits += config.frame_bits();
+        // A configured FU with no switch-fed operand (constants only)
+        // fires every cycle unconditionally, so a fabric holding one is
+        // never stationary — not even freshly loaded and empty.
+        let free_running = self.geom.fus().filter_map(|fu| config.fu(fu)).any(|fc| {
+            !fc.operands.iter().any(|o| matches!(o, OperandSrc::Switch))
+        });
         self.active = Some(Active {
             config: config.clone(),
             table,
@@ -378,6 +393,8 @@ impl Fabric {
             fus,
             in_fifos: vec![VecDeque::new(); self.geom.input_ports()],
             out_fifos: vec![VecDeque::new(); self.geom.output_ports()],
+            pipe_count: 0,
+            stationary: !free_running,
         });
         Ok(())
     }
@@ -399,6 +416,7 @@ impl Fabric {
             return false;
         }
         fifo.push_back(value);
+        active.stationary = false;
         self.stats.port_in += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
             tracer.record(TraceEvent {
@@ -415,6 +433,9 @@ impl Fabric {
     pub fn try_recv(&mut self, port: usize) -> Option<Value> {
         let active = self.active.as_mut()?;
         let v = active.out_fifos.get_mut(port)?.pop_front()?;
+        // The pop frees output-FIFO space a blocked route register may
+        // have been waiting for, so the state may move again.
+        active.stationary = false;
         self.stats.port_out += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
             tracer.record(TraceEvent {
@@ -464,12 +485,55 @@ impl Fabric {
         self.active.as_ref().map(|a| a.config.vec_out(vp)).unwrap_or(&[])
     }
 
+    /// Counters-only cycle advance: what a tick does when there is no
+    /// value anywhere to move. Shared by the idle early path of
+    /// [`Fabric::tick`] and the bulk skip of [`Fabric::tick_n`].
+    fn advance_idle(&mut self, n: u64) {
+        self.cycle += n;
+        self.stats.cycles += n;
+    }
+
+    /// Whether a tick would do no state-dependent work: no active
+    /// configuration, or an active one whose state is a fixed point of
+    /// [`Fabric::tick`] (nothing moved or fired last tick and no FU
+    /// pipeline entry is waiting on a future cycle). Values parked in
+    /// output FIFOs do not count — ticks never move them, only
+    /// `try_recv` does — but a `try_recv` clears the fixed point because
+    /// it frees space a blocked route register may claim.
+    ///
+    /// While this holds, `n` ticks are equivalent to adding `n` to the
+    /// cycle counters, which is exactly what [`Fabric::tick_n`] exploits.
+    /// O(1): the fixed-point flag is maintained by `tick` itself and by
+    /// the external entry points (`try_send`, `try_recv`,
+    /// `load_config`), never by walking the grid.
+    pub fn is_quiescent(&self) -> bool {
+        self.active.as_ref().is_none_or(|a| a.stationary)
+    }
+
+    /// Advances the fabric by `n` cycles, bulk-advancing the counters
+    /// while the fabric is quiescent and stepping [`Fabric::tick`] while
+    /// it is busy. All statistics are bit-identical to `n` plain ticks.
+    pub fn tick_n(&mut self, n: u64) {
+        let mut remaining = n;
+        while remaining > 0 && !self.is_quiescent() {
+            self.tick();
+            remaining -= 1;
+        }
+        self.advance_idle(remaining);
+    }
+
     /// Advances the fabric by one cycle.
     ///
     /// The five phases run entirely on the precomputed [`RouteTable`]:
     /// flat index loads and stores, no per-cycle topology lookups and no
-    /// heap allocation in steady state.
+    /// heap allocation in steady state. An unconfigured or stationary
+    /// fabric (see [`Fabric::is_quiescent`]) takes a counters-only early
+    /// path with none of the per-phase setup.
     pub fn tick(&mut self) {
+        if self.is_quiescent() {
+            self.advance_idle(1);
+            return;
+        }
         self.cycle += 1;
         self.stats.cycles += 1;
         let cycle = self.cycle;
@@ -477,7 +541,7 @@ impl Fabric {
         let stats = &mut self.stats;
         let mut tracer = self.tracer.as_deref_mut();
         let Some(active) = self.active.as_mut() else { return };
-        let Active { table, regs, fus, in_fifos, out_fifos, .. } = active;
+        let Active { table, regs, fus, in_fifos, out_fifos, pipe_count, stationary, .. } = active;
         let mut any_activity = false;
         let mut any_fire = false;
 
@@ -540,6 +604,7 @@ impl Fabric {
                     if cycle >= ready {
                         fu_state.out = Some(v);
                         fu_state.pipe.pop_front();
+                        *pipe_count -= 1;
                         any_activity = true;
                     }
                 }
@@ -579,6 +644,7 @@ impl Fabric {
             }
             let result = cfg.op.eval(operands[0], operands[1], operands[2]);
             fu_state.pipe.push_back((cycle + cfg.op.latency(), result));
+            *pipe_count += 1;
             if cfg.op.is_fp() {
                 stats.fp_fu_fires += 1;
             } else {
@@ -611,6 +677,10 @@ impl Fabric {
         if any_fire {
             stats.fire_cycles += 1;
         }
+        // A tick that moved nothing, fired nothing, and left no pipeline
+        // entry pending cannot do anything on later cycles either — the
+        // state is a fixed point until an external event perturbs it.
+        *stationary = !any_activity && !any_fire && *pipe_count == 0;
     }
 
     /// Runs until output port `port` has a value, then returns it.

@@ -69,7 +69,7 @@ impl MemConfig {
 }
 
 /// Aggregated statistics for the hierarchy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Instruction-L1 counters.
     pub l1i: CacheStats,

@@ -1,9 +1,35 @@
 //! The functional physical memory: sparse, paged, big-endian.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A minimal multiplicative hasher for page numbers.
+///
+/// Page keys are small sequential integers, so SipHash's DoS resistance
+/// buys nothing here while its cost lands on every simulated memory
+/// access. Nothing observes the map's iteration order, so the hash only
+/// has to spread consecutive keys across buckets — one multiply does.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// A sparse, paged, big-endian physical memory.
 ///
@@ -14,7 +40,7 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// fully aligned).
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -46,6 +72,21 @@ impl Memory {
     }
 
     fn read_be(&self, addr: u64, bytes: u32) -> u64 {
+        // One page lookup per access on the common non-straddling path;
+        // only accesses crossing a page edge (or wrapping the address
+        // space) fall back to the byte-at-a-time loop.
+        let end = addr.wrapping_add(u64::from(bytes)).wrapping_sub(1);
+        if end >= addr && addr >> PAGE_SHIFT == end >> PAGE_SHIFT {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    let off = (addr as usize) & (PAGE_BYTES - 1);
+                    page[off..off + bytes as usize]
+                        .iter()
+                        .fold(0u64, |v, &b| (v << 8) | u64::from(b))
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for i in 0..bytes {
             v = (v << 8) | u64::from(self.read_u8(addr.wrapping_add(u64::from(i))));
@@ -54,6 +95,18 @@ impl Memory {
     }
 
     fn write_be(&mut self, addr: u64, bytes: u32, value: u64) {
+        let end = addr.wrapping_add(u64::from(bytes)).wrapping_sub(1);
+        if end >= addr && addr >> PAGE_SHIFT == end >> PAGE_SHIFT {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let off = (addr as usize) & (PAGE_BYTES - 1);
+            for (i, slot) in page[off..off + bytes as usize].iter_mut().enumerate() {
+                *slot = (value >> (8 * (bytes - 1 - i as u32))) as u8;
+            }
+            return;
+        }
         for i in 0..bytes {
             let shift = 8 * (bytes - 1 - i);
             self.write_u8(addr.wrapping_add(u64::from(i)), (value >> shift) as u8);

@@ -105,6 +105,12 @@ enum Pending {
     Fence,
 }
 
+/// Slots in the direct-mapped decoded-instruction cache. Purely a
+/// simulator-speed artefact with no timing meaning: entries are
+/// validated against the fetched word on every hit, so even
+/// self-modifying code decodes correctly.
+const DECODE_SLOTS: usize = 1024;
+
 /// The in-order, single-issue core.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -122,6 +128,9 @@ pub struct Pipeline {
     halted: bool,
     stats: CoreStats,
     simcall_log: Vec<(u16, u64)>,
+    /// `(pc, word, decoded)` triples indexed by `(pc >> 2) % DECODE_SLOTS`;
+    /// `pc == u64::MAX` marks an empty slot.
+    decoded: Vec<(u64, u32, Instr)>,
     /// `None` unless tracing was enabled for this run: the disabled path
     /// is a single branch at retire, preserving the allocation-free hot
     /// path (see DESIGN.md, "Observability").
@@ -144,6 +153,7 @@ impl Pipeline {
             halted: false,
             stats: CoreStats::default(),
             simcall_log: Vec::new(),
+            decoded: vec![(u64::MAX, 0, Instr::Nop); DECODE_SLOTS],
             tracer: None,
         }
     }
@@ -269,6 +279,50 @@ impl Pipeline {
         }
     }
 
+    /// How many cycles the core can burn with no externally visible event:
+    /// the front [`Pending::Stall`]'s remaining count, zero otherwise.
+    ///
+    /// A counted stall only decrements its own counter — it touches
+    /// neither the bus nor the coprocessor and cannot halt the core — so
+    /// those cycles can be charged in bulk by [`Pipeline::tick_n`].
+    /// Everything else at the front of the queue is externally visible:
+    /// an empty queue means the next tick fetches and decodes, and a
+    /// `Send`/`Recv`/`VecSend`/`VecRecv`/`Fence` polls the coprocessor
+    /// every cycle.
+    pub fn skip_horizon(&self) -> u64 {
+        if self.halted {
+            return 0;
+        }
+        match self.pending.front() {
+            Some(Pending::Stall { remaining, .. }) => *remaining,
+            _ => 0,
+        }
+    }
+
+    /// Charges `n` cycles of the front counted stall in one arithmetic
+    /// step: `stats.cycles`, the per-cause stall counter, and the pending
+    /// queue end up bit-identical to `n` calls of [`Pipeline::tick`].
+    ///
+    /// `n` must not exceed [`Pipeline::skip_horizon`]; in release builds
+    /// excess cycles are clamped to the horizon (debug builds assert).
+    pub fn tick_n(&mut self, n: u64) {
+        debug_assert!(n <= self.skip_horizon(), "tick_n beyond the skip horizon");
+        if n == 0 || self.halted {
+            return;
+        }
+        let Some(Pending::Stall { cause, remaining }) = self.pending.front_mut() else {
+            return;
+        };
+        let n = n.min(*remaining);
+        let cause = *cause;
+        *remaining -= n;
+        if *remaining == 0 {
+            self.pending.pop_front();
+        }
+        self.stats.cycles += n;
+        self.stats.stall(cause, n);
+    }
+
     /// Advances the core by exactly one cycle.
     ///
     /// # Errors
@@ -357,10 +411,18 @@ impl Pipeline {
         let pc = self.pc;
         let (word, fetch_lat) = bus.fetch_instr(pc);
         self.push_stall(StallCause::ICache, fetch_lat.saturating_sub(1));
-        let instr = decode(word).map_err(|source| {
-            self.halted = true;
-            CoreError::Decode { pc, source }
-        })?;
+        let slot = ((pc >> 2) as usize) & (DECODE_SLOTS - 1);
+        let cached = self.decoded[slot];
+        let instr = if cached.0 == pc && cached.1 == word {
+            cached.2
+        } else {
+            let instr = decode(word).map_err(|source| {
+                self.halted = true;
+                CoreError::Decode { pc, source }
+            })?;
+            self.decoded[slot] = (pc, word, instr);
+            instr
+        };
 
         // Load-use interlock against the previous instruction.
         let mut load_use = false;
@@ -645,6 +707,11 @@ impl Pipeline {
     /// Runs until `halt` or until `max_cycles` elapse; returns whether the
     /// core halted.
     ///
+    /// Counted stalls are fast-forwarded in bulk via
+    /// [`Pipeline::tick_n`] — statistics stay bit-identical to stepping
+    /// every cycle, because a counted stall has no externally visible
+    /// effect (see [`Pipeline::skip_horizon`]).
+    ///
     /// # Errors
     ///
     /// Propagates the first [`CoreError`] raised by [`Pipeline::tick`].
@@ -654,11 +721,16 @@ impl Pipeline {
         coproc: &mut C,
         max_cycles: u64,
     ) -> Result<bool, CoreError> {
-        for _ in 0..max_cycles {
-            if self.halted {
-                return Ok(true);
+        let mut remaining = max_cycles;
+        while remaining > 0 && !self.halted {
+            let skip = self.skip_horizon().min(remaining);
+            if skip > 0 {
+                self.tick_n(skip);
+                remaining -= skip;
+            } else {
+                self.tick(bus, coproc)?;
+                remaining -= 1;
             }
-            self.tick(bus, coproc)?;
         }
         Ok(self.halted)
     }

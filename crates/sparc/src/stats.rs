@@ -201,7 +201,7 @@ impl CycleAccount {
 }
 
 /// Accumulated core statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Total cycles elapsed.
     pub cycles: u64,
