@@ -8,11 +8,13 @@
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time --reps 2
 //! cargo run -p dyser-bench --release --bin repro -- stats        # cycle attribution
 //! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
+//! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 10000 --seed 0xD75E --shrink
+//! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 2000 --time
 //! ```
 
 use dyser_bench::{
-    load_reference, run_experiment, stats_attribution, time_experiments, timing_json, Scale,
-    EXPERIMENT_IDS,
+    load_reference, run_experiment, run_fuzz_cli, stats_attribution, time_experiments, time_fuzz,
+    timing_json, Scale, EXPERIMENT_IDS,
 };
 
 /// Default measured repetitions per experiment in `--time` mode (after
@@ -23,8 +25,74 @@ const TIME_REPS: usize = 3;
 /// keep a whole microbenchmark run; longer runs keep the newest events.
 const TRACE_EVENTS: usize = 65_536;
 
+/// Default campaign size for `repro fuzz` when `--cases` is absent.
+const FUZZ_CASES: u64 = 1000;
+
+/// Default campaign seed for `repro fuzz` — the same fixed seed the CI
+/// smoke job and the acceptance campaign use.
+const FUZZ_SEED: u64 = 0xD75E;
+
+/// Parses a `--flag value` pair out of `args`, removing both tokens.
+/// Exits with a usage error when the value is missing or unparsable.
+fn take_value<T>(args: &mut Vec<String>, flag: &str, parse: impl Fn(&str) -> Option<T>) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(i + 1).and_then(|v| parse(v)) else {
+        eprintln!("{flag} requires a valid value");
+        std::process::exit(2);
+    };
+    args.drain(i..=i + 1);
+    Some(v)
+}
+
+/// Accepts `123` or `0x7b` seeds/counts.
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// `repro fuzz [--cases N] [--seed S] [--shrink] [--time [--reps N]]`:
+/// the differential-fuzzing campaign driver. Never returns.
+fn fuzz_main(mut args: Vec<String>) -> ! {
+    let cases = take_value(&mut args, "--cases", parse_u64).unwrap_or(FUZZ_CASES);
+    let seed = take_value(&mut args, "--seed", parse_u64).unwrap_or(FUZZ_SEED);
+    let reps = take_value(&mut args, "--reps", |v| {
+        v.parse::<usize>().ok().filter(|&n| n > 0)
+    })
+    .unwrap_or(TIME_REPS);
+    let shrink = args.iter().any(|a| a == "--shrink");
+    let time = args.iter().any(|a| a == "--time");
+    args.retain(|a| a != "--shrink" && a != "--time");
+    if let Some(stray) = args.first() {
+        eprintln!("unknown fuzz argument `{stray}`; valid: --cases N --seed S --shrink --time --reps N");
+        std::process::exit(2);
+    }
+    if time {
+        let reference = load_reference("BENCH_repro.json");
+        let (timing, cases_per_sec) = time_fuzz(cases, seed, reps);
+        println!(
+            "{:>8}  median {:>9.3} ms  min {:>9.3} ms  {:>12} cycles  {:>8.2} Mcyc/s  {:.1} cases/s",
+            timing.id,
+            timing.wall_ms_median,
+            timing.wall_ms_min,
+            timing.sim_cycles,
+            timing.mcycles_per_sec,
+            cases_per_sec
+        );
+        let json = timing_json(&[timing], reps, &reference, Some(cases_per_sec));
+        std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
+        println!("wrote BENCH_repro.json");
+        std::process::exit(0);
+    }
+    std::process::exit(run_fuzz_cli(cases, seed, shrink));
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(args.split_off(1));
+    }
     let csv = args.iter().any(|a| a == "--csv");
     let time = args.iter().any(|a| a == "--time");
     let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
@@ -70,7 +138,7 @@ fn main() {
                 t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
             );
         }
-        let json = timing_json(&timings, reps, &reference);
+        let json = timing_json(&timings, reps, &reference, None);
         std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
         println!("wrote BENCH_repro.json");
         return;

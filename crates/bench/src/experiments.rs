@@ -461,7 +461,7 @@ pub fn e8_control_flow_shapes(scale: Scale) -> ExpTable {
         let n = scale.n(k.default_n);
         let base = run_one(&k, n, |_| {});
         if let Some(m) =
-            manual::find_first_speculative(FabricGeometry::new(8, 8), n, SEED)
+            dyser_workloads::shapes::speculative_window(FabricGeometry::new(8, 8), n, SEED)
         {
             let rc = RunConfig::default();
             let spec = run_program("speculative", &m.program, &m.args, &m.init, &m.expected, &rc)

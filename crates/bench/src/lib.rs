@@ -15,9 +15,11 @@
 
 #![warn(missing_docs)]
 pub mod experiments;
+pub mod fuzzcli;
 pub mod table;
 pub mod timing;
 
 pub use experiments::{run_experiment, stats_attribution, Scale, EXPERIMENT_IDS};
+pub use fuzzcli::{run_fuzz_cli, time_fuzz};
 pub use table::ExpTable;
 pub use timing::{load_reference, time_experiments, timing_json, Reference, Timing};

@@ -149,8 +149,15 @@ pub fn time_experiments(ids: &[&str], reps: usize) -> Vec<Timing> {
 /// acceptance gate and future PRs compare against. The `cycle_buckets`
 /// block snapshots the process-wide cycle attribution accumulated across
 /// every simulated run so far (see [`cycle_bucket_totals`]).
+/// `fuzz_cases_per_sec` (from `repro fuzz --time`) tracks differential
+/// fuzz throughput alongside kernel throughput.
 #[must_use]
-pub fn timing_json(timings: &[Timing], reps: usize, reference: &Reference) -> String {
+pub fn timing_json(
+    timings: &[Timing],
+    reps: usize,
+    reference: &Reference,
+    fuzz_cases_per_sec: Option<f64>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"repro timing mode\",");
@@ -168,6 +175,9 @@ pub fn timing_json(timings: &[Timing], reps: usize, reference: &Reference) -> St
     s.push_str("  ],\n");
     let total: f64 = timings.iter().map(|t| t.wall_ms_median).sum();
     let _ = writeln!(s, "  \"total_wall_ms_median\": {total:.3},");
+    if let Some(cps) = fuzz_cases_per_sec {
+        let _ = writeln!(s, "  \"fuzz_cases_per_sec\": {cps:.1},");
+    }
     let acct = cycle_bucket_totals();
     s.push_str("  \"cycle_buckets\": {\n");
     for bucket in CycleBucket::ALL {
@@ -203,7 +213,8 @@ mod tests {
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].id, "e1");
         assert!(timings[0].wall_ms_median >= timings[0].wall_ms_min);
-        let json = timing_json(&timings, 1, &Reference::default());
+        let json = timing_json(&timings, 1, &Reference::default(), None);
+        assert!(!json.contains("fuzz_cases_per_sec"), "no fuzz timing was supplied");
         assert!(json.contains("\"id\": \"e1\""));
         assert!(json.contains("\"e2_pre_change_ms\""));
         assert!(json.contains("\"machine\": \"reference\""));
@@ -237,7 +248,8 @@ mod tests {
                 mcycles_per_sec: 1.0,
             })
             .collect();
-        let json = timing_json(&timings, 3, &Reference::default());
+        let json = timing_json(&timings, 3, &Reference::default(), Some(123.45));
+        assert!(json.contains("\"fuzz_cases_per_sec\": 123.5"), "{json}");
         let dir = std::env::temp_dir().join("dyser-timing-roundtrip");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("BENCH_repro.json");

@@ -1,0 +1,52 @@
+//! E6's headline claim checked as a test: on real accelerated suite
+//! kernels, the activity model puts the fabric in the prototype's
+//! measured power class (~200 mW at 50 MHz).
+
+use dyser_core::{run_kernel, RunConfig};
+use dyser_energy::EnergyModel;
+use dyser_workloads::suite;
+
+#[test]
+fn accelerated_kernels_sit_in_the_200mw_fabric_band() {
+    let model = EnergyModel::default();
+    let mut powers = Vec::new();
+    for k in suite() {
+        // A spread of compute-intense micro and regular kernels that the
+        // compiler accelerates; sizes kept modest for test time.
+        if !matches!(k.name, "poly6" | "vecadd" | "saxpy" | "dot" | "fir4") {
+            continue;
+        }
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        let case = k.case(512, 0xD75E);
+        let r = run_kernel(&case, &config).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(r.accelerated_any, "{} should accelerate", k.name);
+        let report = r.dyser.energy(&model);
+        assert!(
+            (100.0..=450.0).contains(&report.fabric_power_mw),
+            "{}: fabric power {:.0} mW outside the prototype's class",
+            k.name,
+            report.fabric_power_mw
+        );
+        powers.push(report.fabric_power_mw);
+    }
+    assert_eq!(powers.len(), 5, "all five kernels ran");
+    let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+    assert!(
+        (140.0..=320.0).contains(&mean),
+        "mean fabric power {mean:.0} mW should sit near the measured ~200 mW"
+    );
+}
+
+#[test]
+fn baseline_runs_keep_the_fabric_dark() {
+    let model = EnergyModel::default();
+    let k = suite().into_iter().find(|k| k.name == "saxpy").expect("saxpy in suite");
+    let mut config = RunConfig::default();
+    config.compiler = k.compiler_options(config.system.geometry);
+    let case = k.case(256, 0xD75E);
+    let r = run_kernel(&case, &config).expect("saxpy runs");
+    let report = r.baseline.energy(&model);
+    assert_eq!(report.fabric_nj, 0.0, "no fabric activity on the baseline path");
+    assert!(report.core_power_mw > 0.0);
+}

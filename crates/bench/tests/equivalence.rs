@@ -8,8 +8,7 @@
 
 use dyser_bench::experiments::SEED;
 use dyser_core::{
-    run_kernel, run_kernels, HarnessError, KernelJob, KernelResult, RunConfig, SysError, System,
-    SystemConfig,
+    run_kernel, run_kernels, KernelJob, KernelResult, RunConfig, SysError, System, SystemConfig,
 };
 use dyser_fabric::FuKind;
 use dyser_isa::{regs, AluOp, Assembler, Instr, LoadKind, Op2};
@@ -29,6 +28,7 @@ fn equivalence_jobs(stepped: bool) -> Vec<KernelJob> {
             (k.case(n, SEED), config)
         })
         .collect();
+    #[allow(clippy::type_complexity)]
     let variants: [(&str, fn(&mut RunConfig)); 4] = [
         ("poly6", |c| c.system.fifo_depth = 2),
         ("saxpy", |c| c.system.mem = dyser_mem::MemConfig::perfect()),

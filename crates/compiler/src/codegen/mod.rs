@@ -292,6 +292,21 @@ impl<'f> FnCodegen<'f> {
             // fabric critical path, bounded by the option.
             let depth = ((schedule.depth_estimate as usize + 16) / 32)
                 .clamp(1, options.lag_depth.clamp(1, 4));
+            // Lagging reorders store-only outputs relative to every other
+            // store in the body — other lagged outputs, but also plain
+            // core-side `stx`s (e.g. a folded value that never enters the
+            // fabric). When any two stores in the body go through the same
+            // pointer value the hazard is statically visible, and lag
+            // reordering would let the earlier store win — fall back to
+            // immediate in-order `dstore`s for the whole region.
+            let mut store_ptrs = HashSet::new();
+            let mut stores_may_alias = false;
+            for &v in &f.block(region.body).insts {
+                if let Some(Inst::Store { ptr, .. }) = f.as_inst(v) {
+                    stores_may_alias |= !store_ptrs.insert(*ptr);
+                }
+            }
+            let lag_ok = options.lag_stores && !stores_may_alias;
             for (j, out) in region.outputs.iter().enumerate() {
                 output_port.insert(out.value, schedule.output_ports[j]);
                 match &out.kind {
@@ -306,7 +321,7 @@ impl<'f> FnCodegen<'f> {
                         // for their own value and deadlock.
                         if stores.len() != 1 {
                             core_use.insert(out.value);
-                        } else if options.lag_stores && pool.len() > depth + 4 {
+                        } else if lag_ok && pool.len() > depth + 4 {
                             let store = stores[0];
                             let Some(Inst::Store { ptr, .. }) = f.as_inst(store) else {
                                 return Err(CodegenError::BadRegion(
@@ -1240,49 +1255,61 @@ impl<'f> FnCodegen<'f> {
     /// invocation's outputs (oldest first), then fence. Rotation slot `j`
     /// holds a valid address iff at least `j + 1` iterations ran, i.e. iff
     /// the warm-up counter fell below `depth - j`.
-    fn emit_exit_drain(&mut self, exit: Block) {
-        let ctxs: Vec<Block> = self
-            .regions
-            .iter()
-            .filter(|(_, c)| c.region.exit == exit)
-            .map(|(b, _)| *b)
-            .collect();
-        for body in ctxs {
-            let ctx = &self.regions[&body];
-            let warmup = ctx.warmup;
-            let depth = ctx.lag_depth;
-            let lagged = ctx.lagged.clone();
-            for j in (0..depth).rev() {
-                if lagged.is_empty() {
-                    break;
-                }
-                let skip = self.fresh_label("skipdrain");
-                // Skip slot j when warmup > depth - 1 - j.
-                self.emit(Instr::cmp(warmup, Op2::Imm((depth - 1 - j) as i16)));
-                self.asm.branch(ICond::Gt, skip.clone());
-                self.emit(Instr::Nop);
-                for (port, _, prevs) in &lagged {
-                    self.emit(Instr::Dyser(DyserInstr::Store {
-                        port: Port::new(*port as u8),
-                        rs1: prevs[j],
-                        op2: Op2::Imm(0),
-                    }));
-                }
-                self.asm.label(skip);
+    fn emit_exit_drain(&mut self, body: Block) {
+        let ctx = &self.regions[&body];
+        let warmup = ctx.warmup;
+        let depth = ctx.lag_depth;
+        let lagged = ctx.lagged.clone();
+        for j in (0..depth).rev() {
+            if lagged.is_empty() {
+                break;
             }
-            self.emit(Instr::Dyser(DyserInstr::Fence));
+            let skip = self.fresh_label("skipdrain");
+            // Skip slot j when warmup > depth - 1 - j.
+            self.emit(Instr::cmp(warmup, Op2::Imm((depth - 1 - j) as i16)));
+            self.asm.branch(ICond::Gt, skip.clone());
+            self.emit(Instr::Nop);
+            for (port, _, prevs) in &lagged {
+                self.emit(Instr::Dyser(DyserInstr::Store {
+                    port: Port::new(*port as u8),
+                    rs1: prevs[j],
+                    op2: Op2::Imm(0),
+                }));
+            }
+            self.asm.label(skip);
         }
+        self.emit(Instr::Dyser(DyserInstr::Fence));
     }
 
-    /// `dinit` + warm-up counter initialisation in the region's preheader.
-    fn emit_preheader(&mut self, pred: Block) {
-        let ctxs: Vec<(u16, Reg, usize)> = self
+    /// Whether the CFG edge `pred -> succ` carries region-boundary work:
+    /// the drain + fence of a region whose loop finishes on this edge, or
+    /// the `dinit` + warm-up initialisation of a region it enters.
+    ///
+    /// A region body is a single-block self-loop, so its entry edge
+    /// (`outside_pred -> body`) and exit edge (`body -> exit`) are unique.
+    /// The material must live *on the edge*: the blocks at either end can
+    /// have other roles (`outside_pred` may itself be a loop body whose
+    /// iterations must not reconfigure the fabric; `exit` may be another
+    /// region's body whose back-edge must not re-drain).
+    fn edge_has_region_material(&self, pred: Block, succ: Block) -> bool {
+        self.regions.get(&pred).is_some_and(|c| c.region.exit == succ)
+            || self.regions.get(&succ).is_some_and(|c| c.region.outside_pred == pred)
+    }
+
+    /// Emits the region-boundary work of edge `pred -> succ` (see
+    /// [`Self::edge_has_region_material`]): first the finishing region's
+    /// drain while its configuration is still active, then the entered
+    /// region's `dinit` + warm-up initialisation.
+    fn emit_edge_material(&mut self, pred: Block, succ: Block) {
+        if self.regions.get(&pred).is_some_and(|c| c.region.exit == succ) {
+            self.emit_exit_drain(pred);
+        }
+        let entered = self
             .regions
-            .values()
+            .get(&succ)
             .filter(|c| c.region.outside_pred == pred)
-            .map(|c| (c.config_id, c.warmup, c.lag_depth))
-            .collect();
-        for (config_id, warmup, depth) in ctxs {
+            .map(|c| (c.config_id, c.warmup, c.lag_depth));
+        if let Some((config_id, warmup, depth)) = entered {
             self.emit(Instr::Dyser(DyserInstr::Init { config: ConfigId::new(config_id) }));
             self.emit(Instr::mov_imm(warmup, depth as i16));
         }
@@ -1311,7 +1338,6 @@ impl<'f> FnCodegen<'f> {
         let order = self.order.clone();
         for (k, &b) in order.iter().enumerate() {
             self.asm.label(Self::block_label(b));
-            self.emit_exit_drain(b);
             self.emit_top_sends(b);
 
             let is_region_body = self.regions.contains_key(&b);
@@ -1326,7 +1352,6 @@ impl<'f> FnCodegen<'f> {
             if is_region_body {
                 self.emit_body_bottom(b);
             }
-            self.emit_preheader(b);
 
             let next = order.get(k + 1).copied();
             self.emit_terminator(b, next)?;
@@ -1437,6 +1462,7 @@ impl<'f> FnCodegen<'f> {
                 self.emit(Instr::Halt);
             }
             Terminator::Br(t) => {
+                self.emit_edge_material(b, t);
                 self.emit_phi_copies(b, t);
                 if next != Some(t) {
                     self.asm.branch(ICond::Always, Self::block_label(t));
@@ -1444,8 +1470,10 @@ impl<'f> FnCodegen<'f> {
                 }
             }
             Terminator::CondBr { cond, then_bb, else_bb } => {
-                let then_has_copies = self.edge_has_copies(b, then_bb);
-                let else_has_copies = self.edge_has_copies(b, else_bb);
+                let then_needs_stub =
+                    self.edge_has_copies(b, then_bb) || self.edge_has_region_material(b, then_bb);
+                let else_needs_stub =
+                    self.edge_has_copies(b, else_bb) || self.edge_has_region_material(b, else_bb);
 
                 // Emit the test.
                 enum Test {
@@ -1474,7 +1502,7 @@ impl<'f> FnCodegen<'f> {
                 };
 
                 // Branch to the then-edge (stub if it needs copies).
-                let then_target = if then_has_copies {
+                let then_target = if then_needs_stub {
                     self.fresh_label("edge")
                 } else {
                     Self::block_label(then_bb)
@@ -1493,19 +1521,21 @@ impl<'f> FnCodegen<'f> {
                 self.emit(Instr::Nop);
 
                 // Fallthrough: else edge.
-                if else_has_copies {
+                if else_needs_stub {
+                    self.emit_edge_material(b, else_bb);
                     self.emit_phi_copies(b, else_bb);
                 }
-                if next != Some(else_bb) || then_has_copies {
+                if next != Some(else_bb) || then_needs_stub {
                     // When a then-stub follows, the else path must jump
                     // over it even if else is "next".
-                    if next != Some(else_bb) || then_has_copies {
+                    if next != Some(else_bb) || then_needs_stub {
                         self.asm.branch(ICond::Always, Self::block_label(else_bb));
                         self.emit(Instr::Nop);
                     }
                 }
-                if then_has_copies {
+                if then_needs_stub {
                     self.asm.label(then_target);
+                    self.emit_edge_material(b, then_bb);
                     self.emit_phi_copies(b, then_bb);
                     self.asm.branch(ICond::Always, Self::block_label(then_bb));
                     self.emit(Instr::Nop);

@@ -178,10 +178,7 @@ fn build_graph(
             Inst::Un { op, a } => {
                 let na = arg(a, builder)?;
                 match op {
-                    UnOp::Fneg => {
-                        let zero = builder.const_value(0.0f64.to_bits());
-                        builder.op(FuOp::FSub, &[zero, na])
-                    }
+                    UnOp::Fneg => builder.op(FuOp::FNeg, &[na]),
                     UnOp::Fabs => builder.op(FuOp::FAbs, &[na]),
                     UnOp::Fsqrt => builder.op(FuOp::FSqrt, &[na]),
                     UnOp::Itof => builder.op(FuOp::IToF, &[na]),

@@ -329,23 +329,29 @@ pub fn default_workers() -> usize {
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Runs every job, fanning them across `threads` scoped worker threads.
+/// Maps `f` over `items` on `threads` scoped worker threads.
 ///
-/// Workers claim jobs from a shared atomic index and write each outcome
+/// Workers claim items from a shared atomic index and write each outcome
 /// into the slot matching its input position, so the returned vector is
-/// in job order — bit-identical to running the jobs serially — no matter
-/// which worker finished first. `threads` is clamped to `1..=jobs.len()`.
-pub fn run_kernels(jobs: &[KernelJob], threads: usize) -> Vec<Result<KernelResult, HarnessError>> {
-    let threads = threads.clamp(1, jobs.len().max(1));
+/// in item order — bit-identical to mapping serially — no matter which
+/// worker finished first. `threads` is clamped to `1..=items.len()`.
+/// This is the work-stealing pool behind [`run_kernels`] and the fuzz
+/// campaign driver.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<KernelResult, HarnessError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((case, config)) = jobs.get(i) else { break };
-                *slots[i].lock().expect("result slot lock") = Some(run_kernel(case, config));
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("result slot lock") = Some(f(item));
             });
         }
     });
@@ -353,6 +359,12 @@ pub fn run_kernels(jobs: &[KernelJob], threads: usize) -> Vec<Result<KernelResul
         .into_iter()
         .map(|slot| slot.into_inner().expect("result slot lock").expect("worker filled the slot"))
         .collect()
+}
+
+/// Runs every job, fanning them across `threads` scoped worker threads
+/// via [`parallel_map`]; results are in job order.
+pub fn run_kernels(jobs: &[KernelJob], threads: usize) -> Vec<Result<KernelResult, HarnessError>> {
+    parallel_map(jobs, threads, |(case, config)| run_kernel(case, config))
 }
 
 #[cfg(test)]

@@ -41,8 +41,8 @@ pub mod report;
 pub mod system;
 
 pub use harness::{
-    compile_cached, cycle_bucket_totals, default_workers, run_kernel, run_kernels, run_program,
-    set_trace_capacity, simulated_cycles, take_traces, HarnessError, KernelCase, KernelJob,
-    KernelResult, RunConfig,
+    compile_cached, cycle_bucket_totals, default_workers, parallel_map, run_kernel, run_kernels,
+    run_program, set_trace_capacity, simulated_cycles, take_traces, HarnessError, KernelCase,
+    KernelJob, KernelResult, RunConfig,
 };
 pub use system::{RunStats, SysError, System, SystemConfig};

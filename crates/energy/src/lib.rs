@@ -347,6 +347,63 @@ mod tests {
     }
 
     #[test]
+    fn energy_is_monotonic_in_every_counter() {
+        // Adding events of any kind must never make a run cheaper. Start
+        // from a base where everything is nonzero (so the fabric-active
+        // leakage threshold is already crossed and the check isolates the
+        // per-event terms) and bump each counter in turn.
+        let model = EnergyModel::default();
+        let base = Activity {
+            cycles: 10_000,
+            core_int_ops: 1000,
+            core_muldiv_ops: 100,
+            core_fp_ops: 100,
+            core_loads: 400,
+            core_stores: 200,
+            core_branches: 300,
+            core_dyser_ops: 150,
+            core_other_ops: 50,
+            l1_accesses: 600,
+            l2_accesses: 40,
+            dram_accesses: 5,
+            fabric_int_ops: 2000,
+            fabric_fp_ops: 1000,
+            fabric_switch_hops: 9000,
+            fabric_port_transfers: 1500,
+            fabric_config_bits: 4096,
+        };
+        let base_nj = model.estimate(&base).total_nj;
+        #[allow(clippy::type_complexity)]
+        let bumps: [(&str, fn(&mut Activity)); 16] = [
+            ("cycles", |a| a.cycles += 1000),
+            ("core_int_ops", |a| a.core_int_ops += 1000),
+            ("core_muldiv_ops", |a| a.core_muldiv_ops += 1000),
+            ("core_fp_ops", |a| a.core_fp_ops += 1000),
+            ("core_loads", |a| a.core_loads += 1000),
+            ("core_stores", |a| a.core_stores += 1000),
+            ("core_branches", |a| a.core_branches += 1000),
+            ("core_dyser_ops", |a| a.core_dyser_ops += 1000),
+            ("core_other_ops", |a| a.core_other_ops += 1000),
+            ("l1_accesses", |a| a.l1_accesses += 1000),
+            ("l2_accesses", |a| a.l2_accesses += 1000),
+            ("dram_accesses", |a| a.dram_accesses += 1000),
+            ("fabric_int_ops", |a| a.fabric_int_ops += 1000),
+            ("fabric_fp_ops", |a| a.fabric_fp_ops += 1000),
+            ("fabric_switch_hops", |a| a.fabric_switch_hops += 1000),
+            ("fabric_port_transfers", |a| a.fabric_port_transfers += 1000),
+        ];
+        for (name, bump) in bumps {
+            let mut a = base;
+            bump(&mut a);
+            let nj = model.estimate(&a).total_nj;
+            assert!(nj > base_nj, "{name}: {nj} nJ should exceed the base {base_nj} nJ");
+        }
+        let mut a = base;
+        a.fabric_config_bits += 4096;
+        assert!(model.estimate(&a).total_nj > base_nj, "config bits cost energy");
+    }
+
+    #[test]
     fn activity_totals() {
         let a = Activity {
             core_int_ops: 1,

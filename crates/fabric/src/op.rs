@@ -80,6 +80,9 @@ pub enum FuOp {
     FMin,
     /// Double absolute value.
     FAbs,
+    /// Double negate (sign-bit flip; well-defined on NaN and ±0 where
+    /// `0.0 - x` is not).
+    FNeg,
     /// Double less-than (1/0 result).
     FCmpLt,
     /// Double less-or-equal.
@@ -94,7 +97,7 @@ pub enum FuOp {
 
 impl FuOp {
     /// All operations, useful for exhaustive tests.
-    pub const ALL: [FuOp; 35] = [
+    pub const ALL: [FuOp; 36] = [
         FuOp::IAdd,
         FuOp::ISub,
         FuOp::IMul,
@@ -125,6 +128,7 @@ impl FuOp {
         FuOp::FMax,
         FuOp::FMin,
         FuOp::FAbs,
+        FuOp::FNeg,
         FuOp::FCmpLt,
         FuOp::FCmpLe,
         FuOp::FCmpEq,
@@ -135,7 +139,13 @@ impl FuOp {
     /// Number of operands the operation consumes (1, 2, or 3).
     pub fn arity(self) -> usize {
         match self {
-            FuOp::PassA | FuOp::PredNot | FuOp::FSqrt | FuOp::FAbs | FuOp::IToF | FuOp::FToI => 1,
+            FuOp::PassA
+            | FuOp::PredNot
+            | FuOp::FSqrt
+            | FuOp::FAbs
+            | FuOp::FNeg
+            | FuOp::IToF
+            | FuOp::FToI => 1,
             FuOp::Select => 3,
             _ => 2,
         }
@@ -167,6 +177,7 @@ impl FuOp {
                 | FuOp::FMax
                 | FuOp::FMin
                 | FuOp::FAbs
+                | FuOp::FNeg
                 | FuOp::FCmpLt
                 | FuOp::FCmpLe
                 | FuOp::FCmpEq
@@ -226,6 +237,7 @@ impl FuOp {
             FuOp::FMax => fa.max(fb).to_bits(),
             FuOp::FMin => fa.min(fb).to_bits(),
             FuOp::FAbs => fa.abs().to_bits(),
+            FuOp::FNeg => (-fa).to_bits(),
             FuOp::FCmpLt => bool_to_v(fa < fb),
             FuOp::FCmpLe => bool_to_v(fa <= fb),
             FuOp::FCmpEq => bool_to_v(fa == fb),
@@ -288,7 +300,8 @@ impl FuKind {
             FuKind::IntMul => simple_int || matches!(op, IMul | IDiv),
             FuKind::FpAdd => matches!(
                 op,
-                FAdd | FSub | FMax | FMin | FAbs | FCmpLt | FCmpLe | FCmpEq | IToF | FToI
+                FAdd | FSub | FMax | FMin | FAbs | FNeg | FCmpLt | FCmpLe | FCmpEq | IToF
+                    | FToI
                     | Select
                     | PassA
             ),

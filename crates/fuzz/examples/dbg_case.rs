@@ -1,0 +1,19 @@
+//! Disassembles and runs a corpus-format recipe given as a JSON path.
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: dbg_case <recipe.json>");
+    let text = std::fs::read_to_string(&path).expect("read recipe");
+    let recipe = dyser_fuzz::corpus::recipe_from_json(&text).expect("parse recipe");
+    let built = dyser_fuzz::gen::build_case(&recipe).expect("build");
+    println!("=== IR ===\n{}", built.function);
+    let opts = dyser_fuzz::gen::compiler_options(&recipe);
+    let compiled = dyser_core::compile_cached(&built.function, &opts).expect("compile");
+    println!("=== dyser asm ===");
+    for (i, ins) in compiled.accelerated.listing.iter().enumerate() {
+        println!("{i:4}: {ins}");
+    }
+    match dyser_fuzz::oracle::check_case(&recipe) {
+        Ok(o) => println!("oracle: OK {o:?}"),
+        Err(e) => println!("oracle: FAIL {e}"),
+    }
+}

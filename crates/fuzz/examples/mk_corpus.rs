@@ -1,0 +1,116 @@
+//! Regenerates the checked-in regression corpus under `corpus/`.
+
+use dyser_fuzz::corpus::recipe_json;
+use dyser_fuzz::gen::{GenStats, LoopForm, MemKind, Node, Recipe, RunMode};
+
+fn neutral() -> Recipe {
+    Recipe {
+        form: LoopForm::Canonical,
+        a_fp: false,
+        b_fp: false,
+        nodes: vec![Node::Leaf(0, 0)],
+        second: vec![],
+        n: 4,
+        inner: 0,
+        alias_store: false,
+        double_store: false,
+        input_seed: 1,
+        unroll: 1,
+        lag_depth: 1,
+        lag_stores: false,
+        if_convert: false,
+        refinement_rounds: 0,
+        offload_exit: false,
+        rows: 8,
+        cols: 8,
+        universal_fus: false,
+        fifo_depth: 4,
+        mem: MemKind::Default,
+        mode: RunMode::FastForward,
+        timeout_check: false,
+    }
+}
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+
+    // Regression: two-region function hung — the second region's `dinit`
+    // was emitted inside the first loop's body instead of on the CFG edge
+    // entering the second region, reconfiguring the fabric mid-loop.
+    let hang = Recipe {
+        form: LoopForm::Sequential,
+        a_fp: true,
+        nodes: vec![Node::Leaf(3, 0x19b9_55d4_7e14_153b)],
+        second: vec![Node::Leaf(1, 0x953e_4fc1_9651_0c37)],
+        n: 2,
+        input_seed: 0xadbd_8e3b_56da_fd40,
+        ..neutral()
+    };
+
+    // Regression: `fneg` lowered to the fabric as `0.0 - x`, which does
+    // not flip the sign of NaN (nor of +0.0); the interpreter and the
+    // SPARC baseline negate the sign bit.
+    let fneg_nan = Recipe {
+        form: LoopForm::Canonical,
+        a_fp: true,
+        nodes: vec![Node::Leaf(0, 0x670d_9f8f_f936_551d), Node::Un(244, 0)],
+        n: 6,
+        input_seed: 0xb9f0_b36e_e233_2b0d,
+        ..neutral()
+    };
+
+    // Regression: two stores through the same pointer in one iteration
+    // were both software-pipelined as lagged store-only outputs, draining
+    // out of program order so the earlier (negated draft) store won.
+    let double_store_lag = Recipe {
+        nodes: vec![Node::Leaf(3, 14_732_493_916_911_693_124)],
+        n: 2,
+        double_store: true,
+        input_seed: 11_208_317_007_395_226_676,
+        lag_stores: true,
+        ..neutral()
+    };
+
+    // Regression: constant folding turned the *final* store's value into
+    // the plain loaded value, so it compiled to a core-side `stx` while
+    // the negated draft store stayed a fabric output — and lagging then
+    // delayed the draft past the core store. The alias check must scan
+    // every store in the body, not just the store-only fabric outputs.
+    let lag_vs_core_store = Recipe {
+        nodes: vec![Node::Leaf(3, 0x949f_a9ea_ce66_3c0c), Node::Bin(157, 0, 0)],
+        n: 4,
+        double_store: true,
+        input_seed: 0x66c8_ac5b_dd84_5eef,
+        unroll: 4,
+        lag_stores: true,
+        ..neutral()
+    };
+
+    let mut entries = vec![
+        ("seq-region-switch-hang", hang, "run"),
+        ("fneg-nan-sign", fneg_nan, "output-mismatch"),
+        ("double-store-lag-order", double_store_lag, "output-mismatch"),
+        ("lag-store-vs-core-store-order", lag_vs_core_store, "output-mismatch"),
+    ];
+
+    // Breadth: the first generated case of each loop form from the fixed
+    // campaign seed, as representative always-green coverage.
+    for form in LoopForm::ALL {
+        let (idx, recipe) = (0u64..)
+            .map(|i| (i, dyser_fuzz::case_recipe(0xD75E, i)))
+            .find(|(_, r)| r.form == form && r.fifo_depth != 0)
+            .expect("every form appears");
+        let mut stats = GenStats::default();
+        stats.record(&recipe);
+        let name = format!("gen-{}-case-{idx}", form.label());
+        entries.push((Box::leak(name.into_boxed_str()), recipe, ""));
+    }
+
+    for (name, recipe, failure) in entries {
+        dyser_fuzz::checked(&recipe, None).unwrap_or_else(|e| panic!("{name} not green: {e}"));
+        let failure = if failure.is_empty() { None } else { Some(failure) };
+        let path = format!("{dir}/{name}.json");
+        std::fs::write(&path, recipe_json(&recipe, failure)).expect("write corpus entry");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,507 @@
+//! The regression corpus: failing recipes, shrunk and saved as JSON.
+//!
+//! Every entry under `crates/fuzz/corpus/` is one [`Recipe`], serialized
+//! with the hand-rolled encoder below (the workspace is dependency-free —
+//! no serde). Entries are *seed-free*: the recipe embeds its own input
+//! seed, so a saved case replays bit-for-bit with no generator state.
+//! `cargo test` replays the whole corpus through the full oracle, and
+//! [`rust_repro`] renders any recipe as a ready-to-paste `#[test]`.
+
+use std::path::{Path, PathBuf};
+
+use crate::gen::{LoopForm, MemKind, Node, Recipe, RunMode};
+
+/// Corpus format version.
+pub const CORPUS_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn node_json(n: &Node) -> String {
+    match n {
+        Node::Leaf(k, c) => format!("[\"leaf\", {k}, {c}]"),
+        Node::Bin(t, x, y) => format!("[\"bin\", {t}, {x}, {y}]"),
+        Node::Sel(x, y, z) => format!("[\"sel\", {x}, {y}, {z}]"),
+        Node::Un(t, x) => format!("[\"un\", {t}, {x}]"),
+    }
+}
+
+fn nodes_json(nodes: &[Node]) -> String {
+    let inner: Vec<String> = nodes.iter().map(node_json).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// Serializes a recipe (plus an optional failure-class annotation) as a
+/// corpus entry.
+#[must_use]
+pub fn recipe_json(r: &Recipe, failure: Option<&str>) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"version\": {CORPUS_VERSION},\n"));
+    if let Some(kind) = failure {
+        s.push_str(&format!("  \"failure\": \"{kind}\",\n"));
+    }
+    s.push_str(&format!("  \"form\": \"{}\",\n", r.form.label()));
+    s.push_str(&format!("  \"a_fp\": {},\n", r.a_fp));
+    s.push_str(&format!("  \"b_fp\": {},\n", r.b_fp));
+    s.push_str(&format!("  \"nodes\": {},\n", nodes_json(&r.nodes)));
+    s.push_str(&format!("  \"second\": {},\n", nodes_json(&r.second)));
+    s.push_str(&format!("  \"n\": {},\n", r.n));
+    s.push_str(&format!("  \"inner\": {},\n", r.inner));
+    s.push_str(&format!("  \"alias_store\": {},\n", r.alias_store));
+    s.push_str(&format!("  \"double_store\": {},\n", r.double_store));
+    s.push_str(&format!("  \"input_seed\": {},\n", r.input_seed));
+    s.push_str(&format!("  \"unroll\": {},\n", r.unroll));
+    s.push_str(&format!("  \"lag_depth\": {},\n", r.lag_depth));
+    s.push_str(&format!("  \"lag_stores\": {},\n", r.lag_stores));
+    s.push_str(&format!("  \"if_convert\": {},\n", r.if_convert));
+    s.push_str(&format!("  \"refinement_rounds\": {},\n", r.refinement_rounds));
+    s.push_str(&format!("  \"offload_exit\": {},\n", r.offload_exit));
+    s.push_str(&format!("  \"rows\": {},\n", r.rows));
+    s.push_str(&format!("  \"cols\": {},\n", r.cols));
+    s.push_str(&format!("  \"universal_fus\": {},\n", r.universal_fus));
+    s.push_str(&format!("  \"fifo_depth\": {},\n", r.fifo_depth));
+    s.push_str(&format!("  \"mem\": \"{}\",\n", r.mem.label()));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode.label()));
+    s.push_str(&format!("  \"timeout_check\": {}\n", r.timeout_check));
+    s.push_str("}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (integers, booleans, strings, arrays, objects)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Jv {
+    Bool(bool),
+    Int(i128),
+    Str(String),
+    Arr(Vec<Jv>),
+    Obj(Vec<(String, Jv)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Jv, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Jv::Str(self.string()?)),
+            Some(b't') => self.literal("true", Jv::Bool(true)),
+            Some(b'f') => self.literal("false", Jv::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Jv) -> Result<Jv, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Jv, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("corpus entries use integers only"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf8");
+        text.parse::<i128>().map(Jv::Int).map_err(|e| self.err(&format!("bad number: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Jv, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Jv::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Jv::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Jv, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Jv::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Jv::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn get<'j>(obj: &'j [(String, Jv)], key: &str) -> Result<&'j Jv, String> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn as_u64(v: &Jv, key: &str) -> Result<u64, String> {
+    match v {
+        Jv::Int(i) => u64::try_from(*i).map_err(|_| format!("`{key}` out of range")),
+        _ => Err(format!("`{key}` is not an integer")),
+    }
+}
+
+fn as_usize(v: &Jv, key: &str) -> Result<usize, String> {
+    as_u64(v, key).map(|u| u as usize)
+}
+
+fn as_bool(v: &Jv, key: &str) -> Result<bool, String> {
+    match v {
+        Jv::Bool(b) => Ok(*b),
+        _ => Err(format!("`{key}` is not a boolean")),
+    }
+}
+
+fn as_str<'j>(v: &'j Jv, key: &str) -> Result<&'j str, String> {
+    match v {
+        Jv::Str(s) => Ok(s),
+        _ => Err(format!("`{key}` is not a string")),
+    }
+}
+
+fn parse_node(v: &Jv) -> Result<Node, String> {
+    let Jv::Arr(items) = v else { return Err("node is not an array".into()) };
+    let tag = items.first().and_then(|t| match t {
+        Jv::Str(s) => Some(s.as_str()),
+        _ => None,
+    });
+    let num = |i: usize| -> Result<u64, String> {
+        items.get(i).ok_or_else(|| "node too short".to_string()).and_then(|v| as_u64(v, "node"))
+    };
+    match tag {
+        Some("leaf") => Ok(Node::Leaf(num(1)? as u8, num(2)?)),
+        Some("bin") => Ok(Node::Bin(num(1)? as u8, num(2)? as usize, num(3)? as usize)),
+        Some("sel") => Ok(Node::Sel(num(1)? as usize, num(2)? as usize, num(3)? as usize)),
+        Some("un") => Ok(Node::Un(num(1)? as u8, num(2)? as usize)),
+        _ => Err("unknown node tag".into()),
+    }
+}
+
+fn parse_nodes(v: &Jv, key: &str) -> Result<Vec<Node>, String> {
+    let Jv::Arr(items) = v else { return Err(format!("`{key}` is not an array")) };
+    items.iter().map(parse_node).collect()
+}
+
+/// Validates DAG reference order: every operand points strictly backwards.
+fn check_dag(nodes: &[Node], key: &str) -> Result<(), String> {
+    for (i, n) in nodes.iter().enumerate() {
+        let refs = match n {
+            Node::Leaf(..) => vec![],
+            Node::Bin(_, x, y) => vec![*x, *y],
+            Node::Sel(x, y, z) => vec![*x, *y, *z],
+            Node::Un(_, x) => vec![*x],
+        };
+        if refs.iter().any(|&r| r >= i) {
+            return Err(format!("`{key}` node {i} has a forward reference"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one corpus entry back into a recipe.
+///
+/// # Errors
+///
+/// Malformed JSON, missing fields, unknown labels, or invalid DAGs.
+pub fn recipe_from_json(text: &str) -> Result<Recipe, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    let Jv::Obj(obj) = v else { return Err("corpus entry is not an object".into()) };
+    let version = as_u64(get(&obj, "version")?, "version")?;
+    if version != CORPUS_VERSION {
+        return Err(format!("unsupported corpus version {version}"));
+    }
+    let form = LoopForm::from_label(as_str(get(&obj, "form")?, "form")?)
+        .ok_or_else(|| "unknown form label".to_string())?;
+    let nodes = parse_nodes(get(&obj, "nodes")?, "nodes")?;
+    let second = parse_nodes(get(&obj, "second")?, "second")?;
+    if nodes.is_empty() {
+        return Err("`nodes` must be non-empty".into());
+    }
+    if (form == LoopForm::Sequential) == second.is_empty() {
+        return Err("`second` must be non-empty exactly for sequential recipes".into());
+    }
+    check_dag(&nodes, "nodes")?;
+    check_dag(&second, "second")?;
+    Ok(Recipe {
+        form,
+        a_fp: as_bool(get(&obj, "a_fp")?, "a_fp")?,
+        b_fp: as_bool(get(&obj, "b_fp")?, "b_fp")?,
+        nodes,
+        second,
+        n: as_usize(get(&obj, "n")?, "n")?,
+        inner: as_usize(get(&obj, "inner")?, "inner")?,
+        alias_store: as_bool(get(&obj, "alias_store")?, "alias_store")?,
+        double_store: as_bool(get(&obj, "double_store")?, "double_store")?,
+        input_seed: as_u64(get(&obj, "input_seed")?, "input_seed")?,
+        unroll: as_usize(get(&obj, "unroll")?, "unroll")?,
+        lag_depth: as_usize(get(&obj, "lag_depth")?, "lag_depth")?,
+        lag_stores: as_bool(get(&obj, "lag_stores")?, "lag_stores")?,
+        if_convert: as_bool(get(&obj, "if_convert")?, "if_convert")?,
+        refinement_rounds: as_usize(get(&obj, "refinement_rounds")?, "refinement_rounds")?,
+        offload_exit: as_bool(get(&obj, "offload_exit")?, "offload_exit")?,
+        rows: as_usize(get(&obj, "rows")?, "rows")?,
+        cols: as_usize(get(&obj, "cols")?, "cols")?,
+        universal_fus: as_bool(get(&obj, "universal_fus")?, "universal_fus")?,
+        fifo_depth: as_usize(get(&obj, "fifo_depth")?, "fifo_depth")?,
+        mem: MemKind::from_label(as_str(get(&obj, "mem")?, "mem")?)
+            .ok_or_else(|| "unknown mem label".to_string())?,
+        mode: RunMode::from_label(as_str(get(&obj, "mode")?, "mode")?)
+            .ok_or_else(|| "unknown mode label".to_string())?,
+        timeout_check: as_bool(get(&obj, "timeout_check")?, "timeout_check")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rust repro rendering
+// ---------------------------------------------------------------------------
+
+fn nodes_rust(nodes: &[Node]) -> String {
+    let items: Vec<String> = nodes
+        .iter()
+        .map(|n| match n {
+            Node::Leaf(k, c) => format!("Node::Leaf({k}, {c:#x})"),
+            Node::Bin(t, x, y) => format!("Node::Bin({t}, {x}, {y})"),
+            Node::Sel(x, y, z) => format!("Node::Sel({x}, {y}, {z})"),
+            Node::Un(t, x) => format!("Node::Un({t}, {x})"),
+        })
+        .collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+/// Renders a recipe as a standalone, ready-to-paste `#[test]` that
+/// replays it through the full oracle. Seed-free: everything the case
+/// needs is in the literal.
+#[must_use]
+pub fn rust_repro(r: &Recipe, label: &str) -> String {
+    format!(
+        r#"#[test]
+fn fuzz_repro_{label}() {{
+    use dyser_fuzz::gen::{{LoopForm, MemKind, Node, Recipe, RunMode}};
+    let recipe = Recipe {{
+        form: LoopForm::{form:?},
+        a_fp: {a_fp},
+        b_fp: {b_fp},
+        nodes: {nodes},
+        second: {second},
+        n: {n},
+        inner: {inner},
+        alias_store: {alias_store},
+        double_store: {double_store},
+        input_seed: {input_seed:#x},
+        unroll: {unroll},
+        lag_depth: {lag_depth},
+        lag_stores: {lag_stores},
+        if_convert: {if_convert},
+        refinement_rounds: {refinement_rounds},
+        offload_exit: {offload_exit},
+        rows: {rows},
+        cols: {cols},
+        universal_fus: {universal_fus},
+        fifo_depth: {fifo_depth},
+        mem: MemKind::{mem:?},
+        mode: RunMode::{mode:?},
+        timeout_check: {timeout_check},
+    }};
+    dyser_fuzz::oracle::check_case(&recipe).expect("oracle agrees");
+}}
+"#,
+        form = r.form,
+        a_fp = r.a_fp,
+        b_fp = r.b_fp,
+        nodes = nodes_rust(&r.nodes),
+        second = nodes_rust(&r.second),
+        n = r.n,
+        inner = r.inner,
+        alias_store = r.alias_store,
+        double_store = r.double_store,
+        input_seed = r.input_seed,
+        unroll = r.unroll,
+        lag_depth = r.lag_depth,
+        lag_stores = r.lag_stores,
+        if_convert = r.if_convert,
+        refinement_rounds = r.refinement_rounds,
+        offload_exit = r.offload_exit,
+        rows = r.rows,
+        cols = r.cols,
+        universal_fus = r.universal_fus,
+        fifo_depth = r.fifo_depth,
+        mem = r.mem,
+        mode = r.mode,
+        timeout_check = r.timeout_check,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Corpus directory
+// ---------------------------------------------------------------------------
+
+/// The checked-in corpus directory (`crates/fuzz/corpus/`).
+#[must_use]
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.json` entry under `dir`, sorted by filename.
+///
+/// # Errors
+///
+/// I/O failures or malformed entries (with the offending filename).
+pub fn load_corpus(dir: &Path) -> Result<Vec<(String, Recipe)>, String> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|path| {
+            let name =
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {name}: {e}"))?;
+            let recipe = recipe_from_json(&text).map_err(|e| format!("{name}: {e}"))?;
+            Ok((name, recipe))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use dyser_rng::Rng64;
+
+    #[test]
+    fn json_round_trips_random_recipes() {
+        let mut rng = Rng64::seed_from_u64(0xC0DE_0001);
+        for _ in 0..80 {
+            let r = generate(&mut rng);
+            let text = recipe_json(&r, Some("output-mismatch"));
+            let back = recipe_from_json(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_entries() {
+        assert!(recipe_from_json("").is_err());
+        assert!(recipe_from_json("{}").is_err());
+        assert!(recipe_from_json("{\"version\": 99}").is_err());
+        assert!(recipe_from_json("[1, 2]").is_err());
+        // Forward references must be rejected.
+        let mut rng = Rng64::seed_from_u64(0xC0DE_0002);
+        let r = generate(&mut rng);
+        let bad = recipe_json(&r, None).replace(
+            &format!("\"nodes\": {}", super::nodes_json(&r.nodes)),
+            "\"nodes\": [[\"bin\", 0, 5, 5]]",
+        );
+        assert!(recipe_from_json(&bad).is_err(), "{bad}");
+    }
+
+    #[test]
+    fn rust_repro_is_selfcontained() {
+        let mut rng = Rng64::seed_from_u64(0xC0DE_0003);
+        let r = generate(&mut rng);
+        let code = rust_repro(&r, "example");
+        assert!(code.contains("fn fuzz_repro_example()"));
+        assert!(code.contains("Recipe {"));
+        assert!(code.contains("check_case(&recipe)"));
+        assert!(!code.contains("seed_from_u64"), "repros must not depend on the generator");
+    }
+}

@@ -1,0 +1,235 @@
+//! Automatic test-case minimization.
+//!
+//! Given a failing [`Recipe`] and a predicate that replays a candidate and
+//! answers "does it still fail the same way?", the shrinker runs deletion
+//! and simplification passes to a local fixpoint:
+//!
+//! * **form pass** — collapse exotic loop forms to a canonical loop;
+//! * **node pass** — delete DAG nodes one at a time, remapping references
+//!   into the deleted node onto its first operand;
+//! * **trip pass** — halve the trip counts;
+//! * **option pass** — neutralize compiler/system/run knobs one by one
+//!   (unroll 1, lag off, default geometry, default memory, …).
+//!
+//! Every accepted candidate fails with the *same* [`FuzzFailure::kind`]
+//! (the predicate's contract), so minimization never slides onto a
+//! different bug. The total number of predicate evaluations is bounded;
+//! each evaluation re-runs the whole oracle, so the bound also bounds
+//! shrink time.
+//!
+//! [`FuzzFailure::kind`]: crate::oracle::FuzzFailure::kind
+
+use crate::gen::{LoopForm, MemKind, Node, Recipe, RunMode};
+
+/// Maximum predicate evaluations per shrink.
+const MAX_EVALS: usize = 500;
+
+/// Minimizes `recipe` under `fails`. `fails(candidate)` must return
+/// `true` exactly when the candidate reproduces the original failure
+/// class. Returns the smallest accepted recipe (the input itself if
+/// nothing smaller reproduces).
+pub fn shrink(recipe: &Recipe, fails: impl Fn(&Recipe) -> bool) -> Recipe {
+    let mut cur = recipe.clone();
+    let evals = std::cell::Cell::new(0usize);
+    let accept = |cur: &mut Recipe, cand: Recipe| -> bool {
+        if evals.get() >= MAX_EVALS || cand == *cur {
+            return false;
+        }
+        evals.set(evals.get() + 1);
+        if fails(&cand) {
+            *cur = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Form pass: everything wants to be a canonical loop.
+        if cur.form != LoopForm::Canonical {
+            let mut cand = cur.clone();
+            cand.form = LoopForm::Canonical;
+            cand.second = Vec::new();
+            cand.inner = 0;
+            cand.n = cand.n.max(2);
+            progressed |= accept(&mut cur, cand);
+        }
+
+        // Node pass: delete one DAG node at a time, root first.
+        loop {
+            let mut deleted = false;
+            for list in [false, true] {
+                let len = if list { cur.second.len() } else { cur.nodes.len() };
+                for i in (0..len).rev() {
+                    let nodes = if list { &cur.second } else { &cur.nodes };
+                    let Some(smaller) = delete_node(nodes, i) else { continue };
+                    let mut cand = cur.clone();
+                    if list {
+                        cand.second = smaller;
+                    } else {
+                        cand.nodes = smaller;
+                    }
+                    if accept(&mut cur, cand) {
+                        deleted = true;
+                        break;
+                    }
+                }
+            }
+            if !deleted {
+                break;
+            }
+            progressed = true;
+        }
+
+        // Trip pass: halve n (and the inner trip count) toward 2.
+        while cur.n > 2 {
+            let mut cand = cur.clone();
+            cand.n = (cand.n / 2).max(2);
+            if !accept(&mut cur, cand) {
+                break;
+            }
+            progressed = true;
+        }
+        while cur.form == LoopForm::Nested && cur.inner > 1 {
+            let mut cand = cur.clone();
+            cand.inner = (cand.inner / 2).max(1);
+            if !accept(&mut cur, cand) {
+                break;
+            }
+            progressed = true;
+        }
+
+        // Option pass: neutralize one knob at a time.
+        let knobs: Vec<fn(&mut Recipe)> = vec![
+            |r| r.unroll = 1,
+            |r| r.lag_depth = 1,
+            |r| r.lag_stores = false,
+            |r| r.if_convert = false,
+            |r| r.refinement_rounds = 0,
+            |r| r.offload_exit = false,
+            |r| {
+                r.rows = 8;
+                r.cols = 8;
+            },
+            |r| r.universal_fus = false,
+            |r| {
+                // Never touch a zero depth: that *is* the trigger for
+                // invalid-config findings.
+                if r.fifo_depth != 0 {
+                    r.fifo_depth = 4;
+                }
+            },
+            |r| r.mem = MemKind::Default,
+            |r| r.mode = RunMode::FastForward,
+            |r| r.timeout_check = false,
+            |r| r.alias_store = false,
+            |r| r.double_store = false,
+            |r| r.a_fp = false,
+            |r| r.b_fp = false,
+        ];
+        for knob in knobs {
+            let mut cand = cur.clone();
+            knob(&mut cand);
+            progressed |= accept(&mut cur, cand);
+        }
+
+        if !progressed || evals.get() >= MAX_EVALS {
+            break;
+        }
+    }
+    cur
+}
+
+fn node_refs(n: &Node) -> Vec<usize> {
+    match n {
+        Node::Leaf(..) => Vec::new(),
+        Node::Bin(_, x, y) => vec![*x, *y],
+        Node::Sel(x, y, z) => vec![*x, *y, *z],
+        Node::Un(_, x) => vec![*x],
+    }
+}
+
+/// Deletes node `i`, remapping references to it onto its first operand
+/// (or node 0 for leaves). Returns `None` when the deletion is not
+/// expressible — the DAG would become empty, or a leaf at index 0 is
+/// still referenced.
+fn delete_node(nodes: &[Node], i: usize) -> Option<Vec<Node>> {
+    if nodes.len() <= 1 {
+        return None;
+    }
+    let target = match &nodes[i] {
+        Node::Bin(_, x, _) | Node::Un(_, x) | Node::Sel(x, _, _) => *x,
+        Node::Leaf(..) => {
+            if i == 0 && nodes.iter().any(|n| node_refs(n).contains(&0)) {
+                return None;
+            }
+            0
+        }
+    };
+    let remap = |r: usize| if r == i { target } else if r > i { r - 1 } else { r };
+    Some(
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, n)| match n {
+                Node::Leaf(k, c) => Node::Leaf(*k, *c),
+                Node::Bin(t, x, y) => Node::Bin(*t, remap(*x), remap(*y)),
+                Node::Sel(x, y, z) => Node::Sel(remap(*x), remap(*y), remap(*z)),
+                Node::Un(t, x) => Node::Un(*t, remap(*x)),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use dyser_rng::Rng64;
+
+    #[test]
+    fn delete_node_keeps_prefix_validity() {
+        // After any deletion, every reference must still point strictly
+        // backwards — the invariant build_case relies on.
+        let mut rng = Rng64::seed_from_u64(0x5412_0001);
+        for _ in 0..200 {
+            let r = generate(&mut rng);
+            for i in 0..r.nodes.len() {
+                if let Some(smaller) = delete_node(&r.nodes, i) {
+                    assert_eq!(smaller.len(), r.nodes.len() - 1);
+                    for (j, n) in smaller.iter().enumerate() {
+                        for refi in node_refs(n) {
+                            assert!(refi < j, "forward reference after deleting {i}: {smaller:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_small_recipe_under_a_permissive_predicate() {
+        // With a predicate that accepts anything that still contains an
+        // integer multiply, shrinking must fall well under the 8-node
+        // acceptance bound.
+        use crate::oracle::Sabotage;
+        let mut rng = Rng64::seed_from_u64(0x5412_0002);
+        let sab = Sabotage;
+        let r = loop {
+            let r = generate(&mut rng);
+            if sab.trips(&r) && r.fifo_depth != 0 {
+                break r;
+            }
+        };
+        let small = shrink(&r, |cand| sab.trips(cand) && cand.fifo_depth != 0);
+        assert!(sab.trips(&small));
+        assert!(
+            small.ir_nodes() <= 8,
+            "shrunk to {} nodes: {small:?}",
+            small.ir_nodes()
+        );
+    }
+}

@@ -38,6 +38,12 @@ struct CaseData {
     expected: Vec<(u64, Vec<u64>)>,
 }
 
+impl From<crate::shapes::ShapeCase> for CaseData {
+    fn from(c: crate::shapes::ShapeCase) -> Self {
+        CaseData { args: c.args, init: c.init, expected: c.expected }
+    }
+}
+
 /// One benchmark kernel.
 pub struct Kernel {
     /// Kernel name.
@@ -817,106 +823,24 @@ fn case_absmax(n: usize, seed: u64) -> CaseData {
 
 /// Early-exit search (control-flow shape A): d[0] = first i with
 /// a[i] == key, else n. Not acceleratable — the paper's finding.
+/// The IR and case live in [`crate::shapes`].
 fn build_find_first() -> Function {
-    let mut b = FunctionBuilder::new(
-        "find_first",
-        &[("a", Type::Ptr), ("d", Type::Ptr), ("n", Type::I64), ("key", Type::I64)],
-    );
-    let (a, d, n, key) = (b.param(0), b.param(1), b.param(2), b.param(3));
-    let zero = b.const_i(0);
-    let one = b.const_i(1);
-    let head = b.block("head");
-    let latch = b.block("latch");
-    let found = b.block("found");
-    let notfound = b.block("notfound");
-    let entry = b.current();
-    b.br(head);
-    b.switch_to(head);
-    let i = b.phi(Type::I64);
-    let pa = b.gep(a, i, 8);
-    let x = b.load(pa, Type::I64);
-    let hit = b.cmp(CmpOp::Eq, x, key);
-    b.cond_br(hit, found, latch);
-    b.switch_to(latch);
-    let i2 = b.bin(BinOp::Add, i, one);
-    b.add_incoming(i, entry, zero);
-    b.add_incoming(i, latch, i2);
-    let more = b.cmp(CmpOp::Slt, i2, n);
-    b.cond_br(more, head, notfound);
-    b.switch_to(found);
-    let pd = b.gep(d, zero, 8);
-    b.store(i, pd);
-    b.ret(None);
-    b.switch_to(notfound);
-    let pd2 = b.gep(d, zero, 8);
-    b.store(n, pd2);
-    b.ret(None);
-    b.build().expect("find_first is well-formed")
+    crate::shapes::early_exit_search()
 }
 
 fn case_find_first(n: usize, seed: u64) -> CaseData {
-    let mut rng = Rng64::seed_from_u64(seed);
-    let mut a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
-    let key = 0xDEAD_BEEFu64;
-    let hit = n * 3 / 5; // key placed ~60% in
-    a[hit] = key;
-    let expected = a.iter().position(|&x| x == key).unwrap() as u64;
-    CaseData {
-        args: vec![BUF_A, BUF_D, n as u64, key],
-        init: vec![(BUF_A, a)],
-        expected: vec![(BUF_D, vec![expected])],
-    }
+    crate::shapes::early_exit_search_case(n, seed).into()
 }
 
 /// Conditional store (control-flow shape B): if a[i] < 0, c[i] = 0.
 /// The store under a branch defeats if-conversion — not acceleratable.
+/// The IR and case live in [`crate::shapes`].
 fn build_cond_store() -> Function {
-    let mut b =
-        FunctionBuilder::new("cond_store", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
-    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
-    let zero = b.const_i(0);
-    let one = b.const_i(1);
-    let head = b.block("head");
-    let dostore = b.block("dostore");
-    let latch = b.block("latch");
-    let exit = b.block("exit");
-    let entry = b.current();
-    b.br(head);
-    b.switch_to(head);
-    let i = b.phi(Type::I64);
-    let pa = b.gep(a, i, 8);
-    let x = b.load(pa, Type::I64);
-    let isneg = b.cmp(CmpOp::Slt, x, zero);
-    b.cond_br(isneg, dostore, latch);
-    b.switch_to(dostore);
-    let pc = b.gep(c, i, 8);
-    b.store(zero, pc);
-    b.br(latch);
-    b.switch_to(latch);
-    let i2 = b.bin(BinOp::Add, i, one);
-    b.add_incoming(i, entry, zero);
-    b.add_incoming(i, latch, i2);
-    let more = b.cmp(CmpOp::Slt, i2, n);
-    b.cond_br(more, head, exit);
-    b.switch_to(exit);
-    b.ret(None);
-    b.build().expect("cond_store is well-formed")
+    crate::shapes::nested_control_store()
 }
 
 fn case_cond_store(n: usize, seed: u64) -> CaseData {
-    let mut rng = Rng64::seed_from_u64(seed);
-    let a: Vec<u64> = (0..n).map(|_| rng.gen_range(-100i64..100) as u64).collect();
-    let init_c: Vec<u64> = (0..n).map(|i| 1000 + i as u64).collect();
-    let c: Vec<u64> = a
-        .iter()
-        .zip(&init_c)
-        .map(|(&x, &c0)| if (x as i64) < 0 { 0 } else { c0 })
-        .collect();
-    CaseData {
-        args: vec![BUF_A, BUF_C, n as u64],
-        init: vec![(BUF_A, a), (BUF_C, init_c)],
-        expected: vec![(BUF_C, c)],
-    }
+    crate::shapes::nested_control_store_case(n, seed).into()
 }
 
 /// Data-dependent-exit scan: advance while `3*a[i]^2 + a[i] < limit`;

@@ -15,14 +15,18 @@
 //!   knobs.
 //!
 //! [`suite`] returns every kernel; [`manual`] holds the hand-optimised
-//! DySER implementations used by the manual-vs-compiler experiment (E4).
+//! DySER implementations used by the manual-vs-compiler experiment (E4);
+//! [`shapes`] exposes the E8 control-flow shapes (early-exit,
+//! nested-control, speculative-window) as reusable constructors.
 
 
 #![warn(missing_docs)]
 pub mod kernels;
 pub mod manual;
+pub mod shapes;
 
 pub use kernels::{suite, Category, Kernel};
+pub use shapes::ShapeCase;
 
 /// Base address of the first data buffer.
 pub const BUF_A: u64 = 0x20_0000;

@@ -1,0 +1,235 @@
+//! Reusable constructors for the control-flow **shapes** of experiment
+//! E8 — the loop forms the paper identifies as curtailing the compiler,
+//! promoted out of the experiment driver so that tests, the fuzzer, and
+//! new experiments can instantiate them directly.
+//!
+//! Three shapes are exposed:
+//!
+//! * [`early_exit_search`] — shape A: a search loop with a data-dependent
+//!   side exit. The exit blocks pipelined invocations, so the compiler
+//!   refuses to accelerate it.
+//! * [`nested_control_store`] — shape B: a store under a branch inside
+//!   the loop. The memory side effect defeats if-conversion.
+//! * [`speculative_window`] — the paper's adaptive answer to shape A:
+//!   the fabric checks four-element windows one iteration ahead and the
+//!   core rescans the hit window for the exact index.
+//!
+//! The kernel-suite entries `find_first` and `cond_store` are thin
+//! wrappers over the first two; experiment E8 uses all three.
+
+use dyser_compiler::{BinOp, CmpOp, Function, FunctionBuilder, Type};
+use dyser_fabric::FabricGeometry;
+use dyser_rng::Rng64;
+
+use crate::manual::{self, ManualCase};
+use crate::{BUF_A, BUF_C, BUF_D};
+
+/// Runnable input/expected-output data for one shape instance, in the
+/// same `(address, words)` form the run harness consumes.
+#[derive(Debug, Clone)]
+pub struct ShapeCase {
+    /// Kernel arguments, in parameter order.
+    pub args: Vec<u64>,
+    /// Initial memory contents.
+    pub init: Vec<(u64, Vec<u64>)>,
+    /// Expected memory contents after the run.
+    pub expected: Vec<(u64, Vec<u64>)>,
+}
+
+/// Early-exit search (control-flow shape A): `d[0]` = first `i` with
+/// `a[i] == key`, else `n`. Classified [`EarlyExit`] — not
+/// acceleratable, the paper's finding.
+///
+/// [`EarlyExit`]: dyser_compiler::LoopShape::EarlyExit
+pub fn early_exit_search() -> Function {
+    let mut b = FunctionBuilder::new(
+        "find_first",
+        &[("a", Type::Ptr), ("d", Type::Ptr), ("n", Type::I64), ("key", Type::I64)],
+    );
+    let (a, d, n, key) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let head = b.block("head");
+    let latch = b.block("latch");
+    let found = b.block("found");
+    let notfound = b.block("notfound");
+    let entry = b.current();
+    b.br(head);
+    b.switch_to(head);
+    let i = b.phi(Type::I64);
+    let pa = b.gep(a, i, 8);
+    let x = b.load(pa, Type::I64);
+    let hit = b.cmp(CmpOp::Eq, x, key);
+    b.cond_br(hit, found, latch);
+    b.switch_to(latch);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, latch, i2);
+    let more = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(more, head, notfound);
+    b.switch_to(found);
+    let pd = b.gep(d, zero, 8);
+    b.store(i, pd);
+    b.ret(None);
+    b.switch_to(notfound);
+    let pd2 = b.gep(d, zero, 8);
+    b.store(n, pd2);
+    b.ret(None);
+    b.build().expect("find_first is well-formed")
+}
+
+/// Deterministic case for [`early_exit_search`]: random haystack with
+/// the key planted ~60% in, expected hit index precomputed.
+pub fn early_exit_search_case(n: usize, seed: u64) -> ShapeCase {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let key = 0xDEAD_BEEFu64;
+    let hit = n * 3 / 5; // key placed ~60% in
+    a[hit] = key;
+    let expected = a.iter().position(|&x| x == key).unwrap() as u64;
+    ShapeCase {
+        args: vec![BUF_A, BUF_D, n as u64, key],
+        init: vec![(BUF_A, a)],
+        expected: vec![(BUF_D, vec![expected])],
+    }
+}
+
+/// Conditional store (control-flow shape B): `if a[i] < 0, c[i] = 0`.
+/// The store under a branch defeats if-conversion — classified
+/// [`NestedControl`], not acceleratable.
+///
+/// [`NestedControl`]: dyser_compiler::LoopShape::NestedControl
+pub fn nested_control_store() -> Function {
+    let mut b =
+        FunctionBuilder::new("cond_store", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let head = b.block("head");
+    let dostore = b.block("dostore");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(head);
+    b.switch_to(head);
+    let i = b.phi(Type::I64);
+    let pa = b.gep(a, i, 8);
+    let x = b.load(pa, Type::I64);
+    let isneg = b.cmp(CmpOp::Slt, x, zero);
+    b.cond_br(isneg, dostore, latch);
+    b.switch_to(dostore);
+    let pc = b.gep(c, i, 8);
+    b.store(zero, pc);
+    b.br(latch);
+    b.switch_to(latch);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, latch, i2);
+    let more = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(more, head, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().expect("cond_store is well-formed")
+}
+
+/// Deterministic case for [`nested_control_store`]: signed inputs in
+/// `[-100, 100)`, output buffer prefilled so untouched slots are
+/// observable.
+pub fn nested_control_store_case(n: usize, seed: u64) -> ShapeCase {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let a: Vec<u64> = (0..n).map(|_| rng.gen_range(-100i64..100) as u64).collect();
+    let init_c: Vec<u64> = (0..n).map(|i| 1000 + i as u64).collect();
+    let c: Vec<u64> = a
+        .iter()
+        .zip(&init_c)
+        .map(|(&x, &c0)| if (x as i64) < 0 { 0 } else { c0 })
+        .collect();
+    ShapeCase {
+        args: vec![BUF_A, BUF_C, n as u64],
+        init: vec![(BUF_A, a), (BUF_C, init_c)],
+        expected: vec![(BUF_C, c)],
+    }
+}
+
+/// Speculative window checking — the adaptive mechanism for shape-A
+/// loops (paper future work, implemented by hand). The fabric compares
+/// four elements per invocation while the core already has the next
+/// window's loads in flight; on a hit the core rescans the four-element
+/// window for the exact index.
+///
+/// Returns `None` when `geometry` cannot host the window comparator
+/// (needs five input ports and one output port). Requires `n % 4 == 0`
+/// and `n >= 8`.
+pub fn speculative_window(geometry: FabricGeometry, n: usize, seed: u64) -> Option<ManualCase> {
+    manual::find_first_speculative(geometry, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyser_compiler::{classify_loops, LoopShape};
+    use dyser_core::{run_program, RunConfig};
+
+    fn dominant_shape(f: &Function) -> LoopShape {
+        classify_loops(f)
+            .iter()
+            .map(|r| r.shape)
+            .max_by_key(|s| match s {
+                LoopShape::Regular => 0,
+                LoopShape::IfConvertible => 1,
+                LoopShape::EarlyExit => 2,
+                LoopShape::NestedControl => 3,
+            })
+            .expect("shape functions have loops")
+    }
+
+    #[test]
+    fn early_exit_search_classifies_as_shape_a() {
+        let shape = dominant_shape(&early_exit_search());
+        assert_eq!(shape, LoopShape::EarlyExit);
+        assert!(!shape.acceleratable());
+    }
+
+    #[test]
+    fn nested_control_store_classifies_as_shape_b() {
+        let shape = dominant_shape(&nested_control_store());
+        assert_eq!(shape, LoopShape::NestedControl);
+        assert!(!shape.acceleratable());
+    }
+
+    #[test]
+    fn shape_cases_are_deterministic_in_the_seed() {
+        let (a, b) = (early_exit_search_case(40, 7), early_exit_search_case(40, 7));
+        assert_eq!(a.init, b.init);
+        assert_eq!(a.expected, b.expected);
+        let c = early_exit_search_case(40, 8);
+        assert_ne!(a.init, c.init, "different seed, different haystack");
+        let (d, e) = (nested_control_store_case(40, 7), nested_control_store_case(40, 7));
+        assert_eq!(d.init, e.init);
+        assert_eq!(d.expected, e.expected);
+    }
+
+    #[test]
+    fn nested_control_case_exercises_both_arms() {
+        let case = nested_control_store_case(64, 3);
+        let out = &case.expected[0].1;
+        assert!(out.contains(&0), "some stores taken");
+        assert!(out.iter().any(|&w| w != 0), "some stores skipped");
+    }
+
+    #[test]
+    fn speculative_window_verifies_against_the_search_contract() {
+        let case = speculative_window(FabricGeometry::new(8, 8), 64, 5).expect("8x8 fits");
+        let mut rc = RunConfig::default();
+        rc.system.geometry = case.program.configs[0].geometry();
+        let stats =
+            run_program("speculative", &case.program, &case.args, &case.init, &case.expected, &rc)
+                .expect("speculative window verifies");
+        assert!(stats.fabric.fu_fires() > 0, "comparisons ran in-fabric");
+    }
+
+    #[test]
+    fn speculative_window_needs_five_input_ports() {
+        assert!(speculative_window(FabricGeometry::new(2, 2), 16, 0).is_none());
+    }
+}
