@@ -6,6 +6,7 @@
 //! cargo run -p dyser-bench --release --bin repro -- e2 --csv     # machine-readable
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time    # BENCH_repro.json
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time --reps 2
+//! cargo run -p dyser-bench --release --bin repro -- all --backend compiled
 //! cargo run -p dyser-bench --release --bin repro -- stats        # cycle attribution
 //! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
 //! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 10000 --seed 0xD75E --shrink
@@ -93,6 +94,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("fuzz") {
         fuzz_main(args.split_off(1));
     }
+    if let Some(backend) = take_value(&mut args, "--backend", |v| {
+        dyser_core::Backend::parse(v)
+            .map_err(|e| eprintln!("{e}"))
+            .ok()
+    }) {
+        dyser_core::set_backend_override(Some(backend));
+    }
     let csv = args.iter().any(|a| a == "--csv");
     let time = args.iter().any(|a| a == "--time");
     let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
@@ -133,10 +141,17 @@ fn main() {
         let reference = load_reference("BENCH_repro.json");
         let timings = time_experiments(&ids, reps);
         for t in &timings {
-            println!(
-                "{:>8}  median {:>9.3} ms  min {:>9.3} ms  {:>12} cycles  {:>8.2} Mcyc/s",
-                t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
-            );
+            if t.config_only {
+                println!(
+                    "{:>8}  median {:>9.3} ms  min {:>9.3} ms  (config only, no simulation)",
+                    t.id, t.wall_ms_median, t.wall_ms_min
+                );
+            } else {
+                println!(
+                    "{:>8}  median {:>9.3} ms  min {:>9.3} ms  {:>12} cycles  {:>8.2} Mcyc/s",
+                    t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
+                );
+            }
         }
         let json = timing_json(&timings, reps, &reference, None);
         std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");

@@ -3,7 +3,8 @@
 
 use dyser_compiler::LoopShape;
 use dyser_core::{
-    default_workers, run_kernel, run_kernels, run_program, KernelJob, KernelResult, RunConfig,
+    default_workers, run_kernel, run_kernels, run_program, speed_stat_totals, KernelJob,
+    KernelResult, RunConfig,
 };
 use dyser_energy::EnergyModel;
 use dyser_fabric::{FabricGeometry, FuKind, StructuralStats};
@@ -286,7 +287,31 @@ pub fn stats_attribution(scale: Scale) -> ExpTable {
     }
     t.note("buckets are exclusive and exhaustive: each row's buckets sum to its cycle count");
     t.note("mem-miss equals the hierarchy's own stall count on every row (cross-checked)");
+    let speed = speed_stat_totals();
+    t.note(format!(
+        "decode cache (interpreted issue path): {} hits / {} misses ({:.1}% hit rate)",
+        speed.decode_hits,
+        speed.decode_misses,
+        percent(speed.decode_hits, speed.decode_hits + speed.decode_misses),
+    ));
+    t.note(format!(
+        "block cache (compiled issue path): {} hits / {} misses / {} invalidations \
+         ({:.1}% hit rate)",
+        speed.blocks.hits,
+        speed.blocks.misses,
+        speed.blocks.invalidations,
+        percent(speed.blocks.hits, speed.blocks.hits + speed.blocks.misses),
+    ));
     t
+}
+
+/// `part` as a percentage of `whole`; zero when nothing was counted.
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
 }
 
 // ------------------------------------------------------------------ E4

@@ -111,6 +111,7 @@ pub fn time_fuzz(cases: u64, seed: u64, reps: usize) -> (Timing, f64) {
             wall_ms_min: walls[0],
             sim_cycles: cycles,
             mcycles_per_sec: throughput,
+            config_only: false,
         },
         cases_per_sec,
     )

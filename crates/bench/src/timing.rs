@@ -96,6 +96,10 @@ pub struct Timing {
     pub sim_cycles: u64,
     /// Simulation throughput at the median wall time.
     pub mcycles_per_sec: f64,
+    /// The experiment ran no simulation (e.g. `e1` renders tables from
+    /// static configurations), so cycle counts and throughput are
+    /// structurally zero rather than a measurement.
+    pub config_only: bool,
 }
 
 /// Times each experiment: one untimed warmup run (fills the compile
@@ -137,6 +141,7 @@ pub fn time_experiments(ids: &[&str], reps: usize) -> Vec<Timing> {
                 wall_ms_min: walls[0],
                 sim_cycles: cycles,
                 mcycles_per_sec: throughput,
+                config_only: cycles == 0,
             }
         })
         .collect()
@@ -164,12 +169,23 @@ pub fn timing_json(
     let _ = writeln!(s, "  \"reps\": {reps},");
     s.push_str("  \"experiments\": [\n");
     for (i, t) in timings.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"id\": \"{}\", \"wall_ms_median\": {:.3}, \"wall_ms_min\": {:.3}, \
-             \"sim_cycles\": {}, \"mcycles_per_sec\": {:.3}}}",
-            t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
-        );
+        if t.config_only {
+            // No simulation ran; a zero throughput would read as a
+            // measurement, so say what the experiment actually is.
+            let _ = write!(
+                s,
+                "    {{\"id\": \"{}\", \"wall_ms_median\": {:.3}, \"wall_ms_min\": {:.3}, \
+                 \"config_only\": true}}",
+                t.id, t.wall_ms_median, t.wall_ms_min
+            );
+        } else {
+            let _ = write!(
+                s,
+                "    {{\"id\": \"{}\", \"wall_ms_median\": {:.3}, \"wall_ms_min\": {:.3}, \
+                 \"sim_cycles\": {}, \"mcycles_per_sec\": {:.3}}}",
+                t.id, t.wall_ms_median, t.wall_ms_min, t.sim_cycles, t.mcycles_per_sec
+            );
+        }
         s.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
@@ -213,9 +229,15 @@ mod tests {
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].id, "e1");
         assert!(timings[0].wall_ms_median >= timings[0].wall_ms_min);
+        assert!(timings[0].config_only, "e1 renders static tables; it simulates nothing");
         let json = timing_json(&timings, 1, &Reference::default(), None);
         assert!(!json.contains("fuzz_cases_per_sec"), "no fuzz timing was supplied");
         assert!(json.contains("\"id\": \"e1\""));
+        assert!(json.contains("\"config_only\": true"));
+        assert!(
+            !json.contains("\"mcycles_per_sec\": 0.000"),
+            "config-only experiments must not report a zero throughput: {json}"
+        );
         assert!(json.contains("\"e2_pre_change_ms\""));
         assert!(json.contains("\"machine\": \"reference\""));
         assert!(json.contains("\"cycle_buckets\""));
@@ -246,6 +268,7 @@ mod tests {
                 wall_ms_min: 9.0,
                 sim_cycles: 1000,
                 mcycles_per_sec: 1.0,
+                config_only: false,
             })
             .collect();
         let json = timing_json(&timings, 3, &Reference::default(), Some(123.45));

@@ -1,30 +1,47 @@
-//! Equivalence of the stall fast-forwarding path and the per-cycle
-//! reference path: `RunStats` — cycles, per-cause stalls, cycle buckets,
-//! memory and fabric counters — must be bit-identical between
-//! `System::run` (bulk cycle advance) and `System::run_stepped` for
-//! every workload, including DySER-active ones with port transfers in
-//! flight, under both the serial and the parallel harness, and across
-//! mid-stall timeouts.
+//! Equivalence of the execution backends: `RunStats` — cycles, per-cause
+//! stalls, cycle buckets, memory and fabric counters — must be
+//! bit-identical between `System::run` (stall fast-forwarding),
+//! `System::run_stepped` (the per-cycle reference), and
+//! `System::run_compiled` (translated-block thunks) for every workload,
+//! including DySER-active ones with port transfers in flight, under both
+//! the serial and the parallel harness, and across mid-stall timeouts.
 
 use dyser_bench::experiments::SEED;
 use dyser_core::{
-    run_kernel, run_kernels, KernelJob, KernelResult, RunConfig, SysError, System, SystemConfig,
+    run_kernel, run_kernels, Backend, KernelJob, KernelResult, RunConfig, SysError, System,
+    SystemConfig,
 };
 use dyser_fabric::FuKind;
 use dyser_isa::{regs, AluOp, Assembler, Instr, LoadKind, Op2};
 use dyser_workloads::suite;
 
+/// The three execution paths under test.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Stepped,
+    Fast,
+    Compiled,
+}
+
+impl Mode {
+    fn apply(self, config: &mut RunConfig) {
+        config.stepped = self == Mode::Stepped;
+        config.backend =
+            if self == Mode::Compiled { Backend::Compiled } else { Backend::Interpreted };
+    }
+}
+
 /// Every suite kernel at a small size — plus ablation-style variants
 /// (FIFO depth, perfect memory, universal FUs, no unroll) that shift
 /// which stall causes dominate — each under its own compiler options.
-fn equivalence_jobs(stepped: bool) -> Vec<KernelJob> {
+fn equivalence_jobs(mode: Mode) -> Vec<KernelJob> {
     let mut jobs: Vec<KernelJob> = suite()
         .iter()
         .map(|k| {
             let n = (k.default_n / 16).max(8) / 4 * 4;
             let mut config = RunConfig::default();
             config.compiler = k.compiler_options(config.system.geometry);
-            config.stepped = stepped;
+            mode.apply(&mut config);
             (k.case(n, SEED), config)
         })
         .collect();
@@ -44,7 +61,7 @@ fn equivalence_jobs(stepped: bool) -> Vec<KernelJob> {
         let k = suite().into_iter().find(|k| k.name == name).expect("kernel in suite");
         let mut config = RunConfig::default();
         config.compiler = k.compiler_options(config.system.geometry);
-        config.stepped = stepped;
+        mode.apply(&mut config);
         tweak(&mut config);
         jobs.push((k.case(32, SEED), config));
     }
@@ -52,33 +69,31 @@ fn equivalence_jobs(stepped: bool) -> Vec<KernelJob> {
 }
 
 /// Asserts every observable field of two results matches bit-for-bit.
-fn assert_identical(name: &str, fast: &KernelResult, stepped: &KernelResult) {
-    for (which, f, s) in
-        [("baseline", &fast.baseline, &stepped.baseline), ("dyser", &fast.dyser, &stepped.dyser)]
+fn assert_identical(name: &str, label: &str, got: &KernelResult, want: &KernelResult) {
+    for (which, g, w) in
+        [("baseline", &got.baseline, &want.baseline), ("dyser", &got.dyser, &want.dyser)]
     {
+        assert_eq!(g, w, "{name} ({which}): RunStats diverged between {label} and stepped runs");
         assert_eq!(
-            f, s,
-            "{name} ({which}): RunStats diverged between fast-forwarded and stepped runs"
-        );
-        assert_eq!(
-            f.cycle_account(),
-            s.cycle_account(),
-            "{name} ({which}): cycle buckets diverged"
+            g.cycle_account(),
+            w.cycle_account(),
+            "{name} ({which}): cycle buckets diverged ({label})"
         );
     }
     assert_eq!(
-        format!("{fast:?}"),
-        format!("{stepped:?}"),
-        "{name}: results diverged outside the stats"
+        format!("{got:?}"),
+        format!("{want:?}"),
+        "{name}: results diverged outside the stats ({label})"
     );
 }
 
 #[test]
-fn fast_forward_is_bit_identical_serial_and_parallel() {
-    let fast_jobs = equivalence_jobs(false);
-    let stepped_jobs = equivalence_jobs(true);
+fn backends_are_bit_identical_serial_and_parallel() {
+    let fast_jobs = equivalence_jobs(Mode::Fast);
+    let compiled_jobs = equivalence_jobs(Mode::Compiled);
+    let stepped_jobs = equivalence_jobs(Mode::Stepped);
 
-    // Serial: one kernel at a time, both paths back to back. The dyser
+    // Serial: one kernel at a time, all paths back to back. The dyser
     // runs keep port sends/receives in flight while counted stalls are
     // skipped, so this covers DySER-active fabric states, not just
     // scalar code.
@@ -96,17 +111,26 @@ fn fast_forward_is_bit_identical_serial_and_parallel() {
             "{}: accelerated run exercised no port traffic",
             case.name
         );
-        assert_identical(&case.name, &fast, want);
+        assert_identical(&case.name, "fast-forwarded", &fast, want);
+    }
+    for ((case, config), want) in compiled_jobs.iter().zip(&stepped_serial) {
+        let compiled =
+            run_kernel(case, config).unwrap_or_else(|e| panic!("compiled {}: {e}", case.name));
+        assert_identical(&case.name, "compiled", &compiled, want);
     }
 
     // Parallel: the same jobs fanned across workers must agree with the
     // stepped serial reference too.
-    for results in [run_kernels(&fast_jobs, 4), run_kernels(&stepped_jobs, 4)] {
-        for ((case, _), (want, got)) in fast_jobs.iter().zip(stepped_serial.iter().zip(&results))
+    for (jobs, label) in [
+        (&fast_jobs, "fast-forwarded"),
+        (&compiled_jobs, "compiled"),
+        (&stepped_jobs, "stepped"),
+    ] {
+        for ((case, _), (want, got)) in
+            jobs.iter().zip(stepped_serial.iter().zip(&run_kernels(jobs, 4)))
         {
-            let got =
-                got.as_ref().unwrap_or_else(|e| panic!("parallel {}: {e}", case.name));
-            assert_identical(&case.name, got, want);
+            let got = got.as_ref().unwrap_or_else(|e| panic!("parallel {}: {e}", case.name));
+            assert_identical(&case.name, label, got, want);
         }
     }
 }
@@ -128,22 +152,22 @@ fn stally_spin() -> Vec<u32> {
 }
 
 #[test]
-fn timeout_mid_stall_reports_identical_cycles_both_ways() {
+fn timeout_mid_stall_reports_identical_cycles_all_ways() {
     let words = stally_spin();
     // Sweep budgets across a couple of loop iterations so some cut the
     // run mid-stall and some on an issue cycle; a bulk skip must never
-    // overshoot the budget either way. The fabric-free system (E10's
-    // pure baseline) takes the same fast path, so cover both.
+    // overshoot the budget on any path. The fabric-free system (E10's
+    // pure baseline) takes the same fast paths, so cover both.
     for has_fabric in [true, false] {
         for max_cycles in (40..=160).step_by(7) {
-            let run_one = |stepped: bool| -> (u64, dyser_core::RunStats) {
+            let run_one = |mode: Mode| -> (u64, dyser_core::RunStats) {
                 let mut sys =
                     System::new(SystemConfig { has_fabric, ..SystemConfig::default() });
                 sys.load_raw(0x10000, &words);
-                let err = if stepped {
-                    sys.run_stepped(max_cycles)
-                } else {
-                    sys.run(max_cycles)
+                let err = match mode {
+                    Mode::Stepped => sys.run_stepped(max_cycles),
+                    Mode::Fast => sys.run(max_cycles),
+                    Mode::Compiled => sys.run_compiled(max_cycles),
                 }
                 .expect_err("spin loop never halts");
                 let SysError::Timeout { cycles } = err else {
@@ -151,17 +175,16 @@ fn timeout_mid_stall_reports_identical_cycles_both_ways() {
                 };
                 (cycles, sys.stats())
             };
-            let (fast_cycles, fast_stats) = run_one(false);
-            let (stepped_cycles, stepped_stats) = run_one(true);
-            assert_eq!(
-                fast_cycles, max_cycles,
-                "fast-forwarded timeout overshot or undershot the budget"
-            );
+            let (stepped_cycles, stepped_stats) = run_one(Mode::Stepped);
             assert_eq!(stepped_cycles, max_cycles, "stepped timeout off the budget");
-            assert_eq!(
-                fast_stats, stepped_stats,
-                "max_cycles={max_cycles}: stats diverged at timeout"
-            );
+            for (mode, label) in [(Mode::Fast, "fast-forwarded"), (Mode::Compiled, "compiled")] {
+                let (cycles, stats) = run_one(mode);
+                assert_eq!(cycles, max_cycles, "{label} timeout overshot or undershot");
+                assert_eq!(
+                    stats, stepped_stats,
+                    "max_cycles={max_cycles}: {label} stats diverged at timeout"
+                );
+            }
         }
     }
 }

@@ -19,7 +19,7 @@ use dyser_compiler::{
 use dyser_sparc::{CycleAccount, CycleBucket};
 use dyser_trace::TraceRun;
 
-use crate::system::{RunStats, SysError, System, SystemConfig};
+use crate::system::{RunStats, SpeedStats, SysError, System, SystemConfig};
 
 /// A runnable kernel instance: IR, arguments, input memory, and the
 /// reference outputs.
@@ -37,6 +37,45 @@ pub struct KernelCase {
     pub expected: Vec<(u64, Vec<u64>)>,
 }
 
+/// Which execution engine drives a simulation run.
+///
+/// All backends produce bit-identical [`RunStats`]; they differ only in
+/// how much simulator work they spend per simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Fetch, decode, and execute every issue, fast-forwarding counted
+    /// stalls (`System::run`).
+    #[default]
+    Interpreted,
+    /// Translate straight-line spans once and dispatch pre-decoded block
+    /// thunks (`System::run_compiled`).
+    Compiled,
+}
+
+impl Backend {
+    /// Parses a CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "interpreted" | "interp" => Ok(Backend::Interpreted),
+            "compiled" => Ok(Backend::Compiled),
+            other => Err(format!("unknown backend {other:?} (interpreted|compiled)")),
+        }
+    }
+
+    /// The canonical CLI spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Interpreted => "interpreted",
+            Backend::Compiled => "compiled",
+        }
+    }
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -49,8 +88,12 @@ pub struct RunConfig {
     /// Use the per-cycle reference path (`System::run_stepped`) instead
     /// of the stall fast-forwarding default. The two paths produce
     /// bit-identical `RunStats` — this switch exists so the equivalence
-    /// tests can prove it through the full harness.
+    /// tests can prove it through the full harness. Takes precedence
+    /// over `backend`.
     pub stepped: bool,
+    /// Execution engine for non-stepped runs (overridable process-wide
+    /// with [`set_backend_override`]).
+    pub backend: Backend,
 }
 
 impl Default for RunConfig {
@@ -60,6 +103,7 @@ impl Default for RunConfig {
             compiler: CompilerOptions::default(),
             max_cycles: 50_000_000,
             stepped: false,
+            backend: Backend::Interpreted,
         }
     }
 }
@@ -172,6 +216,50 @@ pub fn cycle_bucket_totals() -> CycleAccount {
     acct
 }
 
+/// Process-wide backend override: 0 = none (use each job's `RunConfig`),
+/// 1 = interpreted, 2 = compiled. Lets the CLI's `--backend` flag reach
+/// every run without threading through each experiment constructor.
+static BACKEND_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Forces every subsequent [`run_program`] call in this process onto the
+/// given backend (`None` restores per-job configuration).
+pub fn set_backend_override(backend: Option<Backend>) {
+    let v = match backend {
+        None => 0,
+        Some(Backend::Interpreted) => 1,
+        Some(Backend::Compiled) => 2,
+    };
+    BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+fn backend_override() -> Option<Backend> {
+    match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(Backend::Interpreted),
+        2 => Some(Backend::Compiled),
+        _ => None,
+    }
+}
+
+/// Simulator-speed counters (decode cache, block cache) accumulated by
+/// every [`run_program`] call, in [`SpeedStats`] field order: decode
+/// hits, decode misses, block hits, block misses, block invalidations.
+static SPEED_TOTALS: [AtomicU64; 5] = [const { AtomicU64::new(0) }; 5];
+
+/// The aggregate issue-path cache counters of every run so far in this
+/// process (see [`SpeedStats`]).
+#[must_use]
+pub fn speed_stat_totals() -> SpeedStats {
+    SpeedStats {
+        decode_hits: SPEED_TOTALS[0].load(Ordering::Relaxed),
+        decode_misses: SPEED_TOTALS[1].load(Ordering::Relaxed),
+        blocks: dyser_compiled::BlockCacheStats {
+            hits: SPEED_TOTALS[2].load(Ordering::Relaxed),
+            misses: SPEED_TOTALS[3].load(Ordering::Relaxed),
+            invalidations: SPEED_TOTALS[4].load(Ordering::Relaxed),
+        },
+    }
+}
+
 /// Ring-buffer capacity for event tracing in [`run_program`]; zero (the
 /// default) disables tracing entirely.
 static TRACE_CAP: AtomicUsize = AtomicUsize::new(0);
@@ -222,9 +310,22 @@ pub fn run_program(
     let run = if config.stepped {
         sys.run_stepped(config.max_cycles)
     } else {
-        sys.run(config.max_cycles)
+        match backend_override().unwrap_or(config.backend) {
+            Backend::Interpreted => sys.run(config.max_cycles),
+            Backend::Compiled => sys.run_compiled(config.max_cycles),
+        }
     };
     let stats = run.map_err(|source| HarnessError::Run { which, source })?;
+    let speed = sys.speed_stats();
+    for (slot, count) in SPEED_TOTALS.iter().zip([
+        speed.decode_hits,
+        speed.decode_misses,
+        speed.blocks.hits,
+        speed.blocks.misses,
+        speed.blocks.invalidations,
+    ]) {
+        slot.fetch_add(count, Ordering::Relaxed);
+    }
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     let acct = stats.cycle_account();
     for (i, bucket) in CycleBucket::ALL.iter().enumerate() {

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dyser_compiled::{run_block, BlockCache, BlockCacheStats};
 use dyser_compiler::Program;
 use dyser_fabric::{ConfigError, Fabric, FabricConfig, FabricConfigError, FabricGeometry, FuKind};
 use dyser_mem::{Hierarchy, MemConfig, MemStats, Memory};
@@ -182,6 +183,18 @@ impl Bus for SysBus {
         (self.memory.read_u32(addr), lat)
     }
 
+    fn fetch_repeat(&mut self, addr: u64) -> u64 {
+        self.hierarchy.fetch_repeat(addr)
+    }
+
+    fn peek_instr(&self, addr: u64) -> u32 {
+        self.memory.read_u32(addr)
+    }
+
+    fn code_page_generation(&self, addr: u64) -> u64 {
+        self.memory.page_generation(addr)
+    }
+
     fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64) {
         let lat = self.hierarchy.load(addr);
         (read_sized(&self.memory, addr, bytes, signed), lat)
@@ -260,6 +273,25 @@ impl Coproc for SysCoproc {
     fn cp_vec_out(&self, vp: usize) -> &[usize] {
         self.fabric.as_ref().map_or(&[], |f| f.vec_out_ports(vp))
     }
+
+    fn cp_catch_up(&mut self, ticks: u64) {
+        if let Some(fabric) = &mut self.fabric {
+            fabric.tick_n(ticks);
+        }
+    }
+}
+
+/// Simulator-speed counters of the two issue-path caches. Pure
+/// observability: deliberately outside [`RunStats`], whose bit-for-bit
+/// equality the backends must preserve while taking different paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeedStats {
+    /// Decoded-instruction cache hits (the interpreted issue path).
+    pub decode_hits: u64,
+    /// Decoded-instruction cache misses.
+    pub decode_misses: u64,
+    /// Translated-block cache counters (the compiled issue path).
+    pub blocks: BlockCacheStats,
 }
 
 /// The integrated machine: core, fabric, and memory in lock step.
@@ -270,6 +302,10 @@ pub struct System {
     coproc: SysCoproc,
     config: SystemConfig,
     tracing: bool,
+    /// Translated blocks for [`System::run_compiled`]; keyed by PC and
+    /// validated against code-page write generations, so it never holds
+    /// stale text.
+    blocks: BlockCache,
 }
 
 impl System {
@@ -312,6 +348,7 @@ impl System {
             coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
             config,
             tracing: false,
+            blocks: BlockCache::new(),
         })
     }
 
@@ -405,6 +442,7 @@ impl System {
         self.coproc.active = None;
         self.coproc.cache.clear();
         self.cpu = Pipeline::new(program.entry);
+        self.blocks.clear();
         Ok(())
     }
 
@@ -412,6 +450,7 @@ impl System {
     pub fn load_raw(&mut self, addr: u64, words: &[u32]) {
         self.bus.memory.write_code(addr, words);
         self.cpu = Pipeline::new(addr);
+        self.blocks.clear();
     }
 
     /// Writes the kernel arguments into `%o0..%o5`.
@@ -501,6 +540,104 @@ impl System {
             return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
         }
         Ok(self.stats())
+    }
+
+    /// Runs until `halt` or `max_cycles` on the compiled backend:
+    /// straight-line spans execute as pre-decoded thunks out of the block
+    /// cache (see [`dyser_compiled`]), and fabric ticks are paid lazily —
+    /// settled to the core's cycle count immediately before anything
+    /// observes the fabric, which commutes with core-only activity.
+    ///
+    /// Every `RunStats` counter is bit-identical to [`System::run`] and
+    /// [`System::run_stepped`]. With tracing enabled the interpreted path
+    /// is used throughout, since per-event timestamps require the
+    /// per-cycle interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::Timeout`] if the budget elapses, or a core
+    /// fault.
+    pub fn run_compiled(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
+        if self.tracing {
+            return self.run(max_cycles);
+        }
+        let line_bytes = self.config.mem.l1i.line_bytes;
+        let mut remaining = max_cycles;
+        // Fabric ticks paid so far. The interpreter's invariant: one
+        // fabric tick per core cycle, paid after the core's half-cycle —
+        // so during cycle T the coprocessor sees T-1 fabric ticks.
+        let mut fabric_ticks = self.cpu.stats().cycles;
+        let result = loop {
+            if self.cpu.halted() || remaining == 0 {
+                break Ok(());
+            }
+            if self.cpu.has_pending() {
+                let skip = self.cpu.skip_horizon().min(remaining);
+                if skip > 0 {
+                    // Counted stalls advance the core in bulk; the fabric
+                    // owes the same cycles and pays at the next settle.
+                    self.cpu.tick_n(skip);
+                    remaining -= skip;
+                } else {
+                    // The front micro-state polls the coprocessor every
+                    // cycle: settle and fall back to lockstep ticking.
+                    let owed = self.cpu.stats().cycles - fabric_ticks;
+                    self.coproc.cp_catch_up(owed);
+                    fabric_ticks = self.cpu.stats().cycles;
+                    match self.tick() {
+                        Ok(()) => fabric_ticks += 1,
+                        Err(e) => break Err(e),
+                    }
+                    remaining -= 1;
+                }
+                continue;
+            }
+            let block = self.blocks.lookup(&self.bus, self.cpu.pc(), line_bytes);
+            if block.instrs.is_empty() {
+                // The entry word does not decode: one interpreted cycle
+                // raises the identical fault.
+                let owed = self.cpu.stats().cycles - fabric_ticks;
+                self.coproc.cp_catch_up(owed);
+                fabric_ticks = self.cpu.stats().cycles;
+                match self.tick() {
+                    Ok(()) => fabric_ticks += 1,
+                    Err(e) => break Err(e),
+                }
+                remaining -= 1;
+                continue;
+            }
+            match run_block(
+                &mut self.cpu,
+                &mut self.bus,
+                &mut self.coproc,
+                block,
+                remaining,
+                &mut fabric_ticks,
+            ) {
+                Ok(run) => remaining -= run.cycles,
+                Err(e) => break Err(e.into()),
+            }
+        };
+        // Settle the deferred fabric ticks. A faulting cycle never pays
+        // its fabric tick (the interpreter raises before the fabric's
+        // half-cycle), so the target on a core error is one short.
+        let target = match &result {
+            Err(SysError::Core(_)) => self.cpu.stats().cycles - 1,
+            _ => self.cpu.stats().cycles,
+        };
+        self.coproc.cp_catch_up(target.saturating_sub(fabric_ticks));
+        result?;
+        if !self.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        }
+        Ok(self.stats())
+    }
+
+    /// Simulator-speed counters of the issue-path caches (see
+    /// [`SpeedStats`]).
+    pub fn speed_stats(&self) -> SpeedStats {
+        let (decode_hits, decode_misses) = self.cpu.decode_cache_stats();
+        SpeedStats { decode_hits, decode_misses, blocks: self.blocks.stats() }
     }
 
     /// Statistics so far.

@@ -12,6 +12,20 @@
 //! hardware's ready-signal propagation exactly: a register freed this cycle
 //! can accept a new value this cycle, giving an initiation interval of one
 //! without letting any value traverse more than one hop per cycle.
+//!
+//! The per-cycle loop is *specialized to the loaded bitstream*. At
+//! `load_config` time the configured dataflow graph is compiled into a
+//! fixed evaluation schedule: the sinks-first step order, per-FU plans
+//! (operand masks, preresolved constants, pipeline capacity), and a
+//! *wake graph* recording, for every resource a value can block on —
+//! a downstream register, an FU operand latch, an output-FIFO slot —
+//! which producers to re-arm when it frees. The tick loop then runs
+//! event-driven over ready bitmaps: a blocked register or idle FU is
+//! parked after one failed attempt and revisited only when a wake edge
+//! fires, so a tick's cost scales with the values actually moving, not
+//! with the size of the configuration. The schedule is pure
+//! acceleration: the visit order and every observable outcome are
+//! bit-identical to the exhaustive scan.
 
 use std::collections::VecDeque;
 
@@ -20,7 +34,7 @@ use dyser_trace::{detail, EventKind, TraceBuffer, TraceEvent};
 use crate::config::topo;
 use crate::config::{ConfigError, FabricConfig, FabricConfigError, InDir, OperandSrc, OutDir};
 use crate::geom::{FabricGeometry, FuId, SwitchId};
-use crate::op::{FuKind, Value};
+use crate::op::{FuKind, FuOp, Value};
 use crate::stats::FabricStats;
 
 /// Depth of the input/output port FIFOs, as in the prototype.
@@ -31,8 +45,11 @@ pub const DEFAULT_CONFIG_BUS_BITS: u64 = 64;
 
 #[derive(Debug, Clone)]
 struct FuState {
-    config: Option<crate::config::FuConfig>,
     latch: [Option<Value>; 3],
+    /// Bit `slot` set iff `latch[slot]` holds a value — the O(1) operand
+    /// readiness word the fire phase compares against
+    /// [`FuPlan::switch_mask`].
+    latched: u8,
     /// In-flight operations: `(ready_cycle, value)`, FIFO order.
     pipe: VecDeque<(u64, Value)>,
     out: Option<Value>,
@@ -40,7 +57,7 @@ struct FuState {
 
 impl FuState {
     fn empty() -> Self {
-        FuState { config: None, latch: [None; 3], pipe: VecDeque::new(), out: None }
+        FuState { latch: [None; 3], latched: 0, pipe: VecDeque::new(), out: None }
     }
 
     fn in_flight(&self) -> usize {
@@ -69,6 +86,42 @@ struct RegStep {
     dest: RegDest,
 }
 
+/// Everything the merged FU phase needs about one configured unit,
+/// resolved once per `load_config` so the per-cycle loop never consults
+/// the [`FuConfig`](crate::config::FuConfig) itself.
+#[derive(Debug, Clone, Copy)]
+struct FuPlan {
+    /// FU index into the state array.
+    fu: u32,
+    /// Consumer key of the FU's output switch's `FuOut` line.
+    out_key: u32,
+    /// Whether `out_key` has any consumers (results drop otherwise).
+    out_wired: bool,
+    op: FuOp,
+    /// Pipeline capacity: `op.latency().max(1)`.
+    capacity: u32,
+    latency: u64,
+    is_fp: bool,
+    /// Bit `slot` set iff operand `slot` arrives from the switch mesh; a
+    /// fire is ready exactly when `latched & switch_mask == switch_mask`.
+    switch_mask: u8,
+    /// Operand template with `Const` slots prefilled.
+    const_ops: [Value; 3],
+    /// Per operand slot, the step index of the register feeding the
+    /// latch (`u32::MAX` if none): a fire frees the latches, so it
+    /// re-arms these steps.
+    feeders: [u32; 3],
+}
+
+/// Tag bit in a wake-graph entry: set when the entry re-arms an FU plan
+/// (by plan index) rather than a register step.
+const FU_WAKE: u32 = 1 << 31;
+
+/// Tag bit in a wake-graph entry: set when the entry re-arms an input
+/// port's injection (by `wired_inputs` index) rather than a register
+/// step.
+const PORT_WAKE: u32 = 1 << 30;
+
 /// Dense routing tables precomputed from a configuration.
 ///
 /// Everything `tick` needs per cycle is resolved here once per
@@ -82,17 +135,41 @@ struct RouteTable {
     /// `switch_index * InDir::COUNT + InDir::index()`; length is one more
     /// than the key count.
     offsets: Vec<u32>,
-    /// Concatenated consumer register indices for every key.
+    /// Concatenated consumer *step* indices for every key. Every consumer
+    /// register is a configured route and therefore has a step, and
+    /// register values live in the step-indexed `vals` array, so
+    /// `deliver` needs no register-to-step translation.
     targets: Vec<u32>,
     /// Register move plan, in sinks-first topological order.
     steps: Vec<RegStep>,
-    /// Per FU index, the consumer key of its output switch's `FuOut` line.
-    fu_out_keys: Vec<u32>,
-    /// Indices of the FUs the configuration actually programs; the FU
-    /// phases iterate only these instead of the whole grid.
-    active_fus: Vec<u32>,
+    /// One plan per FU the configuration actually programs; the merged
+    /// FU phase iterates only these instead of the whole grid.
+    fu_plans: Vec<FuPlan>,
+    /// Maps an FU index to its plan index (`u32::MAX` if unconfigured):
+    /// an operand latch filling re-arms the owning unit.
+    fu_to_plan: Vec<u32>,
+    /// Wake graph in CSR form, indexed by step: when step `s` moves (its
+    /// source register frees), `wake_targets[wake_offsets[s]..
+    /// wake_offsets[s + 1]]` lists the producers delivering *into* that
+    /// register — upstream steps, plus FU plans tagged with [`FU_WAKE`] —
+    /// that the free may unblock. Producers are always source-ward of the
+    /// freed register, i.e. at strictly higher step indices, so a wake
+    /// fired mid-scan lands ahead of the scan cursor and is attempted in
+    /// the same tick, exactly like the exhaustive sinks-first pass.
+    wake_offsets: Vec<u32>,
+    wake_targets: Vec<u32>,
+    /// Per output port, the step index of the `ExtOut` register feeding
+    /// it (`u32::MAX` if none): a `try_recv` frees FIFO space, so it
+    /// re-arms this step.
+    port_feeders: Vec<u32>,
     /// `(port, key)` for each input port whose `ExtIn` line has consumers.
     wired_inputs: Vec<(u32, u32)>,
+    /// Maps an input port to its `wired_inputs` index (`u32::MAX` if
+    /// unwired): a `try_send` arms the port's injection entry.
+    port_inject: Vec<u32>,
+    /// Longest FU latency in the configuration, sizing the pipeline
+    /// timer wheel.
+    max_latency: u64,
 }
 
 impl RouteTable {
@@ -105,6 +182,13 @@ impl RouteTable {
         let lo = self.offsets[key as usize] as usize;
         let hi = self.offsets[key as usize + 1] as usize;
         &self.targets[lo..hi]
+    }
+
+    /// Wake-graph entries to re-arm when step `step` moves.
+    fn wakes(&self, step: usize) -> &[u32] {
+        let lo = self.wake_offsets[step] as usize;
+        let hi = self.wake_offsets[step + 1] as usize;
+        &self.wake_targets[lo..hi]
     }
 
     fn build(
@@ -152,36 +236,149 @@ impl RouteTable {
             })
             .collect();
 
-        let fu_out_keys = geom
-            .fus()
-            .map(|fu| Self::key(geom, topo::fu_output_switch(fu), InDir::FuOut))
-            .collect();
+        let steps: Vec<RegStep> = steps;
+        let mut reg_to_step = vec![u32::MAX; geom.switch_count() * 8];
+        for (i, step) in steps.iter().enumerate() {
+            reg_to_step[step.src as usize] = i as u32;
+        }
+        debug_assert!(
+            targets.iter().all(|&t| reg_to_step[t as usize] != u32::MAX),
+            "every consumer register is a configured route with a step"
+        );
+        // Remap consumer targets from register indices to step indices so
+        // the hot delivery path needs no register-to-step translation.
+        for t in &mut targets {
+            *t = reg_to_step[*t as usize];
+        }
 
-        let active_fus = geom
+        // Who feeds each FU operand latch and each output port: the step
+        // whose register delivers into it (unique by mesh topology).
+        let mut latch_feeders = vec![u32::MAX; geom.fu_count() * 3];
+        let mut port_feeders = vec![u32::MAX; geom.output_ports()];
+        for (i, step) in steps.iter().enumerate() {
+            match step.dest {
+                RegDest::FuLatch { fu, slot } => {
+                    let cell = &mut latch_feeders[fu as usize * 3 + slot as usize];
+                    debug_assert_eq!(*cell, u32::MAX, "one route per operand latch");
+                    *cell = i as u32;
+                }
+                RegDest::Port { port } => {
+                    let cell = &mut port_feeders[port as usize];
+                    debug_assert_eq!(*cell, u32::MAX, "one ExtOut route per output port");
+                    *cell = i as u32;
+                }
+                RegDest::Switch { .. } => {}
+            }
+        }
+
+        let mut table = RouteTable {
+            offsets,
+            targets,
+            steps,
+            fu_plans: vec![],
+            fu_to_plan: vec![u32::MAX; geom.fu_count()],
+            wake_offsets: vec![],
+            wake_targets: vec![],
+            port_feeders,
+            wired_inputs: vec![],
+            port_inject: vec![u32::MAX; geom.input_ports()],
+            max_latency: 0,
+        };
+
+        table.fu_plans = geom
             .fus()
-            .filter(|&fu| config.fu(fu).is_some())
-            .map(|fu| geom.fu_index(fu) as u32)
+            .filter_map(|fu| config.fu(fu).map(|fc| (fu, fc)))
+            .map(|(fu, fc)| {
+                let fi = geom.fu_index(fu);
+                let out_key = Self::key(geom, topo::fu_output_switch(fu), InDir::FuOut);
+                let mut switch_mask = 0u8;
+                let mut const_ops = [0u64; 3];
+                for (slot, operand) in fc.operands.iter().enumerate() {
+                    match operand {
+                        OperandSrc::None => {}
+                        OperandSrc::Const(c) => const_ops[slot] = *c,
+                        OperandSrc::Switch => switch_mask |= 1 << slot,
+                    }
+                }
+                FuPlan {
+                    fu: fi as u32,
+                    out_key,
+                    out_wired: !table.consumers(out_key).is_empty(),
+                    op: fc.op,
+                    capacity: fc.op.latency().max(1) as u32,
+                    latency: fc.op.latency(),
+                    is_fp: fc.op.is_fp(),
+                    switch_mask,
+                    const_ops,
+                    feeders: [
+                        latch_feeders[fi * 3],
+                        latch_feeders[fi * 3 + 1],
+                        latch_feeders[fi * 3 + 2],
+                    ],
+                }
+            })
             .collect();
+        for (qi, plan) in table.fu_plans.iter().enumerate() {
+            table.fu_to_plan[plan.fu as usize] = qi as u32;
+        }
+        table.max_latency = table.fu_plans.iter().map(|p| p.latency).max().unwrap_or(0);
 
         let mut wired_inputs = Vec::new();
-        let mut table =
-            RouteTable { offsets, targets, steps, fu_out_keys, active_fus, wired_inputs: vec![] };
         for port in 0..geom.input_ports() {
             let sw = geom.input_port_switch(port).expect("port index in range");
             let key = Self::key(geom, sw, InDir::ExtIn);
             if !table.consumers(key).is_empty() {
+                table.port_inject[port] = wired_inputs.len() as u32;
                 wired_inputs.push((port as u32, key));
             }
         }
         table.wired_inputs = wired_inputs;
+
+        // The wake graph: for every step, the producers delivering into
+        // its register, which its move may unblock — upstream steps, FU
+        // results, and input-port injections.
+        let mut wake_lists: Vec<Vec<u32>> = vec![Vec::new(); table.steps.len()];
+        for (pi, step) in table.steps.iter().enumerate() {
+            if let RegDest::Switch { key } = step.dest {
+                for &c in table.consumers(key) {
+                    wake_lists[c as usize].push(pi as u32);
+                }
+            }
+        }
+        for (qi, plan) in table.fu_plans.iter().enumerate() {
+            if plan.out_wired {
+                for &c in table.consumers(plan.out_key) {
+                    wake_lists[c as usize].push(qi as u32 | FU_WAKE);
+                }
+            }
+        }
+        for (ei, &(_, key)) in table.wired_inputs.iter().enumerate() {
+            for &c in table.consumers(key) {
+                wake_lists[c as usize].push(ei as u32 | PORT_WAKE);
+            }
+        }
+        let mut wake_offsets = Vec::with_capacity(wake_lists.len() + 1);
+        let mut wake_targets = Vec::new();
+        wake_offsets.push(0u32);
+        for list in &wake_lists {
+            wake_targets.extend_from_slice(list);
+            wake_offsets.push(wake_targets.len() as u32);
+        }
+        table.wake_offsets = wake_offsets;
+        table.wake_targets = wake_targets;
         table
     }
 }
 
 /// Copies `value` into every consumer register of `key`, atomically (all
-/// must be free). Returns whether the value moved.
+/// must be free), marking each filled register's step in the `fresh`
+/// bitmap — the batch merged into the ready set at end of tick, so a
+/// value delivered this cycle moves no earlier than the next one.
+/// Returns whether the value moved.
 fn deliver(
-    regs: &mut [Option<Value>],
+    vals: &mut [Value],
+    occ: &mut [u64],
+    fresh: &mut [u64],
     table: &RouteTable,
     key: u32,
     value: Value,
@@ -191,11 +388,13 @@ fn deliver(
     if consumers.is_empty() {
         return false;
     }
-    if consumers.iter().any(|&i| regs[i as usize].is_some()) {
+    if consumers.iter().any(|&c| occ[c as usize / 64] >> (c % 64) & 1 != 0) {
         return false;
     }
-    for &i in consumers {
-        regs[i as usize] = Some(value);
+    for &c in consumers {
+        vals[c as usize] = value;
+        occ[c as usize / 64] |= 1 << (c % 64);
+        fresh[c as usize / 64] |= 1 << (c % 64);
     }
     stats.fanout_copies += (consumers.len() - 1) as u64;
     true
@@ -206,8 +405,39 @@ struct Active {
     config: FabricConfig,
     /// Precomputed routing tables (see [`RouteTable`]).
     table: RouteTable,
-    /// Register contents, indexed by `switch_index * 8 + OutDir::index()`.
-    regs: Vec<Option<Value>>,
+    /// Register contents, indexed by *step* — only configured routes have
+    /// storage, and the delivery path shares indices with the bitmaps.
+    /// A slot is meaningful only where `occ` has its bit set.
+    vals: Vec<Value>,
+    /// Occupancy bitmap over `vals`: which route registers hold a value.
+    /// Kept beside the ready/fresh bitmaps so the hot delivery check is
+    /// bit tests on resident words instead of `Option` loads.
+    occ: Vec<u64>,
+    /// Ready bitmap over `table.steps`: steps the register phase must
+    /// attempt this tick. A failed attempt parks the step (bit stays
+    /// clear) until a wake-graph edge re-arms it, so the scan cost tracks
+    /// the values that can actually move, not the configuration size.
+    ready: Vec<u64>,
+    /// Steps whose registers were filled *this* tick; merged into
+    /// `ready` at end of tick (one hop per cycle).
+    fresh: Vec<u64>,
+    /// Ready bitmap over `table.fu_plans`: units with buffered output,
+    /// an advancing pipeline, or newly latched operands. Idle units are
+    /// parked and re-armed by latch fills, wake-graph edges, and the
+    /// timer wheel.
+    fu_ready: Vec<u64>,
+    /// Ready bitmap over `table.wired_inputs`: port injections the input
+    /// phase must attempt this tick. Armed by `try_send`; a delivery
+    /// refusal parks the entry until a [`PORT_WAKE`] edge re-arms it.
+    inject_ready: Vec<u64>,
+    /// Timer wheel over FU plans: a unit whose pipeline front completes
+    /// at a future cycle parks here instead of polling, and is re-armed
+    /// into `fu_ready` when that cycle arrives. Slot count is a power of
+    /// two exceeding the longest configured latency, so entries never
+    /// collide across wheel revolutions. Wheel entries imply
+    /// `pipe_count > 0`, which blocks the quiescent bulk skip, so every
+    /// scheduled slot is actually drained.
+    wheel: Vec<Vec<u32>>,
     fus: Vec<FuState>,
     in_fifos: Vec<VecDeque<Value>>,
     out_fifos: Vec<VecDeque<Value>>,
@@ -374,22 +604,37 @@ impl Fabric {
         }
         let reg_order = config.check_acyclic()?;
         let table = RouteTable::build(&self.geom, config, &reg_order);
-        let mut fus: Vec<FuState> = (0..self.geom.fu_count()).map(|_| FuState::empty()).collect();
-        for fu in self.geom.fus() {
-            fus[self.geom.fu_index(fu)].config = config.fu(fu).copied();
-        }
+        let fus: Vec<FuState> = (0..self.geom.fu_count()).map(|_| FuState::empty()).collect();
         self.stats.configs_loaded += 1;
         self.stats.config_bits += config.frame_bits();
         // A configured FU with no switch-fed operand (constants only)
         // fires every cycle unconditionally, so a fabric holding one is
-        // never stationary — not even freshly loaded and empty.
-        let free_running = self.geom.fus().filter_map(|fu| config.fu(fu)).any(|fc| {
-            !fc.operands.iter().any(|o| matches!(o, OperandSrc::Switch))
-        });
+        // never stationary — not even freshly loaded and empty — and
+        // starts (and stays) on the FU ready list.
+        let free_running = table.fu_plans.iter().any(|p| p.switch_mask == 0);
+        let step_words = table.steps.len().div_ceil(64);
+        let mut fu_ready = vec![0u64; table.fu_plans.len().div_ceil(64)];
+        for (qi, plan) in table.fu_plans.iter().enumerate() {
+            if plan.switch_mask == 0 {
+                fu_ready[qi / 64] |= 1 << (qi % 64);
+            }
+        }
+        let inject_ready = vec![0u64; table.wired_inputs.len().div_ceil(64)];
+        // `+ 2` headroom: a latency-0 fire is deferred to `cycle + 1`, so
+        // the farthest wheel slot is `max_latency.max(1)` ticks out.
+        let wheel_slots = usize::try_from(table.max_latency + 2)
+            .expect("latency fits usize")
+            .next_power_of_two();
         self.active = Some(Active {
             config: config.clone(),
             table,
-            regs: vec![None; self.geom.switch_count() * 8],
+            vals: vec![0; step_words * 64],
+            occ: vec![0; step_words],
+            ready: vec![0; step_words],
+            fresh: vec![0; step_words],
+            fu_ready,
+            inject_ready,
+            wheel: vec![Vec::new(); wheel_slots],
             fus,
             in_fifos: vec![VecDeque::new(); self.geom.input_ports()],
             out_fifos: vec![VecDeque::new(); self.geom.output_ports()],
@@ -417,6 +662,12 @@ impl Fabric {
         }
         fifo.push_back(value);
         active.stationary = false;
+        // The enqueue makes the port's injection attemptable.
+        if let Some(&ei) = active.table.port_inject.get(port) {
+            if ei != u32::MAX {
+                active.inject_ready[ei as usize / 64] |= 1 << (ei % 64);
+            }
+        }
         self.stats.port_in += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
             tracer.record(TraceEvent {
@@ -434,8 +685,14 @@ impl Fabric {
         let active = self.active.as_mut()?;
         let v = active.out_fifos.get_mut(port)?.pop_front()?;
         // The pop frees output-FIFO space a blocked route register may
-        // have been waiting for, so the state may move again.
+        // have been waiting for, so the state may move again; re-arm the
+        // register feeding this port.
         active.stationary = false;
+        if let Some(&feeder) = active.table.port_feeders.get(port) {
+            if feeder != u32::MAX {
+                active.ready[feeder as usize / 64] |= 1 << (feeder % 64);
+            }
+        }
         self.stats.port_out += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
             tracer.record(TraceEvent {
@@ -470,7 +727,7 @@ impl Fabric {
     pub fn in_flight(&self) -> usize {
         let Some(a) = &self.active else { return 0 };
         let fifos: usize = a.in_fifos.iter().map(VecDeque::len).sum();
-        let regs = a.regs.iter().flatten().count();
+        let regs: usize = a.occ.iter().map(|w| w.count_ones() as usize).sum();
         let fus: usize = a.fus.iter().map(FuState::in_flight).sum();
         fifos + regs + fus
     }
@@ -524,11 +781,15 @@ impl Fabric {
 
     /// Advances the fabric by one cycle.
     ///
-    /// The five phases run entirely on the precomputed [`RouteTable`]:
-    /// flat index loads and stores, no per-cycle topology lookups and no
-    /// heap allocation in steady state. An unconfigured or stationary
-    /// fabric (see [`Fabric::is_quiescent`]) takes a counters-only early
-    /// path with none of the per-phase setup.
+    /// The phases run entirely on the schedule precomputed by
+    /// [`RouteTable::build`]: flat index loads and stores, no per-cycle
+    /// topology lookups and no heap allocation in steady state. The
+    /// register phase scans the ready bitmap rather than the full step
+    /// list, and the merged FU pass visits only units flagged ready, so
+    /// the cost of a busy tick tracks the values that can actually move.
+    /// An unconfigured or stationary fabric (see
+    /// [`Fabric::is_quiescent`]) takes a counters-only early path with
+    /// none of the per-phase setup.
     pub fn tick(&mut self) {
         if self.is_quiescent() {
             self.advance_idle(1);
@@ -541,134 +802,236 @@ impl Fabric {
         let stats = &mut self.stats;
         let mut tracer = self.tracer.as_deref_mut();
         let Some(active) = self.active.as_mut() else { return };
-        let Active { table, regs, fus, in_fifos, out_fifos, pipe_count, stationary, .. } = active;
+        let Active {
+            table,
+            vals,
+            occ,
+            ready,
+            fresh,
+            fu_ready,
+            inject_ready,
+            wheel,
+            fus,
+            in_fifos,
+            out_fifos,
+            pipe_count,
+            stationary,
+            ..
+        } = active;
         let mut any_activity = false;
         let mut any_fire = false;
 
-        // Phase 1: move switch-output registers, sinks first.
-        for step in &table.steps {
-            let src = step.src as usize;
-            let Some(value) = regs[src] else { continue };
-            let moved = match step.dest {
-                RegDest::Switch { key } => deliver(regs, table, key, value, stats),
-                RegDest::FuLatch { fu, slot } => {
-                    let latch = &mut fus[fu as usize].latch[slot as usize];
-                    if latch.is_none() {
-                        *latch = Some(value);
-                        true
-                    } else {
-                        false
-                    }
-                }
-                RegDest::Port { port } => {
-                    let fifo = &mut out_fifos[port as usize];
-                    if fifo.len() < fifo_depth {
-                        fifo.push_back(value);
-                        true
-                    } else {
-                        false
-                    }
-                }
-            };
-            if moved {
-                regs[src] = None;
-                stats.switch_hops += 1;
-                any_activity = true;
-            }
+        // Units whose pipeline front completes this cycle come off the
+        // timer wheel and back onto the ready list.
+        let slot = (cycle & (wheel.len() as u64 - 1)) as usize;
+        for &qi in &wheel[slot] {
+            fu_ready[qi as usize / 64] |= 1 << (qi % 64);
         }
+        wheel[slot].clear();
 
-        // Phase 2: inject FU results into their south-east switches.
-        // Only configured FUs can hold results, so the FU phases walk the
-        // active list instead of the whole grid.
-        for &fi in &table.active_fus {
-            let fi = fi as usize;
-            let Some(value) = fus[fi].out else { continue };
-            let key = table.fu_out_keys[fi];
-            if table.consumers(key).is_empty() {
-                // No route consumes this result: drop it (manual configs only).
-                fus[fi].out = None;
-                stats.dropped_results += 1;
-                continue;
-            }
-            if deliver(regs, table, key, value, stats) {
-                fus[fi].out = None;
-                any_activity = true;
-            }
-        }
-
-        // Phase 3: advance FU pipelines into output buffers.
-        for &fi in &table.active_fus {
-            let fu_state = &mut fus[fi as usize];
-            if fu_state.out.is_none() {
-                if let Some(&(ready, v)) = fu_state.pipe.front() {
-                    if cycle >= ready {
-                        fu_state.out = Some(v);
-                        fu_state.pipe.pop_front();
-                        *pipe_count -= 1;
-                        any_activity = true;
-                    }
+        // Phase 1: attempt the ready steps in ascending — sinks-first —
+        // order. Every attempt consumes its bit; a move re-arms the
+        // freed register's upstream producers through the wake graph.
+        // Wake targets sit at strictly higher step indices than the scan
+        // cursor, so the word is re-read each iteration and a same-tick
+        // wake is attempted exactly where the exhaustive pass would have
+        // reached it. Values delivered this tick land in `fresh`, not
+        // `ready`, and wait for the next tick — one hop per cycle.
+        for w in 0..ready.len() {
+            loop {
+                let pending = ready[w];
+                if pending == 0 {
+                    break;
                 }
-            }
-        }
-
-        // Phase 4: fire ready FUs.
-        for &fi in &table.active_fus {
-            let fu_state = &mut fus[fi as usize];
-            let Some(cfg) = fu_state.config else { continue };
-            let capacity = cfg.op.latency().max(1) as usize;
-            if fu_state.pipe.len() >= capacity {
-                continue;
-            }
-            let mut operands = [0u64; 3];
-            let mut ready = true;
-            for (slot, operand) in operands.iter_mut().enumerate() {
-                match cfg.operands[slot] {
-                    OperandSrc::None => {}
-                    OperandSrc::Const(c) => *operand = c,
-                    OperandSrc::Switch => match fu_state.latch[slot] {
-                        Some(v) => *operand = v,
-                        None => {
-                            ready = false;
-                            break;
+                let bit = pending.trailing_zeros() as usize;
+                ready[w] &= !(1u64 << bit);
+                let si = w * 64 + bit;
+                if occ[w] >> bit & 1 == 0 {
+                    continue;
+                }
+                let step = table.steps[si];
+                let value = vals[si];
+                let moved = match step.dest {
+                    RegDest::Switch { key } => deliver(vals, occ, fresh, table, key, value, stats),
+                    RegDest::FuLatch { fu, slot } => {
+                        let fu_state = &mut fus[fu as usize];
+                        if fu_state.latch[slot as usize].is_none() {
+                            fu_state.latch[slot as usize] = Some(value);
+                            fu_state.latched |= 1 << slot;
+                            // The arrival may let the unit fire this tick.
+                            let plan = table.fu_to_plan[fu as usize];
+                            if plan != u32::MAX {
+                                fu_ready[plan as usize / 64] |= 1 << (plan % 64);
+                            }
+                            true
+                        } else {
+                            false
                         }
-                    },
+                    }
+                    RegDest::Port { port } => {
+                        let fifo = &mut out_fifos[port as usize];
+                        if fifo.len() < fifo_depth {
+                            fifo.push_back(value);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if moved {
+                    occ[w] &= !(1u64 << bit);
+                    stats.switch_hops += 1;
+                    any_activity = true;
+                    for &wake in table.wakes(si) {
+                        if wake & (FU_WAKE | PORT_WAKE) == 0 {
+                            debug_assert!(wake as usize > si, "wakes point source-ward");
+                            ready[wake as usize / 64] |= 1 << (wake % 64);
+                        } else if wake & FU_WAKE != 0 {
+                            let plan = wake & !FU_WAKE;
+                            fu_ready[plan as usize / 64] |= 1 << (plan % 64);
+                        } else {
+                            let ei = wake & !PORT_WAKE;
+                            inject_ready[ei as usize / 64] |= 1 << (ei % 64);
+                        }
+                    }
                 }
             }
-            if !ready {
-                continue;
-            }
-            for slot in 0..3 {
-                if matches!(cfg.operands[slot], OperandSrc::Switch) {
-                    fu_state.latch[slot] = None;
-                }
-            }
-            let result = cfg.op.eval(operands[0], operands[1], operands[2]);
-            fu_state.pipe.push_back((cycle + cfg.op.latency(), result));
-            *pipe_count += 1;
-            if cfg.op.is_fp() {
-                stats.fp_fu_fires += 1;
-            } else {
-                stats.int_fu_fires += 1;
-            }
-            if let Some(tracer) = tracer.as_mut() {
-                tracer.record(TraceEvent {
-                    cycle,
-                    kind: EventKind::FabricFire,
-                    arg: fi as u64,
-                    detail: if cfg.op.is_fp() { detail::FIRE_FP } else { detail::FIRE_INT },
-                });
-            }
-            any_activity = true;
-            any_fire = true;
         }
 
-        // Phase 5: inject input-port values into their wired edge switches.
-        for &(port, key) in &table.wired_inputs {
-            let Some(&value) = in_fifos[port as usize].front() else { continue };
-            if deliver(regs, table, key, value, stats) {
-                in_fifos[port as usize].pop_front();
-                any_activity = true;
+        // Phases 2–4 merged into one pass over the ready FUs, in plan
+        // (FU) order. Only the result-injection phase touches shared
+        // state (the registers), and ready flags are only ever *set*
+        // during this pass, never consulted mid-pass, so the observable
+        // sequence of register writes, stats, and trace events matches
+        // the exhaustive three-phase sweep. A unit leaves the ready list
+        // unless its pipeline is still advancing toward a free output
+        // buffer (or it free-runs on constants, or it must drop an
+        // unwired result next tick); everything else is re-armed by
+        // latch fills and wake edges.
+        for (w, ready_word) in fu_ready.iter_mut().enumerate() {
+            let mut snapshot = *ready_word;
+            *ready_word = 0;
+            while snapshot != 0 {
+                let bit = snapshot.trailing_zeros() as usize;
+                snapshot &= snapshot - 1;
+                let plan = &table.fu_plans[w * 64 + bit];
+                let fu_state = &mut fus[plan.fu as usize];
+                // Inject the FU result into its south-east switch (phase 2).
+                let mut out_blocked = false;
+                if let Some(value) = fu_state.out {
+                    if !plan.out_wired {
+                        // No route consumes this result: drop it (manual configs only).
+                        fu_state.out = None;
+                        stats.dropped_results += 1;
+                    } else if deliver(vals, occ, fresh, table, plan.out_key, value, stats) {
+                        fu_state.out = None;
+                        any_activity = true;
+                    } else {
+                        out_blocked = true;
+                    }
+                }
+                // Advance the FU pipeline into the output buffer (phase 3).
+                if fu_state.out.is_none() {
+                    if let Some(&(ready_at, v)) = fu_state.pipe.front() {
+                        if cycle >= ready_at {
+                            fu_state.out = Some(v);
+                            fu_state.pipe.pop_front();
+                            *pipe_count -= 1;
+                            any_activity = true;
+                        }
+                    }
+                }
+                // Fire when every bound operand is latched and the
+                // pipeline has room (phase 4).
+                if fu_state.pipe.len() < plan.capacity as usize
+                    && (fu_state.latched & plan.switch_mask) == plan.switch_mask
+                {
+                    let mut operands = plan.const_ops;
+                    let mut mask = plan.switch_mask;
+                    while mask != 0 {
+                        let slot = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        operands[slot] = fu_state.latch[slot]
+                            .take()
+                            .expect("latched bit tracks a filled latch");
+                        // The freed latch re-arms the register feeding it.
+                        let feeder = plan.feeders[slot];
+                        if feeder != u32::MAX {
+                            ready[feeder as usize / 64] |= 1 << (feeder % 64);
+                        }
+                    }
+                    fu_state.latched &= !plan.switch_mask;
+                    let result = plan.op.eval(operands[0], operands[1], operands[2]);
+                    fu_state.pipe.push_back((cycle + plan.latency, result));
+                    *pipe_count += 1;
+                    if plan.is_fp {
+                        stats.fp_fu_fires += 1;
+                    } else {
+                        stats.int_fu_fires += 1;
+                    }
+                    if let Some(tracer) = tracer.as_mut() {
+                        tracer.record(TraceEvent {
+                            cycle,
+                            kind: EventKind::FabricFire,
+                            arg: plan.fu as u64,
+                            detail: if plan.is_fp { detail::FIRE_FP } else { detail::FIRE_INT },
+                        });
+                    }
+                    any_activity = true;
+                    any_fire = true;
+                }
+                // Stay scheduled only while next tick's visit can make
+                // progress: a free-running unit, or a result buffered
+                // this tick whose delivery has not yet been refused. A
+                // refused delivery parks the unit until a wake edge
+                // reports the downstream register freed; an idle unit
+                // parks until an operand latch fills; a unit whose
+                // pipeline front completes at a future cycle parks on
+                // the timer wheel until then. (A latency-0 fire lands on
+                // next tick's slot: the output buffer accepts it no
+                // earlier, exactly as the every-tick visit would.)
+                if plan.switch_mask == 0 || (fu_state.out.is_some() && !out_blocked) {
+                    *ready_word |= 1 << bit;
+                } else if fu_state.out.is_none() {
+                    if let Some(&(ready_at, _)) = fu_state.pipe.front() {
+                        let due = ready_at.max(cycle + 1);
+                        let slot = (due & (wheel.len() as u64 - 1)) as usize;
+                        wheel[slot].push((w * 64 + bit) as u32);
+                    }
+                }
             }
+        }
+
+        // Phase 5: inject input-port values into their wired edge
+        // switches — armed entries only, in `wired_inputs` order. A
+        // refused delivery parks the entry until a [`PORT_WAKE`] edge
+        // reports a consumer register freed (deliveries never free
+        // registers, so no wake can arrive mid-phase); a successful one
+        // keeps the entry armed while the FIFO still holds values, and
+        // `try_send` re-arms an entry drained empty.
+        for (w, inject_word) in inject_ready.iter_mut().enumerate() {
+            let mut snapshot = *inject_word;
+            *inject_word = 0;
+            while snapshot != 0 {
+                let bit = snapshot.trailing_zeros() as usize;
+                snapshot &= snapshot - 1;
+                let (port, key) = table.wired_inputs[w * 64 + bit];
+                let fifo = &mut in_fifos[port as usize];
+                let Some(&value) = fifo.front() else { continue };
+                if deliver(vals, occ, fresh, table, key, value, stats) {
+                    fifo.pop_front();
+                    any_activity = true;
+                    if !fifo.is_empty() {
+                        *inject_word |= 1 << bit;
+                    }
+                }
+            }
+        }
+
+        // Registers filled this tick become attemptable next tick.
+        for (r, f) in ready.iter_mut().zip(fresh.iter_mut()) {
+            *r |= *f;
+            *f = 0;
         }
 
         if any_activity {

@@ -2,8 +2,9 @@
 //!
 //! 1. IR interpreter == compiled baseline binary == compiled DySER binary
 //!    (bit-exact output buffers, IEEE specials included);
-//! 2. `System::run` (fast-forwarding) and `System::run_stepped` (per-cycle
-//!    reference) produce bit-identical `RunStats`;
+//! 2. `System::run` (fast-forwarding), `System::run_stepped` (per-cycle
+//!    reference), and `System::run_compiled` (block-translated thunks)
+//!    produce bit-identical `RunStats`;
 //! 3. every run's cycle attribution is balanced — `sum(buckets) ==
 //!    cycles` — and the `MemMiss` bucket equals the memory hierarchy's
 //!    own stall count;
@@ -47,7 +48,8 @@ pub enum FuzzFailure {
     ExpectedInvalidConfig(String),
     /// A run that should complete returned an error.
     Run {
-        /// Which engine (`"baseline"`, `"dyser"`, `"dyser-stepped"`).
+        /// Which engine (`"baseline"`, `"dyser"`, `"dyser-stepped"`,
+        /// `"dyser-compiled"`).
         which: &'static str,
         /// The typed error's rendering.
         detail: String,
@@ -248,42 +250,89 @@ pub fn check_case_with(
 
     // Baseline binary against the interpreter.
     let (base_stats, _) =
-        exec("baseline", &compiled.baseline, &built, &expected, &sys_cfg, false, false)?;
+        exec("baseline", &compiled.baseline, &built, &expected, &sys_cfg, Engine::Fast, false)?;
     cycles += base_stats.cycles;
 
     // DySER binary: the fast-forwarding path (traced when the recipe says
-    // so) and the per-cycle reference path, which must agree bit-for-bit
-    // in both outputs and statistics.
+    // so), the per-cycle reference path, and the block-translated compiled
+    // path — all three must agree bit-for-bit in both outputs and
+    // statistics.
     let traced = r.mode == RunMode::Traced;
     let (ff_stats, had_trace) =
-        exec("dyser", &compiled.accelerated, &built, &expected, &sys_cfg, false, traced)?;
-    let (st_stats, _) =
-        exec("dyser-stepped", &compiled.accelerated, &built, &expected, &sys_cfg, true, false)?;
-    cycles += ff_stats.cycles + st_stats.cycles;
+        exec("dyser", &compiled.accelerated, &built, &expected, &sys_cfg, Engine::Fast, traced)?;
+    let (st_stats, _) = exec(
+        "dyser-stepped",
+        &compiled.accelerated,
+        &built,
+        &expected,
+        &sys_cfg,
+        Engine::Stepped,
+        false,
+    )?;
+    let (cp_stats, _) = exec(
+        "dyser-compiled",
+        &compiled.accelerated,
+        &built,
+        &expected,
+        &sys_cfg,
+        Engine::Compiled,
+        false,
+    )?;
+    cycles += ff_stats.cycles + st_stats.cycles + cp_stats.cycles;
     if ff_stats != st_stats {
         return Err(FuzzFailure::StatsDiverge(format!(
             "fast-forward {ff_stats:?} vs stepped {st_stats:?}"
+        )));
+    }
+    if ff_stats != cp_stats {
+        return Err(FuzzFailure::StatsDiverge(format!(
+            "fast-forward {ff_stats:?} vs compiled {cp_stats:?}"
         )));
     }
     if traced && !had_trace {
         return Err(FuzzFailure::MissingTrace);
     }
 
-    // Mid-run timeout sweep: both paths must report the same typed
+    // Mid-run timeout sweep: every path must report the same typed
     // Timeout at the same cycle under a half budget.
     if r.timeout_check {
         let budget = ff_stats.cycles / 2;
-        let t_ff = run_to_timeout(&compiled.accelerated, &built, &sys_cfg, false, budget)?;
-        let t_st = run_to_timeout(&compiled.accelerated, &built, &sys_cfg, true, budget)?;
-        if t_ff != t_st {
+        let t_ff = run_to_timeout(&compiled.accelerated, &built, &sys_cfg, Engine::Fast, budget)?;
+        let t_st =
+            run_to_timeout(&compiled.accelerated, &built, &sys_cfg, Engine::Stepped, budget)?;
+        let t_cp =
+            run_to_timeout(&compiled.accelerated, &built, &sys_cfg, Engine::Compiled, budget)?;
+        if t_ff != t_st || t_ff != t_cp {
             return Err(FuzzFailure::TimeoutDiverge(format!(
-                "budget {budget}: fast-forward timed out at {t_ff}, stepped at {t_st}"
+                "budget {budget}: fast-forward timed out at {t_ff}, stepped at {t_st}, \
+                 compiled at {t_cp}"
             )));
         }
-        cycles += t_ff + t_st;
+        cycles += t_ff + t_st + t_cp;
     }
 
     Ok(CaseOutcome { accelerated: compiled.accelerated_any, cycles, invalid_config: false })
+}
+
+/// Which execution engine drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// [`System::run`] — interpreted, with quiescent fast-forwarding.
+    Fast,
+    /// [`System::run_stepped`] — the per-cycle reference.
+    Stepped,
+    /// [`System::run_compiled`] — block-translated execution thunks.
+    Compiled,
+}
+
+impl Engine {
+    fn run(self, sys: &mut System, budget: u64) -> Result<RunStats, SysError> {
+        match self {
+            Engine::Fast => sys.run(budget),
+            Engine::Stepped => sys.run_stepped(budget),
+            Engine::Compiled => sys.run_compiled(budget),
+        }
+    }
 }
 
 /// Builds a system, runs one engine, checks the balance identity and the
@@ -294,14 +343,14 @@ fn exec(
     built: &BuiltCase,
     expected: &[(u64, Vec<u64>)],
     sys_cfg: &SystemConfig,
-    stepped: bool,
+    engine: Engine,
     trace: bool,
 ) -> Result<(RunStats, bool), FuzzFailure> {
     let mut sys = setup(which, program, built, sys_cfg)?;
     if trace {
         sys.enable_trace(TRACE_CAP);
     }
-    let run = if stepped { sys.run_stepped(MAX_CYCLES) } else { sys.run(MAX_CYCLES) };
+    let run = engine.run(&mut sys, MAX_CYCLES);
     let stats = run.map_err(|e| FuzzFailure::Run { which, detail: e.to_string() })?;
     let acct = stats.cycle_account();
     if !acct.balanced() {
@@ -343,11 +392,11 @@ fn run_to_timeout(
     program: &Program,
     built: &BuiltCase,
     sys_cfg: &SystemConfig,
-    stepped: bool,
+    engine: Engine,
     budget: u64,
 ) -> Result<u64, FuzzFailure> {
     let mut sys = setup("timeout-sweep", program, built, sys_cfg)?;
-    let run = if stepped { sys.run_stepped(budget) } else { sys.run(budget) };
+    let run = engine.run(&mut sys, budget);
     match run {
         Err(SysError::Timeout { cycles }) => Ok(cycles),
         Err(other) => Err(FuzzFailure::TimeoutDiverge(format!(

@@ -398,6 +398,20 @@ impl InstrClass {
             InstrClass::Other => "other",
         }
     }
+
+    /// Position of this class in [`InstrClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            InstrClass::IntAlu => 0,
+            InstrClass::IntMulDiv => 1,
+            InstrClass::Fp => 2,
+            InstrClass::Load => 3,
+            InstrClass::Store => 4,
+            InstrClass::Branch => 5,
+            InstrClass::Dyser => 6,
+            InstrClass::Other => 7,
+        }
+    }
 }
 
 /// A decoded instruction.

@@ -58,19 +58,23 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    /// Monotonic recency stamp; larger = more recent.
-    stamp: u64,
-}
-
 /// A set-associative, write-back, write-allocate cache with true LRU.
+///
+/// Lines are stored structure-of-arrays in flat per-field vectors indexed
+/// by `set * ways + way`; a line is valid iff its recency stamp is
+/// nonzero (the tick counter pre-increments, so live stamps start at 1).
+/// The zeroed vectors come from the allocator's zero-page path, so even
+/// the huge idealised configurations (`MemConfig::perfect`) construct in
+/// microseconds and only fault in the pages their working set touches.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// Line tags; meaningful only where `stamps` is nonzero.
+    tags: Vec<u64>,
+    /// Recency stamps (larger = more recent); zero marks an invalid way.
+    stamps: Vec<u64>,
+    /// Dirty flags; meaningful only where `stamps` is nonzero.
+    dirty: Vec<u8>,
     tick: u64,
     stats: CacheStats,
 }
@@ -86,9 +90,12 @@ impl Cache {
         assert!(config.sets.is_power_of_two(), "set count must be a power of two");
         assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(config.ways > 0, "associativity must be non-zero");
+        let lines = config.sets * config.ways;
         Cache {
             config,
-            sets: vec![vec![None; config.ways]; config.sets],
+            tags: vec![0; lines],
+            stamps: vec![0; lines],
+            dirty: vec![0; lines],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -121,49 +128,71 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.config.ways;
 
-        if let Some(line) = set.iter_mut().flatten().find(|l| l.tag == tag) {
-            line.stamp = self.tick;
-            line.dirty |= write;
-            self.stats.hits += 1;
-            return AccessOutcome { hit: true, evicted_dirty: false };
+        for i in base..base + self.config.ways {
+            if self.stamps[i] != 0 && self.tags[i] == tag {
+                self.stamps[i] = self.tick;
+                self.dirty[i] |= u8::from(write);
+                self.stats.hits += 1;
+                return AccessOutcome { hit: true, evicted_dirty: false };
+            }
         }
 
         self.stats.misses += 1;
-        // Prefer an invalid way; otherwise evict the least recently used.
-        let victim = match set.iter().position(Option::is_none) {
-            Some(idx) => idx,
-            None => {
-                let (idx, _) = set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.map(|l| l.stamp).unwrap_or(0))
-                    .expect("associativity is non-zero");
-                idx
-            }
-        };
-        let evicted_dirty = set[victim].is_some_and(|l| l.dirty);
+        // Invalid ways carry stamp zero — below every live stamp — and
+        // ties break toward the lower index, so this picks the first
+        // invalid way when one exists and the true LRU line otherwise.
+        let victim = (base..base + self.config.ways)
+            .min_by_key(|&i| self.stamps[i])
+            .expect("associativity is non-zero");
+        let evicted_dirty = self.stamps[victim] != 0 && self.dirty[victim] != 0;
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        set[victim] = Some(Line { tag, dirty: write, stamp: self.tick });
+        self.tags[victim] = tag;
+        self.dirty[victim] = u8::from(write);
+        self.stamps[victim] = self.tick;
         AccessOutcome { hit: false, evicted_dirty }
+    }
+
+    /// Records one access that the caller has proven must hit (the line
+    /// was touched by this cache since, and nothing in between could have
+    /// evicted it). State- and stats-equivalent to calling
+    /// [`Cache::access`] with `write = false`: the tick advances, the hit
+    /// is counted, and the line's recency stamp moves to the new tick —
+    /// intermediate stamps of a run of repeats are unobservable because
+    /// only the final stamp participates in later LRU decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is not resident.
+    pub fn repeat_hit(&mut self, addr: u64) {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let base = set_idx * self.config.ways;
+        let line = (base..base + self.config.ways)
+            .find(|&i| self.stamps[i] != 0 && self.tags[i] == tag);
+        debug_assert!(line.is_some(), "repeat_hit on non-resident line {addr:#x}");
+        if let Some(i) = line {
+            self.stamps[i] = self.tick;
+        }
     }
 
     /// Whether the line containing `addr` is currently resident (no state
     /// change; useful for tests and warm-up checks).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().flatten().any(|l| l.tag == tag)
+        let base = set_idx * self.config.ways;
+        (base..base + self.config.ways).any(|i| self.stamps[i] != 0 && self.tags[i] == tag)
     }
 
     /// Invalidates all lines and forgets dirtiness (no writeback modelling;
     /// used between benchmark runs).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.stamps.fill(0);
     }
 }
 
@@ -222,6 +251,27 @@ mod tests {
         c.access(b, false); // b most recent; a is LRU
         let out = c.access(d, false);
         assert!(out.evicted_dirty, "write-hit dirtied the line");
+    }
+
+    #[test]
+    fn repeat_hit_equivalent_to_access() {
+        let mut via_access = small();
+        let mut via_repeat = small();
+        for c in [&mut via_access, &mut via_repeat] {
+            c.access(0x000, false);
+            c.access(0x040, false);
+        }
+        for _ in 0..3 {
+            via_access.access(0x044, false);
+            via_repeat.repeat_hit(0x044);
+        }
+        assert_eq!(via_access.stats(), via_repeat.stats());
+        // Recency must match too: 0x000 is LRU in both, so a conflicting
+        // fill evicts the same victim.
+        via_access.access(0x080, false);
+        via_repeat.access(0x080, false);
+        assert_eq!(via_access.probe(0x000), via_repeat.probe(0x000));
+        assert_eq!(via_access.probe(0x040), via_repeat.probe(0x040));
     }
 
     #[test]

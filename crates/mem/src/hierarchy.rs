@@ -198,6 +198,20 @@ impl Hierarchy {
         cycles
     }
 
+    /// Performs an instruction fetch the caller has proven must hit in
+    /// L1I (the line was fetched by this hierarchy since, and only fetch
+    /// traffic can evict L1I lines). Returns the hit latency.
+    ///
+    /// State- and stats-equivalent to [`Hierarchy::fetch`] on a hitting
+    /// address, but skips the refill machinery; the compiled backend uses
+    /// it for the non-leading instructions of a translated block.
+    pub fn fetch_repeat(&mut self, addr: u64) -> u64 {
+        self.l1i.repeat_hit(addr);
+        let cycles = self.config.l1i.hit_latency;
+        self.fetch_cycles += cycles;
+        cycles
+    }
+
     /// Performs a data load and returns its latency in cycles.
     pub fn load(&mut self, addr: u64) -> u64 {
         self.data_access(addr, false)
@@ -310,6 +324,20 @@ mod tests {
         h.flush();
         let lat = h.load(0);
         assert!(lat > h.config().l1d.hit_latency);
+    }
+
+    #[test]
+    fn fetch_repeat_matches_fetch_on_warm_line() {
+        let mut via_fetch = Hierarchy::new(MemConfig::default());
+        let mut via_repeat = Hierarchy::new(MemConfig::default());
+        via_fetch.fetch(0x1000);
+        via_repeat.fetch(0x1000);
+        for _ in 0..4 {
+            let a = via_fetch.fetch(0x1004);
+            let b = via_repeat.fetch_repeat(0x1004);
+            assert_eq!(a, b);
+        }
+        assert_eq!(via_fetch.stats(), via_repeat.stats());
     }
 
     #[test]

@@ -31,6 +31,23 @@ impl Hasher for PageHasher {
     }
 }
 
+/// One resident page plus its write generation.
+///
+/// The generation starts at 1 on first touch and is bumped on every write
+/// into the page, so translated-code caches can detect stores into pages
+/// they decoded from without tracking individual addresses.
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8; PAGE_BYTES]>,
+    gen: u64,
+}
+
+impl Page {
+    fn new() -> Self {
+        Self { data: Box::new([0u8; PAGE_BYTES]), gen: 1 }
+    }
+}
+
 /// A sparse, paged, big-endian physical memory.
 ///
 /// Pages are allocated on first touch and read as zero before that, which
@@ -40,7 +57,7 @@ impl Hasher for PageHasher {
 /// fully aligned).
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>, BuildHasherDefault<PageHasher>>,
+    pages: HashMap<u64, Page, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -57,18 +74,24 @@ impl Memory {
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr as usize) & (PAGE_BYTES - 1)],
+            Some(page) => page.data[(addr as usize) & (PAGE_BYTES - 1)],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
-        page[(addr as usize) & (PAGE_BYTES - 1)] = value;
+        let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(Page::new);
+        page.gen += 1;
+        page.data[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// The write generation of the page containing `addr`: 0 while the
+    /// page is untouched, bumped on every write into it afterwards. A
+    /// cached decode of code on the page is stale iff the generation has
+    /// moved since it was taken.
+    pub fn page_generation(&self, addr: u64) -> u64 {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map_or(0, |p| p.gen)
     }
 
     fn read_be(&self, addr: u64, bytes: u32) -> u64 {
@@ -80,7 +103,7 @@ impl Memory {
             return match self.pages.get(&(addr >> PAGE_SHIFT)) {
                 Some(page) => {
                     let off = (addr as usize) & (PAGE_BYTES - 1);
-                    page[off..off + bytes as usize]
+                    page.data[off..off + bytes as usize]
                         .iter()
                         .fold(0u64, |v, &b| (v << 8) | u64::from(b))
                 }
@@ -97,12 +120,10 @@ impl Memory {
     fn write_be(&mut self, addr: u64, bytes: u32, value: u64) {
         let end = addr.wrapping_add(u64::from(bytes)).wrapping_sub(1);
         if end >= addr && addr >> PAGE_SHIFT == end >> PAGE_SHIFT {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(Page::new);
+            page.gen += 1;
             let off = (addr as usize) & (PAGE_BYTES - 1);
-            for (i, slot) in page[off..off + bytes as usize].iter_mut().enumerate() {
+            for (i, slot) in page.data[off..off + bytes as usize].iter_mut().enumerate() {
                 *slot = (value >> (8 * (bytes - 1 - i as u32))) as u8;
             }
             return;
@@ -260,6 +281,21 @@ mod tests {
         mem.write_code(0x4000, &[0xDEAD_BEEF, 0x0BAD_F00D]);
         assert_eq!(mem.read_u32(0x4000), 0xDEAD_BEEF);
         assert_eq!(mem.read_u32(0x4004), 0x0BAD_F00D);
+    }
+
+    #[test]
+    fn page_generation_tracks_writes() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.page_generation(0x5000), 0, "untouched page");
+        mem.write_u32(0x5000, 7);
+        let g1 = mem.page_generation(0x5000);
+        assert!(g1 > 0);
+        assert_eq!(mem.page_generation(0x5FFC), g1, "same page, same generation");
+        mem.read_u32(0x5000);
+        assert_eq!(mem.page_generation(0x5000), g1, "reads do not bump");
+        mem.write_u8(0x5800, 1);
+        assert!(mem.page_generation(0x5000) > g1, "any write into the page bumps");
+        assert_eq!(mem.page_generation(0x6000), 0, "neighbouring page untouched");
     }
 
     #[test]

@@ -12,6 +12,26 @@ pub trait Bus {
     /// Fetches a 32-bit instruction word; returns `(word, latency_cycles)`.
     fn fetch_instr(&mut self, addr: u64) -> (u32, u64);
 
+    /// Fetches an instruction the caller has proven resides on an
+    /// instruction-cache line that the bus fetched earlier and cannot
+    /// have evicted since; returns the latency. Must be state- and
+    /// stats-equivalent to [`Bus::fetch_instr`] at the same address (the
+    /// default simply delegates); implementations with a real hierarchy
+    /// override it to skip the miss machinery.
+    fn fetch_repeat(&mut self, addr: u64) -> u64 {
+        self.fetch_instr(addr).1
+    }
+
+    /// Reads an instruction word with no timing side effects — the
+    /// translation view used by the compiled backend to decode blocks
+    /// ahead of execution.
+    fn peek_instr(&self, addr: u64) -> u32;
+
+    /// The write generation of the code page containing `addr` (see
+    /// [`Memory::page_generation`]). Translated blocks snapshot this and
+    /// are re-translated when it moves.
+    fn code_page_generation(&self, addr: u64) -> u64;
+
     /// Loads `bytes` bytes (1, 4, or 8), optionally sign-extending;
     /// returns `(value, latency_cycles)`.
     fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64);
@@ -74,6 +94,14 @@ impl SimpleBus {
 impl Bus for SimpleBus {
     fn fetch_instr(&mut self, addr: u64) -> (u32, u64) {
         (self.memory.read_u32(addr), self.fetch_latency)
+    }
+
+    fn peek_instr(&self, addr: u64) -> u32 {
+        self.memory.read_u32(addr)
+    }
+
+    fn code_page_generation(&self, addr: u64) -> u64 {
+        self.memory.page_generation(addr)
     }
 
     fn load(&mut self, addr: u64, bytes: u64, signed: bool) -> (u64, u64) {

@@ -64,6 +64,19 @@ pub trait Coproc {
 
     /// The scalar output ports behind vector output port `vp`.
     fn cp_vec_out(&self, vp: usize) -> &[usize];
+
+    /// Pays `ticks` deferred accelerator cycles in one call.
+    ///
+    /// The compiled backend does not tick the accelerator in lockstep
+    /// with the core; instead it calls this immediately before any other
+    /// `cp_*` method so the accelerator observes exactly the same tick
+    /// count it would under per-cycle interleaving (deferred ticks
+    /// commute with core-only activity — nothing else touches the
+    /// accelerator in between). Coprocessors with no internal clock keep
+    /// the default no-op.
+    fn cp_catch_up(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
 }
 
 /// A coprocessor that is not there: every operation fails.

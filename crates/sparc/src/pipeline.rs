@@ -15,8 +15,8 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use dyser_isa::{
-    decode, AluOp, DecodeError, DyserInstr, FReg, Fcc, FpOp, Icc, Instr, InstrClass, LoadKind,
-    Op2, Reg, StoreKind,
+    decode, AluOp, DecodeError, DyserInstr, FReg, Fcc, FpOp, Icc, Instr, LoadKind, Op2, Reg,
+    StoreKind,
 };
 use dyser_trace::{EventKind, TraceBuffer, TraceEvent};
 
@@ -131,6 +131,13 @@ pub struct Pipeline {
     /// `(pc, word, decoded)` triples indexed by `(pc >> 2) % DECODE_SLOTS`;
     /// `pc == u64::MAX` marks an empty slot.
     decoded: Vec<(u64, u32, Instr)>,
+    /// Decode-cache probes that found a valid entry. Simulator
+    /// observability only — deliberately outside [`CoreStats`], whose
+    /// bit-for-bit equality the backends must preserve while taking
+    /// different decode paths.
+    decode_hits: u64,
+    /// Decode-cache probes that had to decode the fetched word.
+    decode_misses: u64,
     /// `None` unless tracing was enabled for this run: the disabled path
     /// is a single branch at retire, preserving the allocation-free hot
     /// path (see DESIGN.md, "Observability").
@@ -154,6 +161,8 @@ impl Pipeline {
             stats: CoreStats::default(),
             simcall_log: Vec::new(),
             decoded: vec![(u64::MAX, 0, Instr::Nop); DECODE_SLOTS],
+            decode_hits: 0,
+            decode_misses: 0,
             tracer: None,
         }
     }
@@ -208,6 +217,19 @@ impl Pipeline {
     /// Values recorded by `simcall` instructions, in program order.
     pub fn simcall_log(&self) -> &[(u16, u64)] {
         &self.simcall_log
+    }
+
+    /// `(hits, misses)` of the decoded-instruction cache — a simulator
+    /// speed counter, not an architectural statistic (see the field
+    /// comments on `decode_hits`).
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (self.decode_hits, self.decode_misses)
+    }
+
+    /// Whether any micro-state (stall, port retry, fence) is queued ahead
+    /// of the next instruction issue.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     fn op2_value(&self, op2: Op2) -> u64 {
@@ -414,8 +436,10 @@ impl Pipeline {
         let slot = ((pc >> 2) as usize) & (DECODE_SLOTS - 1);
         let cached = self.decoded[slot];
         let instr = if cached.0 == pc && cached.1 == word {
+            self.decode_hits += 1;
             cached.2
         } else {
+            self.decode_misses += 1;
             let instr = decode(word).map_err(|source| {
                 self.halted = true;
                 CoreError::Decode { pc, source }
@@ -423,6 +447,43 @@ impl Pipeline {
             self.decoded[slot] = (pc, word, instr);
             instr
         };
+        self.execute_decoded(instr, bus, coproc)
+    }
+
+    /// Issues one pre-decoded instruction as one cycle, charging the given
+    /// fetch latency — the compiled backend's issue path. The caller must
+    /// ensure the pending queue is empty, the core is not halted, and
+    /// `instr` is what [`Bus::fetch_instr`] at the current `pc` would
+    /// decode to; then every counter and register moves bit-identically
+    /// to [`Pipeline::tick`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::tick`]: coprocessor failures or malformed vector
+    /// transfers leave the core halted.
+    pub fn step_decoded<B: Bus, C: Coproc>(
+        &mut self,
+        instr: Instr,
+        fetch_lat: u64,
+        bus: &mut B,
+        coproc: &mut C,
+    ) -> Result<(), CoreError> {
+        debug_assert!(!self.halted, "step_decoded on a halted core");
+        debug_assert!(self.pending.is_empty(), "step_decoded with micro-state queued");
+        self.stats.cycles += 1;
+        self.push_stall(StallCause::ICache, fetch_lat.saturating_sub(1));
+        self.execute_decoded(instr, bus, coproc)
+    }
+
+    /// The post-decode half of an issue cycle: interlocks, retire,
+    /// execute, and the PC/nPC update.
+    fn execute_decoded<B: Bus, C: Coproc>(
+        &mut self,
+        instr: Instr,
+        bus: &mut B,
+        coproc: &mut C,
+    ) -> Result<(), CoreError> {
+        let pc = self.pc;
 
         // Load-use interlock against the previous instruction.
         let mut load_use = false;
@@ -444,9 +505,7 @@ impl Pipeline {
 
         self.stats.retire(instr.class());
         if let Some(tracer) = self.tracer.as_deref_mut() {
-            let class = instr.class();
-            let detail =
-                InstrClass::ALL.iter().position(|c| *c == class).unwrap_or_default() as u32;
+            let detail = instr.class().index() as u32;
             tracer.record(TraceEvent {
                 cycle: self.stats.cycles - 1,
                 kind: EventKind::InstrRetire,

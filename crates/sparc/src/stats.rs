@@ -217,8 +217,7 @@ impl CoreStats {
     /// Records one retired instruction of the given class.
     pub fn retire(&mut self, class: InstrClass) {
         self.instructions += 1;
-        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in table");
-        self.class_counts[idx] += 1;
+        self.class_counts[class.index()] += 1;
     }
 
     /// Records `cycles` stall cycles attributed to `cause`.
@@ -228,8 +227,7 @@ impl CoreStats {
 
     /// Retired instructions of one class.
     pub fn class_count(&self, class: InstrClass) -> u64 {
-        let idx = InstrClass::ALL.iter().position(|c| *c == class).expect("class in table");
-        self.class_counts[idx]
+        self.class_counts[class.index()]
     }
 
     /// Stall cycles attributed to one cause.
