@@ -11,8 +11,15 @@
 //! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
 //! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 10000 --seed 0xD75E --shrink
 //! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 2000 --time
+//! cargo run -p dyser-bench --release --bin repro -- all --csv --serve http://127.0.0.1:7878
 //! ```
+//!
+//! `--time` only rebaselines `BENCH_repro.json` when the full suite ran;
+//! partial runs (a subset of ids, or `fuzz --time`) go to
+//! `BENCH_repro.partial.json` so they can never poison the
+//! `load_reference` baselines.
 
+use dyser_bench::serve::{self, JobError, JobRequest, JobResult};
 use dyser_bench::{
     load_reference, run_experiment, run_fuzz_cli, stats_attribution, time_experiments, time_fuzz,
     timing_json, Scale, EXPERIMENT_IDS,
@@ -53,6 +60,24 @@ fn parse_u64(s: &str) -> Option<u64> {
     }
 }
 
+/// Writes `contents` to `path`, exiting with a typed [`JobError::Io`]
+/// message and a nonzero status on failure — file-system trouble is a
+/// reportable outcome of user input, not a panic.
+fn write_or_exit(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("repro: {}", JobError::Io(format!("write {path}: {e}")));
+        std::process::exit(1);
+    }
+}
+
+/// The timing-report path for a run covering `ids`: only a full-suite
+/// run may rebaseline `BENCH_repro.json`; anything else (a subset of
+/// experiments, or the fuzz campaign) writes `BENCH_repro.partial.json`.
+fn timing_path(ids: &[&str]) -> &'static str {
+    let full_suite = EXPERIMENT_IDS.iter().all(|id| ids.contains(id));
+    if full_suite { "BENCH_repro.json" } else { "BENCH_repro.partial.json" }
+}
+
 /// `repro fuzz [--cases N] [--seed S] [--shrink] [--time [--reps N]]`:
 /// the differential-fuzzing campaign driver. Never returns.
 fn fuzz_main(mut args: Vec<String>) -> ! {
@@ -82,8 +107,9 @@ fn fuzz_main(mut args: Vec<String>) -> ! {
             cases_per_sec
         );
         let json = timing_json(&[timing], reps, &reference, Some(cases_per_sec));
-        std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
-        println!("wrote BENCH_repro.json");
+        let path = timing_path(&[]);
+        write_or_exit(path, &json);
+        println!("wrote {path}");
         std::process::exit(0);
     }
     std::process::exit(run_fuzz_cli(cases, seed, shrink));
@@ -94,12 +120,16 @@ fn main() {
     if args.first().map(String::as_str) == Some("fuzz") {
         fuzz_main(args.split_off(1));
     }
-    if let Some(backend) = take_value(&mut args, "--backend", |v| {
+    let backend = take_value(&mut args, "--backend", |v| {
         dyser_core::Backend::parse(v)
             .map_err(|e| eprintln!("{e}"))
             .ok()
-    }) {
-        dyser_core::set_backend_override(Some(backend));
+    });
+    let serve_url = take_value(&mut args, "--serve", |v| Some(v.to_owned()));
+    if serve_url.is_none() {
+        if let Some(backend) = backend {
+            dyser_core::set_backend_override(Some(backend));
+        }
     }
     let csv = args.iter().any(|a| a == "--csv");
     let time = args.iter().any(|a| a == "--time");
@@ -137,6 +167,27 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(url) = serve_url {
+        if time || trace_path.is_some() {
+            eprintln!("--serve does not support --time or --trace; run those locally");
+            std::process::exit(2);
+        }
+        for id in ids {
+            let job = JobRequest::Experiment { id: id.to_owned(), csv, scale: 1.0, backend };
+            match serve::submit(&url, &job) {
+                Ok(JobResult::Experiment { text }) => println!("{text}"),
+                Ok(other) => {
+                    eprintln!("repro: {id} via {url}: unexpected result {other:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("repro: {id} via {url}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
     if time {
         let reference = load_reference("BENCH_repro.json");
         let timings = time_experiments(&ids, reps);
@@ -154,8 +205,9 @@ fn main() {
             }
         }
         let json = timing_json(&timings, reps, &reference, None);
-        std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
-        println!("wrote BENCH_repro.json");
+        let path = timing_path(&ids);
+        write_or_exit(path, &json);
+        println!("wrote {path}");
         return;
     }
     if trace_path.is_some() {
@@ -174,7 +226,7 @@ fn main() {
         let runs = dyser_core::take_traces();
         let events: usize = runs.iter().map(|r| r.events.len()).sum();
         let json = dyser_trace::chrome_trace_json(&runs);
-        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        write_or_exit(&path, &json);
         println!("wrote {path}: {} runs, {events} events (chrome://tracing format)", runs.len());
     }
 }

@@ -255,6 +255,12 @@ pub fn e3_suite_speedup(scale: Scale) -> ExpTable {
 pub fn stats_attribution(scale: Scale) -> ExpTable {
     let mut headers: Vec<&str> = vec!["kernel", "run", "cycles"];
     headers.extend(bucket_labels());
+    // The process-wide speed totals only grow; snapshot them so the
+    // notes report this sweep alone. Without the subtraction a second
+    // invocation in the same process (`--reps N`, `repro e2 stats`, a
+    // long-lived serve daemon) would fold every earlier run's counters
+    // into the hit rates.
+    let speed_before = speed_stat_totals();
     let mut t = ExpTable::new("Stats: cycle attribution by bucket (% of run cycles)", &headers);
     let raw_headers: Vec<String> =
         bucket_labels().iter().map(|l| format!("{l}-cycles")).collect();
@@ -287,7 +293,7 @@ pub fn stats_attribution(scale: Scale) -> ExpTable {
     }
     t.note("buckets are exclusive and exhaustive: each row's buckets sum to its cycle count");
     t.note("mem-miss equals the hierarchy's own stall count on every row (cross-checked)");
-    let speed = speed_stat_totals();
+    let speed = speed_stat_totals().minus(&speed_before);
     t.note(format!(
         "decode cache (interpreted issue path): {} hits / {} misses ({:.1}% hit rate)",
         speed.decode_hits,

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod fuzzcli;
+pub mod serve;
 pub mod table;
 pub mod timing;
 

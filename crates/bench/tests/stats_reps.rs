@@ -1,0 +1,26 @@
+//! Regression test: `repro stats` must report each invocation's own
+//! sweep. The harness's speed-stat counters are process-lifetime
+//! accumulators, so a second invocation in the same process (`--reps N`,
+//! `repro e2 stats`, a long-lived serve daemon) used to fold every
+//! earlier run's decode/block-cache counters into the hit-rate notes.
+
+use dyser_bench::experiments::run_experiment_scaled;
+use dyser_bench::{stats_attribution, Scale};
+
+#[test]
+fn stats_attribution_is_identical_across_reps() {
+    let scale = Scale(0.05);
+    let first = stats_attribution(scale).to_string();
+    let second = stats_attribution(scale).to_string();
+    assert_eq!(
+        first, second,
+        "a repeated stats sweep must not inflate the speed-stat notes"
+    );
+
+    // Unrelated simulation between sweeps (an experiment run of its own,
+    // which bumps the process-wide counters) must not leak into the next
+    // report either.
+    run_experiment_scaled("e2", scale);
+    let third = stats_attribution(scale).to_string();
+    assert_eq!(first, third, "other runs in the process must not leak into the stats notes");
+}

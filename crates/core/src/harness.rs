@@ -281,20 +281,47 @@ pub fn take_traces() -> Vec<TraceRun> {
     std::mem::take(&mut *TRACE_SINK.lock().expect("trace sink lock"))
 }
 
-/// Runs one already-compiled program (IR not required — manual DySER
-/// implementations use this too) and verifies its outputs.
+/// Everything one simulated job produces beyond its verdict: the run
+/// statistics, the per-run issue-path cache counters, and (when the
+/// caller asked for one) the run's own trace — owned by the caller, not
+/// deposited in the process-global sink. The serve daemon's shard
+/// workers rely on this ownership: concurrent jobs must never interleave
+/// their artifacts through shared process state.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The run's statistics (bit-identical across backends).
+    pub stats: RunStats,
+    /// This run's issue-path cache counters (decode and block caches).
+    pub speed: SpeedStats,
+    /// The run's trace, if `trace_capacity > 0` was requested.
+    pub trace: Option<TraceRun>,
+}
+
+/// Runs one already-compiled program and verifies its outputs, returning
+/// every artifact to the caller ([`RunArtifacts`]).
+///
+/// `trace_capacity > 0` enables event tracing into per-component ring
+/// buffers of that many events; the merged trace comes back in the
+/// artifacts instead of the process-global sink, so concurrent callers
+/// each own exactly their job's events.
+///
+/// The process-wide accounting (simulated cycles, cycle buckets, speed
+/// totals) is still credited — those totals describe the whole process
+/// by design.
 ///
 /// # Errors
 ///
-/// Fails on core faults, timeouts, or output mismatches.
-pub fn run_program(
+/// Fails on core faults, timeouts, invalid configurations, or output
+/// mismatches.
+pub fn run_program_traced(
     which: &'static str,
     program: &Program,
     args: &[u64],
     init: &[(u64, Vec<u64>)],
     expected: &[(u64, Vec<u64>)],
     config: &RunConfig,
-) -> Result<RunStats, HarnessError> {
+    trace_capacity: usize,
+) -> Result<RunArtifacts, HarnessError> {
     let mut sys =
         System::try_new(config.system.clone()).map_err(|source| HarnessError::Run { which, source })?;
     sys.load_program(program)
@@ -303,9 +330,8 @@ pub fn run_program(
         sys.memory_mut().write_u64_slice(*addr, words);
     }
     sys.set_args(args);
-    let trace_cap = TRACE_CAP.load(Ordering::Relaxed);
-    if trace_cap > 0 {
-        sys.enable_trace(trace_cap);
+    if trace_capacity > 0 {
+        sys.enable_trace(trace_capacity);
     }
     let run = if config.stepped {
         sys.run_stepped(config.max_cycles)
@@ -331,12 +357,9 @@ pub fn run_program(
     for (i, bucket) in CycleBucket::ALL.iter().enumerate() {
         BUCKET_TOTALS[i].fetch_add(acct.get(*bucket), Ordering::Relaxed);
     }
-    if let Some((events, dropped)) = sys.take_trace() {
-        TRACE_SINK
-            .lock()
-            .expect("trace sink lock")
-            .push(TraceRun { label: which.to_string(), events, dropped });
-    }
+    let trace = sys
+        .take_trace()
+        .map(|(events, dropped)| TraceRun { label: which.to_string(), events, dropped });
     for (addr, words) in expected {
         for (i, want) in words.iter().enumerate() {
             let a = addr + 8 * i as u64;
@@ -346,7 +369,33 @@ pub fn run_program(
             }
         }
     }
-    Ok(stats)
+    Ok(RunArtifacts { stats, speed, trace })
+}
+
+/// Runs one already-compiled program (IR not required — manual DySER
+/// implementations use this too) and verifies its outputs.
+///
+/// Tracing follows the process-wide capacity ([`set_trace_capacity`]);
+/// any recorded trace lands in the global sink for [`take_traces`]. Use
+/// [`run_program_traced`] to own the artifacts per call instead.
+///
+/// # Errors
+///
+/// Fails on core faults, timeouts, or output mismatches.
+pub fn run_program(
+    which: &'static str,
+    program: &Program,
+    args: &[u64],
+    init: &[(u64, Vec<u64>)],
+    expected: &[(u64, Vec<u64>)],
+    config: &RunConfig,
+) -> Result<RunStats, HarnessError> {
+    let trace_cap = TRACE_CAP.load(Ordering::Relaxed);
+    let artifacts = run_program_traced(which, program, args, init, expected, config, trace_cap)?;
+    if let Some(run) = artifacts.trace {
+        TRACE_SINK.lock().expect("trace sink lock").push(run);
+    }
+    Ok(artifacts.stats)
 }
 
 /// Process-global cache of compiled programs.

@@ -42,7 +42,8 @@ pub mod system;
 
 pub use harness::{
     compile_cached, cycle_bucket_totals, default_workers, parallel_map, run_kernel, run_kernels,
-    run_program, set_backend_override, set_trace_capacity, simulated_cycles, speed_stat_totals,
-    take_traces, Backend, HarnessError, KernelCase, KernelJob, KernelResult, RunConfig,
+    run_program, run_program_traced, set_backend_override, set_trace_capacity, simulated_cycles,
+    speed_stat_totals, take_traces, Backend, HarnessError, KernelCase, KernelJob, KernelResult,
+    RunArtifacts, RunConfig,
 };
 pub use system::{RunStats, SpeedStats, SysError, System, SystemConfig};

@@ -1,0 +1,478 @@
+//! # dyser-serve
+//!
+//! Simulation-as-a-service: a daemon that accepts compile+simulate jobs
+//! over a socket JSON API and multiplexes them across a pool of worker
+//! shards, all sharing the process-wide compile cache — the software
+//! analogue of time-sharing one FPGA prototype board among many users.
+//!
+//! The wire protocol (requests, results, typed errors, the blocking
+//! client) lives in `dyser_bench::serve`; this crate is the server side:
+//!
+//! * [`Server`] — a TCP listener, a bounded admission queue, and
+//!   `shards` worker threads draining it. A full queue turns into a
+//!   structured `overloaded` reply, not a hung connection.
+//! * [`execute_job`] — runs one [`JobRequest`] to completion. Every
+//!   failure mode (unknown kernel, impossible hardware description,
+//!   compile error, mid-run cycle-budget timeout, output mismatch, even
+//!   a worker panic) comes back as a typed [`JobError`]; a job can never
+//!   take its shard down.
+//!
+//! Jobs are bit-identical to in-process runs: a kernel job produces the
+//! same `RunStats` (compared by exhaustive `Debug` rendering) as
+//! `run_kernel` under the same configuration, and an experiment job
+//! returns the exact table text `repro` prints. The integration tests
+//! prove both under concurrency.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError, RwLock};
+use std::thread;
+
+use dyser_bench::experiments::{run_experiment_scaled, SEED};
+use dyser_bench::serve::{
+    envelope_json, read_http_request, write_http_response, JobError, JobRequest, JobResult,
+    RunSpec, SystemSpec, DEFAULT_JOB_CYCLES,
+};
+use dyser_bench::{stats_attribution, Scale, EXPERIMENT_IDS};
+use dyser_compiler::ir::parser::parse_module;
+use dyser_compiler::CompilerOptions;
+use dyser_core::{
+    compile_cached, run_program_traced, set_backend_override, Backend, HarnessError, KernelCase,
+    RunArtifacts, RunConfig,
+};
+use dyser_fabric::FabricGeometry;
+use dyser_sparc::CycleBucket;
+use dyser_trace::{chrome_trace_json, TraceRun};
+use dyser_workloads::suite;
+
+/// Per-component ring-buffer capacity for jobs that request a trace —
+/// the same capacity `repro --trace` uses.
+const TRACE_EVENTS: usize = 65_536;
+
+/// Jobs completed by this process (successes and typed failures alike);
+/// reported by `GET /health`.
+static JOBS_DONE: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes use of the process-global backend override against every
+/// other job. An experiment job that needs a non-default global backend
+/// (its runs happen deep inside `run_experiment_scaled`, which builds
+/// its own `RunConfig`s) takes the write side while the override is set;
+/// every other job takes the read side, so it can never observe — or be
+/// reconfigured by — another job's override. Kernel and IR jobs never
+/// need the override at all: their backend choice travels in their own
+/// `RunConfig`.
+static BACKEND_GATE: RwLock<()> = RwLock::new(());
+
+// ------------------------------------------------------- configuration
+
+/// Daemon parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker-shard count: jobs executing concurrently.
+    pub shards: usize,
+    /// Admission-queue depth: accepted connections waiting for a shard.
+    /// Beyond this the daemon replies `overloaded` immediately.
+    pub queue_depth: usize,
+    /// Upper bound on any job's cycle budget. Requests asking for more
+    /// are clamped, so one job cannot monopolize a shard indefinitely —
+    /// the budget is enforced mid-run by the system's own `Timeout`
+    /// plumbing.
+    pub max_cycles_cap: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            shards: 4,
+            queue_depth: 64,
+            max_cycles_cap: DEFAULT_JOB_CYCLES,
+        }
+    }
+}
+
+// ---------------------------------------------------- job execution
+
+/// Renders a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}
+
+/// Runs `f` under the backend gate: with `backend` set, exclusively with
+/// the process-global override installed (and removed again before the
+/// lock drops); otherwise shared. Panics inside `f` become
+/// [`JobError::Internal`] — the gate's guards are never poisoned because
+/// the unwind is caught inside them.
+fn gated<R>(backend: Option<Backend>, f: impl FnOnce() -> R) -> Result<R, JobError> {
+    let caught = match backend {
+        Some(b) => {
+            let _g = BACKEND_GATE.write().unwrap_or_else(PoisonError::into_inner);
+            set_backend_override(Some(b));
+            let out = catch_unwind(AssertUnwindSafe(f));
+            set_backend_override(None);
+            out
+        }
+        None => {
+            let _g = BACKEND_GATE.read().unwrap_or_else(PoisonError::into_inner);
+            catch_unwind(AssertUnwindSafe(f))
+        }
+    };
+    caught.map_err(|p| JobError::Internal(panic_message(&*p)))
+}
+
+/// Builds the `RunConfig` for a kernel or IR job, validating the
+/// hardware description up front so impossible configurations (a
+/// zero-depth FIFO, a 0×0 or 17×17 fabric) come back as typed
+/// `invalid-config` errors instead of construction panics.
+fn build_run_config(
+    run: &RunSpec,
+    system: &SystemSpec,
+    max_cycles_cap: u64,
+) -> Result<RunConfig, JobError> {
+    let mut rc = RunConfig::default();
+    let rows = system.rows.unwrap_or(rc.system.geometry.rows());
+    let cols = system.cols.unwrap_or(rc.system.geometry.cols());
+    if !(1..=16).contains(&rows) || !(1..=16).contains(&cols) {
+        return Err(JobError::InvalidConfig(format!(
+            "fabric geometry {rows}x{cols} is outside the supported 1..=16 range"
+        )));
+    }
+    rc.system.geometry = FabricGeometry::new(rows, cols);
+    if let Some(depth) = system.fifo_depth {
+        rc.system.fifo_depth = depth;
+    }
+    if let Some(has_fabric) = system.has_fabric {
+        rc.system.has_fabric = has_fabric;
+    }
+    rc.system.validate().map_err(|e| JobError::InvalidConfig(e.to_string()))?;
+    rc.max_cycles = run.max_cycles.unwrap_or(DEFAULT_JOB_CYCLES).clamp(1, max_cycles_cap);
+    rc.stepped = run.stepped;
+    if let Some(b) = run.backend {
+        rc.backend = b;
+    }
+    Ok(rc)
+}
+
+/// Unwraps one run thread's outcome into the wire taxonomy.
+fn join_run(
+    joined: thread::Result<Result<RunArtifacts, HarnessError>>,
+) -> Result<RunArtifacts, JobError> {
+    match joined {
+        Ok(Ok(artifacts)) => Ok(artifacts),
+        Ok(Err(e)) => Err(JobError::from_harness(&e)),
+        Err(p) => Err(JobError::Internal(panic_message(&*p))),
+    }
+}
+
+/// Compiles `case` through the shared compile cache and runs baseline
+/// and accelerated binaries on two scoped threads — the same shape as
+/// the in-process `run_kernel`, but returning caller-owned artifacts so
+/// concurrent jobs never interleave traces or counters.
+fn dual_run(case: &KernelCase, config: &RunConfig, trace: bool) -> Result<JobResult, JobError> {
+    let compiled = compile_cached(&case.function, &config.compiler)
+        .map_err(|e| JobError::Compile(e.to_string()))?;
+    let capacity = if trace { TRACE_EVENTS } else { 0 };
+    let (base, dyser) = thread::scope(|s| {
+        let base = s.spawn(|| {
+            run_program_traced(
+                "baseline",
+                &compiled.baseline,
+                &case.args,
+                &case.init,
+                &case.expected,
+                config,
+                capacity,
+            )
+        });
+        let dyser = run_program_traced(
+            "dyser",
+            &compiled.accelerated,
+            &case.args,
+            &case.init,
+            &case.expected,
+            config,
+            capacity,
+        );
+        (join_run(base.join()), dyser.map_err(|e| JobError::from_harness(&e)))
+    });
+    let base = base?;
+    let dyser = dyser?;
+
+    let account = dyser.stats.core.cycle_account();
+    let mut buckets: Vec<(String, u64)> = CycleBucket::ALL
+        .iter()
+        .map(|b| (b.label().to_owned(), account.get(*b)))
+        .collect();
+    buckets.push(("total".to_owned(), account.total_cycles));
+
+    let trace_json = if trace {
+        let runs: Vec<TraceRun> =
+            [base.trace, dyser.trace].into_iter().flatten().collect();
+        Some(chrome_trace_json(&runs))
+    } else {
+        None
+    };
+
+    Ok(JobResult::Run {
+        name: case.name.clone(),
+        baseline_cycles: base.stats.cycles,
+        dyser_cycles: dyser.stats.cycles,
+        speedup: base.stats.cycles as f64 / dyser.stats.cycles.max(1) as f64,
+        baseline_stats: format!("{:?}", base.stats),
+        dyser_stats: format!("{:?}", dyser.stats),
+        buckets,
+        trace_json,
+    })
+}
+
+/// Executes one job to completion.
+///
+/// # Errors
+///
+/// Every failure mode maps to a [`JobError`]; this function never
+/// panics on malformed or impossible jobs (panics from simulator bugs
+/// are caught and surfaced as [`JobError::Internal`]).
+pub fn execute_job(job: &JobRequest, max_cycles_cap: u64) -> Result<JobResult, JobError> {
+    match job {
+        JobRequest::Experiment { id, csv, scale, backend } => {
+            if id != "stats" && !EXPERIMENT_IDS.contains(&id.as_str()) {
+                return Err(JobError::UnknownExperiment(id.clone()));
+            }
+            if !(*scale > 0.0 && *scale <= 1.0) {
+                return Err(JobError::InvalidRequest(format!(
+                    "scale {scale} is outside (0, 1]"
+                )));
+            }
+            let (id, csv, scale) = (id.clone(), *csv, Scale(*scale));
+            gated(*backend, move || {
+                let table = if id == "stats" {
+                    stats_attribution(scale)
+                } else {
+                    run_experiment_scaled(&id, scale)
+                };
+                if csv {
+                    table.to_csv()
+                } else {
+                    table.to_string()
+                }
+            })
+            .map(|text| JobResult::Experiment { text })
+        }
+        JobRequest::Kernel { name, n, run, system } => {
+            let Some(kernel) = suite().into_iter().find(|k| k.name == name) else {
+                return Err(JobError::UnknownKernel(name.clone()));
+            };
+            let mut rc = build_run_config(run, system, max_cycles_cap)?;
+            rc.compiler = kernel.compiler_options(rc.system.geometry);
+            let case = kernel.case(n.unwrap_or(kernel.default_n), SEED);
+            gated(None, || dual_run(&case, &rc, run.trace))?
+        }
+        JobRequest::Ir { text, function, args, init, expected, run, system } => {
+            let module = parse_module(text)
+                .map_err(|e| JobError::Compile(format!("line {}: {}", e.line, e.message)))?;
+            let func = match function {
+                Some(name) => module.function(name).ok_or_else(|| {
+                    JobError::Compile(format!("module has no function `{name}`"))
+                })?,
+                None => module
+                    .functions
+                    .first()
+                    .ok_or_else(|| JobError::Compile("module has no functions".into()))?,
+            };
+            let mut rc = build_run_config(run, system, max_cycles_cap)?;
+            rc.compiler = CompilerOptions::for_geometry(rc.system.geometry);
+            let case = KernelCase {
+                name: func.name().to_owned(),
+                function: func.clone(),
+                args: args.clone(),
+                init: init.clone(),
+                expected: expected.clone(),
+            };
+            gated(None, || dual_run(&case, &rc, run.trace))?
+        }
+    }
+}
+
+// -------------------------------------------------------------- server
+
+/// The bounded hand-off between the acceptor and the worker shards.
+struct AdmissionQueue {
+    slots: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl AdmissionQueue {
+    fn new(depth: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            slots: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues a connection, or hands it back if the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if slots.len() >= self.depth {
+            return Err(stream);
+        }
+        slots.push_back(stream);
+        drop(slots);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available.
+    fn pop(&self) -> TcpStream {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = slots.pop_front() {
+                return stream;
+            }
+            slots = self.ready.wait(slots).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The daemon's health document.
+fn health_json(config: &ServeConfig) -> String {
+    format!(
+        "{{\"ok\": true, \"shards\": {}, \"queue_depth\": {}, \"max_cycles_cap\": {}, \
+         \"jobs_done\": {}}}\n",
+        config.shards,
+        config.queue_depth,
+        config.max_cycles_cap,
+        JOBS_DONE.load(Ordering::Relaxed)
+    )
+}
+
+/// Writes the outcome envelope; a failed write is ignored (the peer is
+/// gone and the shard moves on).
+fn respond(stream: &mut TcpStream, outcome: &Result<JobResult, JobError>) {
+    let status = outcome.as_ref().map_or_else(JobError::http_status, |_| 200);
+    let _ = write_http_response(stream, status, &envelope_json(outcome));
+}
+
+/// Services one accepted connection end to end.
+fn handle_connection(mut stream: TcpStream, config: &ServeConfig) {
+    let request = match read_http_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            respond(&mut stream, &Err(e));
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let _ = write_http_response(&mut stream, 200, &health_json(config));
+        }
+        ("POST", "/job") => {
+            let outcome = JobRequest::parse(&request.body)
+                .and_then(|job| execute_job(&job, config.max_cycles_cap));
+            JOBS_DONE.fetch_add(1, Ordering::Relaxed);
+            respond(&mut stream, &outcome);
+        }
+        (_, "/job") => {
+            respond(&mut stream, &Err(JobError::Protocol("use POST for /job".into())));
+        }
+        (_, path) => {
+            respond(&mut stream, &Err(JobError::Protocol(format!("no such endpoint `{path}`"))));
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listen socket (use port 0 in `config.addr` to let the
+    /// OS pick — [`Server::url`] reports the resolved address).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Io`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server, JobError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| JobError::Io(format!("bind {}: {e}", config.addr)))?;
+        Ok(Server { listener, config })
+    }
+
+    /// The resolved listen address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (cannot happen for a
+    /// successfully bound listener).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has a local address")
+    }
+
+    /// The service URL clients pass to `submit` / `repro --serve`.
+    #[must_use]
+    pub fn url(&self) -> String {
+        format!("http://{}", self.local_addr())
+    }
+
+    /// The daemon's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs the accept loop and worker shards forever (until the
+    /// process exits).
+    pub fn run(self) {
+        let queue = AdmissionQueue::new(self.config.queue_depth);
+        let config = &self.config;
+        thread::scope(|s| {
+            for _ in 0..config.shards.max(1) {
+                s.spawn(|| loop {
+                    handle_connection(queue.pop(), config);
+                });
+            }
+            for conn in self.listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                if let Err(mut rejected) = queue.push(stream) {
+                    let err = JobError::Overloaded(format!(
+                        "admission queue of depth {} is full",
+                        config.queue_depth
+                    ));
+                    let _ = write_http_response(
+                        &mut rejected,
+                        err.http_status(),
+                        &envelope_json(&Err(err)),
+                    );
+                }
+            }
+        });
+    }
+
+    /// Starts the daemon on a detached thread and returns its URL —
+    /// the in-process form the integration tests (and embedders) use.
+    #[must_use]
+    pub fn spawn(self) -> String {
+        let url = self.url();
+        thread::Builder::new()
+            .name("dyser-serve".into())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        url
+    }
+}

@@ -1,0 +1,324 @@
+//! End-to-end tests of the simulation service: concurrent jobs over the
+//! shared compile cache must be byte-identical to serial in-process
+//! runs, budgets must be enforced mid-job, and malformed or impossible
+//! jobs must come back as typed errors without taking a worker down.
+
+use std::sync::Mutex;
+use std::thread;
+
+use dyser_bench::experiments::{run_experiment_scaled, SEED};
+use dyser_bench::serve::{
+    http_exchange, parse_envelope, submit, JobError, JobRequest, JobResult, RunSpec, SystemSpec,
+};
+use dyser_bench::{stats_attribution, Scale, EXPERIMENT_IDS};
+use dyser_core::{run_kernel, Backend, RunConfig};
+use dyser_serve::{execute_job, ServeConfig, Server};
+use dyser_workloads::suite;
+
+/// Experiment scale for the service tests: small enough for debug-mode
+/// CI, large enough that every kernel actually simulates.
+const SCALE: f64 = 0.08;
+
+/// The tests in this file share process-global state (the compile
+/// cache, the backend gate, the speed-stat counters); run them one at a
+/// time so each test's concurrency is exactly the concurrency it
+/// arranged itself.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Boots an in-process daemon on an OS-assigned port.
+fn spawn_server(shards: usize) -> String {
+    let config = ServeConfig { addr: "127.0.0.1:0".into(), shards, ..ServeConfig::default() };
+    Server::bind(config).expect("bind test server").spawn()
+}
+
+/// Submits `jobs` from `clients` concurrent client threads, preserving
+/// job order in the returned outcomes.
+fn submit_concurrently(
+    url: &str,
+    jobs: &[JobRequest],
+    clients: usize,
+) -> Vec<Result<JobResult, JobError>> {
+    let slots: Vec<Mutex<Option<Result<JobResult, JobError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for c in 0..clients {
+            let slots = &slots;
+            s.spawn(move || {
+                for (i, job) in jobs.iter().enumerate() {
+                    if i % clients == c {
+                        *slots[i].lock().expect("slot") = Some(submit(url, job));
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot").expect("every job submitted"))
+        .collect()
+}
+
+#[test]
+fn concurrent_experiment_jobs_are_byte_identical_to_serial_runs() {
+    let _g = lock();
+    // Serial in-process reference: the exact text `repro --csv` renders.
+    let expected: Vec<String> = EXPERIMENT_IDS
+        .iter()
+        .map(|id| run_experiment_scaled(id, Scale(SCALE)).to_csv())
+        .collect();
+
+    let url = spawn_server(4);
+    let jobs: Vec<JobRequest> = [Backend::Interpreted, Backend::Compiled]
+        .iter()
+        .flat_map(|b| {
+            EXPERIMENT_IDS.iter().map(|id| JobRequest::Experiment {
+                id: (*id).to_owned(),
+                csv: true,
+                scale: SCALE,
+                backend: Some(*b),
+            })
+        })
+        .collect();
+
+    let outcomes = submit_concurrently(&url, &jobs, 4);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let want = &expected[i % EXPERIMENT_IDS.len()];
+        match outcome {
+            Ok(JobResult::Experiment { text }) => {
+                assert_eq!(
+                    &text, want,
+                    "job {i} ({:?}) diverged from the serial in-process run",
+                    jobs[i]
+                );
+            }
+            other => panic!("job {i} ({:?}) failed: {other:?}", jobs[i]),
+        }
+    }
+}
+
+#[test]
+fn stats_job_matches_in_process_sweep() {
+    let _g = lock();
+    let url = spawn_server(2);
+    let job = JobRequest::Experiment {
+        id: "stats".into(),
+        csv: false,
+        scale: SCALE,
+        backend: None,
+    };
+    // No other jobs are in flight, so the served sweep's speed-stat
+    // delta must equal a local sweep's.
+    let served = match submit(&url, &job) {
+        Ok(JobResult::Experiment { text }) => text,
+        other => panic!("stats job failed: {other:?}"),
+    };
+    let local = stats_attribution(Scale(SCALE)).to_string();
+    assert_eq!(served, local, "served stats sweep diverged from the in-process sweep");
+}
+
+#[test]
+fn concurrent_kernel_jobs_are_bit_identical_to_run_kernel() {
+    let _g = lock();
+    let kernels: Vec<_> = suite().into_iter().take(3).collect();
+    let sizes: Vec<usize> =
+        kernels.iter().map(|k| (k.default_n / 16).max(8) / 4 * 4).collect();
+
+    // Serial in-process reference under the same configurations.
+    let mut expected = Vec::new();
+    for (backend, stepped) in
+        [(Backend::Interpreted, false), (Backend::Compiled, false), (Backend::Interpreted, true)]
+    {
+        for (k, n) in kernels.iter().zip(&sizes) {
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            config.backend = backend;
+            config.stepped = stepped;
+            let r = run_kernel(&k.case(*n, SEED), &config)
+                .unwrap_or_else(|e| panic!("in-process {}: {e}", k.name));
+            expected.push((format!("{:?}", r.baseline), format!("{:?}", r.dyser)));
+        }
+    }
+
+    let url = spawn_server(4);
+    let jobs: Vec<JobRequest> = [(Backend::Interpreted, false), (Backend::Compiled, false), (Backend::Interpreted, true)]
+        .iter()
+        .flat_map(|(backend, stepped)| {
+            kernels.iter().zip(&sizes).map(move |(k, n)| JobRequest::Kernel {
+                name: k.name.to_owned(),
+                n: Some(*n),
+                run: RunSpec { backend: Some(*backend), stepped: *stepped, ..RunSpec::default() },
+                system: SystemSpec::default(),
+            })
+        })
+        .collect();
+
+    let outcomes = submit_concurrently(&url, &jobs, 4);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(JobResult::Run { baseline_stats, dyser_stats, baseline_cycles, dyser_cycles, .. }) => {
+                assert_eq!(
+                    (&baseline_stats, &dyser_stats),
+                    (&expected[i].0, &expected[i].1),
+                    "job {i} ({:?}) stats diverged from run_kernel",
+                    jobs[i]
+                );
+                assert!(baseline_cycles > 0 && dyser_cycles > 0);
+            }
+            other => panic!("job {i} ({:?}) failed: {other:?}", jobs[i]),
+        }
+    }
+}
+
+#[test]
+fn mid_job_cycle_budget_is_enforced() {
+    let _g = lock();
+    let url = spawn_server(1);
+    let job = JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: None,
+        run: RunSpec { max_cycles: Some(64), ..RunSpec::default() },
+        system: SystemSpec::default(),
+    };
+    match submit(&url, &job) {
+        Err(JobError::Timeout { cycles }) => {
+            assert!(cycles >= 1, "timeout must report the cycles it ran");
+        }
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+    // The worker survived the budgeted job and still serves.
+    match submit(&url, &JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: Some(8),
+        run: RunSpec::default(),
+        system: SystemSpec::default(),
+    }) {
+        Ok(JobResult::Run { .. }) => {}
+        other => panic!("follow-up job failed: {other:?}"),
+    }
+}
+
+#[test]
+fn impossible_and_malformed_jobs_return_typed_errors() {
+    let _g = lock();
+    let url = spawn_server(1);
+
+    // Impossible hardware: the fuzzer's zero-depth FIFO configuration.
+    let zero_fifo = JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: Some(8),
+        run: RunSpec::default(),
+        system: SystemSpec { fifo_depth: Some(0), ..SystemSpec::default() },
+    };
+    match submit(&url, &zero_fifo) {
+        Err(JobError::InvalidConfig(_)) => {}
+        other => panic!("expected invalid-config, got {other:?}"),
+    }
+
+    // A geometry the fabric cannot represent.
+    let huge = JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: Some(8),
+        run: RunSpec::default(),
+        system: SystemSpec { rows: Some(99), ..SystemSpec::default() },
+    };
+    match submit(&url, &huge) {
+        Err(JobError::InvalidConfig(_)) => {}
+        other => panic!("expected invalid-config, got {other:?}"),
+    }
+
+    match submit(&url, &JobRequest::Kernel {
+        name: "no-such-kernel".into(),
+        n: None,
+        run: RunSpec::default(),
+        system: SystemSpec::default(),
+    }) {
+        Err(JobError::UnknownKernel(_)) => {}
+        other => panic!("expected unknown-kernel, got {other:?}"),
+    }
+
+    match submit(&url, &JobRequest::Experiment {
+        id: "e99".into(),
+        csv: false,
+        scale: SCALE,
+        backend: None,
+    }) {
+        Err(JobError::UnknownExperiment(_)) => {}
+        other => panic!("expected unknown-experiment, got {other:?}"),
+    }
+
+    // A body that is not JSON at all.
+    let reply = http_exchange(&url, "POST", "/job", "this is not json").expect("exchange");
+    match parse_envelope(&reply) {
+        Err(JobError::InvalidRequest(_)) => {}
+        other => panic!("expected invalid-request, got {other:?}"),
+    }
+
+    // An unknown endpoint.
+    let reply = http_exchange(&url, "GET", "/nope", "").expect("exchange");
+    match parse_envelope(&reply) {
+        Err(JobError::Protocol(_)) => {}
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    // After all of that, the single worker still serves real jobs —
+    // no panic escaped.
+    match submit(&url, &JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: Some(8),
+        run: RunSpec::default(),
+        system: SystemSpec::default(),
+    }) {
+        Ok(JobResult::Run { .. }) => {}
+        other => panic!("worker did not survive: {other:?}"),
+    }
+
+    let health = dyser_bench::serve::health(&url).expect("health");
+    assert!(health.contains("\"ok\": true"), "health reply: {health}");
+}
+
+#[test]
+fn traced_job_returns_a_chrome_trace_artifact() {
+    let _g = lock();
+    let url = spawn_server(1);
+    let job = JobRequest::Kernel {
+        name: suite()[0].name.to_owned(),
+        n: Some(8),
+        run: RunSpec { trace: true, ..RunSpec::default() },
+        system: SystemSpec::default(),
+    };
+    match submit(&url, &job) {
+        Ok(JobResult::Run { trace_json: Some(trace), .. }) => {
+            dyser_trace::validate_json(&trace).expect("trace artifact must be valid JSON");
+            assert!(trace.contains("traceEvents"));
+        }
+        other => panic!("expected a traced run, got {other:?}"),
+    }
+}
+
+#[test]
+fn ir_jobs_compile_and_run_through_the_service() {
+    let _g = lock();
+    let url = spawn_server(1);
+    // Execute a direct in-process job first to pin the expected shape.
+    let bad_ir = JobRequest::Ir {
+        text: "this is not ir".into(),
+        function: None,
+        args: vec![],
+        init: vec![],
+        expected: vec![],
+        run: RunSpec::default(),
+        system: SystemSpec::default(),
+    };
+    match execute_job(&bad_ir, 1_000_000) {
+        Err(JobError::Compile(_)) => {}
+        other => panic!("expected a compile error, got {other:?}"),
+    }
+    match submit(&url, &bad_ir) {
+        Err(JobError::Compile(_)) => {}
+        other => panic!("expected a compile error over the wire, got {other:?}"),
+    }
+}

@@ -157,6 +157,16 @@ pub struct TraceRun {
     pub dropped: u64,
 }
 
+/// Escapes `s` for embedding inside a JSON string literal (no
+/// surrounding quotes). Shared by the trace exporter and the serve
+/// protocol's hand-written JSON writers.
+#[must_use]
+pub fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_json(s, &mut out);
+    out
+}
+
 fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -250,22 +260,116 @@ pub fn chrome_trace_json(runs: &[TraceRun]) -> String {
     out
 }
 
-/// Validates that `s` is a single well-formed JSON document.
+/// A parsed JSON value.
+///
+/// Object members keep their document order (a `Vec` of pairs rather
+/// than a map), so round-tripping and error messages stay predictable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; exact for integers < 2^53).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, members in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a member of an object; `None` for other variants or a
+    /// missing key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if this is a number
+    /// with an exact `u64` representation.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single well-formed JSON document into a [`JsonValue`].
 ///
 /// A minimal recursive-descent parser (objects, arrays, strings,
-/// numbers, booleans, null) — enough to assert in tests and CI that the
-/// exporter's hand-written output parses, without pulling in a JSON
-/// dependency.
-pub fn validate_json(s: &str) -> Result<(), String> {
+/// numbers, booleans, null) — enough for the serve protocol's job
+/// requests and the test suite, without pulling in a JSON dependency.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos, 0)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Validates that `s` is a single well-formed JSON document.
+///
+/// # Errors
+///
+/// Returns the first syntax error (see [`parse_json`]).
+pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -274,7 +378,7 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     if depth > 128 {
         return Err("nesting too deep".into());
     }
@@ -284,25 +388,27 @@ fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
         Some(b'{') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut members = Vec::new();
             if b.get(*pos) == Some(&b'}') {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(members));
             }
             loop {
                 skip_ws(b, pos);
-                parse_string(b, pos)?;
+                let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 if b.get(*pos) != Some(&b':') {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                parse_value(b, pos, depth + 1)?;
+                let value = parse_value(b, pos, depth + 1)?;
+                members.push((key, value));
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b'}') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(JsonValue::Object(members));
                     }
                     _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
                 }
@@ -311,59 +417,107 @@ fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
         Some(b'[') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut items = Vec::new();
             if b.get(*pos) == Some(&b']') {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             loop {
-                parse_value(b, pos, depth + 1)?;
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b']') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(JsonValue::Array(items));
                     }
                     _ => return Err(format!("expected ',' or ']' at byte {pos}")),
                 }
             }
         }
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_literal(b, pos, "true"),
-        Some(b'f') => parse_literal(b, pos, "false"),
-        Some(b'n') => parse_literal(b, pos, "null"),
-        Some(_) => parse_number(b, pos),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|()| JsonValue::Null),
+        Some(_) => parse_number(b, pos).map(JsonValue::Num),
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+/// Reads the four hex digits after a `\u`, leaving `pos` on the last one.
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if *pos + 4 >= b.len() || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!("bad \\u escape at byte {pos}"));
+    }
+    let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).expect("hex digits are ascii");
+    let code = u32::from_str_radix(hex, 16).expect("validated hex");
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     if b.get(*pos) != Some(&b'"') {
         return Err(format!("expected string at byte {pos}"));
     }
     *pos += 1;
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        if *pos + 4 >= b.len()
-                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(format!("bad \\u escape at byte {pos}"));
-                        }
-                        *pos += 5;
+                        let hi = parse_hex4(b, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // A high surrogate must pair with a \uXXXX
+                            // low surrogate immediately after it.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!("unpaired surrogate at byte {pos}"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(format!("unpaired surrogate at byte {pos}"));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point at byte {pos}"))?,
+                        );
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
+                *pos += 1;
             }
             0x00..=0x1f => return Err(format!("raw control char in string at byte {pos}")),
-            _ => *pos += 1,
+            _ => {
+                // Copy one whole UTF-8 scalar (the input is a &str, so
+                // the bytes are valid UTF-8 by construction).
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = std::str::from_utf8(&b[*pos..*pos + len]).expect("valid utf-8 input");
+                out.push_str(chunk);
+                *pos += len;
+            }
         }
     }
     Err("unterminated string".into())
@@ -378,7 +532,7 @@ fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -413,7 +567,10 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {pos}"));
         }
     }
-    Ok(())
+    std::str::from_utf8(&b[start..*pos])
+        .expect("number bytes are ascii")
+        .parse()
+        .map_err(|e| format!("unparsable number at byte {start}: {e}"))
 }
 
 #[cfg(test)]
@@ -481,5 +638,27 @@ mod tests {
         assert!(validate_json("\"unterminated").is_err());
         assert!(validate_json("01").is_ok()); // lenient: leading zeros allowed
         assert!(validate_json("{1: 2}").is_err());
+    }
+
+    #[test]
+    fn parser_produces_values() {
+        let v = parse_json("{\"a\": [1, 2.5, true, null], \"s\": \"x\\n\\u0041\\ud83d\\ude00\"}")
+            .expect("parses");
+        assert_eq!(v.get("a").and_then(|a| a.as_array()).map(<[JsonValue]>::len), Some(4));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_bool(), Some(true));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x\nA\u{1f600}"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse_json("-3e2").unwrap().as_f64(), Some(-300.0));
+        assert!(parse_json("\"\\ud800\"").is_err(), "unpaired surrogate must be rejected");
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let nasty = "quote \" backslash \\ newline \n tab \t ctrl \u{1} unicode \u{1f600}";
+        let doc = format!("{{\"k\": \"{}\"}}", json_escaped(nasty));
+        let v = parse_json(&doc).expect("escaped string parses");
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some(nasty));
     }
 }
