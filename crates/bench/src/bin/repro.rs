@@ -9,6 +9,9 @@
 //! cargo run -p dyser-bench --release --bin repro -- all --backend compiled
 //! cargo run -p dyser-bench --release --bin repro -- stats        # cycle attribution
 //! cargo run -p dyser-bench --release --bin repro -- e2 --trace t.json
+//! cargo run -p dyser-bench --release --bin repro -- dse                # full sweep, BENCH_dse.json
+//! cargo run -p dyser-bench --release --bin repro -- dse --kernels saxpy --dims 2,4 --n 64
+//! cargo run -p dyser-bench --release --bin repro -- dse --no-prune --csv
 //! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 10000 --seed 0xD75E --shrink
 //! cargo run -p dyser-bench --release --bin repro -- fuzz --cases 2000 --time
 //! cargo run -p dyser-bench --release --bin repro -- all --csv --serve http://127.0.0.1:7878
@@ -78,6 +81,121 @@ fn timing_path(ids: &[&str]) -> &'static str {
     if full_suite { "BENCH_repro.json" } else { "BENCH_repro.partial.json" }
 }
 
+/// `repro dse [--kernels a,b] [--dims 2,4] [--mixes default,universal]
+/// [--fifos 1,4] [--mems default,tiny] [--unrolls 1,8] [--n N]
+/// [--no-prune] [--csv] [--backend B] [--serve URL]`: the design-space
+/// exploration driver. Axis values are validated up front (a `--dims 0`
+/// or `--fifos 0` sweep exits with the fabric's own typed configuration
+/// error); any filter flag redirects the report to
+/// `BENCH_dse.partial.json`. Never returns.
+fn dse_main(mut args: Vec<String>) -> ! {
+    use dyser_bench::dse::{self, DsePlan, FuMix, MemPreset, PointSim};
+    let mut plan = DsePlan::default();
+    let parse_usizes = |v: &str| -> Option<Vec<usize>> {
+        v.split(',').map(|s| s.trim().parse::<usize>().ok()).collect()
+    };
+    if let Some(k) = take_value(&mut args, "--kernels", |v| {
+        Some(v.split(',').map(|s| s.trim().to_owned()).collect::<Vec<_>>())
+    }) {
+        plan.kernels = k;
+    }
+    if let Some(d) = take_value(&mut args, "--dims", parse_usizes) {
+        plan.dims = d;
+    }
+    if let Some(f) = take_value(&mut args, "--fifos", parse_usizes) {
+        plan.fifos = f;
+    }
+    if let Some(u) = take_value(&mut args, "--unrolls", parse_usizes) {
+        plan.unrolls = u;
+    }
+    if let Some(m) = take_value(&mut args, "--mems", |v| {
+        v.split(',')
+            .map(|s| MemPreset::parse(s.trim()).map_err(|e| eprintln!("{e}")).ok())
+            .collect::<Option<Vec<_>>>()
+    }) {
+        plan.mems = m;
+    }
+    if let Some(m) = take_value(&mut args, "--mixes", |v| {
+        v.split(',')
+            .map(|s| FuMix::parse(s.trim()).map_err(|e| eprintln!("{e}")).ok())
+            .collect::<Option<Vec<_>>>()
+    }) {
+        plan.mixes = m;
+    }
+    if let Some(n) = take_value(&mut args, "--n", |v| v.parse().ok().filter(|&n: &usize| n > 0)) {
+        plan.n = n;
+    }
+    if let Some(b) = take_value(&mut args, "--backend", |v| {
+        dyser_core::Backend::parse(v).map_err(|e| eprintln!("{e}")).ok()
+    }) {
+        plan.backend = Some(b);
+    }
+    let serve_url = take_value(&mut args, "--serve", |v| Some(v.to_owned()));
+    let csv = args.iter().any(|a| a == "--csv");
+    if args.iter().any(|a| a == "--no-prune") {
+        plan.prune = false;
+    }
+    args.retain(|a| a != "--csv" && a != "--no-prune");
+    if let Some(stray) = args.first() {
+        eprintln!(
+            "unknown dse argument `{stray}`; valid: --kernels --dims --mixes --fifos \
+             --mems --unrolls --n N --no-prune --csv --backend B --serve URL"
+        );
+        std::process::exit(2);
+    }
+    if let Err(e) = plan.validate() {
+        eprintln!("repro dse: {e}");
+        std::process::exit(2);
+    }
+    let outcome = match &serve_url {
+        Some(url) => dse::run_dse_with(&plan, |_, p, _| {
+            let job = JobRequest::DsePoint {
+                kernel: p.kernel.clone(),
+                n: plan.n,
+                rows: p.rows,
+                cols: p.cols,
+                universal: p.mix == FuMix::Universal,
+                fifo_depth: p.fifo_depth,
+                mem: p.mem.label().into(),
+                unroll: p.unroll,
+                run: serve::RunSpec { backend: plan.backend, ..Default::default() },
+            };
+            match serve::submit(url, &job) {
+                Ok(JobResult::DsePoint {
+                    baseline_cycles, cycles, energy_nj, config_cycles, ..
+                }) => Ok(PointSim { baseline_cycles, cycles, energy_nj, config_cycles }),
+                Ok(other) => Err(format!("{p} via {url}: unexpected result {other:?}")),
+                Err(e) => Err(format!("{p} via {url}: {e}")),
+            }
+        }),
+        None => dse::run_dse(&plan),
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro dse: {e}");
+            std::process::exit(1);
+        }
+    };
+    match outcome.table() {
+        Ok(table) => {
+            if csv {
+                println!("{}", table.to_csv());
+            } else {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("repro dse: {e}");
+            std::process::exit(1);
+        }
+    }
+    let path = dse::dse_path(&plan);
+    write_or_exit(path, &outcome.to_json());
+    println!("wrote {path}");
+    std::process::exit(0);
+}
+
 /// `repro fuzz [--cases N] [--seed S] [--shrink] [--time [--reps N]]`:
 /// the differential-fuzzing campaign driver. Never returns.
 fn fuzz_main(mut args: Vec<String>) -> ! {
@@ -119,6 +237,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         fuzz_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("dse") {
+        dse_main(args.split_off(1));
     }
     let backend = take_value(&mut args, "--backend", |v| {
         dyser_core::Backend::parse(v)

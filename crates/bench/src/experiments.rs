@@ -548,10 +548,7 @@ pub fn e9_fabric_sweep(scale: Scale) -> ExpTable {
         let n = scale.n(k.default_n / 2);
         let mut cells = vec![name.to_owned()];
         for dim in [2usize, 4, 6, 8] {
-            let r = run_one(&k, n, |c| {
-                c.system.geometry = FabricGeometry::new(dim, dim);
-                c.compiler.geometry = FabricGeometry::new(dim, dim);
-            });
+            let r = run_one(&k, n, |c| c.set_geometry(FabricGeometry::new(dim, dim)));
             cells.push(format!("{:.2}x", r.speedup));
         }
         t.row(cells);
@@ -630,15 +627,7 @@ pub fn ablation(scale: Scale) -> ExpTable {
             ),
             ("fifo depth 2", Box::new(|c: &mut RunConfig| c.system.fifo_depth = 2)),
             ("fifo depth 8", Box::new(|c: &mut RunConfig| c.system.fifo_depth = 8)),
-            (
-                "universal FUs",
-                Box::new(|c: &mut RunConfig| {
-                    let g = c.system.geometry;
-                    let kinds = vec![FuKind::Universal; g.fu_count()];
-                    c.system.kinds = Some(kinds.clone());
-                    c.compiler.kinds = Some(kinds);
-                }),
-            ),
+            ("universal FUs", Box::new(|c: &mut RunConfig| c.set_universal_fus())),
         ];
         for (label, tweak) in variants {
             let r = run_one(&k, n, |c| tweak(c));
@@ -684,8 +673,9 @@ mod tests {
     #[test]
     fn e7_speedup_grows_with_n() {
         let t = e7_config_overhead(Scale(0.5));
-        let first: f64 = t.rows.first().unwrap()[4].trim_end_matches('x').parse().unwrap();
-        let last: f64 = t.rows.last().unwrap()[4].trim_end_matches('x').parse().unwrap();
+        let col = &t.headers[4];
+        let first: f64 = t.parse_cell(0, col).expect("first row speedup");
+        let last: f64 = t.parse_cell(t.rows.len() - 1, col).expect("last row speedup");
         assert!(last > first, "amortisation: {first} -> {last}");
     }
 
@@ -702,12 +692,12 @@ mod tests {
         let t = ablation(Scale(0.25));
         // poly6's default variant must beat its no-store-lag variant.
         let cycles = |variant: &str| -> u64 {
-            t.rows
+            let row = t
+                .rows
                 .iter()
-                .find(|r| r[0] == "poly6" && r[1] == variant)
-                .unwrap()[2]
-                .parse()
-                .unwrap()
+                .position(|r| r[0] == "poly6" && r[1] == variant)
+                .unwrap_or_else(|| panic!("no poly6 / {variant} row"));
+            t.parse_cell(row, "dyser cycles").expect("cycle cell")
         };
         assert!(cycles("default (unroll 4, lag 2)") <= cycles("no store lag"));
     }

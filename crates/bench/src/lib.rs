@@ -14,13 +14,15 @@
 
 
 #![warn(missing_docs)]
+pub mod dse;
 pub mod experiments;
 pub mod fuzzcli;
 pub mod serve;
 pub mod table;
 pub mod timing;
 
+pub use dse::{dse_path, run_dse, DseOutcome, DsePlan};
 pub use experiments::{run_experiment, stats_attribution, Scale, EXPERIMENT_IDS};
 pub use fuzzcli::{run_fuzz_cli, time_fuzz};
-pub use table::ExpTable;
+pub use table::{ExpTable, TableError};
 pub use timing::{load_reference, time_experiments, timing_json, Reference, Timing};

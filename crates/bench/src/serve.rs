@@ -273,6 +273,29 @@ pub enum JobRequest {
         /// Hardware overrides.
         system: SystemSpec,
     },
+    /// Simulate one design-space-exploration point (`repro dse
+    /// --serve`) and return its sweep metrics: cycles, geometry-scaled
+    /// energy, and config-load stall cycles.
+    DsePoint {
+        /// Suite kernel name.
+        kernel: String,
+        /// Problem size.
+        n: usize,
+        /// Fabric grid rows.
+        rows: usize,
+        /// Fabric grid columns.
+        cols: usize,
+        /// All-universal FU mix instead of the default checkerboard.
+        universal: bool,
+        /// Port FIFO depth.
+        fifo_depth: usize,
+        /// Memory preset label (`default`|`tiny`|`perfect`).
+        mem: String,
+        /// Requested unroll factor.
+        unroll: usize,
+        /// Execution knobs (backend, cycle budget).
+        run: RunSpec,
+    },
 }
 
 /// Renders a `u64` as a JSON string (`"0x..."`). Raw JSON numbers stop
@@ -442,6 +465,18 @@ impl JobRequest {
                 run.json_fields(&mut fields);
                 system.json_fields(&mut fields);
             }
+            JobRequest::DsePoint { kernel, n, rows, cols, universal, fifo_depth, mem, unroll, run } => {
+                fields.push("\"kind\": \"dse-point\"".into());
+                fields.push(format!("\"kernel\": \"{}\"", json_escaped(kernel)));
+                fields.push(format!("\"n\": {n}"));
+                fields.push(format!("\"rows\": {rows}"));
+                fields.push(format!("\"cols\": {cols}"));
+                fields.push(format!("\"universal\": {universal}"));
+                fields.push(format!("\"fifo_depth\": {fifo_depth}"));
+                fields.push(format!("\"mem\": \"{}\"", json_escaped(mem)));
+                fields.push(format!("\"unroll\": {unroll}"));
+                run.json_fields(&mut fields);
+            }
         }
         format!("{{{}}}", fields.join(", "))
     }
@@ -503,6 +538,34 @@ impl JobRequest {
                 run: RunSpec::from_json(&v)?,
                 system: SystemSpec::from_json(v.get("system"))?,
             }),
+            "dse-point" => {
+                let usize_field = |key: &str| -> Result<usize, JobError> {
+                    v.get(key).and_then(JsonValue::as_u64).map(|n| n as usize).ok_or_else(|| {
+                        JobError::InvalidRequest(format!("dse-point job needs a `{key}` integer"))
+                    })
+                };
+                Ok(JobRequest::DsePoint {
+                    kernel: v
+                        .get("kernel")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| {
+                            JobError::InvalidRequest("dse-point job needs a `kernel`".into())
+                        })?
+                        .to_owned(),
+                    n: usize_field("n")?,
+                    rows: usize_field("rows")?,
+                    cols: usize_field("cols")?,
+                    universal: v.get("universal").and_then(JsonValue::as_bool).unwrap_or(false),
+                    fifo_depth: usize_field("fifo_depth")?,
+                    mem: v
+                        .get("mem")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("default")
+                        .to_owned(),
+                    unroll: usize_field("unroll")?,
+                    run: RunSpec::from_json(&v)?,
+                })
+            }
             other => Err(JobError::InvalidRequest(format!("unknown job kind `{other}`"))),
         }
     }
@@ -542,6 +605,20 @@ pub enum JobResult {
         /// Chrome-trace artifact of both runs, when the job asked for
         /// one.
         trace_json: Option<String>,
+    },
+    /// A design-space point's sweep metrics.
+    DsePoint {
+        /// Suite kernel name.
+        kernel: String,
+        /// Baseline (no-DySER) cycles.
+        baseline_cycles: u64,
+        /// Accelerated cycles.
+        cycles: u64,
+        /// Accelerated-run energy (nJ), leakage scaled to the point's
+        /// grid size.
+        energy_nj: f64,
+        /// Cycles the core stalled on configuration loads.
+        config_cycles: u64,
     },
 }
 
@@ -583,12 +660,38 @@ impl JobResult {
                 s.push('}');
                 s
             }
+            JobResult::DsePoint { kernel, baseline_cycles, cycles, energy_nj, config_cycles } => {
+                format!(
+                    "{{\"kernel\": \"{}\", \"baseline_cycles\": {baseline_cycles}, \
+                     \"cycles\": {cycles}, \"energy_nj\": {energy_nj:.4}, \
+                     \"config_cycles\": {config_cycles}}}",
+                    json_escaped(kernel)
+                )
+            }
         }
     }
 
     fn from_json(v: &JsonValue) -> Result<JobResult, JobError> {
         if let Some(text) = v.get("text").and_then(JsonValue::as_str) {
             return Ok(JobResult::Experiment { text: text.to_owned() });
+        }
+        if let Some(energy_nj) = v.get("energy_nj").and_then(JsonValue::as_f64) {
+            let field = |key: &str| -> Result<u64, JobError> {
+                v.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| JobError::Protocol(format!("dse result missing `{key}`")))
+            };
+            return Ok(JobResult::DsePoint {
+                kernel: v
+                    .get("kernel")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| JobError::Protocol("dse result missing `kernel`".into()))?
+                    .to_owned(),
+                baseline_cycles: field("baseline_cycles")?,
+                cycles: field("cycles")?,
+                energy_nj,
+                config_cycles: field("config_cycles")?,
+            });
         }
         let field_str = |key: &str| -> Result<String, JobError> {
             v.get(key)
@@ -876,6 +979,17 @@ mod tests {
                 run: RunSpec::default(),
                 system: SystemSpec::default(),
             },
+            JobRequest::DsePoint {
+                kernel: "poly6".into(),
+                n: 64,
+                rows: 2,
+                cols: 8,
+                universal: true,
+                fifo_depth: 4,
+                mem: "tiny".into(),
+                unroll: 2,
+                run: RunSpec { backend: Some(Backend::Compiled), ..RunSpec::default() },
+            },
         ];
         for job in jobs {
             let json = job.to_json();
@@ -921,6 +1035,20 @@ mod tests {
                 Ok(r) => panic!("error envelope parsed as success: {r:?}"),
             }
         }
+    }
+
+    #[test]
+    fn dse_point_result_round_trips() {
+        let ok: Result<JobResult, JobError> = Ok(JobResult::DsePoint {
+            kernel: "saxpy".into(),
+            baseline_cycles: 4000,
+            cycles: 900,
+            energy_nj: 1234.5,
+            config_cycles: 37,
+        });
+        let body = envelope_json(&ok);
+        dyser_trace::validate_json(&body).expect("envelope is valid JSON");
+        assert_eq!(parse_envelope(&body), ok.map_err(|_| unreachable!()));
     }
 
     #[test]

@@ -1,6 +1,75 @@
 //! A plain-text table renderer for experiment output.
 
 use std::fmt;
+use std::str::FromStr;
+
+/// A typed failure extracting data back out of an [`ExpTable`].
+///
+/// Post-processing passes (geomean extraction, sweep aggregation, the
+/// `dse` accuracy report) read rendered cells back as numbers; these used
+/// to be `unwrap()` chains that aborted a whole sweep on one malformed
+/// row. The accessors below return this error instead so the caller can
+/// skip or report the row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// No row matched the requested key.
+    NoSuchRow {
+        /// The key column searched.
+        column: String,
+        /// The key value searched for.
+        value: String,
+    },
+    /// The header named in a lookup does not exist.
+    NoSuchColumn {
+        /// The requested header.
+        column: String,
+    },
+    /// A row index beyond the table.
+    RowOutOfRange {
+        /// The requested row index.
+        row: usize,
+        /// Rows in the table.
+        len: usize,
+    },
+    /// A cell that failed to parse as the requested type.
+    BadCell {
+        /// Row index of the offending cell.
+        row: usize,
+        /// Header of the offending cell.
+        column: String,
+        /// The raw cell contents.
+        cell: String,
+    },
+    /// A row whose arity does not match the headers.
+    ArityMismatch {
+        /// Cells supplied.
+        got: usize,
+        /// Cells expected (header count).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::NoSuchRow { column, value } => {
+                write!(f, "no row with {column} = {value:?}")
+            }
+            TableError::NoSuchColumn { column } => write!(f, "no column {column:?}"),
+            TableError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} out of range (table has {len})")
+            }
+            TableError::BadCell { row, column, cell } => {
+                write!(f, "cell [{row}].{column} = {cell:?} is not a number")
+            }
+            TableError::ArityMismatch { got, expected } => {
+                write!(f, "row has {got} cells but the table has {expected} headers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
 
 /// One experiment's result table.
 #[derive(Debug, Clone)]
@@ -64,9 +133,86 @@ impl ExpTable {
         self.csv_extra_rows.push(extras);
     }
 
+    /// Appends a row, returning a typed error instead of panicking on an
+    /// arity mismatch (for rows assembled from sweep data rather than
+    /// literal cell lists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ArityMismatch`] if the arity differs from
+    /// the headers.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), TableError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableError::ArityMismatch {
+                got: cells.len(),
+                expected: self.headers.len(),
+            });
+        }
+        self.rows.push(cells);
+        self.csv_extra_rows.push(Vec::new());
+        Ok(())
+    }
+
     /// Appends a note.
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// The index of the named header column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoSuchColumn`] if no header matches.
+    pub fn column(&self, column: &str) -> Result<usize, TableError> {
+        self.headers
+            .iter()
+            .position(|h| h == column)
+            .ok_or_else(|| TableError::NoSuchColumn { column: column.to_owned() })
+    }
+
+    /// The index of the first row whose `key` column equals `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoSuchColumn`] or [`TableError::NoSuchRow`].
+    pub fn find_row(&self, key: &str, value: &str) -> Result<usize, TableError> {
+        let col = self.column(key)?;
+        self.rows
+            .iter()
+            .position(|r| r[col] == value)
+            .ok_or_else(|| TableError::NoSuchRow { column: key.to_owned(), value: value.to_owned() })
+    }
+
+    /// The raw cell at (`row`, `column`-by-header-name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfRange`] or [`TableError::NoSuchColumn`].
+    pub fn cell(&self, row: usize, column: &str) -> Result<&str, TableError> {
+        let col = self.column(column)?;
+        let r = self
+            .rows
+            .get(row)
+            .ok_or(TableError::RowOutOfRange { row, len: self.rows.len() })?;
+        Ok(&r[col])
+    }
+
+    /// Parses the cell at (`row`, `column`) as `T`, tolerating the
+    /// renderers' decorations: a trailing `x` (speedups), a trailing `%`,
+    /// and surrounding whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lookup errors of [`ExpTable::cell`], or
+    /// [`TableError::BadCell`] if the undecorated cell does not parse.
+    pub fn parse_cell<T: FromStr>(&self, row: usize, column: &str) -> Result<T, TableError> {
+        let raw = self.cell(row, column)?;
+        let trimmed = raw.trim().trim_end_matches(['x', '%']);
+        trimmed.parse().map_err(|_| TableError::BadCell {
+            row,
+            column: column.to_owned(),
+            cell: raw.to_owned(),
+        })
     }
 
     /// Renders the table as CSV (headers + rows; notes become `#` comments).
@@ -191,5 +337,45 @@ mod tests {
     fn arity_checked() {
         let mut t = ExpTable::new("t", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_row_returns_typed_arity_error() {
+        let mut t = ExpTable::new("t", &["a", "b"]);
+        assert_eq!(
+            t.try_row(vec!["only-one".into()]),
+            Err(TableError::ArityMismatch { got: 1, expected: 2 })
+        );
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        assert_eq!(t.rows.len(), 1, "the failed row must not be half-applied");
+    }
+
+    #[test]
+    fn typed_cell_extraction() {
+        let mut t = ExpTable::new("t", &["kernel", "speedup", "share"]);
+        t.row(vec!["poly6".into(), "3.25x".into(), "42%".into()]);
+        t.row(vec!["saxpy".into(), "oops".into(), "7".into()]);
+
+        assert_eq!(t.find_row("kernel", "saxpy"), Ok(1));
+        assert_eq!(t.cell(0, "speedup"), Ok("3.25x"));
+        assert_eq!(t.parse_cell::<f64>(0, "speedup"), Ok(3.25));
+        assert_eq!(t.parse_cell::<u64>(0, "share"), Ok(42));
+
+        assert_eq!(
+            t.find_row("kernel", "fir4"),
+            Err(TableError::NoSuchRow { column: "kernel".into(), value: "fir4".into() })
+        );
+        assert_eq!(
+            t.cell(0, "nope"),
+            Err(TableError::NoSuchColumn { column: "nope".into() })
+        );
+        assert_eq!(t.cell(9, "kernel"), Err(TableError::RowOutOfRange { row: 9, len: 2 }));
+        let bad = t.parse_cell::<f64>(1, "speedup");
+        assert_eq!(
+            bad,
+            Err(TableError::BadCell { row: 1, column: "speedup".into(), cell: "oops".into() })
+        );
+        // Every variant renders a human-readable message (CLI exit paths).
+        assert!(bad.unwrap_err().to_string().contains("oops"));
     }
 }

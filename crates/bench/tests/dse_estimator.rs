@@ -1,0 +1,73 @@
+//! The DSE estimator's two safety contracts:
+//!
+//! 1. **Accuracy**: on every suite kernel at the default geometry, the
+//!    anchored analytic estimate stays within the documented error band
+//!    of the simulated cycles (`EST_BAND_LOW..EST_BAND_HIGH`).
+//! 2. **Prune safety**: on a small exhaustive grid, analytic pre-pruning
+//!    never discards a point that the full (unpruned) simulation places
+//!    on the true Pareto front — the `PRUNE_MARGIN` really does cover
+//!    the estimator's point-to-point ranking error.
+
+use dyser_bench::dse::{run_dse, DsePlan, FuMix, MemPreset, EST_BAND_HIGH, EST_BAND_LOW};
+use dyser_core::{Backend, RunConfig};
+use dyser_workloads::suite;
+
+#[test]
+fn estimator_within_band_on_every_suite_kernel() {
+    let default = RunConfig::default();
+    let plan = DsePlan {
+        kernels: suite().iter().map(|k| k.name.to_owned()).collect(),
+        dims: vec![default.system.geometry.rows()],
+        mixes: vec![FuMix::Default],
+        fifos: vec![default.system.fifo_depth],
+        mems: vec![MemPreset::Default],
+        unrolls: vec![1, 4],
+        n: 64,
+        prune: false,
+        backend: Some(Backend::Compiled),
+    };
+    let outcome = run_dse(&plan).expect("suite-wide sweep");
+    assert_eq!(outcome.records.len(), outcome.points_total, "prune disabled");
+    for r in &outcome.records {
+        let ratio = r.accuracy_ratio();
+        assert!(
+            (EST_BAND_LOW..=EST_BAND_HIGH).contains(&ratio),
+            "{}: est {:.0} vs sim {} (ratio {ratio:.2}) outside [{EST_BAND_LOW}, {EST_BAND_HIGH}]",
+            r.point,
+            r.est.cycles,
+            r.sim.cycles,
+        );
+    }
+}
+
+#[test]
+fn pruning_never_discards_a_true_pareto_point() {
+    let exhaustive = DsePlan {
+        kernels: vec!["saxpy".into(), "poly6".into()],
+        dims: vec![2, 4],
+        mixes: FuMix::ALL.to_vec(),
+        fifos: vec![1, 4],
+        mems: MemPreset::ALL.to_vec(),
+        unrolls: vec![1, 4],
+        n: 64,
+        prune: false,
+        backend: Some(Backend::Compiled),
+    };
+    let full = run_dse(&exhaustive).expect("exhaustive sweep");
+    assert_eq!(full.records.len(), full.points_total, "exhaustive run simulates everything");
+
+    let pruned_plan = DsePlan { prune: true, ..exhaustive };
+    let pruned = run_dse(&pruned_plan).expect("pruned sweep");
+    assert!(
+        pruned.points_pruned > 0,
+        "the grid includes dominated points (tiny-mem unmapped configs); pruning must fire"
+    );
+
+    for truth in full.pareto() {
+        assert!(
+            pruned.records.iter().any(|r| r.point == truth.point),
+            "true-Pareto point {} was pruned analytically",
+            truth.point
+        );
+    }
+}

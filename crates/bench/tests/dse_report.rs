@@ -1,0 +1,43 @@
+//! Regression tests for the `BENCH_dse.json` report path, mirroring the
+//! `BENCH_repro.partial.json` convention `tests/stats_reps.rs` guards on
+//! the timing side: a filtered or otherwise modified sweep must never be
+//! able to clobber the committed full-sweep surface.
+
+use dyser_bench::dse::{dse_path, DsePlan, FuMix, MemPreset};
+use dyser_core::Backend;
+
+#[test]
+fn only_the_full_default_plan_rebaselines_bench_dse() {
+    assert_eq!(dse_path(&DsePlan::default()), "BENCH_dse.json");
+
+    let filtered: Vec<DsePlan> = vec![
+        DsePlan { kernels: vec!["saxpy".into()], ..DsePlan::default() },
+        DsePlan { dims: vec![2, 4], ..DsePlan::default() },
+        DsePlan { mixes: vec![FuMix::Universal], ..DsePlan::default() },
+        DsePlan { fifos: vec![4], ..DsePlan::default() },
+        DsePlan { mems: vec![MemPreset::Perfect], ..DsePlan::default() },
+        DsePlan { unrolls: vec![1], ..DsePlan::default() },
+        DsePlan { n: 64, ..DsePlan::default() },
+        DsePlan { prune: false, ..DsePlan::default() },
+        DsePlan { backend: Some(Backend::Interpreted), ..DsePlan::default() },
+        DsePlan { backend: None, ..DsePlan::default() },
+    ];
+    for plan in &filtered {
+        assert_eq!(
+            dse_path(plan),
+            "BENCH_dse.partial.json",
+            "modified plan must not rebaseline: {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn the_committed_full_sweep_is_at_least_a_thousand_points() {
+    let plan = DsePlan::default();
+    assert!(
+        plan.points().len() >= 1000,
+        "the committed sweep covers {} points",
+        plan.points().len()
+    );
+    plan.validate().expect("the committed sweep is valid");
+}

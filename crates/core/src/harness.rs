@@ -108,6 +108,32 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// Sets the fabric geometry on both the system and the compiler.
+    ///
+    /// The two copies must agree or the scheduler targets hardware that
+    /// does not exist; every sweep that varies geometry should go through
+    /// here rather than assigning the fields separately.
+    pub fn set_geometry(&mut self, geometry: dyser_fabric::FabricGeometry) {
+        self.system.geometry = geometry;
+        self.compiler.geometry = geometry;
+    }
+
+    /// Sets explicit per-site FU kinds on both the system and the
+    /// compiler (`None` restores the default heterogeneous pattern).
+    pub fn set_kinds(&mut self, kinds: Option<Vec<dyser_fabric::FuKind>>) {
+        self.system.kinds = kinds.clone();
+        self.compiler.kinds = kinds;
+    }
+
+    /// Makes every FU site a [`dyser_fabric::FuKind::Universal`] unit on
+    /// the current geometry (used by idealised sweeps).
+    pub fn set_universal_fus(&mut self) {
+        let kinds = vec![dyser_fabric::FuKind::Universal; self.system.geometry.fu_count()];
+        self.set_kinds(Some(kinds));
+    }
+}
+
 /// The outcome of one kernel experiment.
 #[derive(Debug, Clone)]
 pub struct KernelResult {

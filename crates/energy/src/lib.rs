@@ -260,6 +260,40 @@ impl EnergyModel {
             edp: total_nj * runtime_s,
         }
     }
+
+    /// The FU-site count of the fabric the default leakage constant is
+    /// calibrated against (the prototype's 8x8 grid).
+    pub const CALIBRATION_FU_SITES: usize = 64;
+
+    /// Estimates energy for a run on a fabric with `fu_sites` FU sites.
+    ///
+    /// [`EnergyModel::estimate`] charges the calibrated 8x8 fabric's
+    /// leakage regardless of geometry, which is the right thing for the
+    /// fixed-geometry E-suite but systematically overtaxes small grids in
+    /// a design-space sweep (a 2x2 fabric clocks 1/16 of the region).
+    /// This variant scales the leakage component by
+    /// `fu_sites / CALIBRATION_FU_SITES`; dynamic per-event energies are
+    /// already proportional to activity and are left alone. With
+    /// `fu_sites == CALIBRATION_FU_SITES` the result is identical to
+    /// [`EnergyModel::estimate`].
+    pub fn estimate_for_geometry(&self, a: &Activity, fu_sites: usize) -> EnergyReport {
+        let scale = fu_sites as f64 / Self::CALIBRATION_FU_SITES as f64;
+        let scaled = EnergyModel {
+            params: EnergyParams {
+                fabric_leakage_mw: self.params.fabric_leakage_mw * scale,
+                ..self.params
+            },
+        };
+        scaled.estimate(a)
+    }
+
+    /// Energy (nJ) of streaming a configuration frame of `bits` bits over
+    /// the config bus — the fixed cost a design-space point pays before
+    /// its first invocation, isolated so sweeps can weigh configuration
+    /// overhead as its own axis.
+    pub fn config_load_energy_nj(&self, bits: u64) -> f64 {
+        bits as f64 * self.params.config_bit_pj / 1000.0
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +435,40 @@ mod tests {
         let mut a = base;
         a.fabric_config_bits += 4096;
         assert!(model.estimate(&a).total_nj > base_nj, "config bits cost energy");
+    }
+
+    #[test]
+    fn geometry_estimate_matches_calibration_at_64_sites() {
+        let model = EnergyModel::default();
+        let a = busy_fabric(1_000_000);
+        let base = model.estimate(&a);
+        let same = model.estimate_for_geometry(&a, EnergyModel::CALIBRATION_FU_SITES);
+        assert_eq!(base, same, "64 FU sites is the calibration point");
+    }
+
+    #[test]
+    fn geometry_estimate_scales_leakage_only() {
+        let model = EnergyModel::default();
+        let a = busy_fabric(1_000_000);
+        let big = model.estimate_for_geometry(&a, 64);
+        let small = model.estimate_for_geometry(&a, 4);
+        assert!(small.fabric_nj < big.fabric_nj, "a 2x2 grid leaks less than an 8x8");
+        assert_eq!(small.core_nj, big.core_nj, "core energy is geometry-independent");
+        assert_eq!(small.mem_nj, big.mem_nj, "memory energy is geometry-independent");
+        // The delta is exactly the leakage scaling.
+        let p = EnergyParams::default();
+        let runtime_s = big.runtime_s;
+        let expect = p.fabric_leakage_mw * runtime_s * 1e6 * (1.0 - 4.0 / 64.0);
+        assert!((big.fabric_nj - small.fabric_nj - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_load_energy_tracks_frame_bits() {
+        let model = EnergyModel::default();
+        assert_eq!(model.config_load_energy_nj(0), 0.0);
+        let one_kbit = model.config_load_energy_nj(1024);
+        assert!((one_kbit - 1024.0 * model.params.config_bit_pj / 1000.0).abs() < 1e-12);
+        assert!(model.config_load_energy_nj(2048) > one_kbit);
     }
 
     #[test]

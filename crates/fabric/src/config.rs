@@ -381,6 +381,13 @@ pub enum FabricConfigError {
     },
     /// A port FIFO depth of zero (the interface could never move data).
     ZeroFifoDepth,
+    /// Grid dimensions outside `1..=FabricGeometry::MAX_DIM`.
+    BadGeometry {
+        /// Requested FU rows.
+        rows: usize,
+        /// Requested FU columns.
+        cols: usize,
+    },
 }
 
 impl fmt::Display for FabricConfigError {
@@ -398,6 +405,11 @@ impl fmt::Display for FabricConfigError {
                 write!(f, "{dir} port {port} does not exist (geometry has {limit})")
             }
             FabricConfigError::ZeroFifoDepth => write!(f, "port FIFO depth must be non-zero"),
+            FabricConfigError::BadGeometry { rows, cols } => write!(
+                f,
+                "fabric geometry {rows}x{cols} is outside the supported 1..={} range",
+                crate::FabricGeometry::MAX_DIM
+            ),
         }
     }
 }

@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use crate::config::FabricConfigError;
+
 /// The dimensions of a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FabricGeometry {
@@ -53,16 +55,34 @@ impl fmt::Display for SwitchId {
 }
 
 impl FabricGeometry {
+    /// The largest supported value for either grid dimension: the port
+    /// index space of the ISA bounds practical fabrics well below that.
+    pub const MAX_DIM: usize = 16;
+
     /// Creates a geometry with the given FU grid dimensions.
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero or exceeds 16 (the port index
-    /// space of the ISA bounds practical fabrics well below that).
+    /// Panics if either dimension is zero or exceeds
+    /// [`FabricGeometry::MAX_DIM`]. Untrusted dimensions (CLI flags, wire
+    /// requests, sweep grids) should go through
+    /// [`FabricGeometry::try_new`] instead.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "fabric dimensions must be non-zero");
-        assert!(rows <= 16 && cols <= 16, "fabric dimensions above 16 are not supported");
-        FabricGeometry { rows, cols }
+        Self::try_new(rows, cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a geometry with the given FU grid dimensions, returning a
+    /// typed error for degenerate requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricConfigError::BadGeometry`] if either dimension is
+    /// zero or exceeds [`FabricGeometry::MAX_DIM`].
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self, FabricConfigError> {
+        if rows == 0 || cols == 0 || rows > Self::MAX_DIM || cols > Self::MAX_DIM {
+            return Err(FabricConfigError::BadGeometry { rows, cols });
+        }
+        Ok(FabricGeometry { rows, cols })
     }
 
     /// Number of FU rows.
@@ -258,8 +278,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
+    #[should_panic(expected = "outside the supported")]
     fn zero_dims_panic() {
         let _ = FabricGeometry::new(0, 4);
+    }
+
+    #[test]
+    fn try_new_validates_bounds() {
+        assert!(FabricGeometry::try_new(1, 1).is_ok());
+        assert!(FabricGeometry::try_new(FabricGeometry::MAX_DIM, FabricGeometry::MAX_DIM).is_ok());
+        for (rows, cols) in [(0, 4), (4, 0), (0, 0), (FabricGeometry::MAX_DIM + 1, 4)] {
+            assert!(FabricGeometry::try_new(rows, cols).is_err(), "{rows}x{cols}");
+        }
     }
 }

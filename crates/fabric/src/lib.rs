@@ -59,7 +59,7 @@ pub use config::{
     ConfigError, FabricConfig, FabricConfigError, FuConfig, InDir, OperandSrc, OutDir,
     SwitchConfig,
 };
-pub use exec::Fabric;
+pub use exec::{Fabric, DEFAULT_CONFIG_BUS_BITS, DEFAULT_FIFO_DEPTH};
 pub use geom::{FabricGeometry, FuId, SwitchId};
 pub use op::{FuKind, FuOp};
 pub use stats::{FabricStats, StructuralStats};

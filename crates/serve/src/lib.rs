@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::thread;
 
+use dyser_bench::dse::{point_sim, DsePoint, FuMix, MemPreset};
 use dyser_bench::experiments::{run_experiment_scaled, SEED};
 use dyser_bench::serve::{
     envelope_json, read_http_request, write_http_response, JobError, JobRequest, JobResult,
@@ -144,12 +145,8 @@ fn build_run_config(
     let mut rc = RunConfig::default();
     let rows = system.rows.unwrap_or(rc.system.geometry.rows());
     let cols = system.cols.unwrap_or(rc.system.geometry.cols());
-    if !(1..=16).contains(&rows) || !(1..=16).contains(&cols) {
-        return Err(JobError::InvalidConfig(format!(
-            "fabric geometry {rows}x{cols} is outside the supported 1..=16 range"
-        )));
-    }
-    rc.system.geometry = FabricGeometry::new(rows, cols);
+    rc.system.geometry = FabricGeometry::try_new(rows, cols)
+        .map_err(|e| JobError::InvalidConfig(e.to_string()))?;
     if let Some(depth) = system.fifo_depth {
         rc.system.fifo_depth = depth;
     }
@@ -301,6 +298,37 @@ pub fn execute_job(job: &JobRequest, max_cycles_cap: u64) -> Result<JobResult, J
                 expected: expected.clone(),
             };
             gated(None, || dual_run(&case, &rc, run.trace))?
+        }
+        JobRequest::DsePoint { kernel, n, rows, cols, universal, fifo_depth, mem, unroll, run } => {
+            let Some(k) = suite().into_iter().find(|s| s.name == kernel) else {
+                return Err(JobError::UnknownKernel(kernel.clone()));
+            };
+            let mem = MemPreset::parse(mem).map_err(JobError::InvalidRequest)?;
+            let point = DsePoint {
+                kernel: kernel.clone(),
+                rows: *rows,
+                cols: *cols,
+                mix: if *universal { FuMix::Universal } else { FuMix::Default },
+                fifo_depth: *fifo_depth,
+                mem,
+                unroll: *unroll,
+            };
+            let mut rc = point
+                .run_config(&k, run.backend)
+                .map_err(|e| JobError::InvalidConfig(e.to_string()))?;
+            rc.max_cycles = run.max_cycles.unwrap_or(DEFAULT_JOB_CYCLES).clamp(1, max_cycles_cap);
+            let case = k.case(*n, SEED);
+            let fu_sites = rc.system.geometry.fu_count();
+            let result = gated(None, || dyser_core::run_kernel(&case, &rc))?
+                .map_err(|e| JobError::from_harness(&e))?;
+            let sim = point_sim(&result, fu_sites);
+            Ok(JobResult::DsePoint {
+                kernel: kernel.clone(),
+                baseline_cycles: sim.baseline_cycles,
+                cycles: sim.cycles,
+                energy_nj: sim.energy_nj,
+                config_cycles: sim.config_cycles,
+            })
         }
     }
 }

@@ -6,6 +6,7 @@
 use std::sync::Mutex;
 use std::thread;
 
+use dyser_bench::dse::{point_sim, DsePoint, FuMix, MemPreset};
 use dyser_bench::experiments::{run_experiment_scaled, SEED};
 use dyser_bench::serve::{
     http_exchange, parse_envelope, submit, JobError, JobRequest, JobResult, RunSpec, SystemSpec,
@@ -320,5 +321,105 @@ fn ir_jobs_compile_and_run_through_the_service() {
     match submit(&url, &bad_ir) {
         Err(JobError::Compile(_)) => {}
         other => panic!("expected a compile error over the wire, got {other:?}"),
+    }
+}
+
+#[test]
+fn dse_point_jobs_match_in_process_sweep_metrics() {
+    let _g = lock();
+
+    // In-process reference: the exact metrics `run_dse` would record.
+    let kernel = suite().into_iter().find(|k| k.name == "saxpy").expect("saxpy in suite");
+    let point = DsePoint {
+        kernel: "saxpy".into(),
+        rows: 4,
+        cols: 4,
+        mix: FuMix::Universal,
+        fifo_depth: 2,
+        mem: MemPreset::Perfect,
+        unroll: 2,
+    };
+    let rc = point
+        .run_config(&kernel, Some(Backend::Compiled))
+        .expect("valid point");
+    let expected = point_sim(
+        &run_kernel(&kernel.case(48, SEED), &rc).expect("in-process run"),
+        rc.system.geometry.fu_count(),
+    );
+
+    let url = spawn_server(2);
+    let job = JobRequest::DsePoint {
+        kernel: "saxpy".into(),
+        n: 48,
+        rows: 4,
+        cols: 4,
+        universal: true,
+        fifo_depth: 2,
+        mem: "perfect".into(),
+        unroll: 2,
+        run: RunSpec { backend: Some(Backend::Compiled), ..RunSpec::default() },
+    };
+    match submit(&url, &job) {
+        Ok(JobResult::DsePoint { kernel, baseline_cycles, cycles, energy_nj, config_cycles }) => {
+            assert_eq!(kernel, "saxpy");
+            assert_eq!(baseline_cycles, expected.baseline_cycles);
+            assert_eq!(cycles, expected.cycles);
+            assert_eq!(config_cycles, expected.config_cycles);
+            assert!(
+                (energy_nj - expected.energy_nj).abs() < 1e-3,
+                "served energy {energy_nj} vs in-process {}",
+                expected.energy_nj
+            );
+        }
+        other => panic!("dse-point job failed: {other:?}"),
+    }
+
+    // Degenerate geometry comes back as a typed invalid-config error.
+    let degenerate = JobRequest::DsePoint {
+        kernel: "saxpy".into(),
+        n: 16,
+        rows: 0,
+        cols: 4,
+        universal: false,
+        fifo_depth: 2,
+        mem: "default".into(),
+        unroll: 1,
+        run: RunSpec::default(),
+    };
+    match submit(&url, &degenerate) {
+        Err(JobError::InvalidConfig(_)) => {}
+        other => panic!("expected invalid-config, got {other:?}"),
+    }
+
+    // Unknown kernels and memory presets are typed errors too.
+    let unknown = JobRequest::DsePoint {
+        kernel: "warp-drive".into(),
+        n: 16,
+        rows: 4,
+        cols: 4,
+        universal: false,
+        fifo_depth: 2,
+        mem: "default".into(),
+        unroll: 1,
+        run: RunSpec::default(),
+    };
+    match submit(&url, &unknown) {
+        Err(JobError::UnknownKernel(_)) => {}
+        other => panic!("expected unknown-kernel, got {other:?}"),
+    }
+    let bad_mem = JobRequest::DsePoint {
+        kernel: "saxpy".into(),
+        n: 16,
+        rows: 4,
+        cols: 4,
+        universal: false,
+        fifo_depth: 2,
+        mem: "bogus".into(),
+        unroll: 1,
+        run: RunSpec::default(),
+    };
+    match submit(&url, &bad_mem) {
+        Err(JobError::InvalidRequest(_)) => {}
+        other => panic!("expected invalid-request, got {other:?}"),
     }
 }
