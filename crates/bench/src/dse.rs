@@ -36,7 +36,8 @@
 use std::fmt;
 
 use dyser_core::{
-    compile_cached, default_workers, parallel_map, run_kernel, Backend, KernelResult, RunConfig,
+    compile_cached, default_workers, parallel_map, run_kernel, run_kernel_batch, Backend,
+    KernelJob, KernelResult, RunConfig,
 };
 use dyser_energy::{Activity, EnergyModel};
 use dyser_fabric::{FabricConfigError, FabricGeometry, DEFAULT_CONFIG_BUS_BITS};
@@ -847,16 +848,46 @@ fn mark_pareto(records: &mut [DseRecord]) {
 /// Returns a typed [`DseError`] for invalid plans, compile failures, or
 /// survivor simulation failures.
 pub fn run_dse(plan: &DsePlan) -> Result<DseOutcome, DseError> {
-    run_dse_with(plan, |kernel, point, rc| {
-        let case = kernel.case(plan.n, SEED);
-        let result = run_kernel(&case, rc).map_err(|e| format!("{point}: {e}"))?;
-        Ok(point_sim(&result, rc.system.geometry.fu_count()))
-    })
+    run_dse_batch(plan, true)
 }
 
-/// [`run_dse`] with a caller-supplied survivor runner — the `--serve`
-/// client fans survivors out to a daemon through this hook, and tests
-/// substitute reference backends.
+/// [`run_dse`] with the lockstep batch runner toggled explicitly — the
+/// CLI's `--no-batch` flag routes here with `batch = false` to recover
+/// the one-harness-task-per-point path. Both paths are bit-identical;
+/// CI diffs their JSON byte-for-byte.
+///
+/// # Errors
+///
+/// See [`run_dse`].
+pub fn run_dse_batch(plan: &DsePlan, batch: bool) -> Result<DseOutcome, DseError> {
+    if batch {
+        run_dse_with_many(plan, |requests| {
+            let jobs: Vec<KernelJob> = requests
+                .iter()
+                .map(|(kernel, _, rc)| (kernel.case(plan.n, SEED), rc.clone()))
+                .collect();
+            run_kernel_batch(&jobs, default_workers())
+                .into_iter()
+                .zip(requests)
+                .map(|(result, (_, point, rc))| {
+                    let result = result.map_err(|e| format!("{point}: {e}"))?;
+                    Ok(point_sim(&result, rc.system.geometry.fu_count()))
+                })
+                .collect()
+        })
+    } else {
+        run_dse_with(plan, |kernel, point, rc| {
+            let case = kernel.case(plan.n, SEED);
+            let result = run_kernel(&case, rc).map_err(|e| format!("{point}: {e}"))?;
+            Ok(point_sim(&result, rc.system.geometry.fu_count()))
+        })
+    }
+}
+
+/// [`run_dse`] with a caller-supplied per-point survivor runner — the
+/// `--serve` client fans survivors out to a daemon through this hook,
+/// and tests substitute reference backends. Points fan out across
+/// worker threads with one hook call each.
 ///
 /// # Errors
 ///
@@ -864,6 +895,31 @@ pub fn run_dse(plan: &DsePlan) -> Result<DseOutcome, DseError> {
 pub fn run_dse_with(
     plan: &DsePlan,
     simulate: impl Fn(&Kernel, &DsePoint, &RunConfig) -> Result<PointSim, String> + Sync,
+) -> Result<DseOutcome, DseError> {
+    run_dse_with_many(plan, |requests| {
+        parallel_map(requests, default_workers(), |(kernel, point, rc)| {
+            simulate(kernel, point, rc)
+        })
+    })
+}
+
+/// One survivor-simulation request handed to the [`run_dse_with_many`]
+/// hook: the suite kernel, the design point, and its resolved run
+/// configuration.
+pub type DseRequest<'a> = (&'a Kernel, DsePoint, RunConfig);
+
+/// The generalized sweep driver: enumerate, calibrate, estimate, prune,
+/// then hand *all* survivors to `simulate_many` in one call so the hook
+/// can batch them ([`run_dse_batch`] steps them in lockstep through
+/// [`run_kernel_batch`]). The hook must return one result per request,
+/// in request order.
+///
+/// # Errors
+///
+/// See [`run_dse`].
+pub fn run_dse_with_many(
+    plan: &DsePlan,
+    simulate_many: impl Fn(&[DseRequest<'_>]) -> Vec<Result<PointSim, String>>,
 ) -> Result<DseOutcome, DseError> {
     plan.validate()?;
     let kernels = suite();
@@ -877,17 +933,22 @@ pub fn run_dse_with(
     let points_total = points.len();
 
     // Calibration: one simulated anchor per kernel scales the analytic
-    // model's absolute level. The anchor goes through the same compile
-    // cache and simulate hook as the survivors.
-    let mut scales: HashMap<String, (f64, f64, f64)> = HashMap::new();
+    // model's absolute level. The anchors go through the same compile
+    // cache and simulate hook as the survivors, as one small batch.
+    let mut anchor_requests: Vec<DseRequest<'_>> = Vec::with_capacity(plan.kernels.len());
     for name in &plan.kernels {
         let kernel = kernel_of(name);
         let anchor = anchor_point(name);
-        let est = estimate_point(kernel, &anchor, plan.n)?;
         let rc = anchor.run_config(kernel, plan.backend)?;
-        let sim = simulate(kernel, &anchor, &rc).map_err(DseError::Run)?;
+        anchor_requests.push((kernel, anchor, rc));
+    }
+    let anchor_sims = simulate_many(&anchor_requests);
+    let mut scales: HashMap<String, (f64, f64, f64)> = HashMap::new();
+    for ((kernel, anchor, _), sim) in anchor_requests.iter().zip(anchor_sims) {
+        let est = estimate_point(kernel, anchor, plan.n)?;
+        let sim = sim.map_err(DseError::Run)?;
         scales.insert(
-            name.clone(),
+            kernel.name.to_owned(),
             (
                 sim.cycles.max(1) as f64 / est.cycles.max(1.0),
                 sim.baseline_cycles.max(1) as f64 / est.scalar_cycles.max(1.0),
@@ -928,18 +989,19 @@ pub fn run_dse_with(
     };
     let points_pruned = points_total - survivors.len();
 
-    // Simulate survivors on the parallel harness.
-    let sims: Vec<Result<(DsePoint, Estimate, PointSim), DseError>> =
-        parallel_map(&survivors, default_workers(), |(p, e)| {
-            let kernel = kernel_of(&p.kernel);
-            let rc = p.run_config(kernel, plan.backend).map_err(DseError::Config)?;
-            let sim = simulate(kernel, p, &rc).map_err(DseError::Run)?;
-            Ok((p.clone(), *e, sim))
-        });
+    // Simulate survivors: one hook call over the whole set, so the
+    // batched runner can pack them into lockstep batches.
+    let mut requests: Vec<DseRequest<'_>> = Vec::with_capacity(survivors.len());
+    for (p, _) in &survivors {
+        let kernel = kernel_of(&p.kernel);
+        let rc = p.run_config(kernel, plan.backend)?;
+        requests.push((kernel, p.clone(), rc));
+    }
+    let sims = simulate_many(&requests);
     let mut records = Vec::with_capacity(survivors.len());
-    for r in sims {
-        let (point, est, sim) = r?;
-        records.push(DseRecord { point, est, sim, pareto: false });
+    for ((p, e), sim) in survivors.into_iter().zip(sims) {
+        let sim = sim.map_err(DseError::Run)?;
+        records.push(DseRecord { point: p, est: e, sim, pareto: false });
     }
     mark_pareto(&mut records);
     Ok(DseOutcome { plan: plan.clone(), points_total, points_pruned, records })
@@ -1027,6 +1089,13 @@ mod tests {
         let a = run_dse(&tiny_plan()).expect("first run").to_json();
         let b = run_dse(&tiny_plan()).expect("second run").to_json();
         assert_eq!(a, b, "same plan, same bytes");
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial() {
+        let batched = run_dse_batch(&tiny_plan(), true).expect("batched run").to_json();
+        let serial = run_dse_batch(&tiny_plan(), false).expect("serial run").to_json();
+        assert_eq!(batched, serial, "lockstep batching must not change a single byte");
     }
 
     #[test]

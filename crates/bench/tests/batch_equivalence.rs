@@ -1,0 +1,249 @@
+//! Bit-identity of the batched lockstep engine: for every workload and
+//! every batch size — including ragged mixed-kernel batches — the
+//! results coming out of `run_kernel_batch`/`run_batch` must be
+//! byte-identical to serial runs, with `System::run_stepped` as the
+//! ground-truth reference: `RunStats`, cycle-bucket vectors, memory
+//! images, and exact `Timeout` cycles when a lockstep horizon overshoots
+//! an individual instance's budget.
+
+use dyser_bench::experiments::SEED;
+use dyser_core::{
+    run_batch, run_kernel, run_kernel_batch, Backend, BatchEngine, BatchItem, KernelJob,
+    KernelResult, RunConfig, RunStats, SysError, System, SystemConfig,
+};
+use dyser_fabric::FuKind;
+use dyser_isa::{regs, AluOp, Assembler, Instr, LoadKind, Op2, StoreKind};
+use dyser_workloads::suite;
+
+/// The three execution paths under test.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Stepped,
+    Fast,
+    Compiled,
+}
+
+impl Mode {
+    fn apply(self, config: &mut RunConfig) {
+        config.stepped = self == Mode::Stepped;
+        config.backend =
+            if self == Mode::Compiled { Backend::Compiled } else { Backend::Interpreted };
+    }
+}
+
+/// Every suite kernel at a small size — the jobs behind the E2–E10
+/// tables — plus the ablation grid's design-choice variants (unroll
+/// factor, store-lag depth, FIFO depth, memory model, FU kinds), which
+/// shift which stall causes dominate and how often the skip horizon
+/// engages.
+fn equivalence_jobs(mode: Mode) -> Vec<KernelJob> {
+    let mut jobs: Vec<KernelJob> = suite()
+        .iter()
+        .map(|k| {
+            let n = (k.default_n / 16).max(8) / 4 * 4;
+            let mut config = RunConfig::default();
+            config.compiler = k.compiler_options(config.system.geometry);
+            mode.apply(&mut config);
+            (k.case(n, SEED), config)
+        })
+        .collect();
+    #[allow(clippy::type_complexity)]
+    let variants: [(&str, fn(&mut RunConfig)); 8] = [
+        ("poly6", |c| c.system.fifo_depth = 2),
+        ("poly6", |c| c.compiler.unroll_factor = 8),
+        ("poly6", |c| c.compiler.codegen.lag_depth = 1),
+        ("saxpy", |c| c.system.mem = dyser_mem::MemConfig::perfect()),
+        ("saxpy", |c| c.compiler.codegen.lag_stores = false),
+        ("saxpy", |c| c.compiler.schedule.refinement_rounds = 0),
+        ("fir4", |c| {
+            let g = c.system.geometry;
+            let kinds = vec![FuKind::Universal; g.fu_count()];
+            c.system.kinds = Some(kinds.clone());
+            c.compiler.kinds = Some(kinds);
+        }),
+        ("stencil3", |c| c.compiler.unroll_factor = 1),
+    ];
+    for (name, tweak) in variants {
+        let k = suite().into_iter().find(|k| k.name == name).expect("kernel in suite");
+        let mut config = RunConfig::default();
+        config.compiler = k.compiler_options(config.system.geometry);
+        mode.apply(&mut config);
+        tweak(&mut config);
+        jobs.push((k.case(32, SEED), config));
+    }
+    jobs
+}
+
+/// Asserts every observable field of two results matches bit-for-bit.
+/// (The memory image is covered too: `run_kernel` verifies each run's
+/// output region against the reference values before returning, so a
+/// returned result implies the batched run's memory matches the serial
+/// run's.)
+fn assert_identical(name: &str, label: &str, got: &KernelResult, want: &KernelResult) {
+    for (which, g, w) in
+        [("baseline", &got.baseline, &want.baseline), ("dyser", &got.dyser, &want.dyser)]
+    {
+        assert_eq!(g, w, "{name} ({which}): RunStats diverged between {label} and stepped runs");
+        assert_eq!(
+            g.cycle_account(),
+            w.cycle_account(),
+            "{name} ({which}): cycle buckets diverged ({label})"
+        );
+    }
+    assert_eq!(
+        format!("{got:?}"),
+        format!("{want:?}"),
+        "{name}: results diverged outside the stats ({label})"
+    );
+}
+
+#[test]
+fn batched_kernels_bit_identical_at_every_batch_size() {
+    // Ground truth: every job serially through the per-cycle reference.
+    let stepped_serial: Vec<KernelResult> = equivalence_jobs(Mode::Stepped)
+        .iter()
+        .map(|(case, config)| {
+            run_kernel(case, config).unwrap_or_else(|e| panic!("stepped {}: {e}", case.name))
+        })
+        .collect();
+
+    for (mode, label) in [(Mode::Fast, "batched fast-forwarded"), (Mode::Compiled, "batched compiled")]
+    {
+        let jobs = equivalence_jobs(mode);
+        // Fixed batch sizes: the lockstep slices land on different round
+        // boundaries at each size, and size 1 degenerates to a solo
+        // lockstep — all must be unobservable.
+        for size in [1usize, 3, 16] {
+            let mut results = Vec::with_capacity(jobs.len());
+            for chunk in jobs.chunks(size) {
+                results.extend(run_kernel_batch(chunk, 1));
+            }
+            for ((case, _), (got, want)) in
+                jobs.iter().zip(results.iter().zip(&stepped_serial))
+            {
+                let got = got
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{label} (size {size}) {}: {e}", case.name));
+                assert_identical(&case.name, label, got, want);
+            }
+        }
+        // Ragged mixed-kernel batches: every job in one submission, so
+        // batches mix kernels with very different run lengths and the
+        // lockstep retires members at staggered rounds.
+        for (( case, _), (got, want)) in
+            jobs.iter().zip(run_kernel_batch(&jobs, 4).iter().zip(&stepped_serial))
+        {
+            let got =
+                got.as_ref().unwrap_or_else(|e| panic!("{label} (ragged) {}: {e}", case.name));
+            assert_identical(&case.name, label, got, want);
+        }
+    }
+
+    // The stepped engine must survive batching too (it is the oracle the
+    // fuzz campaign batches).
+    let jobs = equivalence_jobs(Mode::Stepped);
+    for ((case, _), (got, want)) in
+        jobs.iter().zip(run_kernel_batch(&jobs, 4).iter().zip(&stepped_serial))
+    {
+        let got =
+            got.as_ref().unwrap_or_else(|e| panic!("batched stepped {}: {e}", case.name));
+        assert_identical(&case.name, "batched stepped", got, want);
+    }
+}
+
+/// An endless loop that keeps long-latency stalls in flight —
+/// cache-missing loads, an 8-cycle multiply, a 40-cycle divide — and
+/// stores every quotient, so most budgets cut the run mid-stall and the
+/// memory image depends on exactly how many iterations completed.
+fn stally_spin_with_stores() -> Vec<u32> {
+    let mut asm = Assembler::new();
+    asm.push(Instr::Sethi { rd: regs::O0, imm22: 0x800 }); // %o0 = 0x20_0000
+    asm.push(Instr::Sethi { rd: regs::O4, imm22: 0xc00 }); // %o4 = 0x30_0000
+    asm.label("spin");
+    asm.push(Instr::Load { kind: LoadKind::Ldx, rd: regs::O1, rs1: regs::O0, op2: Op2::Imm(0) });
+    asm.push(Instr::alu(AluOp::Mulx, regs::O2, regs::O1, Op2::Imm(3)));
+    asm.push(Instr::alu(AluOp::Sdivx, regs::O3, regs::O2, Op2::Imm(7)));
+    asm.push(Instr::Store { kind: StoreKind::Stx, rs: regs::O3, rs1: regs::O4, op2: Op2::Imm(0) });
+    asm.push(Instr::alu(AluOp::Add, regs::O0, regs::O0, Op2::Imm(64)));
+    asm.push(Instr::alu(AluOp::Add, regs::O4, regs::O4, Op2::Imm(8)));
+    asm.branch(dyser_isa::ICond::Always, "spin");
+    asm.push(Instr::Nop);
+    asm.assemble().expect("spin assembles")
+}
+
+/// The store region `stally_spin_with_stores` writes: enough words to
+/// cover every iteration any budget in the sweep can complete.
+const STORE_BASE: u64 = 0x30_0000;
+const STORE_WORDS: usize = 64;
+
+#[test]
+fn batched_timeouts_mid_stall_match_serial_exactly() {
+    let words = stally_spin_with_stores();
+    // Mirror the serial timeout sweep in `equivalence.rs`: budgets
+    // crossing a couple of loop iterations, fabric present and absent.
+    // Batched, the whole sweep goes in as ONE ragged batch, so lockstep
+    // horizons constantly overshoot the shorter members' budgets — the
+    // scheduler must clamp each instance's slice to its own remaining
+    // cycles and report exactly `max_cycles` on every timeout.
+    for has_fabric in [true, false] {
+        let budgets: Vec<u64> = (40..=160).step_by(7).collect();
+        let reference: Vec<(u64, RunStats, Vec<u64>)> = budgets
+            .iter()
+            .map(|&max_cycles| {
+                let mut sys = System::new(SystemConfig { has_fabric, ..SystemConfig::default() });
+                sys.load_raw(0x10000, &words);
+                let err = sys.run_stepped(max_cycles).expect_err("spin loop never halts");
+                let SysError::Timeout { cycles } = err else {
+                    panic!("expected timeout, got {err}");
+                };
+                assert_eq!(cycles, max_cycles, "stepped timeout off the budget");
+                let image = sys.memory().read_u64_slice(STORE_BASE, STORE_WORDS);
+                (cycles, sys.stats(), image)
+            })
+            .collect();
+
+        for (engine, label) in [
+            (BatchEngine::Interpreted, "interpreted"),
+            (BatchEngine::Stepped, "stepped"),
+            (BatchEngine::Compiled, "compiled"),
+        ] {
+            let items: Vec<BatchItem> = budgets
+                .iter()
+                .map(|&max_cycles| {
+                    let mut sys =
+                        System::new(SystemConfig { has_fabric, ..SystemConfig::default() });
+                    sys.load_raw(0x10000, &words);
+                    BatchItem::new(sys, max_cycles, engine)
+                })
+                .collect();
+            let report = run_batch(items);
+            assert_eq!(report.outcomes.len(), budgets.len());
+            for ((outcome, &budget), (want_cycles, want_stats, want_image)) in
+                report.outcomes.iter().zip(&budgets).zip(&reference)
+            {
+                let err = outcome
+                    .result
+                    .as_ref()
+                    .expect_err("spin loop never halts in a batch either");
+                let SysError::Timeout { cycles } = err else {
+                    panic!("expected timeout, got {err}");
+                };
+                assert_eq!(
+                    *cycles, budget,
+                    "{label} (fabric={has_fabric}): lockstep overshot budget {budget}"
+                );
+                assert_eq!(*cycles, *want_cycles);
+                assert_eq!(
+                    outcome.system.stats(),
+                    *want_stats,
+                    "{label} (fabric={has_fabric}, budget {budget}): stats diverged at timeout"
+                );
+                assert_eq!(
+                    outcome.system.memory().read_u64_slice(STORE_BASE, STORE_WORDS),
+                    *want_image,
+                    "{label} (fabric={has_fabric}, budget {budget}): memory image diverged"
+                );
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@ use dyser_compiler::{
 use dyser_sparc::{CycleAccount, CycleBucket};
 use dyser_trace::TraceRun;
 
+use crate::batch::{run_batch, BatchEngine, BatchItem};
 use crate::system::{RunStats, SpeedStats, SysError, System, SystemConfig};
 
 /// A runnable kernel instance: IR, arguments, input memory, and the
@@ -258,7 +259,13 @@ pub fn set_backend_override(backend: Option<Backend>) {
     BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
-fn backend_override() -> Option<Backend> {
+/// The backend override currently in force (see [`set_backend_override`]).
+///
+/// Exposed so callers that memoize results keyed on effective
+/// configuration (the `repro` table cache) can fold the override into
+/// their keys.
+#[must_use]
+pub fn backend_override() -> Option<Backend> {
     match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
         1 => Some(Backend::Interpreted),
         2 => Some(Backend::Compiled),
@@ -300,11 +307,41 @@ pub fn set_trace_capacity(capacity: usize) {
     TRACE_CAP.store(capacity, Ordering::Relaxed);
 }
 
+/// The event-tracing ring capacity currently in force (zero = disabled).
+/// Result caches consult this: a memoized replay would silently drop the
+/// trace the original run produced, so caching is bypassed while tracing.
+#[must_use]
+pub fn trace_capacity() -> usize {
+    TRACE_CAP.load(Ordering::Relaxed)
+}
+
 /// Drains every trace recorded since the last call, in run-completion
 /// order.
 #[must_use]
 pub fn take_traces() -> Vec<TraceRun> {
     std::mem::take(&mut *TRACE_SINK.lock().expect("trace sink lock"))
+}
+
+/// Credits one finished run to the process-wide accounting: simulated
+/// cycles, cycle buckets, and issue-path cache counters. Every path that
+/// completes a simulation — serial or batched — must pass through here
+/// exactly once per run, so `repro --time` throughput and `repro stats`
+/// attribution describe the whole process regardless of scheduler.
+fn credit_run(stats: &RunStats, speed: &SpeedStats) {
+    for (slot, count) in SPEED_TOTALS.iter().zip([
+        speed.decode_hits,
+        speed.decode_misses,
+        speed.blocks.hits,
+        speed.blocks.misses,
+        speed.blocks.invalidations,
+    ]) {
+        slot.fetch_add(count, Ordering::Relaxed);
+    }
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    let acct = stats.cycle_account();
+    for (i, bucket) in CycleBucket::ALL.iter().enumerate() {
+        BUCKET_TOTALS[i].fetch_add(acct.get(*bucket), Ordering::Relaxed);
+    }
 }
 
 /// Everything one simulated job produces beyond its verdict: the run
@@ -369,32 +406,11 @@ pub fn run_program_traced(
     };
     let stats = run.map_err(|source| HarnessError::Run { which, source })?;
     let speed = sys.speed_stats();
-    for (slot, count) in SPEED_TOTALS.iter().zip([
-        speed.decode_hits,
-        speed.decode_misses,
-        speed.blocks.hits,
-        speed.blocks.misses,
-        speed.blocks.invalidations,
-    ]) {
-        slot.fetch_add(count, Ordering::Relaxed);
-    }
-    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
-    let acct = stats.cycle_account();
-    for (i, bucket) in CycleBucket::ALL.iter().enumerate() {
-        BUCKET_TOTALS[i].fetch_add(acct.get(*bucket), Ordering::Relaxed);
-    }
+    credit_run(&stats, &speed);
     let trace = sys
         .take_trace()
         .map(|(events, dropped)| TraceRun { label: which.to_string(), events, dropped });
-    for (addr, words) in expected {
-        for (i, want) in words.iter().enumerate() {
-            let a = addr + 8 * i as u64;
-            let got = sys.memory().read_u64(a);
-            if got != *want {
-                return Err(HarnessError::Mismatch { which, addr: a, expected: *want, got });
-            }
-        }
-    }
+    verify_expected(&sys, expected, which)?;
     Ok(RunArtifacts { stats, speed, trace })
 }
 
@@ -541,6 +557,161 @@ where
 /// via [`parallel_map`]; results are in job order.
 pub fn run_kernels(jobs: &[KernelJob], threads: usize) -> Vec<Result<KernelResult, HarnessError>> {
     parallel_map(jobs, threads, |(case, config)| run_kernel(case, config))
+}
+
+/// Jobs per lockstep batch in [`run_kernel_batch`]: each job contributes
+/// two instances (baseline and accelerated leg), so a full chunk steps
+/// 32 systems together — enough to amortize scheduling and share
+/// translations, small enough to keep the parallel workers loaded.
+const BATCH_JOBS: usize = 16;
+
+/// Runs every job through the lockstep batch scheduler
+/// ([`crate::batch::run_batch`]): jobs are grouped into chunks, each
+/// chunk's baseline and accelerated legs become one batch of systems
+/// advanced together, and chunks fan out across `threads` workers.
+///
+/// Results — values, statistics, and error priority (compile, then
+/// baseline, then dyser; run errors before mismatches per leg) — are
+/// identical to [`run_kernels`]. Compiled-backend legs running the same
+/// program text share one translated-block cache per chunk. When
+/// process-wide tracing is enabled ([`set_trace_capacity`]) the jobs
+/// fall back to the serial harness, which owns the per-run ring-buffer
+/// plumbing.
+pub fn run_kernel_batch(
+    jobs: &[KernelJob],
+    threads: usize,
+) -> Vec<Result<KernelResult, HarnessError>> {
+    if TRACE_CAP.load(Ordering::Relaxed) > 0 {
+        return run_kernels(jobs, threads);
+    }
+    let chunks: Vec<&[KernelJob]> = jobs.chunks(BATCH_JOBS).collect();
+    parallel_map(&chunks, threads, |chunk| run_kernel_batch_chunk(chunk))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Simulates one chunk of jobs as a single lockstep batch.
+fn run_kernel_batch_chunk(jobs: &[KernelJob]) -> Vec<Result<KernelResult, HarnessError>> {
+    use std::hash::{Hash, Hasher};
+
+    let compiled: Vec<Result<Arc<CompiledProgram>, HarnessError>> = jobs
+        .iter()
+        .map(|(case, config)| compile_cached(&case.function, &config.compiler).map_err(Into::into))
+        .collect();
+
+    const LEGS: [&str; 2] = ["baseline", "dyser"];
+    let mut items: Vec<BatchItem> = Vec::new();
+    let mut lanes: Vec<(usize, usize)> = Vec::new(); // (job index, leg index)
+    let mut leg_results: Vec<[Option<Result<RunStats, HarnessError>>; 2]> =
+        jobs.iter().map(|_| [None, None]).collect();
+
+    for (j, ((case, config), compiled)) in jobs.iter().zip(&compiled).enumerate() {
+        let Ok(compiled) = compiled else { continue };
+        let engine = if config.stepped {
+            BatchEngine::Stepped
+        } else {
+            match backend_override().unwrap_or(config.backend) {
+                Backend::Interpreted => BatchEngine::Interpreted,
+                Backend::Compiled => BatchEngine::Compiled,
+            }
+        };
+        for (leg, program) in [&compiled.baseline, &compiled.accelerated].into_iter().enumerate() {
+            let built = (|| -> Result<System, SysError> {
+                let mut sys = System::try_new(config.system.clone())?;
+                sys.load_program(program)?;
+                for (addr, words) in &case.init {
+                    sys.memory_mut().write_u64_slice(*addr, words);
+                }
+                sys.set_args(&case.args);
+                Ok(sys)
+            })();
+            match built {
+                Err(source) => {
+                    leg_results[j][leg] =
+                        Some(Err(HarnessError::Run { which: LEGS[leg], source }));
+                }
+                Ok(system) => {
+                    // Legs with identical program text and L1I line size
+                    // (same compiled Arc — alive for this whole chunk —
+                    // plus the leg selecting baseline vs accelerated)
+                    // share one translated-block cache.
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    (Arc::as_ptr(compiled) as usize, leg, config.system.mem.l1i.line_bytes)
+                        .hash(&mut h);
+                    items.push(BatchItem {
+                        system,
+                        max_cycles: config.max_cycles,
+                        engine,
+                        share_code: Some(h.finish()),
+                    });
+                    lanes.push((j, leg));
+                }
+            }
+        }
+    }
+
+    let report = run_batch(items);
+    for (outcome, &(j, leg)) in report.outcomes.iter().zip(&lanes) {
+        let which = LEGS[leg];
+        let (case, _) = &jobs[j];
+        leg_results[j][leg] = Some(match &outcome.result {
+            Err(source) => Err(HarnessError::Run { which, source: source.clone() }),
+            Ok(stats) => {
+                credit_run(stats, &outcome.system.speed_stats());
+                verify_expected(&outcome.system, &case.expected, which).map(|()| stats.clone())
+            }
+        });
+    }
+    // The shared caches' counters belong to the whole chunk; credit them
+    // once so `speed_stat_totals` keeps covering every block dispatch.
+    for (slot, count) in SPEED_TOTALS[2..].iter().zip([
+        report.shared_blocks.hits,
+        report.shared_blocks.misses,
+        report.shared_blocks.invalidations,
+    ]) {
+        slot.fetch_add(count, Ordering::Relaxed);
+    }
+
+    jobs.iter()
+        .zip(compiled)
+        .zip(leg_results)
+        .map(|(((case, _), compiled), [base, dyser])| {
+            let compiled = compiled?;
+            let base_stats = base.expect("baseline leg resolved")?;
+            let dyser_stats = dyser.expect("dyser leg resolved")?;
+            let CompiledProgram { baseline, accelerated, regions, accelerated_any, .. } = &*compiled;
+            let speedup = base_stats.cycles as f64 / dyser_stats.cycles.max(1) as f64;
+            Ok(KernelResult {
+                name: case.name.clone(),
+                speedup,
+                accelerated_any: *accelerated_any,
+                regions: regions.clone(),
+                code_sizes: (baseline.len(), accelerated.len()),
+                baseline: base_stats,
+                dyser: dyser_stats,
+            })
+        })
+        .collect()
+}
+
+/// Checks every expected output buffer against the system's memory,
+/// mirroring the verification in [`run_program_traced`].
+fn verify_expected(
+    sys: &System,
+    expected: &[(u64, Vec<u64>)],
+    which: &'static str,
+) -> Result<(), HarnessError> {
+    for (addr, words) in expected {
+        for (i, want) in words.iter().enumerate() {
+            let a = addr + 8 * i as u64;
+            let got = sys.memory().read_u64(a);
+            if got != *want {
+                return Err(HarnessError::Mismatch { which, addr: a, expected: *want, got });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -36,14 +36,17 @@
 
 
 #![warn(missing_docs)]
+pub mod batch;
 pub mod harness;
 pub mod report;
 pub mod system;
 
+pub use batch::{run_batch, BatchEngine, BatchItem, BatchOutcome, BatchReport};
 pub use harness::{
-    compile_cached, cycle_bucket_totals, default_workers, parallel_map, run_kernel, run_kernels,
-    run_program, run_program_traced, set_backend_override, set_trace_capacity, simulated_cycles,
-    speed_stat_totals, take_traces, Backend, HarnessError, KernelCase, KernelJob, KernelResult,
-    RunArtifacts, RunConfig,
+    backend_override, compile_cached, cycle_bucket_totals, default_workers, parallel_map,
+    run_kernel, run_kernel_batch, run_kernels, run_program, run_program_traced,
+    set_backend_override, set_trace_capacity, simulated_cycles, speed_stat_totals, take_traces,
+    trace_capacity, Backend, HarnessError, KernelCase, KernelJob, KernelResult, RunArtifacts,
+    RunConfig,
 };
 pub use system::{RunStats, SpeedStats, SysError, System, SystemConfig};

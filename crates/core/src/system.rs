@@ -172,7 +172,7 @@ impl From<CoreError> for SysError {
 
 /// The memory side of the system (functional store + timing hierarchy).
 #[derive(Debug)]
-struct SysBus {
+pub(crate) struct SysBus {
     memory: Memory,
     hierarchy: Hierarchy,
 }
@@ -217,7 +217,7 @@ const CONFIG_CACHE_SPEEDUP: u64 = 4;
 
 /// The accelerator side of the system.
 #[derive(Debug)]
-struct SysCoproc {
+pub(crate) struct SysCoproc {
     fabric: Option<Fabric>,
     configs: Vec<FabricConfig>,
     /// Index of the currently loaded configuration.
@@ -311,12 +311,189 @@ impl SpeedStats {
     }
 }
 
+/// The machine's execution state — core, memory hierarchy, accelerator —
+/// as a plain value owned by whoever drives it: [`System`] for
+/// single-instance runs, the [`crate::batch`] lockstep scheduler for
+/// many instances at once.
+///
+/// The advance methods are *slices*: each consumes up to a budget of
+/// cycles and stops at halt, fault, or budget exhaustion, without
+/// deciding whether the run as a whole timed out. Because the core's
+/// bulk stall drain ([`Pipeline::tick_n`]) and the fabric's bulk advance
+/// ([`Fabric::tick_n`]) are both additive, an advance of `a + b` cycles
+/// is bit-identical to an advance of `a` followed by an advance of `b` —
+/// the property the batch runner relies on to interleave instances at
+/// arbitrary lockstep boundaries.
+#[derive(Debug)]
+pub(crate) struct MachineState {
+    pub(crate) cpu: Pipeline,
+    pub(crate) bus: SysBus,
+    pub(crate) coproc: SysCoproc,
+}
+
+impl MachineState {
+    /// Advances one cycle (core and fabric in lock step).
+    pub(crate) fn tick(&mut self, tracing: bool) -> Result<(), SysError> {
+        if tracing {
+            // Stamp the hierarchy with the cycle the core is about to
+            // execute (the pipeline's 0-based trace timestamp).
+            self.bus.hierarchy.set_now(self.cpu.stats().cycles);
+        }
+        self.cpu.tick(&mut self.bus, &mut self.coproc)?;
+        if let Some(fabric) = &mut self.coproc.fabric {
+            fabric.tick();
+        }
+        Ok(())
+    }
+
+    /// Advances up to `budget` cycles on the fast-forwarding interpreted
+    /// path (the engine behind [`System::run`]), stopping early at halt
+    /// or fault.
+    pub(crate) fn advance_fast(&mut self, budget: u64, tracing: bool) -> Result<(), SysError> {
+        let mut remaining = budget;
+        while remaining > 0 && !self.cpu.halted() {
+            let skip = if tracing { 0 } else { self.cpu.skip_horizon().min(remaining) };
+            if skip > 0 {
+                self.cpu.tick_n(skip);
+                if let Some(fabric) = &mut self.coproc.fabric {
+                    fabric.tick_n(skip);
+                }
+                remaining -= skip;
+            } else {
+                self.tick(tracing)?;
+                remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances up to `budget` cycles one tick at a time (the engine
+    /// behind [`System::run_stepped`]), stopping early at halt or fault.
+    pub(crate) fn advance_stepped(&mut self, budget: u64, tracing: bool) -> Result<(), SysError> {
+        for _ in 0..budget {
+            if self.cpu.halted() {
+                break;
+            }
+            self.tick(tracing)?;
+        }
+        Ok(())
+    }
+
+    /// Advances up to `budget` cycles on the compiled backend (the engine
+    /// behind [`System::run_compiled`]), stopping early at halt or fault.
+    ///
+    /// Fabric ticks stay *deferred*: `fabric_ticks` is the running count
+    /// of coprocessor ticks already paid, and the caller must
+    /// [`MachineState::settle_fabric`] once it stops slicing — the
+    /// deferral survives across slices, which is what makes compiled
+    /// slices compose.
+    pub(crate) fn advance_compiled(
+        &mut self,
+        budget: u64,
+        blocks: &mut BlockCache,
+        line_bytes: u64,
+        fabric_ticks: &mut u64,
+    ) -> Result<(), SysError> {
+        let mut remaining = budget;
+        loop {
+            if self.cpu.halted() || remaining == 0 {
+                break Ok(());
+            }
+            if self.cpu.has_pending() {
+                let skip = self.cpu.skip_horizon().min(remaining);
+                if skip > 0 {
+                    // Counted stalls advance the core in bulk; the fabric
+                    // owes the same cycles and pays at the next settle.
+                    self.cpu.tick_n(skip);
+                    remaining -= skip;
+                } else {
+                    // The front micro-state polls the coprocessor every
+                    // cycle: settle and fall back to lockstep ticking.
+                    let owed = self.cpu.stats().cycles - *fabric_ticks;
+                    self.coproc.cp_catch_up(owed);
+                    *fabric_ticks = self.cpu.stats().cycles;
+                    match self.tick(false) {
+                        Ok(()) => *fabric_ticks += 1,
+                        Err(e) => break Err(e),
+                    }
+                    remaining -= 1;
+                }
+                continue;
+            }
+            let block = blocks.lookup(&self.bus, self.cpu.pc(), line_bytes);
+            if block.instrs.is_empty() {
+                // The entry word does not decode: one interpreted cycle
+                // raises the identical fault.
+                let owed = self.cpu.stats().cycles - *fabric_ticks;
+                self.coproc.cp_catch_up(owed);
+                *fabric_ticks = self.cpu.stats().cycles;
+                match self.tick(false) {
+                    Ok(()) => *fabric_ticks += 1,
+                    Err(e) => break Err(e),
+                }
+                remaining -= 1;
+                continue;
+            }
+            match run_block(
+                &mut self.cpu,
+                &mut self.bus,
+                &mut self.coproc,
+                block,
+                remaining,
+                fabric_ticks,
+            ) {
+                Ok(run) => remaining -= run.cycles,
+                Err(e) => break Err(e.into()),
+            }
+        }
+    }
+
+    /// Pays the fabric ticks deferred by [`MachineState::advance_compiled`].
+    /// A faulting cycle never pays its fabric tick (the interpreter
+    /// raises before the fabric's half-cycle), so the target on a core
+    /// error is one short.
+    pub(crate) fn settle_fabric(&mut self, fabric_ticks: u64, faulted: bool) {
+        let target = if faulted { self.cpu.stats().cycles - 1 } else { self.cpu.stats().cycles };
+        self.coproc.cp_catch_up(target.saturating_sub(fabric_ticks));
+    }
+
+    /// Pays `n` pure stall-drain cycles in bulk: cycles inside the core's
+    /// counted-stall horizon touch neither the bus nor the fabric ports,
+    /// so core (and, on the interpreted path, fabric) advance
+    /// arithmetically. The batch runner accrues these cycles in its hot
+    /// arrays and pays them here, lazily, before the next engine slice.
+    pub(crate) fn fast_forward(&mut self, n: u64, pay_fabric: bool) {
+        self.cpu.tick_n(n);
+        if pay_fabric {
+            if let Some(fabric) = &mut self.coproc.fabric {
+                fabric.tick_n(n);
+            }
+        }
+    }
+
+    /// Statistics so far (the body behind [`System::stats`]).
+    pub(crate) fn run_stats(&self) -> RunStats {
+        RunStats {
+            cycles: self.cpu.stats().cycles,
+            core: self.cpu.stats().clone(),
+            mem: self.bus.hierarchy.stats(),
+            fabric: self
+                .coproc
+                .fabric
+                .as_ref()
+                .map(|f| *f.stats())
+                .unwrap_or_default(),
+            halted: self.cpu.halted(),
+            pending_mem_stalls: self.cpu.pending_stall_cycles(dyser_sparc::StallCause::ICache)
+                + self.cpu.pending_stall_cycles(dyser_sparc::StallCause::DCache),
+        }
+    }
+}
+
 /// The integrated machine: core, fabric, and memory in lock step.
 #[derive(Debug)]
 pub struct System {
-    cpu: Pipeline,
-    bus: SysBus,
-    coproc: SysCoproc,
+    state: MachineState,
     config: SystemConfig,
     tracing: bool,
     /// Translated blocks for [`System::run_compiled`]; keyed by PC and
@@ -360,9 +537,11 @@ impl System {
             }
         };
         Ok(System {
-            cpu: Pipeline::new(dyser_compiler::CODE_BASE),
-            bus: SysBus { memory: Memory::new(), hierarchy: Hierarchy::new(config.mem) },
-            coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
+            state: MachineState {
+                cpu: Pipeline::new(dyser_compiler::CODE_BASE),
+                bus: SysBus { memory: Memory::new(), hierarchy: Hierarchy::new(config.mem) },
+                coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
+            },
             config,
             tracing: false,
             blocks: BlockCache::new(),
@@ -375,9 +554,9 @@ impl System {
     /// When tracing is off — the default — the only cost on the hot path
     /// is one branch per would-be event.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.cpu.enable_trace(capacity);
-        self.bus.hierarchy.enable_trace(capacity);
-        if let Some(fabric) = &mut self.coproc.fabric {
+        self.state.cpu.enable_trace(capacity);
+        self.state.bus.hierarchy.enable_trace(capacity);
+        if let Some(fabric) = &mut self.state.coproc.fabric {
             fabric.enable_trace(capacity);
         }
         self.tracing = true;
@@ -394,9 +573,9 @@ impl System {
         let mut events = Vec::new();
         let mut dropped = 0;
         let buffers = [
-            self.cpu.take_trace(),
-            self.bus.hierarchy.take_trace(),
-            self.coproc.fabric.as_mut().and_then(|f| f.take_trace()),
+            self.state.cpu.take_trace(),
+            self.state.bus.hierarchy.take_trace(),
+            self.state.coproc.fabric.as_mut().and_then(|f| f.take_trace()),
         ];
         for buf in buffers.into_iter().flatten() {
             dropped += buf.dropped();
@@ -413,27 +592,35 @@ impl System {
 
     /// The core.
     pub fn cpu(&self) -> &Pipeline {
-        &self.cpu
+        &self.state.cpu
     }
 
     /// Mutable access to the core (argument set-up).
     pub fn cpu_mut(&mut self) -> &mut Pipeline {
-        &mut self.cpu
+        &mut self.state.cpu
     }
 
     /// The functional memory.
     pub fn memory(&self) -> &Memory {
-        &self.bus.memory
+        &self.state.bus.memory
     }
 
     /// Mutable access to the functional memory (input set-up).
     pub fn memory_mut(&mut self) -> &mut Memory {
-        &mut self.bus.memory
+        &mut self.state.bus.memory
     }
 
     /// The fabric, if attached.
     pub fn fabric(&self) -> Option<&Fabric> {
-        self.coproc.fabric.as_ref()
+        self.state.coproc.fabric.as_ref()
+    }
+
+    /// Splits the system into the parts the batch scheduler drives
+    /// directly: the machine state, the (per-instance) block cache, the
+    /// L1I line size baked into block translation, and whether tracing is
+    /// on (a traced instance must take the per-cycle path throughout).
+    pub(crate) fn batch_parts(&mut self) -> (&mut MachineState, &mut BlockCache, u64, bool) {
+        (&mut self.state, &mut self.blocks, self.config.mem.l1i.line_bytes, self.tracing)
     }
 
     /// Loads a compiled program: code, constant pool, configuration table.
@@ -442,9 +629,9 @@ impl System {
     ///
     /// Validates every configuration against the fabric geometry up front.
     pub fn load_program(&mut self, program: &Program) -> Result<(), SysError> {
-        self.bus.memory.write_code(program.entry, &program.code);
-        self.bus.memory.write_u64_slice(dyser_compiler::POOL_BASE, &program.pool);
-        if let Some(fabric) = &self.coproc.fabric {
+        self.state.bus.memory.write_code(program.entry, &program.code);
+        self.state.bus.memory.write_u64_slice(dyser_compiler::POOL_BASE, &program.pool);
+        if let Some(fabric) = &self.state.coproc.fabric {
             for cfg in &program.configs {
                 if cfg.geometry() != fabric.geometry() {
                     return Err(SysError::Config(ConfigError::GeometryMismatch {
@@ -455,18 +642,18 @@ impl System {
                 cfg.validate().map_err(SysError::Config)?;
             }
         }
-        self.coproc.configs = program.configs.clone();
-        self.coproc.active = None;
-        self.coproc.cache.clear();
-        self.cpu = Pipeline::new(program.entry);
+        self.state.coproc.configs = program.configs.clone();
+        self.state.coproc.active = None;
+        self.state.coproc.cache.clear();
+        self.state.cpu = Pipeline::new(program.entry);
         self.blocks.clear();
         Ok(())
     }
 
     /// Loads raw instruction words at `addr` and sets the entry there.
     pub fn load_raw(&mut self, addr: u64, words: &[u32]) {
-        self.bus.memory.write_code(addr, words);
-        self.cpu = Pipeline::new(addr);
+        self.state.bus.memory.write_code(addr, words);
+        self.state.cpu = Pipeline::new(addr);
         self.blocks.clear();
     }
 
@@ -478,7 +665,7 @@ impl System {
     pub fn set_args(&mut self, args: &[u64]) {
         assert!(args.len() <= 6, "at most six arguments");
         for (i, a) in args.iter().enumerate() {
-            self.cpu.regs_mut().write(dyser_isa::Reg::new(8 + i as u8), *a);
+            self.state.cpu.regs_mut().write(dyser_isa::Reg::new(8 + i as u8), *a);
         }
     }
 
@@ -488,16 +675,7 @@ impl System {
     ///
     /// Propagates core faults.
     pub fn tick(&mut self) -> Result<(), SysError> {
-        if self.tracing {
-            // Stamp the hierarchy with the cycle the core is about to
-            // execute (the pipeline's 0-based trace timestamp).
-            self.bus.hierarchy.set_now(self.cpu.stats().cycles);
-        }
-        self.cpu.tick(&mut self.bus, &mut self.coproc)?;
-        if let Some(fabric) = &mut self.coproc.fabric {
-            fabric.tick();
-        }
-        Ok(())
+        self.state.tick(self.tracing)
     }
 
     /// Runs until `halt` or `max_cycles`, fast-forwarding through
@@ -519,22 +697,9 @@ impl System {
     /// Returns [`SysError::Timeout`] if the budget elapses, or a core
     /// fault.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
-        let mut remaining = max_cycles;
-        while remaining > 0 && !self.cpu.halted() {
-            let skip = if self.tracing { 0 } else { self.cpu.skip_horizon().min(remaining) };
-            if skip > 0 {
-                self.cpu.tick_n(skip);
-                if let Some(fabric) = &mut self.coproc.fabric {
-                    fabric.tick_n(skip);
-                }
-                remaining -= skip;
-            } else {
-                self.tick()?;
-                remaining -= 1;
-            }
-        }
-        if !self.cpu.halted() {
-            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        self.state.advance_fast(max_cycles, self.tracing)?;
+        if !self.state.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
         }
         Ok(self.stats())
     }
@@ -547,14 +712,9 @@ impl System {
     /// Returns [`SysError::Timeout`] if the budget elapses, or a core
     /// fault.
     pub fn run_stepped(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
-        for _ in 0..max_cycles {
-            if self.cpu.halted() {
-                break;
-            }
-            self.tick()?;
-        }
-        if !self.cpu.halted() {
-            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        self.state.advance_stepped(max_cycles, self.tracing)?;
+        if !self.state.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
         }
         Ok(self.stats())
     }
@@ -579,73 +739,18 @@ impl System {
             return self.run(max_cycles);
         }
         let line_bytes = self.config.mem.l1i.line_bytes;
-        let mut remaining = max_cycles;
         // Fabric ticks paid so far. The interpreter's invariant: one
         // fabric tick per core cycle, paid after the core's half-cycle —
         // so during cycle T the coprocessor sees T-1 fabric ticks.
-        let mut fabric_ticks = self.cpu.stats().cycles;
-        let result = loop {
-            if self.cpu.halted() || remaining == 0 {
-                break Ok(());
-            }
-            if self.cpu.has_pending() {
-                let skip = self.cpu.skip_horizon().min(remaining);
-                if skip > 0 {
-                    // Counted stalls advance the core in bulk; the fabric
-                    // owes the same cycles and pays at the next settle.
-                    self.cpu.tick_n(skip);
-                    remaining -= skip;
-                } else {
-                    // The front micro-state polls the coprocessor every
-                    // cycle: settle and fall back to lockstep ticking.
-                    let owed = self.cpu.stats().cycles - fabric_ticks;
-                    self.coproc.cp_catch_up(owed);
-                    fabric_ticks = self.cpu.stats().cycles;
-                    match self.tick() {
-                        Ok(()) => fabric_ticks += 1,
-                        Err(e) => break Err(e),
-                    }
-                    remaining -= 1;
-                }
-                continue;
-            }
-            let block = self.blocks.lookup(&self.bus, self.cpu.pc(), line_bytes);
-            if block.instrs.is_empty() {
-                // The entry word does not decode: one interpreted cycle
-                // raises the identical fault.
-                let owed = self.cpu.stats().cycles - fabric_ticks;
-                self.coproc.cp_catch_up(owed);
-                fabric_ticks = self.cpu.stats().cycles;
-                match self.tick() {
-                    Ok(()) => fabric_ticks += 1,
-                    Err(e) => break Err(e),
-                }
-                remaining -= 1;
-                continue;
-            }
-            match run_block(
-                &mut self.cpu,
-                &mut self.bus,
-                &mut self.coproc,
-                block,
-                remaining,
-                &mut fabric_ticks,
-            ) {
-                Ok(run) => remaining -= run.cycles,
-                Err(e) => break Err(e.into()),
-            }
-        };
-        // Settle the deferred fabric ticks. A faulting cycle never pays
-        // its fabric tick (the interpreter raises before the fabric's
-        // half-cycle), so the target on a core error is one short.
-        let target = match &result {
-            Err(SysError::Core(_)) => self.cpu.stats().cycles - 1,
-            _ => self.cpu.stats().cycles,
-        };
-        self.coproc.cp_catch_up(target.saturating_sub(fabric_ticks));
+        let mut fabric_ticks = self.state.cpu.stats().cycles;
+        let result =
+            self.state
+                .advance_compiled(max_cycles, &mut self.blocks, line_bytes, &mut fabric_ticks);
+        self.state
+            .settle_fabric(fabric_ticks, matches!(&result, Err(SysError::Core(_))));
         result?;
-        if !self.cpu.halted() {
-            return Err(SysError::Timeout { cycles: self.cpu.stats().cycles });
+        if !self.state.cpu.halted() {
+            return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
         }
         Ok(self.stats())
     }
@@ -653,26 +758,13 @@ impl System {
     /// Simulator-speed counters of the issue-path caches (see
     /// [`SpeedStats`]).
     pub fn speed_stats(&self) -> SpeedStats {
-        let (decode_hits, decode_misses) = self.cpu.decode_cache_stats();
+        let (decode_hits, decode_misses) = self.state.cpu.decode_cache_stats();
         SpeedStats { decode_hits, decode_misses, blocks: self.blocks.stats() }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> RunStats {
-        RunStats {
-            cycles: self.cpu.stats().cycles,
-            core: self.cpu.stats().clone(),
-            mem: self.bus.hierarchy.stats(),
-            fabric: self
-                .coproc
-                .fabric
-                .as_ref()
-                .map(|f| *f.stats())
-                .unwrap_or_default(),
-            halted: self.cpu.halted(),
-            pending_mem_stalls: self.cpu.pending_stall_cycles(dyser_sparc::StallCause::ICache)
-                + self.cpu.pending_stall_cycles(dyser_sparc::StallCause::DCache),
-        }
+        self.state.run_stats()
     }
 }
 

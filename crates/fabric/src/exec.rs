@@ -28,6 +28,7 @@
 //! bit-identical to the exhaustive scan.
 
 use std::collections::VecDeque;
+use std::ops::Range;
 
 use dyser_trace::{detail, EventKind, TraceBuffer, TraceEvent};
 
@@ -129,44 +130,54 @@ const PORT_WAKE: u32 = 1 << 30;
 /// CSR form, the register move plan, each FU's output-line key, and the
 /// set of input ports the configuration actually wires. The tick loop
 /// then runs on flat index arithmetic with zero heap allocation.
+///
+/// Every u32 index column — the consumer CSR, the wake-graph CSR, and
+/// the port/FU translation maps — lives in one `arena` allocation per
+/// bitstream, addressed through the column ranges below. The columns a
+/// busy tick walks together (wake lists after consumer lists, feeder
+/// maps after both) are therefore contiguous in memory instead of
+/// scattered across eight separately grown `Vec`s.
 #[derive(Debug, Clone)]
 struct RouteTable {
-    /// CSR offsets into `targets`, indexed by
+    /// The single index arena; see the column ranges below.
+    arena: Box<[u32]>,
+    /// CSR offsets into the `targets` column, indexed by
     /// `switch_index * InDir::COUNT + InDir::index()`; length is one more
     /// than the key count.
-    offsets: Vec<u32>,
+    offsets: Range<usize>,
     /// Concatenated consumer *step* indices for every key. Every consumer
     /// register is a configured route and therefore has a step, and
     /// register values live in the step-indexed `vals` array, so
     /// `deliver` needs no register-to-step translation.
-    targets: Vec<u32>,
-    /// Register move plan, in sinks-first topological order.
-    steps: Vec<RegStep>,
-    /// One plan per FU the configuration actually programs; the merged
-    /// FU phase iterates only these instead of the whole grid.
-    fu_plans: Vec<FuPlan>,
-    /// Maps an FU index to its plan index (`u32::MAX` if unconfigured):
-    /// an operand latch filling re-arms the owning unit.
-    fu_to_plan: Vec<u32>,
+    targets: Range<usize>,
     /// Wake graph in CSR form, indexed by step: when step `s` moves (its
-    /// source register frees), `wake_targets[wake_offsets[s]..
-    /// wake_offsets[s + 1]]` lists the producers delivering *into* that
+    /// source register frees), the `wake_targets` slice between offsets
+    /// `s` and `s + 1` lists the producers delivering *into* that
     /// register — upstream steps, plus FU plans tagged with [`FU_WAKE`] —
     /// that the free may unblock. Producers are always source-ward of the
     /// freed register, i.e. at strictly higher step indices, so a wake
     /// fired mid-scan lands ahead of the scan cursor and is attempted in
     /// the same tick, exactly like the exhaustive sinks-first pass.
-    wake_offsets: Vec<u32>,
-    wake_targets: Vec<u32>,
+    wake_offsets: Range<usize>,
+    wake_targets: Range<usize>,
     /// Per output port, the step index of the `ExtOut` register feeding
     /// it (`u32::MAX` if none): a `try_recv` frees FIFO space, so it
     /// re-arms this step.
-    port_feeders: Vec<u32>,
-    /// `(port, key)` for each input port whose `ExtIn` line has consumers.
-    wired_inputs: Vec<(u32, u32)>,
-    /// Maps an input port to its `wired_inputs` index (`u32::MAX` if
+    port_feeders: Range<usize>,
+    /// Maps an FU index to its plan index (`u32::MAX` if unconfigured):
+    /// an operand latch filling re-arms the owning unit.
+    fu_to_plan: Range<usize>,
+    /// Maps an input port to its wired-input index (`u32::MAX` if
     /// unwired): a `try_send` arms the port's injection entry.
-    port_inject: Vec<u32>,
+    port_inject: Range<usize>,
+    /// Flattened `(port, key)` pairs for each input port whose `ExtIn`
+    /// line has consumers.
+    wired_inputs: Range<usize>,
+    /// Register move plan, in sinks-first topological order.
+    steps: Vec<RegStep>,
+    /// One plan per FU the configuration actually programs; the merged
+    /// FU phase iterates only these instead of the whole grid.
+    fu_plans: Vec<FuPlan>,
     /// Longest FU latency in the configuration, sizing the pipeline
     /// timer wheel.
     max_latency: u64,
@@ -179,16 +190,41 @@ impl RouteTable {
 
     /// Consumer register indices of input line `key`.
     fn consumers(&self, key: u32) -> &[u32] {
-        let lo = self.offsets[key as usize] as usize;
-        let hi = self.offsets[key as usize + 1] as usize;
-        &self.targets[lo..hi]
+        let lo = self.arena[self.offsets.start + key as usize] as usize;
+        let hi = self.arena[self.offsets.start + key as usize + 1] as usize;
+        &self.arena[self.targets.start + lo..self.targets.start + hi]
     }
 
     /// Wake-graph entries to re-arm when step `step` moves.
     fn wakes(&self, step: usize) -> &[u32] {
-        let lo = self.wake_offsets[step] as usize;
-        let hi = self.wake_offsets[step + 1] as usize;
-        &self.wake_targets[lo..hi]
+        let lo = self.arena[self.wake_offsets.start + step] as usize;
+        let hi = self.arena[self.wake_offsets.start + step + 1] as usize;
+        &self.arena[self.wake_targets.start + lo..self.wake_targets.start + hi]
+    }
+
+    /// The plan index of FU `fu` (`u32::MAX` if unconfigured).
+    fn plan_of(&self, fu: usize) -> u32 {
+        self.arena[self.fu_to_plan.start + fu]
+    }
+
+    /// The step feeding output port `port` (`u32::MAX` if none).
+    fn port_feeder(&self, port: usize) -> u32 {
+        self.arena[self.port_feeders.start + port]
+    }
+
+    /// The wired-input index of input port `port` (`u32::MAX` if unwired).
+    fn port_injector(&self, port: usize) -> u32 {
+        self.arena[self.port_inject.start + port]
+    }
+
+    /// The `(port, key)` pair of wired input `ei`.
+    fn wired_input(&self, ei: usize) -> (u32, u32) {
+        let at = self.wired_inputs.start + ei * 2;
+        (self.arena[at], self.arena[at + 1])
+    }
+
+    fn wired_input_count(&self) -> usize {
+        self.wired_inputs.len() / 2
     }
 
     fn build(
@@ -196,6 +232,14 @@ impl RouteTable {
         config: &FabricConfig,
         reg_order: &[(SwitchId, OutDir)],
     ) -> Self {
+        // CSR slice over locally built columns, used until the arena is
+        // assembled at the end of the build.
+        fn csr<'a>(offsets: &[u32], targets: &'a [u32], key: u32) -> &'a [u32] {
+            let lo = offsets[key as usize] as usize;
+            let hi = offsets[key as usize + 1] as usize;
+            &targets[lo..hi]
+        }
+
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); geom.switch_count() * InDir::COUNT];
         for sw in geom.switches() {
             let si = geom.switch_index(sw);
@@ -271,21 +315,8 @@ impl RouteTable {
             }
         }
 
-        let mut table = RouteTable {
-            offsets,
-            targets,
-            steps,
-            fu_plans: vec![],
-            fu_to_plan: vec![u32::MAX; geom.fu_count()],
-            wake_offsets: vec![],
-            wake_targets: vec![],
-            port_feeders,
-            wired_inputs: vec![],
-            port_inject: vec![u32::MAX; geom.input_ports()],
-            max_latency: 0,
-        };
-
-        table.fu_plans = geom
+        let mut fu_to_plan = vec![u32::MAX; geom.fu_count()];
+        let fu_plans: Vec<FuPlan> = geom
             .fus()
             .filter_map(|fu| config.fu(fu).map(|fc| (fu, fc)))
             .map(|(fu, fc)| {
@@ -303,7 +334,7 @@ impl RouteTable {
                 FuPlan {
                     fu: fi as u32,
                     out_key,
-                    out_wired: !table.consumers(out_key).is_empty(),
+                    out_wired: !csr(&offsets, &targets, out_key).is_empty(),
                     op: fc.op,
                     capacity: fc.op.latency().max(1) as u32,
                     latency: fc.op.latency(),
@@ -318,42 +349,44 @@ impl RouteTable {
                 }
             })
             .collect();
-        for (qi, plan) in table.fu_plans.iter().enumerate() {
-            table.fu_to_plan[plan.fu as usize] = qi as u32;
+        for (qi, plan) in fu_plans.iter().enumerate() {
+            fu_to_plan[plan.fu as usize] = qi as u32;
         }
-        table.max_latency = table.fu_plans.iter().map(|p| p.latency).max().unwrap_or(0);
+        let max_latency = fu_plans.iter().map(|p| p.latency).max().unwrap_or(0);
 
+        let mut port_inject = vec![u32::MAX; geom.input_ports()];
         let mut wired_inputs = Vec::new();
-        for port in 0..geom.input_ports() {
+        for (port, inject) in port_inject.iter_mut().enumerate() {
             let sw = geom.input_port_switch(port).expect("port index in range");
             let key = Self::key(geom, sw, InDir::ExtIn);
-            if !table.consumers(key).is_empty() {
-                table.port_inject[port] = wired_inputs.len() as u32;
-                wired_inputs.push((port as u32, key));
+            if !csr(&offsets, &targets, key).is_empty() {
+                *inject = (wired_inputs.len() / 2) as u32;
+                wired_inputs.push(port as u32);
+                wired_inputs.push(key);
             }
         }
-        table.wired_inputs = wired_inputs;
 
         // The wake graph: for every step, the producers delivering into
         // its register, which its move may unblock — upstream steps, FU
         // results, and input-port injections.
-        let mut wake_lists: Vec<Vec<u32>> = vec![Vec::new(); table.steps.len()];
-        for (pi, step) in table.steps.iter().enumerate() {
+        let mut wake_lists: Vec<Vec<u32>> = vec![Vec::new(); steps.len()];
+        for (pi, step) in steps.iter().enumerate() {
             if let RegDest::Switch { key } = step.dest {
-                for &c in table.consumers(key) {
+                for &c in csr(&offsets, &targets, key) {
                     wake_lists[c as usize].push(pi as u32);
                 }
             }
         }
-        for (qi, plan) in table.fu_plans.iter().enumerate() {
+        for (qi, plan) in fu_plans.iter().enumerate() {
             if plan.out_wired {
-                for &c in table.consumers(plan.out_key) {
+                for &c in csr(&offsets, &targets, plan.out_key) {
                     wake_lists[c as usize].push(qi as u32 | FU_WAKE);
                 }
             }
         }
-        for (ei, &(_, key)) in table.wired_inputs.iter().enumerate() {
-            for &c in table.consumers(key) {
+        for ei in 0..wired_inputs.len() / 2 {
+            let key = wired_inputs[ei * 2 + 1];
+            for &c in csr(&offsets, &targets, key) {
                 wake_lists[c as usize].push(ei as u32 | PORT_WAKE);
             }
         }
@@ -364,9 +397,45 @@ impl RouteTable {
             wake_targets.extend_from_slice(list);
             wake_offsets.push(wake_targets.len() as u32);
         }
-        table.wake_offsets = wake_offsets;
-        table.wake_targets = wake_targets;
-        table
+
+        // Pack every index column into the one arena, in the order the
+        // hot phases touch them.
+        fn pack(arena: &mut Vec<u32>, column: &[u32]) -> Range<usize> {
+            let start = arena.len();
+            arena.extend_from_slice(column);
+            start..arena.len()
+        }
+        let total = offsets.len()
+            + targets.len()
+            + wake_offsets.len()
+            + wake_targets.len()
+            + port_feeders.len()
+            + fu_to_plan.len()
+            + port_inject.len()
+            + wired_inputs.len();
+        let mut arena = Vec::with_capacity(total);
+        let offsets = pack(&mut arena, &offsets);
+        let targets = pack(&mut arena, &targets);
+        let wake_offsets = pack(&mut arena, &wake_offsets);
+        let wake_targets = pack(&mut arena, &wake_targets);
+        let port_feeders = pack(&mut arena, &port_feeders);
+        let fu_to_plan = pack(&mut arena, &fu_to_plan);
+        let port_inject = pack(&mut arena, &port_inject);
+        let wired_inputs = pack(&mut arena, &wired_inputs);
+        RouteTable {
+            arena: arena.into_boxed_slice(),
+            offsets,
+            targets,
+            wake_offsets,
+            wake_targets,
+            port_feeders,
+            fu_to_plan,
+            port_inject,
+            wired_inputs,
+            steps,
+            fu_plans,
+            max_latency,
+        }
     }
 }
 
@@ -405,31 +474,30 @@ struct Active {
     config: FabricConfig,
     /// Precomputed routing tables (see [`RouteTable`]).
     table: RouteTable,
-    /// Register contents, indexed by *step* — only configured routes have
-    /// storage, and the delivery path shares indices with the bitmaps.
-    /// A slot is meaningful only where `occ` has its bit set.
-    vals: Vec<Value>,
-    /// Occupancy bitmap over `vals`: which route registers hold a value.
-    /// Kept beside the ready/fresh bitmaps so the hot delivery check is
-    /// bit tests on resident words instead of `Option` loads.
-    occ: Vec<u64>,
-    /// Ready bitmap over `table.steps`: steps the register phase must
-    /// attempt this tick. A failed attempt parks the step (bit stays
-    /// clear) until a wake-graph edge re-arms it, so the scan cost tracks
-    /// the values that can actually move, not the configuration size.
-    ready: Vec<u64>,
-    /// Steps whose registers were filled *this* tick; merged into
-    /// `ready` at end of tick (one hop per cycle).
-    fresh: Vec<u64>,
-    /// Ready bitmap over `table.fu_plans`: units with buffered output,
-    /// an advancing pipeline, or newly latched operands. Idle units are
-    /// parked and re-armed by latch fills, wake-graph edges, and the
-    /// timer wheel.
-    fu_ready: Vec<u64>,
-    /// Ready bitmap over `table.wired_inputs`: port injections the input
-    /// phase must attempt this tick. Armed by `try_send`; a delivery
-    /// refusal parks the entry until a [`PORT_WAKE`] edge re-arms it.
-    inject_ready: Vec<u64>,
+    /// The mutable per-cycle state — value slots and every ready bitmap —
+    /// as one arena allocation per bitstream, laid out in the order the
+    /// tick phases touch it:
+    ///
+    /// | column         | words              | contents                    |
+    /// |----------------|--------------------|-----------------------------|
+    /// | `vals`         | `step_words * 64`  | register contents, by step  |
+    /// | `occ`          | `step_words`       | occupancy bitmap            |
+    /// | `ready`        | `step_words`       | attemptable steps           |
+    /// | `fresh`        | `step_words`       | steps filled this tick      |
+    /// | `fu_ready`     | `fu_words`         | attemptable FU plans        |
+    /// | `inject_ready` | rest               | attemptable port injections |
+    ///
+    /// `vals[s]` is meaningful only where `occ` has bit `s` set. A step's
+    /// ready bit clears on attempt and re-arms through the wake graph; a
+    /// value delivered this tick lands in `fresh` and merges into `ready`
+    /// at end of tick (one hop per cycle). FU and injection entries park
+    /// on a failed attempt until a [`FU_WAKE`]/[`PORT_WAKE`] edge, a
+    /// latch fill, or the timer wheel re-arms them.
+    hot: Box<[u64]>,
+    /// Words per step-indexed bitmap column in `hot`.
+    step_words: usize,
+    /// Words in the `fu_ready` column of `hot`.
+    fu_words: usize,
     /// Timer wheel over FU plans: a unit whose pipeline front completes
     /// at a future cycle parks here instead of polling, and is re-armed
     /// into `fu_ready` when that cycle arrives. Slot count is a power of
@@ -450,6 +518,42 @@ struct Active {
     /// event (port send, output receive, configuration load) perturbs
     /// the state, so a stationary tick is counters-only.
     stationary: bool,
+}
+
+/// The hot arena's columns, in layout order:
+/// `(vals, occ, ready, fresh, fu_ready, inject_ready)`.
+type HotColumns<'a> =
+    (&'a mut [u64], &'a mut [u64], &'a mut [u64], &'a mut [u64], &'a mut [u64], &'a mut [u64]);
+
+impl Active {
+    /// Splits the hot arena into its columns.
+    fn columns(hot: &mut [u64], step_words: usize, fu_words: usize) -> HotColumns<'_> {
+        let (vals, rest) = hot.split_at_mut(step_words * 64);
+        let (occ, rest) = rest.split_at_mut(step_words);
+        let (ready, rest) = rest.split_at_mut(step_words);
+        let (fresh, rest) = rest.split_at_mut(step_words);
+        let (fu_ready, inject_ready) = rest.split_at_mut(fu_words);
+        (vals, occ, ready, fresh, fu_ready, inject_ready)
+    }
+
+    /// The occupancy bitmap column, read-only.
+    fn occ_words(&self) -> &[u64] {
+        &self.hot[self.step_words * 64..self.step_words * 65]
+    }
+
+    /// Arms step `step` in the `ready` column (a `try_recv` freed the
+    /// output-FIFO slot its register was blocked on).
+    fn arm_step(&mut self, step: u32) {
+        let base = self.step_words * 64 + self.step_words;
+        self.hot[base + step as usize / 64] |= 1 << (step % 64);
+    }
+
+    /// Arms wired input `ei` in the `inject_ready` column (a `try_send`
+    /// gave its FIFO a value to inject).
+    fn arm_injection(&mut self, ei: u32) {
+        let base = self.step_words * 64 + 3 * self.step_words + self.fu_words;
+        self.hot[base + ei as usize / 64] |= 1 << (ei % 64);
+    }
 }
 
 /// The DySER fabric: geometry, hardware kinds, and execution state.
@@ -613,13 +717,15 @@ impl Fabric {
         // starts (and stays) on the FU ready list.
         let free_running = table.fu_plans.iter().any(|p| p.switch_mask == 0);
         let step_words = table.steps.len().div_ceil(64);
-        let mut fu_ready = vec![0u64; table.fu_plans.len().div_ceil(64)];
+        let fu_words = table.fu_plans.len().div_ceil(64);
+        let inject_words = table.wired_input_count().div_ceil(64);
+        let mut hot = vec![0u64; step_words * 67 + fu_words + inject_words];
+        let fu_base = step_words * 67;
         for (qi, plan) in table.fu_plans.iter().enumerate() {
             if plan.switch_mask == 0 {
-                fu_ready[qi / 64] |= 1 << (qi % 64);
+                hot[fu_base + qi / 64] |= 1 << (qi % 64);
             }
         }
-        let inject_ready = vec![0u64; table.wired_inputs.len().div_ceil(64)];
         // `+ 2` headroom: a latency-0 fire is deferred to `cycle + 1`, so
         // the farthest wheel slot is `max_latency.max(1)` ticks out.
         let wheel_slots = usize::try_from(table.max_latency + 2)
@@ -628,12 +734,9 @@ impl Fabric {
         self.active = Some(Active {
             config: config.clone(),
             table,
-            vals: vec![0; step_words * 64],
-            occ: vec![0; step_words],
-            ready: vec![0; step_words],
-            fresh: vec![0; step_words],
-            fu_ready,
-            inject_ready,
+            hot: hot.into_boxed_slice(),
+            step_words,
+            fu_words,
             wheel: vec![Vec::new(); wheel_slots],
             fus,
             in_fifos: vec![VecDeque::new(); self.geom.input_ports()],
@@ -662,11 +765,11 @@ impl Fabric {
         }
         fifo.push_back(value);
         active.stationary = false;
-        // The enqueue makes the port's injection attemptable.
-        if let Some(&ei) = active.table.port_inject.get(port) {
-            if ei != u32::MAX {
-                active.inject_ready[ei as usize / 64] |= 1 << (ei % 64);
-            }
+        // The enqueue makes the port's injection attemptable. The port
+        // index is in range: the FIFO lookup above already bounded it.
+        let ei = active.table.port_injector(port);
+        if ei != u32::MAX {
+            active.arm_injection(ei);
         }
         self.stats.port_in += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
@@ -688,10 +791,9 @@ impl Fabric {
         // have been waiting for, so the state may move again; re-arm the
         // register feeding this port.
         active.stationary = false;
-        if let Some(&feeder) = active.table.port_feeders.get(port) {
-            if feeder != u32::MAX {
-                active.ready[feeder as usize / 64] |= 1 << (feeder % 64);
-            }
+        let feeder = active.table.port_feeder(port);
+        if feeder != u32::MAX {
+            active.arm_step(feeder);
         }
         self.stats.port_out += 1;
         if let Some(tracer) = self.tracer.as_deref_mut() {
@@ -727,7 +829,7 @@ impl Fabric {
     pub fn in_flight(&self) -> usize {
         let Some(a) = &self.active else { return 0 };
         let fifos: usize = a.in_fifos.iter().map(VecDeque::len).sum();
-        let regs: usize = a.occ.iter().map(|w| w.count_ones() as usize).sum();
+        let regs: usize = a.occ_words().iter().map(|w| w.count_ones() as usize).sum();
         let fus: usize = a.fus.iter().map(FuState::in_flight).sum();
         fifos + regs + fus
     }
@@ -804,12 +906,9 @@ impl Fabric {
         let Some(active) = self.active.as_mut() else { return };
         let Active {
             table,
-            vals,
-            occ,
-            ready,
-            fresh,
-            fu_ready,
-            inject_ready,
+            hot,
+            step_words,
+            fu_words,
             wheel,
             fus,
             in_fifos,
@@ -818,6 +917,8 @@ impl Fabric {
             stationary,
             ..
         } = active;
+        let (vals, occ, ready, fresh, fu_ready, inject_ready) =
+            Active::columns(hot, *step_words, *fu_words);
         let mut any_activity = false;
         let mut any_fire = false;
 
@@ -859,7 +960,7 @@ impl Fabric {
                             fu_state.latch[slot as usize] = Some(value);
                             fu_state.latched |= 1 << slot;
                             // The arrival may let the unit fire this tick.
-                            let plan = table.fu_to_plan[fu as usize];
+                            let plan = table.plan_of(fu as usize);
                             if plan != u32::MAX {
                                 fu_ready[plan as usize / 64] |= 1 << (plan % 64);
                             }
@@ -1015,7 +1116,7 @@ impl Fabric {
             while snapshot != 0 {
                 let bit = snapshot.trailing_zeros() as usize;
                 snapshot &= snapshot - 1;
-                let (port, key) = table.wired_inputs[w * 64 + bit];
+                let (port, key) = table.wired_input(w * 64 + bit);
                 let fifo = &mut in_fifos[port as usize];
                 let Some(&value) = fifo.front() else { continue };
                 if deliver(vals, occ, fresh, table, key, value, stats) {

@@ -423,3 +423,65 @@ fn dse_point_jobs_match_in_process_sweep_metrics() {
         other => panic!("expected invalid-request, got {other:?}"),
     }
 }
+
+/// A single-shard daemon flooded with `DsePoint` jobs must drain them
+/// into lockstep batches (one worker, many queued connections) and still
+/// answer every job with metrics bit-identical to an in-process
+/// `run_kernel` of the same point.
+#[test]
+fn queued_dse_point_jobs_batch_and_stay_bit_identical() {
+    let _g = lock();
+
+    let kernel = suite().into_iter().find(|k| k.name == "saxpy").expect("saxpy in suite");
+    let points: Vec<DsePoint> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&fifo| DsePoint {
+            kernel: "saxpy".into(),
+            rows: 4,
+            cols: 4,
+            mix: FuMix::Default,
+            fifo_depth: fifo,
+            mem: MemPreset::Default,
+            unroll: 1,
+        })
+        .collect();
+    let expected: Vec<_> = points
+        .iter()
+        .map(|p| {
+            let rc = p.run_config(&kernel, Some(Backend::Compiled)).expect("valid point");
+            point_sim(
+                &run_kernel(&kernel.case(48, SEED), &rc).expect("in-process run"),
+                rc.system.geometry.fu_count(),
+            )
+        })
+        .collect();
+
+    // One shard: while it works the first job, the rest pile up in the
+    // admission queue and get drained into its batch.
+    let url = spawn_server(1);
+    let jobs: Vec<JobRequest> = points
+        .iter()
+        .map(|p| JobRequest::DsePoint {
+            kernel: "saxpy".into(),
+            n: 48,
+            rows: p.rows,
+            cols: p.cols,
+            universal: false,
+            fifo_depth: p.fifo_depth,
+            mem: "default".into(),
+            unroll: p.unroll,
+            run: RunSpec { backend: Some(Backend::Compiled), ..RunSpec::default() },
+        })
+        .collect();
+    let outcomes = submit_concurrently(&url, &jobs, jobs.len());
+    for (outcome, want) in outcomes.into_iter().zip(&expected) {
+        match outcome {
+            Ok(JobResult::DsePoint { baseline_cycles, cycles, config_cycles, .. }) => {
+                assert_eq!(baseline_cycles, want.baseline_cycles);
+                assert_eq!(cycles, want.cycles);
+                assert_eq!(config_cycles, want.config_cycles);
+            }
+            other => panic!("batched dse-point job failed: {other:?}"),
+        }
+    }
+}
