@@ -1,9 +1,10 @@
 //! Reproduces the evaluation's tables and figures.
 //!
 //! ```text
-//! cargo run -p dyser-bench --release --bin repro -- all
+//! cargo run -p dyser-bench --release --bin repro -- all          # e1..e10, p1..p3, ablation
 //! cargo run -p dyser-bench --release --bin repro -- e2 e6
 //! cargo run -p dyser-bench --release --bin repro -- e2 --csv     # machine-readable
+//! cargo run -p dyser-bench --release --bin repro -- p1 --csv     # whole program (argv+stdin+syscalls)
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time    # BENCH_repro.json
 //! cargo run -p dyser-bench --release --bin repro -- e2 --time --reps 2
 //! cargo run -p dyser-bench --release --bin repro -- all --backend compiled

@@ -44,7 +44,7 @@ use dyser_fabric::{FabricConfigError, FabricGeometry, DEFAULT_CONFIG_BUS_BITS};
 use std::collections::HashMap;
 use dyser_mem::MemConfig;
 use dyser_sparc::StallCause;
-use dyser_workloads::{suite, Kernel};
+use dyser_workloads::{program_inner_kernels, suite, Kernel};
 
 use crate::experiments::SEED;
 use crate::table::{ExpTable, TableError};
@@ -266,6 +266,18 @@ pub struct DsePlan {
     pub backend: Option<Backend>,
 }
 
+/// Every kernel a sweep may name: the full suite plus the inner
+/// regions of the whole-program workloads (`p1_match`, `p2_hash`,
+/// `p3_stencil`). The default plan still sweeps only suite kernels, so
+/// reference sweep reports are unchanged; the program regions opt in
+/// via `--kernels`.
+#[must_use]
+pub fn dse_kernels() -> Vec<Kernel> {
+    let mut kernels = suite();
+    kernels.extend(program_inner_kernels());
+    kernels
+}
+
 impl Default for DsePlan {
     fn default() -> Self {
         DsePlan {
@@ -348,7 +360,7 @@ impl DsePlan {
                 return Err(DseError::EmptyAxis(axis));
             }
         }
-        let known = suite();
+        let known = dse_kernels();
         for name in &self.kernels {
             if !known.iter().any(|k| k.name == *name) {
                 return Err(DseError::UnknownKernel(name.clone()));
@@ -922,7 +934,7 @@ pub fn run_dse_with_many(
     simulate_many: impl Fn(&[DseRequest<'_>]) -> Vec<Result<PointSim, String>>,
 ) -> Result<DseOutcome, DseError> {
     plan.validate()?;
-    let kernels = suite();
+    let kernels = dse_kernels();
     let kernel_of = |name: &str| {
         kernels
             .iter()
@@ -1082,6 +1094,27 @@ mod tests {
         let json = outcome.to_json();
         dyser_trace::validate_json(&json).expect("well-formed JSON");
         assert!(json.contains("\"pareto\": ["));
+    }
+
+    #[test]
+    fn program_inner_kernels_sweep_by_name() {
+        let plan = DsePlan {
+            kernels: vec!["p2_hash".into(), "p3_stencil".into()],
+            dims: vec![4],
+            mixes: vec![FuMix::Default],
+            fifos: vec![4],
+            mems: vec![MemPreset::Default],
+            unrolls: vec![1],
+            n: 32,
+            prune: false,
+            backend: Some(Backend::Compiled),
+        };
+        plan.validate().expect("program inner kernels are known to the sweep");
+        let outcome = run_dse(&plan).expect("sweep");
+        assert_eq!(outcome.records.len(), 2, "one record per program region");
+        for r in &outcome.records {
+            assert!(r.sim.cycles > 0, "{:?} never simulated", r.point);
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@ use dyser_workloads::{manual, suite, Category, Kernel};
 use crate::table::ExpTable;
 
 /// All experiment ids, in order (`ablation` is this reproduction's own
-/// design-choice study, not a paper exhibit).
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "ablation"];
+/// design-choice study, not a paper exhibit; `p1`..`p3` are the
+/// whole-program workloads run through the syscall-emulation layer).
+pub const EXPERIMENT_IDS: [&str; 14] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "p1", "p2", "p3", "ablation"];
 
 /// The seed used for all experiment inputs.
 pub const SEED: u64 = 0xD75E;
@@ -64,6 +65,7 @@ pub fn run_experiment_scaled(id: &str, scale: Scale) -> ExpTable {
         "e8" => e8_control_flow_shapes(scale),
         "e9" => e9_fabric_sweep(scale),
         "e10" => e10_integration_overhead(scale),
+        "p1" | "p2" | "p3" => program_experiment(id, scale),
         "ablation" => ablation(scale),
         other => panic!("unknown experiment `{other}`"),
     }
@@ -185,7 +187,7 @@ fn run_suite(kernels: Vec<Kernel>, scale: Scale) -> Vec<(Kernel, usize, KernelRe
 
 /// The attribution bucket labels, used as CSV-only column headers on the
 /// per-kernel tables and as the `repro stats` breakdown columns.
-fn bucket_labels() -> [&'static str; 8] {
+fn bucket_labels() -> [&'static str; 9] {
     CycleBucket::ALL.map(CycleBucket::label)
 }
 
@@ -688,6 +690,66 @@ pub fn e10_integration_overhead(scale: Scale) -> ExpTable {
         ]);
     }
     t.note("delta 0 everywhere: the DySER integration adds no cycles when unused (finding i)");
+    t
+}
+
+// ------------------------------------------------------- whole programs
+
+/// Default stdin size (in 8-byte words) for the whole-program workloads
+/// at scale 1.0 (shared with the serve daemon's `program` jobs).
+pub const PROGRAM_N: usize = 256;
+
+/// P1–P3 (whole-program workloads): one emulated process — argv/envp
+/// startup stack, stdin via `read`, heap via `brk`, results via `write`,
+/// termination via `exit` — run as a baseline and a DySER-accelerated
+/// leg. Both legs must produce byte-identical stdout and the same exit
+/// code (the harness verifies this on every run).
+pub fn program_experiment(name: &str, scale: Scale) -> ExpTable {
+    let build = dyser_workloads::programs::by_name(name)
+        .unwrap_or_else(|| panic!("unknown program `{name}`"));
+    let n = scale.n(PROGRAM_N);
+    let geometry = FabricGeometry::new(8, 8);
+    let case = build(geometry, n, SEED).expect("the 8x8 fabric fits every program");
+    let mut config = RunConfig::default();
+    config.system.geometry = geometry;
+    let key = memo_key(&case.name, n, &config);
+    let r = match memo_get(&key) {
+        Some(r) => r,
+        None => {
+            let r = dyser_core::run_program_case(&case, &config)
+                .unwrap_or_else(|e| panic!("{name} (n={n}): {e}"));
+            memo_put(key, &r);
+            r
+        }
+    };
+    let mut t = ExpTable::new(
+         match name {
+            "p1" => "P1: whole-program string matcher (argv key, stdin text)",
+            "p2" => "P2: whole-program JSON tokenizer pipeline (brk heap, hash)",
+            _ => "P3: whole-program image-kernel pipeline (stencil + checksum)",
+        },
+        &["program", "n", "base cycles", "dyser cycles", "speedup", "stdout B", "exit"],
+    );
+    t.csv_extra_headers(&bucket_labels());
+    let extras = attribution_extras(&r);
+    t.row_with_extras(
+        vec![
+            name.into(),
+            n.to_string(),
+            r.baseline.cycles.to_string(),
+            r.dyser.cycles.to_string(),
+            format!("{:.2}x", r.speedup),
+            case.expected_stdout.len().to_string(),
+            case.expected_exit.to_string(),
+        ],
+        extras,
+    );
+    t.note(format!(
+        "syscall stall cycles: baseline {}, dyser {} (trap service at the core interface)",
+        r.baseline.core.stall_count(StallCause::Syscall),
+        r.dyser.core.stall_count(StallCause::Syscall),
+    ));
+    t.note("both legs produced byte-identical stdout and the same exit code (verified)");
     t
 }
 

@@ -6,6 +6,7 @@
 use std::time::Instant;
 
 use dyser_fuzz::corpus::{recipe_json, rust_repro};
+use dyser_fuzz::sysprog::{run_sys_campaign, sys_recipe_json};
 use dyser_fuzz::{run_campaign, CampaignConfig, CampaignReport};
 
 use crate::timing::Timing;
@@ -26,8 +27,41 @@ pub fn run_fuzz_cli(cases: u64, seed: u64, shrink: bool, batch: bool) -> i32 {
     let secs = t0.elapsed().as_secs_f64();
     print_report(&report, seed, secs);
 
-    if report.clean() {
+    // The syscall leg: trap-sequence programs checked for identical
+    // stdout/stderr bytes, exit codes, and cycle buckets on every
+    // engine. Scaled down — each case already runs six engine legs.
+    let sys_cases = (cases / 4).max(25);
+    let t1 = Instant::now();
+    let sys_report = run_sys_campaign(sys_cases, seed);
+    println!(
+        "fuzz-sys: {} trap programs, seed {seed:#x}: {} ok, {} failures \
+         ({:.1} Mcycles in {:.2} s)",
+        sys_report.cases,
+        sys_report.cases - sys_report.failures.len() as u64,
+        sys_report.failures.len(),
+        sys_report.sim_cycles as f64 / 1e6,
+        t1.elapsed().as_secs_f64()
+    );
+    for f in &sys_report.failures {
+        println!();
+        println!("FAIL sys case {} ({}): {}", f.index, f.failure.kind, f.failure);
+        let name = format!("sys-case-{}-{}.json", f.index, f.failure.kind);
+        let json = sys_recipe_json(&f.shrunk, Some(f.failure.kind));
+        if std::fs::create_dir_all(FAILURE_DIR)
+            .and_then(|()| std::fs::write(format!("{FAILURE_DIR}/{name}"), &json))
+            .is_ok()
+        {
+            println!("  shrunk corpus entry written to {FAILURE_DIR}/{name}");
+        } else {
+            println!("  shrunk recipe JSON:\n{json}");
+        }
+    }
+
+    if report.clean() && sys_report.clean() {
         return 0;
+    }
+    if report.clean() {
+        return 1;
     }
     for f in &report.failures {
         println!();

@@ -123,7 +123,9 @@ impl JobError {
                 JobError::InvalidConfig(c.to_string())
             }
             HarnessError::Run { .. } => JobError::Run(e.to_string()),
-            HarnessError::Mismatch { .. } => JobError::Mismatch(e.to_string()),
+            HarnessError::Mismatch { .. }
+            | HarnessError::StdoutMismatch { .. }
+            | HarnessError::ExitMismatch { .. } => JobError::Mismatch(e.to_string()),
         }
     }
 
@@ -272,6 +274,17 @@ pub enum JobRequest {
         run: RunSpec,
         /// Hardware overrides.
         system: SystemSpec,
+    },
+    /// Run one whole-program workload (`p1`..`p3`) through the syscall
+    /// emulation layer, baseline and DySER, verify stdout and exit code
+    /// on both legs, and return the captured output.
+    Program {
+        /// Program name (`p1`, `p2`, `p3`).
+        name: String,
+        /// Stdin size in 8-byte words; `None` uses the default.
+        n: Option<usize>,
+        /// Execution knobs.
+        run: RunSpec,
     },
     /// Simulate one design-space-exploration point (`repro dse
     /// --serve`) and return its sweep metrics: cycles, geometry-scaled
@@ -465,6 +478,14 @@ impl JobRequest {
                 run.json_fields(&mut fields);
                 system.json_fields(&mut fields);
             }
+            JobRequest::Program { name, n, run } => {
+                fields.push("\"kind\": \"program\"".into());
+                fields.push(format!("\"name\": \"{}\"", json_escaped(name)));
+                if let Some(n) = n {
+                    fields.push(format!("\"n\": {n}"));
+                }
+                run.json_fields(&mut fields);
+            }
             JobRequest::DsePoint { kernel, n, rows, cols, universal, fifo_depth, mem, unroll, run } => {
                 fields.push("\"kind\": \"dse-point\"".into());
                 fields.push(format!("\"kernel\": \"{}\"", json_escaped(kernel)));
@@ -538,6 +559,15 @@ impl JobRequest {
                 run: RunSpec::from_json(&v)?,
                 system: SystemSpec::from_json(v.get("system"))?,
             }),
+            "program" => Ok(JobRequest::Program {
+                name: v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| JobError::InvalidRequest("program job needs a `name`".into()))?
+                    .to_owned(),
+                n: v.get("n").and_then(JsonValue::as_u64).map(|n| n as usize),
+                run: RunSpec::from_json(&v)?,
+            }),
             "dse-point" => {
                 let usize_field = |key: &str| -> Result<usize, JobError> {
                     v.get(key).and_then(JsonValue::as_u64).map(|n| n as usize).ok_or_else(|| {
@@ -606,6 +636,23 @@ pub enum JobResult {
         /// one.
         trace_json: Option<String>,
     },
+    /// A whole-program run's outcome: cycle counts plus the captured
+    /// process output (identical on both legs — the harness enforces
+    /// it before the result is built).
+    Program {
+        /// Program name.
+        name: String,
+        /// Baseline run cycles.
+        baseline_cycles: u64,
+        /// Accelerated run cycles.
+        dyser_cycles: u64,
+        /// Baseline cycles / accelerated cycles.
+        speedup: f64,
+        /// The program's stdout bytes (ASCII).
+        stdout: String,
+        /// The program's exit code.
+        exit_code: u64,
+    },
     /// A design-space point's sweep metrics.
     DsePoint {
         /// Suite kernel name.
@@ -660,6 +707,15 @@ impl JobResult {
                 s.push('}');
                 s
             }
+            JobResult::Program { name, baseline_cycles, dyser_cycles, speedup, stdout, exit_code } => {
+                format!(
+                    "{{\"name\": \"{}\", \"baseline_cycles\": {baseline_cycles}, \
+                     \"dyser_cycles\": {dyser_cycles}, \"speedup\": {speedup:.6}, \
+                     \"stdout\": \"{}\", \"exit_code\": {exit_code}}}",
+                    json_escaped(name),
+                    json_escaped(stdout)
+                )
+            }
             JobResult::DsePoint { kernel, baseline_cycles, cycles, energy_nj, config_cycles } => {
                 format!(
                     "{{\"kernel\": \"{}\", \"baseline_cycles\": {baseline_cycles}, \
@@ -691,6 +747,30 @@ impl JobResult {
                 cycles: field("cycles")?,
                 energy_nj,
                 config_cycles: field("config_cycles")?,
+            });
+        }
+        if let Some(exit_code) = v.get("exit_code").and_then(JsonValue::as_u64) {
+            let field_str = |key: &str| -> Result<String, JobError> {
+                v.get(key)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| JobError::Protocol(format!("program result missing `{key}`")))
+            };
+            let field_u64 = |key: &str| -> Result<u64, JobError> {
+                v.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| JobError::Protocol(format!("program result missing `{key}`")))
+            };
+            return Ok(JobResult::Program {
+                name: field_str("name")?,
+                baseline_cycles: field_u64("baseline_cycles")?,
+                dyser_cycles: field_u64("dyser_cycles")?,
+                speedup: v
+                    .get("speedup")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| JobError::Protocol("program result missing `speedup`".into()))?,
+                stdout: field_str("stdout")?,
+                exit_code,
             });
         }
         let field_str = |key: &str| -> Result<String, JobError> {
@@ -990,6 +1070,12 @@ mod tests {
                 unroll: 2,
                 run: RunSpec { backend: Some(Backend::Compiled), ..RunSpec::default() },
             },
+            JobRequest::Program {
+                name: "p1".into(),
+                n: Some(64),
+                run: RunSpec { backend: Some(Backend::Compiled), ..RunSpec::default() },
+            },
+            JobRequest::Program { name: "p3".into(), n: None, run: RunSpec::default() },
         ];
         for job in jobs {
             let json = job.to_json();
@@ -1014,6 +1100,18 @@ mod tests {
         let body = envelope_json(&ok);
         dyser_trace::validate_json(&body).expect("envelope is valid JSON");
         assert_eq!(parse_envelope(&body), ok.map_err(|_| unreachable!()));
+
+        let program: Result<JobResult, JobError> = Ok(JobResult::Program {
+            name: "p2".into(),
+            baseline_cycles: 9000,
+            dyser_cycles: 4500,
+            speedup: 2.0,
+            stdout: "17\n12345\n".into(),
+            exit_code: 0,
+        });
+        let body = envelope_json(&program);
+        dyser_trace::validate_json(&body).expect("program envelope is valid JSON");
+        assert_eq!(parse_envelope(&body), program.map_err(|_| unreachable!()));
 
         for err in [
             JobError::InvalidRequest("bad".into()),

@@ -116,7 +116,7 @@ pub fn translate<B: Bus>(bus: &B, entry: u64, line_bytes: u64) -> Block {
             ),
             is_coproc: instr.class() == InstrClass::Dyser,
         });
-        if matches!(instr, Instr::Halt) {
+        if matches!(instr, Instr::Halt | Instr::Trap { .. }) {
             break;
         }
         pc += 4;
@@ -135,6 +135,9 @@ pub enum BlockExit {
     Jumped,
     /// The core executed `halt`.
     Halted,
+    /// The core retired a `ta` trap and froze awaiting syscall service;
+    /// the driver must service it before dispatching another block.
+    Trapped,
     /// A non-counted micro-state (port retry, fence) reached the front
     /// of the pending queue; the caller must tick per-cycle until it
     /// drains, because each such cycle polls the coprocessor.
@@ -178,7 +181,10 @@ pub fn run_block<B: Bus, C: Coproc>(
     budget: u64,
     fabric_ticks: &mut u64,
 ) -> Result<BlockRun, CoreError> {
-    debug_assert!(!cpu.halted() && !cpu.has_pending(), "run_block needs a clean issue state");
+    debug_assert!(
+        !cpu.halted() && !cpu.has_pending() && cpu.pending_syscall().is_none(),
+        "run_block needs a clean issue state"
+    );
     let mut used = 0u64;
     let done = |exit, used| Ok(BlockRun { exit, cycles: used });
     for bi in &block.instrs {
@@ -201,6 +207,9 @@ pub fn run_block<B: Bus, C: Coproc>(
         used += 1;
         if cpu.halted() {
             return done(BlockExit::Halted, used);
+        }
+        if cpu.pending_syscall().is_some() {
+            return done(BlockExit::Trapped, used);
         }
         if bi.is_store && bus.code_page_generation(block.entry) != block.gen {
             return done(BlockExit::PageWritten, used);

@@ -235,10 +235,35 @@ pub fn run_batch(items: Vec<BatchItem>) -> BatchReport {
                     false
                 }
                 Ok(()) if state.cpu.halted() || remaining[i] == 0 => {
+                    // A pending trap with an exhausted budget is *not*
+                    // serviced — same timeout decision the serial
+                    // drivers make, at the identical cycle.
                     retire(&mut systems[i], &lanes[i], &mut results[i]);
                     false
                 }
                 Ok(()) => {
+                    // Every engine's slice stops at a trap on the exact
+                    // retire cycle; service it at the round boundary
+                    // (zero cycles) so the lane resumes into the same
+                    // machine the serial driver would. The syscall stall
+                    // then shows up in the refreshed horizon.
+                    if state.cpu.pending_syscall().is_some() {
+                        match state.service_syscall() {
+                            Err(e) => {
+                                if lane.engine == BatchEngine::Compiled {
+                                    state.settle_fabric(lane.fabric_ticks, false);
+                                }
+                                results[i] = Some(Err(e));
+                                return false;
+                            }
+                            Ok(_) => {
+                                if state.cpu.halted() {
+                                    retire(&mut systems[i], &lanes[i], &mut results[i]);
+                                    return false;
+                                }
+                            }
+                        }
+                    }
                     horizon[i] = refresh_horizon(&mut systems[i], &lanes[i]);
                     true
                 }
@@ -427,5 +452,71 @@ mod tests {
     fn empty_batch_is_fine() {
         let report = run_batch(Vec::new());
         assert!(report.outcomes.is_empty());
+    }
+
+    /// Interleaves compute with `write` and `exit` traps so every engine
+    /// crosses syscall service points mid-batch.
+    fn trap_program() -> Vec<u32> {
+        use dyser_sparc::syscall::{SYS_EXIT, SYS_WRITE};
+        let mut asm = Assembler::new();
+        // Spin a little so slices and traps interleave.
+        asm.push(Instr::mov_imm(regs::O3, 30));
+        asm.label("loop");
+        asm.push(Instr::alu(AluOp::SubCc, regs::O3, regs::O3, Op2::Imm(1)));
+        asm.branch(ICond::Ne, "loop");
+        asm.push(Instr::Nop);
+        // write(1, 0xF00, 3)
+        asm.push(Instr::mov_imm(regs::O0, 1));
+        asm.push(Instr::mov_imm(regs::O1, 0xF00));
+        asm.push(Instr::mov_imm(regs::O2, 3));
+        asm.push(Instr::Trap { code: SYS_WRITE });
+        // exit(7)
+        asm.push(Instr::mov_imm(regs::O0, 7));
+        asm.push(Instr::Trap { code: SYS_EXIT });
+        asm.push(Instr::Halt);
+        asm.assemble().unwrap()
+    }
+
+    fn fresh_trap() -> System {
+        let mut sys = fresh(&trap_program());
+        sys.memory_mut().write_bytes(0xF00, b"ok\n");
+        sys
+    }
+
+    #[test]
+    fn batch_services_syscalls_identically_to_serial() {
+        let mut serial = fresh_trap();
+        let expected = serial.run(100_000).unwrap();
+        assert_eq!(serial.kernel().stdout(), b"ok\n");
+        assert_eq!(serial.kernel().exit_code(), Some(7));
+        for engine in [BatchEngine::Interpreted, BatchEngine::Stepped, BatchEngine::Compiled] {
+            let report = run_batch(vec![BatchItem::new(fresh_trap(), 100_000, engine)]);
+            let got = report.outcomes.into_iter().next().unwrap();
+            assert_eq!(got.result.unwrap(), expected, "{engine:?} diverged");
+            assert_eq!(got.system.kernel().stdout(), b"ok\n", "{engine:?} stdout");
+            assert_eq!(got.system.kernel().exit_code(), Some(7), "{engine:?} exit");
+        }
+    }
+
+    #[test]
+    fn batch_trap_timeout_matches_serial() {
+        // Budgets chosen to land before, on, and after the trap cycle:
+        // every one must report the exact same outcome as the serial run.
+        let mut probe = fresh_trap();
+        let full = probe.run(100_000).unwrap().cycles;
+        for budget in 1..=full {
+            let mut serial = fresh_trap();
+            let expected = serial.run(budget);
+            let report =
+                run_batch(vec![BatchItem::new(fresh_trap(), budget, BatchEngine::Compiled)]);
+            let got = report.outcomes.into_iter().next().unwrap().result;
+            match (expected, got) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "budget {budget}"),
+                (Err(SysError::Timeout { cycles: a }), Err(SysError::Timeout { cycles: b })) => {
+                    assert_eq!(a, b, "budget {budget}")
+                }
+                (e, g) => panic!("budget {budget}: serial {e:?} vs batch {g:?}"),
+            }
+        }
     }
 }

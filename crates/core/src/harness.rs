@@ -188,6 +188,24 @@ pub enum HarnessError {
         /// Observed bits.
         got: u64,
     },
+    /// A whole-program run's captured stdout differed from the reference.
+    StdoutMismatch {
+        /// `"baseline"` or `"dyser"`.
+        which: &'static str,
+        /// Expected bytes.
+        expected: Vec<u8>,
+        /// Observed bytes.
+        got: Vec<u8>,
+    },
+    /// A whole-program run exited with the wrong code.
+    ExitMismatch {
+        /// `"baseline"` or `"dyser"`.
+        which: &'static str,
+        /// Expected exit code.
+        expected: u64,
+        /// Observed exit code.
+        got: u64,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -199,6 +217,15 @@ impl fmt::Display for HarnessError {
                 f,
                 "{which} output mismatch at {addr:#x}: expected {expected:#018x}, got {got:#018x}"
             ),
+            HarnessError::StdoutMismatch { which, expected, got } => write!(
+                f,
+                "{which} stdout mismatch: expected {:?}, got {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(got)
+            ),
+            HarnessError::ExitMismatch { which, expected, got } => {
+                write!(f, "{which} exit code mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -226,7 +253,7 @@ pub fn simulated_cycles() -> u64 {
 /// indexed like [`CycleBucket::ALL`]. Together they account for every
 /// entry in [`SIM_CYCLES`] — the process-wide face of the attribution
 /// identity.
-static BUCKET_TOTALS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+static BUCKET_TOTALS: [AtomicU64; 9] = [const { AtomicU64::new(0) }; 9];
 
 /// The aggregate cycle attribution of every run so far in this process.
 ///
@@ -693,6 +720,139 @@ fn run_kernel_batch_chunk(jobs: &[KernelJob]) -> Vec<Result<KernelResult, Harnes
             })
         })
         .collect()
+}
+
+/// A whole emulated process: program text for both legs (hand-assembled,
+/// DySER-accelerated inner regions in the `accelerated` leg), the process
+/// inputs (argv, envp, stdin, initial memory), and the reference outputs
+/// — captured stdout bytes and the exit code, plus optional memory
+/// expectations.
+#[derive(Debug, Clone)]
+pub struct ProgramCase {
+    /// Display name (`p1`..`p3` in the experiment suite).
+    pub name: String,
+    /// Scalar-baseline program.
+    pub baseline: Program,
+    /// DySER-accelerated program.
+    pub accelerated: Program,
+    /// Process arguments (argv\[0\] included).
+    pub argv: Vec<String>,
+    /// Process environment strings (`KEY=value`).
+    pub envp: Vec<String>,
+    /// Bytes served to `read` on fd 0.
+    pub stdin: Vec<u8>,
+    /// Initial memory contents: `(address, words)`.
+    pub init: Vec<(u64, Vec<u64>)>,
+    /// Expected memory after the run: `(address, words)`.
+    pub expected: Vec<(u64, Vec<u64>)>,
+    /// Reference stdout, compared byte-for-byte.
+    pub expected_stdout: Vec<u8>,
+    /// Reference exit code.
+    pub expected_exit: u64,
+}
+
+/// Everything one whole-program run produces: the (backend-bit-identical)
+/// run statistics and the process outputs.
+#[derive(Debug, Clone)]
+pub struct ProgramRun {
+    /// The run's statistics.
+    pub stats: RunStats,
+    /// Captured stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Captured stderr bytes.
+    pub stderr: Vec<u8>,
+    /// The `exit` syscall's code (0 if the program halted without one).
+    pub exit_code: u64,
+}
+
+/// Runs one leg of a [`ProgramCase`] as an emulated process — startup
+/// stack, proxy kernel, trap-and-emulate syscalls — and verifies its
+/// memory, stdout, and exit code against the references.
+///
+/// The backend follows `config` exactly like [`run_program`]; stats are
+/// credited to the process-wide accounting.
+///
+/// # Errors
+///
+/// Fails on core faults, timeouts, unknown syscalls, or any output
+/// mismatch (memory, stdout, or exit code).
+pub fn run_whole_program(
+    which: &'static str,
+    program: &Program,
+    case: &ProgramCase,
+    config: &RunConfig,
+) -> Result<ProgramRun, HarnessError> {
+    let as_run = |source| HarnessError::Run { which, source };
+    let mut sys = System::try_new(config.system.clone()).map_err(as_run)?;
+    sys.load_program(program).map_err(as_run)?;
+    for (addr, words) in &case.init {
+        sys.memory_mut().write_u64_slice(*addr, words);
+    }
+    let argv: Vec<&str> = case.argv.iter().map(String::as_str).collect();
+    let envp: Vec<&str> = case.envp.iter().map(String::as_str).collect();
+    sys.setup_process(&argv, &envp, &case.stdin);
+    let outcome = if config.stepped {
+        sys.run_stepped(config.max_cycles)
+    } else {
+        match backend_override().unwrap_or(config.backend) {
+            Backend::Interpreted => sys.run(config.max_cycles),
+            Backend::Compiled => sys.run_compiled(config.max_cycles),
+        }
+    };
+    let stats = outcome.map_err(as_run)?;
+    credit_run(&stats, &sys.speed_stats());
+    verify_expected(&sys, &case.expected, which)?;
+    let got_exit = sys.kernel().exit_code().unwrap_or(0);
+    if got_exit != case.expected_exit {
+        return Err(HarnessError::ExitMismatch {
+            which,
+            expected: case.expected_exit,
+            got: got_exit,
+        });
+    }
+    if sys.kernel().stdout() != case.expected_stdout.as_slice() {
+        return Err(HarnessError::StdoutMismatch {
+            which,
+            expected: case.expected_stdout.clone(),
+            got: sys.kernel().stdout().to_vec(),
+        });
+    }
+    Ok(ProgramRun {
+        stats,
+        stdout: sys.kernel().stdout().to_vec(),
+        stderr: sys.kernel().stderr().to_vec(),
+        exit_code: got_exit,
+    })
+}
+
+/// Runs both legs of a [`ProgramCase`] (scoped threads, like
+/// [`run_kernel`]) and reports the comparison in the same
+/// [`KernelResult`] shape the experiment tables consume.
+///
+/// # Errors
+///
+/// Baseline errors take priority over accelerated-leg errors.
+pub fn run_program_case(
+    case: &ProgramCase,
+    config: &RunConfig,
+) -> Result<KernelResult, HarnessError> {
+    let (base, dyser) = thread::scope(|s| {
+        let b = s.spawn(|| run_whole_program("baseline", &case.baseline, case, config));
+        let d = run_whole_program("dyser", &case.accelerated, case, config);
+        (b.join().expect("baseline run thread"), d)
+    });
+    let base = base?;
+    let dyser = dyser?;
+    let speedup = base.stats.cycles as f64 / dyser.stats.cycles.max(1) as f64;
+    Ok(KernelResult {
+        name: case.name.clone(),
+        speedup,
+        accelerated_any: true,
+        regions: Vec::new(),
+        code_sizes: (case.baseline.len(), case.accelerated.len()),
+        baseline: base.stats,
+        dyser: dyser.stats,
+    })
 }
 
 /// Checks every expected output buffer against the system's memory,

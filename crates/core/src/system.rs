@@ -8,8 +8,18 @@ use dyser_fabric::{ConfigError, Fabric, FabricConfig, FabricConfigError, FabricG
 use dyser_mem::{Hierarchy, MemConfig, MemStats, Memory};
 use dyser_sparc::bus::{read_sized, write_sized};
 use dyser_sparc::coproc::CoprocError;
-use dyser_sparc::{Bus, Coproc, CoreError, CoreStats, CycleAccount, Pipeline};
+use dyser_sparc::syscall::{write_startup_stack, SysOutcome, SyscallHandler};
+use dyser_sparc::{Bus, Coproc, CoreError, CoreStats, CycleAccount, Pipeline, ProxyKernel};
 use dyser_trace::TraceEvent;
+
+/// Base of the process-startup image (argc/argv/envp) that
+/// [`System::setup_process`] writes — above the workloads' data buffers,
+/// below the heap.
+pub const STACK_BASE: u64 = 0x60_0000;
+
+/// Initial program break of an emulated process: `brk` grows the heap
+/// upward from here.
+pub const HEAP_BASE: u64 = 0x70_0000;
 
 /// Configuration of a whole system.
 #[derive(Debug, Clone)]
@@ -149,6 +159,12 @@ pub enum SysError {
         /// Cycles executed.
         cycles: u64,
     },
+    /// The program trapped with a syscall number outside the emulated
+    /// ABI — a typed error, never a panic. The core is left halted.
+    UnknownSyscall {
+        /// The trap number.
+        code: u16,
+    },
 }
 
 impl fmt::Display for SysError {
@@ -158,6 +174,7 @@ impl fmt::Display for SysError {
             SysError::Config(e) => write!(f, "configuration error: {e}"),
             SysError::InvalidConfig(e) => write!(f, "invalid system configuration: {e}"),
             SysError::Timeout { cycles } => write!(f, "no halt after {cycles} cycles"),
+            SysError::UnknownSyscall { code } => write!(f, "unknown syscall number {code}"),
         }
     }
 }
@@ -329,11 +346,57 @@ pub(crate) struct MachineState {
     pub(crate) cpu: Pipeline,
     pub(crate) bus: SysBus,
     pub(crate) coproc: SysCoproc,
+    /// The proxy kernel servicing `ta` traps (captured streams, program
+    /// break, virtual clock). Part of the machine value so batch lanes
+    /// carry their own OS state.
+    pub(crate) kernel: ProxyKernel,
 }
 
 impl MachineState {
+    /// Services the core's pending syscall, if any: reads `%o0..%o5`,
+    /// dispatches through the [`SyscallHandler`], and either resumes the
+    /// core with the return value and the deterministic service latency,
+    /// halts it (`exit`), or reports [`SysError::UnknownSyscall`].
+    ///
+    /// Servicing consumes no cycles itself — the latency is charged as a
+    /// counted [`dyser_sparc::StallCause::Syscall`] stall the engines
+    /// drain like any other — so every backend that stops at the trap
+    /// boundary resumes into a bit-identical machine.
+    ///
+    /// Returns whether a syscall was serviced.
+    pub(crate) fn service_syscall(&mut self) -> Result<bool, SysError> {
+        let Some(code) = self.cpu.pending_syscall() else {
+            return Ok(false);
+        };
+        let mut args = [0u64; 6];
+        for (i, a) in args.iter_mut().enumerate() {
+            *a = self.cpu.regs().read(dyser_isa::Reg::new(8 + i as u8));
+        }
+        let now = self.cpu.stats().cycles;
+        match self.kernel.syscall(code, args, now, &mut self.bus.memory) {
+            SysOutcome::Done { retval, stall } => {
+                self.cpu.complete_syscall(retval, stall);
+                Ok(true)
+            }
+            SysOutcome::Exit { .. } => {
+                self.cpu.force_halt();
+                Ok(true)
+            }
+            SysOutcome::Unknown => {
+                self.cpu.force_halt();
+                Err(SysError::UnknownSyscall { code })
+            }
+        }
+    }
+
     /// Advances one cycle (core and fabric in lock step).
     pub(crate) fn tick(&mut self, tracing: bool) -> Result<(), SysError> {
+        if self.cpu.pending_syscall().is_some() {
+            // The core is frozen at a trap: the fabric must not tick
+            // either, or the lockstep (and bit-identity across engines)
+            // breaks. The driver services the syscall and retries.
+            return Ok(());
+        }
         if tracing {
             // Stamp the hierarchy with the cycle the core is about to
             // execute (the pipeline's 0-based trace timestamp).
@@ -351,7 +414,7 @@ impl MachineState {
     /// or fault.
     pub(crate) fn advance_fast(&mut self, budget: u64, tracing: bool) -> Result<(), SysError> {
         let mut remaining = budget;
-        while remaining > 0 && !self.cpu.halted() {
+        while remaining > 0 && !self.cpu.halted() && self.cpu.pending_syscall().is_none() {
             let skip = if tracing { 0 } else { self.cpu.skip_horizon().min(remaining) };
             if skip > 0 {
                 self.cpu.tick_n(skip);
@@ -371,7 +434,7 @@ impl MachineState {
     /// behind [`System::run_stepped`]), stopping early at halt or fault.
     pub(crate) fn advance_stepped(&mut self, budget: u64, tracing: bool) -> Result<(), SysError> {
         for _ in 0..budget {
-            if self.cpu.halted() {
+            if self.cpu.halted() || self.cpu.pending_syscall().is_some() {
                 break;
             }
             self.tick(tracing)?;
@@ -396,7 +459,7 @@ impl MachineState {
     ) -> Result<(), SysError> {
         let mut remaining = budget;
         loop {
-            if self.cpu.halted() || remaining == 0 {
+            if self.cpu.halted() || remaining == 0 || self.cpu.pending_syscall().is_some() {
                 break Ok(());
             }
             if self.cpu.has_pending() {
@@ -541,6 +604,7 @@ impl System {
                 cpu: Pipeline::new(dyser_compiler::CODE_BASE),
                 bus: SysBus { memory: Memory::new(), hierarchy: Hierarchy::new(config.mem) },
                 coproc: SysCoproc { fabric, configs: Vec::new(), active: None, cache: Vec::new() },
+                kernel: ProxyKernel::new(),
             },
             config,
             tracing: false,
@@ -646,6 +710,7 @@ impl System {
         self.state.coproc.active = None;
         self.state.coproc.cache.clear();
         self.state.cpu = Pipeline::new(program.entry);
+        self.state.kernel = ProxyKernel::new();
         self.blocks.clear();
         Ok(())
     }
@@ -654,6 +719,7 @@ impl System {
     pub fn load_raw(&mut self, addr: u64, words: &[u32]) {
         self.state.bus.memory.write_code(addr, words);
         self.state.cpu = Pipeline::new(addr);
+        self.state.kernel = ProxyKernel::new();
         self.blocks.clear();
     }
 
@@ -667,6 +733,35 @@ impl System {
         for (i, a) in args.iter().enumerate() {
             self.state.cpu.regs_mut().write(dyser_isa::Reg::new(8 + i as u8), *a);
         }
+    }
+
+    /// Sets up an emulated process on top of the loaded code: writes the
+    /// FASE-style startup image (argc, argv, envp, string bytes) at
+    /// [`STACK_BASE`], seeds `%o0`/`%o1`/`%o2` with argc/argv/envp and
+    /// `%sp` with the stack pointer, points the proxy kernel's program
+    /// break at [`HEAP_BASE`], and installs `stdin`.
+    ///
+    /// Call after [`System::load_program`] / [`System::load_raw`] (both
+    /// reset the kernel) and before running.
+    pub fn setup_process(&mut self, argv: &[&str], envp: &[&str], stdin: &[u8]) {
+        let stack = write_startup_stack(&mut self.state.bus.memory, STACK_BASE, argv, envp);
+        let regs = self.state.cpu.regs_mut();
+        regs.write(dyser_isa::regs::O0, stack.argc);
+        regs.write(dyser_isa::regs::O1, stack.argv);
+        regs.write(dyser_isa::regs::O2, stack.envp);
+        regs.write(dyser_isa::regs::SP, stack.sp);
+        self.state.kernel.set_heap_base(HEAP_BASE);
+        self.state.kernel.set_stdin(stdin);
+    }
+
+    /// The proxy kernel (captured stdout/stderr, exit code, break).
+    pub fn kernel(&self) -> &ProxyKernel {
+        &self.state.kernel
+    }
+
+    /// Mutable access to the proxy kernel (stdin installation, heap base).
+    pub fn kernel_mut(&mut self) -> &mut ProxyKernel {
+        &mut self.state.kernel
     }
 
     /// Advances the machine one cycle (core and fabric in lock step).
@@ -697,7 +792,36 @@ impl System {
     /// Returns [`SysError::Timeout`] if the budget elapses, or a core
     /// fault.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
-        self.state.advance_fast(max_cycles, self.tracing)?;
+        let start = self.state.cpu.stats().cycles;
+        loop {
+            let used = self.state.cpu.stats().cycles - start;
+            self.state.advance_fast(max_cycles - used, self.tracing)?;
+            if !self.try_service(start, max_cycles)? {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Services a pending syscall at an engine-slice boundary, if budget
+    /// remains; returns whether the engine should resume.
+    ///
+    /// The budget rule is part of the determinism contract: a trap that
+    /// retires on the very cycle the budget runs out is *not* serviced —
+    /// the run times out — and since cycle counters are bit-identical
+    /// across engines, every engine makes the same call. Servicing itself
+    /// consumes zero cycles; the latency arrives as a counted
+    /// [`dyser_sparc::StallCause::Syscall`] stall drained on resume.
+    fn try_service(&mut self, start: u64, max_cycles: u64) -> Result<bool, SysError> {
+        let used = self.state.cpu.stats().cycles - start;
+        if self.state.cpu.pending_syscall().is_some() && used < max_cycles {
+            self.state.service_syscall()?;
+            return Ok(!self.state.cpu.halted());
+        }
+        Ok(false)
+    }
+
+    fn finish(&self) -> Result<RunStats, SysError> {
         if !self.state.cpu.halted() {
             return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
         }
@@ -712,11 +836,15 @@ impl System {
     /// Returns [`SysError::Timeout`] if the budget elapses, or a core
     /// fault.
     pub fn run_stepped(&mut self, max_cycles: u64) -> Result<RunStats, SysError> {
-        self.state.advance_stepped(max_cycles, self.tracing)?;
-        if !self.state.cpu.halted() {
-            return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
+        let start = self.state.cpu.stats().cycles;
+        loop {
+            let used = self.state.cpu.stats().cycles - start;
+            self.state.advance_stepped(max_cycles - used, self.tracing)?;
+            if !self.try_service(start, max_cycles)? {
+                break;
+            }
         }
-        Ok(self.stats())
+        self.finish()
     }
 
     /// Runs until `halt` or `max_cycles` on the compiled backend:
@@ -741,18 +869,32 @@ impl System {
         let line_bytes = self.config.mem.l1i.line_bytes;
         // Fabric ticks paid so far. The interpreter's invariant: one
         // fabric tick per core cycle, paid after the core's half-cycle —
-        // so during cycle T the coprocessor sees T-1 fabric ticks.
+        // so during cycle T the coprocessor sees T-1 fabric ticks. The
+        // deferral persists across syscall service: the proxy kernel never
+        // touches the fabric, so service commutes with the settlement.
         let mut fabric_ticks = self.state.cpu.stats().cycles;
-        let result =
-            self.state
-                .advance_compiled(max_cycles, &mut self.blocks, line_bytes, &mut fabric_ticks);
+        let start = self.state.cpu.stats().cycles;
+        let result = loop {
+            let used = self.state.cpu.stats().cycles - start;
+            let sliced = self.state.advance_compiled(
+                max_cycles - used,
+                &mut self.blocks,
+                line_bytes,
+                &mut fabric_ticks,
+            );
+            if sliced.is_err() {
+                break sliced;
+            }
+            match self.try_service(start, max_cycles) {
+                Ok(true) => continue,
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
         self.state
             .settle_fabric(fabric_ticks, matches!(&result, Err(SysError::Core(_))));
         result?;
-        if !self.state.cpu.halted() {
-            return Err(SysError::Timeout { cycles: self.state.cpu.stats().cycles });
-        }
-        Ok(self.stats())
+        self.finish()
     }
 
     /// Simulator-speed counters of the issue-path caches (see

@@ -2,6 +2,9 @@
 
 use dyser_fuzz::corpus::recipe_json;
 use dyser_fuzz::gen::{GenStats, LoopForm, MemKind, Node, Recipe, RunMode};
+use dyser_fuzz::sysprog::{
+    checked_sys, sys_case_recipe, sys_recipe_json, SysOp, SysRecipe,
+};
 
 fn neutral() -> Recipe {
     Recipe {
@@ -111,6 +114,56 @@ fn main() {
         let failure = if failure.is_empty() { None } else { Some(failure) };
         let path = format!("{dir}/{name}.json");
         std::fs::write(&path, recipe_json(&recipe, failure)).expect("write corpus entry");
+        println!("wrote {path}");
+    }
+
+    // Syscall-leg corpus (corpus/syscall/): trap-sequence programs the
+    // multi-engine stream/exit/stats oracle replays on every test run.
+    let sys_dir = format!("{dir}/syscall");
+    std::fs::create_dir_all(&sys_dir).expect("create syscall corpus dir");
+
+    // Hand-written minimal interleaving: write / brk-grow / write — the
+    // shape that would catch stdout bytes lost or reordered around a
+    // moving program break.
+    let interleave = SysRecipe {
+        ops: vec![
+            SysOp::Write { fd: 1, off: 0, len: 16 },
+            SysOp::BrkGrow { delta: 0x200 },
+            SysOp::Write { fd: 1, off: 16, len: 16 },
+            SysOp::BrkShrink,
+            SysOp::Write { fd: 2, off: 32, len: 8 },
+        ],
+        exit_code: 7,
+        data_seed: 0x5C5C_0001,
+        stdin_len: 0,
+    };
+
+    // Representative generated cases from the fixed campaign seed: the
+    // first with a bad-fd write, and the first mixing reads with writes.
+    let with = |pred: &dyn Fn(&SysRecipe) -> bool| -> (u64, SysRecipe) {
+        (0u64..)
+            .map(|i| (i, sys_case_recipe(0xD75E, i)))
+            .find(|(_, r)| pred(r))
+            .expect("the grammar draws this shape")
+    };
+    let (bad_i, bad_fd) = with(&|r| {
+        r.ops.iter().any(|o| matches!(o, SysOp::Write { fd, .. } if *fd != 1 && *fd != 2))
+    });
+    let (rw_i, read_write) = with(&|r| {
+        r.ops.iter().any(|o| matches!(o, SysOp::Read { .. }))
+            && r.ops.iter().any(|o| matches!(o, SysOp::Write { fd: 1, .. }))
+            && r.stdin_len > 0
+    });
+
+    let sys_entries = vec![
+        ("sys-write-brk-interleave".to_string(), interleave),
+        (format!("sys-gen-bad-fd-case-{bad_i}"), bad_fd),
+        (format!("sys-gen-read-write-case-{rw_i}"), read_write),
+    ];
+    for (name, recipe) in sys_entries {
+        checked_sys(&recipe).unwrap_or_else(|e| panic!("{name} not green: {e}"));
+        let path = format!("{sys_dir}/{name}.json");
+        std::fs::write(&path, sys_recipe_json(&recipe, None)).expect("write syscall entry");
         println!("wrote {path}");
     }
 }

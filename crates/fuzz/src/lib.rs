@@ -37,11 +37,13 @@ pub mod corpus;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod sysprog;
 
 use dyser_rng::Rng64;
 
 pub use gen::{GenStats, Recipe};
 pub use oracle::{CaseOutcome, FuzzFailure, Sabotage};
+pub use sysprog::{run_sys_campaign, SysCampaignReport, SysRecipe};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]

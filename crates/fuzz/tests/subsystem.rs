@@ -102,6 +102,18 @@ fn corpus_replays_clean() {
     }
 }
 
+/// Every checked-in syscall corpus entry replays clean through the
+/// stream/exit/stats oracle on all six engine runs.
+#[test]
+fn sys_corpus_replays_clean() {
+    use dyser_fuzz::sysprog::{checked_sys, load_sys_corpus, sys_corpus_dir};
+    let entries = load_sys_corpus(&sys_corpus_dir()).expect("syscall corpus loads");
+    assert!(!entries.is_empty(), "syscall corpus must not be empty");
+    for (name, recipe) in entries {
+        checked_sys(&recipe).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
 /// Deliberately impossible hardware descriptions produce typed errors —
 /// `SysError::InvalidConfig` — never panics, and the oracle counts them
 /// as their own outcome class.

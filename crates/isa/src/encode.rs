@@ -73,6 +73,7 @@ mod op3a {
     pub const DFENCE: u32 = 0x29;
     pub const FPOP1: u32 = 0x34;
     pub const FPOP2: u32 = 0x35;
+    pub const TRAP: u32 = 0x3C;
     pub const SIMCALL: u32 = 0x3D;
     pub const HALT: u32 = 0x3E;
 }
@@ -294,6 +295,10 @@ pub fn encode(instr: &Instr) -> u32 {
             assert!(code < (1 << 12), "simcall code {code} does not fit 12 bits");
             f3(0b10, 0, op3a::SIMCALL, 0, (1 << 13) | u32::from(code))
         }
+        Instr::Trap { code } => {
+            assert!(code < (1 << 12), "trap code {code} does not fit 12 bits");
+            f3(0b10, 0, op3a::TRAP, 0, (1 << 13) | u32::from(code))
+        }
     }
 }
 
@@ -454,6 +459,7 @@ fn decode_arith(word: u32) -> Result<Instr, DecodeError> {
             Ok(Instr::Dyser(DyserInstr::RecvVec { vport, base: Reg::new(rs1_bits), count }))
         }
         op3a::DFENCE => Ok(Instr::Dyser(DyserInstr::Fence)),
+        op3a::TRAP => Ok(Instr::Trap { code: (word & 0xFFF) as u16 }),
         op3a::SIMCALL => Ok(Instr::SimCall { code: (word & 0xFFF) as u16 }),
         op3a::HALT => Ok(Instr::Halt),
         _ => err,
@@ -568,6 +574,8 @@ mod tests {
         roundtrip(Instr::Nop);
         roundtrip(Instr::Halt);
         roundtrip(Instr::SimCall { code: 3 });
+        roundtrip(Instr::Trap { code: 4 });
+        roundtrip(Instr::Trap { code: (1 << 12) - 1 });
     }
 
     #[test]

@@ -554,6 +554,14 @@ pub enum Instr {
         /// Service selector.
         code: u16,
     },
+    /// Trap to the syscall-emulation layer (`ta`-style); `code` is the
+    /// syscall number, arguments travel in `%o0..%o5` and the result
+    /// returns in `%o0`. The core suspends at the trap until the
+    /// harness-side handler services it.
+    Trap {
+        /// Syscall number.
+        code: u16,
+    },
 }
 
 impl Instr {
@@ -594,7 +602,9 @@ impl Instr {
             | Instr::Call { .. }
             | Instr::Jmpl { .. } => InstrClass::Branch,
             Instr::Dyser(_) => InstrClass::Dyser,
-            Instr::Nop | Instr::Halt | Instr::SimCall { .. } => InstrClass::Other,
+            Instr::Nop | Instr::Halt | Instr::SimCall { .. } | Instr::Trap { .. } => {
+                InstrClass::Other
+            }
         }
     }
 
@@ -648,6 +658,7 @@ impl fmt::Display for Instr {
             Instr::Nop => write!(f, "nop"),
             Instr::Halt => write!(f, "halt"),
             Instr::SimCall { code } => write!(f, "simcall {code}"),
+            Instr::Trap { code } => write!(f, "ta {code}"),
         }
     }
 }

@@ -62,7 +62,7 @@ fn rand_dyser(rng: &mut Rng64) -> DyserInstr {
 }
 
 fn rand_instr(rng: &mut Rng64) -> Instr {
-    match rng.gen_range(0u64..18) {
+    match rng.gen_range(0u64..19) {
         0 => Instr::Alu {
             op: pick(rng, &AluOp::ALL),
             rd: rand_reg(rng),
@@ -114,7 +114,8 @@ fn rand_instr(rng: &mut Rng64) -> Instr {
         14 => Instr::Dyser(rand_dyser(rng)),
         15 => Instr::Nop,
         16 => Instr::Halt,
-        _ => Instr::SimCall { code: rng.gen_range(0u64..4096) as u16 },
+        17 => Instr::SimCall { code: rng.gen_range(0u64..4096) as u16 },
+        _ => Instr::Trap { code: rng.gen_range(0u64..4096) as u16 },
     }
 }
 

@@ -33,7 +33,7 @@ use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::thread;
 
 use dyser_bench::dse::{point_sim, DsePoint, FuMix, MemPreset};
-use dyser_bench::experiments::{run_experiment_scaled, SEED};
+use dyser_bench::experiments::{run_experiment_scaled, PROGRAM_N, SEED};
 use dyser_bench::serve::{
     envelope_json, read_http_request, write_http_response, HttpRequest, JobError, JobRequest,
     JobResult, RunSpec, SystemSpec, DEFAULT_JOB_CYCLES,
@@ -298,6 +298,37 @@ pub fn execute_job(job: &JobRequest, max_cycles_cap: u64) -> Result<JobResult, J
                 expected: expected.clone(),
             };
             gated(None, || dual_run(&case, &rc, run.trace))?
+        }
+        JobRequest::Program { name, n, run } => {
+            let Some(build) = dyser_workloads::programs::by_name(name) else {
+                return Err(JobError::UnknownKernel(name.clone()));
+            };
+            let n = n.unwrap_or(PROGRAM_N);
+            if n < 8 || n % 4 != 0 {
+                return Err(JobError::InvalidRequest(format!(
+                    "program `n` must be a multiple of 4 and at least 8, got {n}"
+                )));
+            }
+            let mut rc = build_run_config(run, &SystemSpec::default(), max_cycles_cap)?;
+            rc.system.geometry = FabricGeometry::new(8, 8);
+            let case = build(rc.system.geometry, n, SEED)
+                .ok_or_else(|| {
+                    JobError::InvalidConfig(format!("fabric too small for program `{name}`"))
+                })?;
+            let outcome = gated(None, || {
+                let base = dyser_core::run_whole_program("baseline", &case.baseline, &case, &rc)?;
+                let dyser = dyser_core::run_whole_program("dyser", &case.accelerated, &case, &rc)?;
+                Ok::<_, HarnessError>((base, dyser))
+            })?;
+            let (base, dyser) = outcome.map_err(|e| JobError::from_harness(&e))?;
+            Ok(JobResult::Program {
+                name: name.clone(),
+                baseline_cycles: base.stats.cycles,
+                dyser_cycles: dyser.stats.cycles,
+                speedup: base.stats.cycles as f64 / dyser.stats.cycles.max(1) as f64,
+                stdout: String::from_utf8_lossy(&dyser.stdout).into_owned(),
+                exit_code: dyser.exit_code,
+            })
         }
         JobRequest::DsePoint { .. } => {
             let (case, rc, fu_sites, kernel) = dse_point_inputs(job, max_cycles_cap)?;

@@ -325,6 +325,63 @@ fn ir_jobs_compile_and_run_through_the_service() {
 }
 
 #[test]
+fn program_jobs_match_in_process_whole_program_runs() {
+    let _g = lock();
+    let url = spawn_server(2);
+    let geometry = dyser_fabric::FabricGeometry::new(8, 8);
+    let n = 24;
+    for (name, backend) in
+        [("p1", Backend::Interpreted), ("p2", Backend::Compiled), ("p3", Backend::Interpreted)]
+    {
+        // In-process reference under the same configuration.
+        let build = dyser_workloads::programs::by_name(name).expect("known program");
+        let case = build(geometry, n, SEED).expect("8x8 fits every program");
+        let mut rc = RunConfig::default();
+        rc.system.geometry = geometry;
+        rc.backend = backend;
+        let base = dyser_core::run_whole_program("baseline", &case.baseline, &case, &rc)
+            .unwrap_or_else(|e| panic!("in-process {name} baseline: {e}"));
+        let dyser = dyser_core::run_whole_program("dyser", &case.accelerated, &case, &rc)
+            .unwrap_or_else(|e| panic!("in-process {name} dyser: {e}"));
+
+        let job = JobRequest::Program {
+            name: name.into(),
+            n: Some(n),
+            run: RunSpec { backend: Some(backend), ..RunSpec::default() },
+        };
+        match submit(&url, &job) {
+            Ok(JobResult::Program {
+                name: served_name,
+                baseline_cycles,
+                dyser_cycles,
+                stdout,
+                exit_code,
+                ..
+            }) => {
+                assert_eq!(served_name, name);
+                assert_eq!(baseline_cycles, base.stats.cycles, "{name}: baseline cycles");
+                assert_eq!(dyser_cycles, dyser.stats.cycles, "{name}: dyser cycles");
+                assert_eq!(stdout.as_bytes(), &dyser.stdout[..], "{name}: served stdout");
+                assert_eq!(exit_code, dyser.exit_code, "{name}: served exit code");
+            }
+            other => panic!("{name} program job failed: {other:?}"),
+        }
+    }
+    // Unknown programs and invalid sizes come back as typed errors.
+    let unknown =
+        JobRequest::Program { name: "p9".into(), n: Some(16), run: RunSpec::default() };
+    match submit(&url, &unknown) {
+        Err(JobError::UnknownKernel(_)) => {}
+        other => panic!("expected unknown-kernel, got {other:?}"),
+    }
+    let odd = JobRequest::Program { name: "p1".into(), n: Some(7), run: RunSpec::default() };
+    match submit(&url, &odd) {
+        Err(JobError::InvalidRequest(_)) => {}
+        other => panic!("expected invalid-request, got {other:?}"),
+    }
+}
+
+#[test]
 fn dse_point_jobs_match_in_process_sweep_metrics() {
     let _g = lock();
 

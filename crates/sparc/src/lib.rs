@@ -46,9 +46,11 @@ pub mod coproc;
 pub mod pipeline;
 pub mod regfile;
 pub mod stats;
+pub mod syscall;
 
 pub use bus::{Bus, SimpleBus};
 pub use coproc::{Coproc, NullCoproc};
 pub use pipeline::{CoreError, Pipeline};
 pub use regfile::{FRegFile, RegFile};
 pub use stats::{CoreStats, CycleAccount, CycleBucket, StallCause};
+pub use syscall::{ProxyKernel, StartupStack, SysOutcome, SyscallHandler};

@@ -126,6 +126,11 @@ pub struct Pipeline {
     last_load_int: Option<Reg>,
     last_load_fp: Option<FReg>,
     halted: bool,
+    /// Syscall number of a retired `ta` trap awaiting harness-side
+    /// service. While set, the core is frozen: [`Pipeline::tick`] is a
+    /// no-op and no cycles elapse, so every backend observes the trap at
+    /// the exact same cycle regardless of how it slices execution.
+    pending_syscall: Option<u16>,
     stats: CoreStats,
     simcall_log: Vec<(u16, u64)>,
     /// `(pc, word, decoded)` triples indexed by `(pc >> 2) % DECODE_SLOTS`;
@@ -158,6 +163,7 @@ impl Pipeline {
             last_load_int: None,
             last_load_fp: None,
             halted: false,
+            pending_syscall: None,
             stats: CoreStats::default(),
             simcall_log: Vec::new(),
             decoded: vec![(u64::MAX, 0, Instr::Nop); DECODE_SLOTS],
@@ -207,6 +213,33 @@ impl Pipeline {
     /// Whether the core has executed `halt`.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The syscall number of a retired `ta` trap awaiting service, if any.
+    /// While set, the core is frozen (ticks are no-ops) until
+    /// [`Pipeline::complete_syscall`] or [`Pipeline::force_halt`].
+    pub fn pending_syscall(&self) -> Option<u16> {
+        self.pending_syscall
+    }
+
+    /// Completes a pending syscall: writes the return value to `%o0`,
+    /// queues `stall` counted cycles of [`StallCause::Syscall`] service
+    /// latency, and unfreezes the core.
+    ///
+    /// The stall is a plain counted stall, so batch runners fast-forward
+    /// it through [`Pipeline::tick_n`] exactly like any other latency.
+    pub fn complete_syscall(&mut self, retval: u64, stall: u64) {
+        debug_assert!(self.pending_syscall.is_some(), "complete_syscall without a pending trap");
+        self.pending_syscall = None;
+        self.regs.write(dyser_isa::regs::O0, retval);
+        self.push_stall(StallCause::Syscall, stall);
+    }
+
+    /// Halts the core from outside the instruction stream — the `exit`
+    /// syscall and fatal syscall errors. Clears any pending trap.
+    pub fn force_halt(&mut self) {
+        self.pending_syscall = None;
+        self.halted = true;
     }
 
     /// Accumulated statistics.
@@ -312,7 +345,7 @@ impl Pipeline {
     /// `Send`/`Recv`/`VecSend`/`VecRecv`/`Fence` polls the coprocessor
     /// every cycle.
     pub fn skip_horizon(&self) -> u64 {
-        if self.halted {
+        if self.halted || self.pending_syscall.is_some() {
             return 0;
         }
         match self.pending.front() {
@@ -352,7 +385,7 @@ impl Pipeline {
     /// Returns an error on undecodable instructions, coprocessor failures,
     /// or malformed vector transfers; the core is left halted.
     pub fn tick<B: Bus, C: Coproc>(&mut self, bus: &mut B, coproc: &mut C) -> Result<(), CoreError> {
-        if self.halted {
+        if self.halted || self.pending_syscall.is_some() {
             return Ok(());
         }
         self.stats.cycles += 1;
@@ -623,6 +656,12 @@ impl Pipeline {
                 };
                 self.simcall_log.push((code, value));
             }
+            Instr::Trap { code } => {
+                // The trap retires as one ordinary cycle; the core then
+                // freezes (tick becomes a no-op) until the harness-side
+                // handler services the call.
+                self.pending_syscall = Some(code);
+            }
         }
 
         self.pc = next_pc;
@@ -781,7 +820,7 @@ impl Pipeline {
         max_cycles: u64,
     ) -> Result<bool, CoreError> {
         let mut remaining = max_cycles;
-        while remaining > 0 && !self.halted {
+        while remaining > 0 && !self.halted && self.pending_syscall.is_none() {
             let skip = self.skip_horizon().min(remaining);
             if skip > 0 {
                 self.tick_n(skip);

@@ -27,11 +27,13 @@ pub enum StallCause {
     DyserConfig,
     /// `dfence` waiting for the fabric to drain.
     DyserFence,
+    /// Emulated-syscall service latency (`ta` trap to the proxy kernel).
+    Syscall,
 }
 
 impl StallCause {
     /// All causes, in reporting order.
-    pub const ALL: [StallCause; 10] = [
+    pub const ALL: [StallCause; 11] = [
         StallCause::ICache,
         StallCause::DCache,
         StallCause::LoadUse,
@@ -42,6 +44,7 @@ impl StallCause {
         StallCause::DyserRecv,
         StallCause::DyserConfig,
         StallCause::DyserFence,
+        StallCause::Syscall,
     ];
 
     /// A short label for reports.
@@ -57,6 +60,7 @@ impl StallCause {
             StallCause::DyserRecv => "dyser-recv",
             StallCause::DyserConfig => "dyser-config",
             StallCause::DyserFence => "dyser-fence",
+            StallCause::Syscall => "syscall",
         }
     }
 
@@ -72,6 +76,7 @@ impl StallCause {
             StallCause::DyserRecv => 7,
             StallCause::DyserConfig => 8,
             StallCause::DyserFence => 9,
+            StallCause::Syscall => 10,
         }
     }
 }
@@ -105,11 +110,13 @@ pub enum CycleBucket {
     PortRecv,
     /// Stall cycles in `dfence`, waiting for the fabric to drain.
     Drain,
+    /// Stall cycles servicing emulated syscalls (`ta` traps).
+    Syscall,
 }
 
 impl CycleBucket {
     /// All buckets, in reporting order.
-    pub const ALL: [CycleBucket; 8] = [
+    pub const ALL: [CycleBucket; 9] = [
         CycleBucket::CoreCompute,
         CycleBucket::CoreInterlock,
         CycleBucket::MemMiss,
@@ -118,6 +125,7 @@ impl CycleBucket {
         CycleBucket::PortSend,
         CycleBucket::PortRecv,
         CycleBucket::Drain,
+        CycleBucket::Syscall,
     ];
 
     /// A short label for reports and machine-readable output.
@@ -131,6 +139,7 @@ impl CycleBucket {
             CycleBucket::PortSend => "port-send",
             CycleBucket::PortRecv => "port-recv",
             CycleBucket::Drain => "drain",
+            CycleBucket::Syscall => "syscall",
         }
     }
 
@@ -144,6 +153,7 @@ impl CycleBucket {
             CycleBucket::PortSend => 5,
             CycleBucket::PortRecv => 6,
             CycleBucket::Drain => 7,
+            CycleBucket::Syscall => 8,
         }
     }
 }
@@ -154,7 +164,7 @@ impl CycleBucket {
 pub struct CycleAccount {
     /// The total cycle count the buckets must sum to.
     pub total_cycles: u64,
-    buckets: [u64; 8],
+    buckets: [u64; 9],
 }
 
 impl CycleAccount {
@@ -210,7 +220,7 @@ pub struct CoreStats {
     /// Retired instructions by class (indexed like [`InstrClass::ALL`]).
     class_counts: [u64; 8],
     /// Stall cycles by cause (indexed like [`StallCause::ALL`]).
-    stall_counts: [u64; 10],
+    stall_counts: [u64; 11],
 }
 
 impl CoreStats {
@@ -248,7 +258,7 @@ impl CoreStats {
     /// `cycles == instructions + total_stalls` holds by construction and
     /// the buckets below partition the run exactly.
     pub fn cycle_account(&self) -> CycleAccount {
-        let mut acct = CycleAccount { total_cycles: self.cycles, buckets: [0; 8] };
+        let mut acct = CycleAccount { total_cycles: self.cycles, buckets: [0; 9] };
         let dyser_issue = self.class_count(InstrClass::Dyser);
         acct.buckets[CycleBucket::CoreCompute.index()] =
             self.instructions - dyser_issue;
@@ -268,6 +278,8 @@ impl CoreStats {
             self.stall_count(StallCause::DyserRecv);
         acct.buckets[CycleBucket::Drain.index()] =
             self.stall_count(StallCause::DyserFence);
+        acct.buckets[CycleBucket::Syscall.index()] =
+            self.stall_count(StallCause::Syscall);
         debug_assert!(
             acct.balanced(),
             "cycle attribution identity violated: {} buckets vs {} cycles",

@@ -1080,6 +1080,192 @@ pub fn suite() -> Vec<Kernel> {
     ]
 }
 
+// --------------------------------------------- whole-program inner regions
+
+/// The pattern word `p1` searches for, as a big-endian 64-bit integer.
+pub const P1_KEY: u64 = u64::from_be_bytes(*b"NEEDLE!!");
+
+/// Wrapping multiplier of `p2`'s payload hash (see `programs::P2_HASH_MULT`).
+const P2_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// `p1`'s inner region: c[i] = (a[i] == key) ? 1 : 0.
+fn build_p1_match() -> Function {
+    let mut b =
+        FunctionBuilder::new("p1_match", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let key = b.const_i(P1_KEY as i64);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    let pa = b.gep(a, i, 8);
+    let x = b.load(pa, Type::I64);
+    let hit = b.cmp(CmpOp::Eq, x, key);
+    let flag = b.select(hit, one, zero);
+    let pc = b.gep(c, i, 8);
+    b.store(flag, pc);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().expect("p1_match is well-formed")
+}
+
+fn case_p1_match(n: usize, seed: u64) -> CaseData {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let a: Vec<u64> =
+        (0..n).map(|i| if i % 5 == 3 { P1_KEY } else { rng.next_u64() }).collect();
+    let c: Vec<u64> = a.iter().map(|&x| u64::from(x == P1_KEY)).collect();
+    CaseData {
+        args: vec![BUF_A, BUF_C, n as u64],
+        init: vec![(BUF_A, a)],
+        expected: vec![(BUF_C, c)],
+    }
+}
+
+/// `p2`'s inner region: c[i] = a[i] * M (wrapping golden-ratio mix).
+fn build_p2_hash() -> Function {
+    let mut b =
+        FunctionBuilder::new("p2_hash", &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)]);
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let zero = b.const_i(0);
+    let one = b.const_i(1);
+    let m = b.const_i(P2_MULT as i64);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    let pa = b.gep(a, i, 8);
+    let x = b.load(pa, Type::I64);
+    let h = b.bin(BinOp::Mul, x, m);
+    let pc = b.gep(c, i, 8);
+    b.store(h, pc);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, zero);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, n);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().expect("p2_hash is well-formed")
+}
+
+fn case_p2_hash(n: usize, seed: u64) -> CaseData {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let a: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let c: Vec<u64> = a.iter().map(|&x| x.wrapping_mul(P2_MULT)).collect();
+    CaseData {
+        args: vec![BUF_A, BUF_C, n as u64],
+        init: vec![(BUF_A, a)],
+        expected: vec![(BUF_C, c)],
+    }
+}
+
+/// `p3`'s inner region: c[i] = a[i-1] + 2*a[i] + a[i+1] (wrapping int),
+/// for i in 1..n-1.
+fn build_p3_stencil() -> Function {
+    let mut b = FunctionBuilder::new(
+        "p3_stencil",
+        &[("a", Type::Ptr), ("c", Type::Ptr), ("n", Type::I64)],
+    );
+    let (a, c, n) = (b.param(0), b.param(1), b.param(2));
+    let one = b.const_i(1);
+    let minus1 = b.const_i(-1);
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let entry = b.current();
+    let bound = b.bin(BinOp::Add, n, minus1);
+    b.br(body);
+    b.switch_to(body);
+    let i = b.phi(Type::I64);
+    let im1 = b.bin(BinOp::Add, i, minus1);
+    let ip1 = b.bin(BinOp::Add, i, one);
+    let pl = b.gep(a, im1, 8);
+    let pm = b.gep(a, i, 8);
+    let pr = b.gep(a, ip1, 8);
+    let l = b.load(pl, Type::I64);
+    let m = b.load(pm, Type::I64);
+    let r = b.load(pr, Type::I64);
+    let m2 = b.bin(BinOp::Shl, m, one);
+    let s1 = b.bin(BinOp::Add, l, m2);
+    let s2 = b.bin(BinOp::Add, s1, r);
+    let pc = b.gep(c, i, 8);
+    b.store(s2, pc);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.add_incoming(i, entry, one);
+    b.add_incoming(i, body, i2);
+    let cond = b.cmp(CmpOp::Slt, i2, bound);
+    b.cond_br(cond, body, exit);
+    b.switch_to(exit);
+    b.ret(None);
+    b.build().expect("p3_stencil is well-formed")
+}
+
+fn case_p3_stencil(n: usize, seed: u64) -> CaseData {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let a: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let mut c = vec![0u64; n];
+    for i in 1..n.saturating_sub(1) {
+        c[i] = a[i - 1].wrapping_add(a[i] << 1).wrapping_add(a[i + 1]);
+    }
+    CaseData {
+        args: vec![BUF_A, BUF_C, n as u64],
+        // Pre-fill BUF_C so the untouched edge words are well-defined.
+        init: vec![(BUF_A, a), (BUF_C, vec![0u64; n])],
+        expected: vec![(BUF_C, c)],
+    }
+}
+
+/// The inner regions of the whole-program workloads (`p1`..`p3`) as
+/// standalone IR kernels, so the DSE sweep can explore them alongside
+/// the main suite.
+pub fn program_inner_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "p1_match",
+            category: Category::Regular,
+            description: "p1 inner region: 8-byte pattern match flags",
+            default_n: 512,
+            unroll: 4,
+            lag_stores: true,
+            offload_exit: false,
+            build: build_p1_match,
+            case_data: case_p1_match,
+        },
+        Kernel {
+            name: "p2_hash",
+            category: Category::Regular,
+            description: "p2 inner region: wrapping multiply hash",
+            default_n: 512,
+            unroll: 4,
+            lag_stores: true,
+            offload_exit: false,
+            build: build_p2_hash,
+            case_data: case_p2_hash,
+        },
+        Kernel {
+            name: "p3_stencil",
+            category: Category::Regular,
+            description: "p3 inner region: integer 3-tap stencil",
+            default_n: 512,
+            unroll: 4,
+            lag_stores: true,
+            offload_exit: false,
+            build: build_p3_stencil,
+            case_data: case_p3_stencil,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1121,6 +1307,13 @@ mod tests {
                 _ => 33,
             };
             check_against_interpreter(&k, n);
+        }
+    }
+
+    #[test]
+    fn program_inner_kernels_match_their_references_in_the_interpreter() {
+        for k in program_inner_kernels() {
+            check_against_interpreter(&k, 33);
         }
     }
 

@@ -23,9 +23,10 @@
 #![warn(missing_docs)]
 pub mod kernels;
 pub mod manual;
+pub mod programs;
 pub mod shapes;
 
-pub use kernels::{suite, Category, Kernel};
+pub use kernels::{program_inner_kernels, suite, Category, Kernel};
 pub use shapes::ShapeCase;
 
 /// Base address of the first data buffer.
